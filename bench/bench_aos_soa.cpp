@@ -1,0 +1,73 @@
+// E4 (§3.4): AoS vs SoA belief storage, profiled through the cache
+// simulator (the paper used valgrind's cachegrind).
+//
+// The access stream replayed is the one BP generates: for every node, read
+// all of its parents' beliefs (scattered) and write back its own — driven
+// over the synthetic graphs 10x40 .. 100kx400k as in the paper. Reported
+// quantities are cachegrind's Dr+Dw (data reads/writes) and miss counts.
+// The paper found AoS performs ~56% fewer data cache reads and writes.
+#include "cachesim/cache_sim.h"
+#include "common.h"
+#include "graph/belief_store.h"
+#include "graph/generators.h"
+
+using namespace credo;
+
+namespace {
+
+/// Replays `iterations` of the BP access pattern through the cache.
+cachesim::CacheStats replay(const graph::FactorGraph& g,
+                            const graph::BeliefStore& store,
+                            std::uint32_t iterations) {
+  cachesim::CacheSim cache;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const auto& entry : g.in_csr().neighbors(v)) {
+        store.access_ranges(entry.node, [&](graph::MemRange r) {
+          cache.access(r.addr, r.bytes, /*write=*/false);
+        });
+      }
+      store.access_ranges(v, [&](graph::MemRange r) {
+        cache.access(r.addr, r.bytes, /*write=*/true);
+      });
+    }
+  }
+  return cache.stats();
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"graph", "layout", "Dr+Dw", "misses", "miss-rate",
+                     "bytes-resident"});
+  const std::vector<std::string> rows = {"10x40", "100x400", "1k4k",
+                                         "10kx40k", "100kx400k"};
+  double total_aos = 0;
+  double total_soa = 0;
+  for (const auto& abbrev : rows) {
+    const auto& spec = suite::by_abbrev(abbrev);
+    const auto g = suite::instantiate(spec, 2);
+    for (const auto layout :
+         {graph::BeliefLayout::kAos, graph::BeliefLayout::kSoa}) {
+      const auto store = graph::make_belief_store(layout, g.num_nodes(), 2);
+      const auto stats = replay(g, *store, 2);
+      const bool aos = layout == graph::BeliefLayout::kAos;
+      (aos ? total_aos : total_soa) +=
+          static_cast<double>(stats.accesses());
+      table.add_row({abbrev, aos ? "AoS" : "SoA",
+                     std::to_string(stats.accesses()),
+                     std::to_string(stats.misses()),
+                     bench::num(stats.miss_rate()),
+                     std::to_string(store->bytes())});
+    }
+  }
+  table.add_row({"TOTAL", "AoS", bench::num(total_aos, 8), "-", "-", "-"});
+  table.add_row({"TOTAL", "SoA", bench::num(total_soa, 8), "-", "-", "-"});
+  table.add_row({"AoS/SoA", "-", bench::num(total_aos / total_soa), "-",
+                 "-", "-"});
+  bench::emit(table, "aos_soa",
+              "E4 / §3.4 — AoS vs SoA data-cache accesses (cachegrind-style)");
+  std::cout << "paper: AoS performs ~56% fewer data cache reads+writes "
+               "(AoS/SoA ~= 0.44-0.5)\n";
+  return 0;
+}

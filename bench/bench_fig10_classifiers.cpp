@@ -1,0 +1,91 @@
+// E10 / Figure 10 (§4.3): classifier F1-scores vs training-set size.
+//
+// Balanced samples of growing size are drawn from the labeled runs; each
+// sample gets the paper's 60-40 split, every classifier in the comparison
+// suite is fitted, and 3-fold cross-validation supplies the error bars.
+// Paper findings regenerated: the tree-based classifiers reach >=80% F1
+// from ~40 samples and lead the field (random forest 94.7% on the full
+// set); SVM gains little over the heavily normalized ratio features;
+// naive Bayes / Gaussian process suffer from feature interdependence;
+// boosting and the MLP are data-hungry.
+#include <cmath>
+
+#include "common.h"
+#include "labeled_cache.h"
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+using namespace credo;
+
+namespace {
+
+/// Mean/stddev of per-fold F1 via stratified k-fold CV on `sample`.
+std::pair<double, double> cross_validate(const ml::Dataset& sample,
+                                         ml::ClassifierKind kind,
+                                         util::Prng& rng) {
+  const auto folds = ml::stratified_folds(sample, 3, rng);
+  std::vector<double> scores;
+  for (std::size_t k = 0; k < folds.size(); ++k) {
+    ml::Dataset train;
+    for (std::size_t j = 0; j < folds.size(); ++j) {
+      if (j == k) continue;
+      for (std::size_t i = 0; i < folds[j].size(); ++i) {
+        train.add(folds[j].x[i], folds[j].y[i]);
+      }
+    }
+    if (train.size() < 4 || folds[k].size() < 2) continue;
+    const auto clf = ml::make_classifier(kind);
+    clf->fit(train);
+    const auto rep = ml::evaluate(folds[k].y, clf->predict_all(folds[k]));
+    scores.push_back(rep.f1_binary);
+  }
+  if (scores.empty()) return {0.0, 0.0};
+  double mean = 0;
+  for (const double s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  double var = 0;
+  for (const double s : scores) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(scores.size());
+  return {mean, std::sqrt(var)};
+}
+
+}  // namespace
+
+int main() {
+  const auto runs = bench::labeled_runs("pascal", perf::gpu_gtx1070());
+  const auto data = dispatch::to_dataset(runs);
+  std::cout << "labeled dataset: " << data.size() << " runs\n";
+
+  util::Table table({"train-size", "classifier", "f1-holdout", "cv-f1-mean",
+                     "cv-f1-sd"});
+  const std::vector<std::size_t> sizes = {20, 40, 60, 80,
+                                          data.size()};
+  util::Prng rng(777);
+  for (const std::size_t size : sizes) {
+    const auto sample =
+        ml::balanced_sample(data, std::min(size, data.size()), rng);
+    if (sample.size() < 10) continue;
+    for (const auto kind : ml::all_classifier_kinds()) {
+      const auto split = ml::stratified_split(sample, 0.6, rng);
+      double holdout = 0.0;
+      try {
+        const auto clf = ml::make_classifier(kind);
+        clf->fit(split.train);
+        holdout = ml::evaluate(split.test.y, clf->predict_all(split.test))
+                      .f1_binary;
+      } catch (const std::exception&) {
+        continue;  // degenerate sample for this model
+      }
+      const auto [cv_mean, cv_sd] = cross_validate(sample, kind, rng);
+      table.add_row({std::to_string(sample.size()),
+                     ml::classifier_kind_name(kind), bench::num(holdout, 3),
+                     bench::num(cv_mean, 3), bench::num(cv_sd, 3)});
+    }
+  }
+  bench::emit(table, "fig10_classifiers",
+              "Fig. 10 / §4.3 — classifier F1 vs training-set size");
+  std::cout << "paper: decision tree 89.5% and random forest 94.7% on the "
+               "full set; trees reach >=80% from ~40 samples; other "
+               "families trail\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E11 / Figure 11 (§4.3): Credo's trained dispatch vs the naive control of
+// always running C Edge, all selection overheads included.
+//
+// Paper shape: no gain on very small graphs; from ~1000 nodes the
+// classifier starts picking Node implementations in the middle ground;
+// from ~100k nodes the CUDA engines win consistently, with the exact
+// pivot set by the number of beliefs.
+#include "common.h"
+#include "credo/dispatcher.h"
+#include "labeled_cache.h"
+
+using namespace credo;
+
+int main() {
+  const auto runs = bench::labeled_runs("pascal", perf::gpu_gtx1070());
+  const auto dispatcher = dispatch::Dispatcher::train(runs);
+  const auto opts = bench::paper_options();
+
+  std::cout << "learned platform pivots (nodes above which CUDA wins):\n";
+  for (const std::uint32_t b : suite::use_case_beliefs()) {
+    std::cout << "  " << b
+              << " beliefs: " << bench::num(dispatcher.platform_pivot(b))
+              << " nodes\n";
+  }
+
+  util::Table table({"graph", "beliefs", "nodes", "credo-pick",
+                     "credo(s)", "C-edge(s)", "credo-speedup"});
+  const auto cpu_edge = bp::make_default_engine(bp::EngineKind::kCpuEdge);
+  double sum_speedup = 0;
+  int count = 0;
+  for (const auto& spec : suite::table1()) {
+    for (const std::uint32_t b : suite::use_case_beliefs()) {
+      const auto g = suite::instantiate(spec, b, b >= 32 ? 8 : 1);
+      const auto md = graph::compute_metadata(g);
+      const auto pick = dispatcher.choose(md);
+      const auto credo_result = dispatcher.run(g, opts);
+      const double baseline =
+          cpu_edge->run(g, opts).stats.time.total();
+      const double speedup =
+          baseline / credo_result.stats.time.total();
+      sum_speedup += speedup;
+      ++count;
+      table.add_row({spec.abbrev, std::to_string(b),
+                     std::to_string(md.num_nodes),
+                     std::string(bp::engine_name(pick)),
+                     bench::num(credo_result.stats.time.total()),
+                     bench::num(baseline), bench::num(speedup)});
+    }
+  }
+  table.add_row({"AVG", "-", "-", "-", "-", "-",
+                 bench::num(sum_speedup / count)});
+  bench::emit(table, "fig11_credo",
+              "Fig. 11 / §4.3 — Credo dispatch vs always-C-Edge");
+  std::cout << "paper shape: parity on tiny graphs, Node picks appear in "
+               "the middle ground from ~1k nodes, CUDA picks dominate from "
+               "~100k nodes\n";
+  return 0;
+}

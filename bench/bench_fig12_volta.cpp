@@ -1,0 +1,84 @@
+// E12 / Figure 12 + §4.4: portability of the Pascal-trained classifier to
+// the Volta V100 (the paper's AWS p3.2xlarge).
+//
+// The suite is re-benchmarked on the Volta profile (cheaper atomics from
+// independent thread scheduling, ~1.5x memory bandwidth); the random
+// forest trained on the GTX 1070 data is then scored against the Volta
+// labels. Paper findings: F1 falls from 94.7% to 72.2%; CUDA Edge beats
+// CUDA Node in ~8.3% more cases, though the gap between them is small
+// (Node 0.27s vs Edge 0.30s on average); the CUDA engines run ~3-4x
+// faster than on Pascal, pushing the best Node speedup toward ~183x.
+#include "common.h"
+#include "credo/dispatcher.h"
+#include "labeled_cache.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+using namespace credo;
+
+int main() {
+  const auto pascal = bench::labeled_runs("pascal", perf::gpu_gtx1070());
+  const auto volta = bench::labeled_runs("volta", perf::gpu_v100());
+
+  // Classifier portability: train on Pascal labels, test on Volta labels.
+  ml::RandomForest forest;
+  forest.fit(dispatch::to_dataset(pascal));
+  const auto volta_data = dispatch::to_dataset(volta);
+  const auto pred = forest.predict_all(volta_data);
+  const auto rep = ml::evaluate(volta_data.y, pred);
+
+  // Same-architecture reference: Pascal-trained forest on Pascal labels.
+  const auto pascal_data = dispatch::to_dataset(pascal);
+  const auto self_rep =
+      ml::evaluate(pascal_data.y, forest.predict_all(pascal_data));
+
+  // Where does the CUDA winner flip between architectures?
+  int edge_wins_pascal = 0;
+  int edge_wins_volta = 0;
+  double volta_cuda_node_sum = 0;
+  double volta_cuda_edge_sum = 0;
+  double node_speedup_pascal_best = 0;
+  double node_speedup_volta_best = 0;
+  util::Table table({"graph", "beliefs", "volta-CUDA-node(s)",
+                     "volta-CUDA-edge(s)", "pascal-winner", "volta-winner",
+                     "volta-node-speedup"});
+  for (std::size_t i = 0; i < volta.size(); ++i) {
+    const auto& p = pascal[i];
+    const auto& v = volta[i];
+    if (p.times.cuda_edge < p.times.cuda_node) ++edge_wins_pascal;
+    if (v.times.cuda_edge < v.times.cuda_node) ++edge_wins_volta;
+    volta_cuda_node_sum += v.times.cuda_node;
+    volta_cuda_edge_sum += v.times.cuda_edge;
+    const double sp_p = p.times.cpu_node / p.times.cuda_node;
+    const double sp_v = v.times.cpu_node / v.times.cuda_node;
+    node_speedup_pascal_best = std::max(node_speedup_pascal_best, sp_p);
+    node_speedup_volta_best = std::max(node_speedup_volta_best, sp_v);
+    table.add_row(
+        {v.abbrev, std::to_string(v.beliefs),
+         bench::num(v.times.cuda_node), bench::num(v.times.cuda_edge),
+         p.times.cuda_edge < p.times.cuda_node ? "edge" : "node",
+         v.times.cuda_edge < v.times.cuda_node ? "edge" : "node",
+         bench::num(sp_v)});
+  }
+  bench::emit(table, "fig12_volta",
+              "Fig. 12 / §4.4 — the suite on the Volta (V100) profile");
+
+  const auto n = static_cast<double>(volta.size());
+  std::cout << "Pascal-trained forest on Volta labels: F1 = "
+            << bench::num(rep.f1_binary, 3)
+            << " (paper: 0.722); same-architecture reference F1 = "
+            << bench::num(self_rep.f1_binary, 3) << " (paper: 0.947)\n";
+  std::cout << "CUDA Edge wins " << edge_wins_pascal << "/" << volta.size()
+            << " cases on Pascal vs " << edge_wins_volta << "/"
+            << volta.size()
+            << " on Volta (paper: +8.3 percentage points on Volta)\n";
+  std::cout << "Volta averages: CUDA Node "
+            << bench::num(volta_cuda_node_sum / n, 3) << "s, CUDA Edge "
+            << bench::num(volta_cuda_edge_sum / n, 3)
+            << "s (paper: 0.27s vs 0.30s)\n";
+  std::cout << "best CUDA Node speedup vs C Node: Pascal "
+            << bench::num(node_speedup_pascal_best, 4) << "x, Volta "
+            << bench::num(node_speedup_volta_best, 4)
+            << "x (paper: ~120x -> ~183x)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E6 / Figure 7 (§4.1): runtimes of the C and CUDA implementations (Node
+// and Edge, work queues on) over the bold benchmark subset, binary
+// beliefs, plus the AVG group.
+//
+// The paper's qualitative findings regenerated here: CUDA gains appear at
+// ~100k nodes and above; below that the GPU's management overheads keep C
+// ahead; CUDA runs stay within ~10 iterations of the sequential versions
+// (batched convergence checks).
+#include "common.h"
+
+using namespace credo;
+
+int main() {
+  const auto opts = bench::paper_options();
+  util::Table table({"graph", "nodes", "edges", "C-node(s)", "C-edge(s)",
+                     "CUDA-node(s)", "CUDA-edge(s)", "best",
+                     "gpu-mgmt-frac", "iters(cn/ce/gn/ge)"});
+
+  struct Sums {
+    double cn = 0, ce = 0, gn = 0, ge = 0;
+    int count = 0;
+  } sums;
+
+  for (const auto& spec : suite::table1_bold()) {
+    const auto g = suite::instantiate(spec, 2);
+    const auto cn = bench::run_default(bp::EngineKind::kCpuNode, g, opts);
+    const auto ce = bench::run_default(bp::EngineKind::kCpuEdge, g, opts);
+    const auto gn = bench::run_default(bp::EngineKind::kCudaNode, g, opts);
+    const auto ge = bench::run_default(bp::EngineKind::kCudaEdge, g, opts);
+    sums.cn += cn.stats.time.total();
+    sums.ce += ce.stats.time.total();
+    sums.gn += gn.stats.time.total();
+    sums.ge += ge.stats.time.total();
+    ++sums.count;
+
+    const double best =
+        std::min({cn.stats.time.total(), ce.stats.time.total(),
+                  gn.stats.time.total(), ge.stats.time.total()});
+    std::string best_name = "C Node";
+    if (best == ce.stats.time.total()) best_name = "C Edge";
+    if (best == gn.stats.time.total()) best_name = "CUDA Node";
+    if (best == ge.stats.time.total()) best_name = "CUDA Edge";
+
+    table.add_row(
+        {spec.abbrev, std::to_string(g.num_nodes()),
+         std::to_string(g.num_edges()), bench::num(cn.stats.time.total()),
+         bench::num(ce.stats.time.total()),
+         bench::num(gn.stats.time.total()),
+         bench::num(ge.stats.time.total()), best_name,
+         bench::num(gn.stats.time.management_fraction()),
+         std::to_string(cn.stats.iterations) + "/" +
+             std::to_string(ce.stats.iterations) + "/" +
+             std::to_string(gn.stats.iterations) + "/" +
+             std::to_string(ge.stats.iterations)});
+  }
+  table.add_row({"AVG", "-", "-", bench::num(sums.cn / sums.count),
+                 bench::num(sums.ce / sums.count),
+                 bench::num(sums.gn / sums.count),
+                 bench::num(sums.ge / sums.count), "-", "-", "-"});
+  bench::emit(table, "fig7_runtimes",
+              "Fig. 7 / §4.1 — runtimes of the C and CUDA implementations "
+              "(2 beliefs, queues on)");
+  std::cout << "paper: CUDA overtakes C at >=100k nodes; GPU management is "
+               "99.8% of the smallest run, ~71% average at >=100k nodes\n";
+  return 0;
+}

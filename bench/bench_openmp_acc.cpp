@@ -1,0 +1,90 @@
+// E5 (§2.4): the OpenMP and OpenACC negative results.
+//
+// Part 1 — OpenMP slowdown sweep: the paper measured performance DECREASE
+// on 131 of 132 graphs, averaging ~1.17x (2 threads), ~1.65x (4) and
+// ~4.03x (8, hyperthreaded) versus the sequential C implementations.
+// Part 2 — OpenACC: at best 1.25x (K21, Edge paradigm); convergence-check
+// imprecision makes it run many more iterations, ending near the cap.
+#include <map>
+
+#include "common.h"
+
+using namespace credo;
+
+int main() {
+  auto opts = bench::paper_options();
+  // Apples-to-apples for the thread sweep: the OpenMP Edge engine runs the
+  // full (unqueued) schedule, so the C baseline does too; a 60-iteration
+  // cap keeps the unqueued sweep inside the bench budget.
+  opts.work_queue = false;
+  opts.max_iterations = 60;
+
+  // --- Part 1: OpenMP threads sweep ---
+  util::Table omp({"graph", "beliefs", "C-edge(s)", "omp2(s)", "omp4(s)",
+                   "omp8(s)", "slow2", "slow4", "slow8"});
+  std::map<unsigned, double> slow_sum;
+  std::map<unsigned, int> slower_count;
+  int total = 0;
+  const auto cpu_edge = bp::make_default_engine(bp::EngineKind::kCpuEdge);
+  const auto omp_edge = bp::make_default_engine(bp::EngineKind::kOmpEdge);
+  for (const auto& spec : suite::table1_bold()) {
+    for (const std::uint32_t b : suite::use_case_beliefs()) {
+      const auto g = suite::instantiate(spec, b, b >= 32 ? 16 : 1);
+      const double base = cpu_edge->run(g, opts).stats.time.total();
+      std::map<unsigned, double> t;
+      for (const unsigned threads : {2u, 4u, 8u}) {
+        opts.threads = threads;
+        t[threads] = omp_edge->run(g, opts).stats.time.total();
+        slow_sum[threads] += t[threads] / base;
+        if (t[threads] > base) ++slower_count[threads];
+      }
+      ++total;
+      omp.add_row({spec.abbrev, std::to_string(b), bench::num(base),
+                   bench::num(t[2]), bench::num(t[4]), bench::num(t[8]),
+                   bench::num(t[2] / base), bench::num(t[4] / base),
+                   bench::num(t[8] / base)});
+    }
+  }
+  omp.add_row({"AVG", "-", "-", "-", "-", "-",
+               bench::num(slow_sum[2] / total),
+               bench::num(slow_sum[4] / total),
+               bench::num(slow_sum[8] / total)});
+  bench::emit(omp, "openmp",
+              "E5a / §2.4 — OpenMP slowdown vs sequential C (Edge)");
+  std::cout << "paper: slower on 131/132 graphs; average penalties ~1.17x "
+               "(2t), ~1.65x (4t), ~4.03x (8t)\n";
+  std::cout << "measured: slower on " << slower_count[2] << "/" << total
+            << " (2t), " << slower_count[4] << "/" << total << " (4t), "
+            << slower_count[8] << "/" << total << " (8t)\n";
+
+  // --- Part 2: OpenACC vs C Edge and vs CUDA Edge ---
+  opts = bench::paper_options();
+  util::Table acc({"graph", "beliefs", "C-edge(s)", "acc(s)", "cuda-edge(s)",
+                   "acc-speedup-vs-C", "acc-iters", "c-iters"});
+  const auto acc_edge = bp::make_default_engine(bp::EngineKind::kAccEdge);
+  const auto cuda_edge = bp::make_default_engine(bp::EngineKind::kCudaEdge);
+  bp::BpOptions acc_opts = opts;
+  acc_opts.work_queue = false;  // OpenACC cannot express the work queues
+  for (const auto& abbrev :
+       {"1k4k", "10kx40k", "100kx400k", "K21", "LJ", "2Mx8M"}) {
+    const auto& spec = suite::by_abbrev(abbrev);
+    for (const std::uint32_t b : {2u, 3u}) {
+      const auto g = suite::instantiate(spec, b);
+      const auto c = cpu_edge->run(g, opts);
+      const auto a = acc_edge->run(g, acc_opts);
+      const auto cu = cuda_edge->run(g, opts);
+      acc.add_row({spec.abbrev, std::to_string(b),
+                   bench::num(c.stats.time.total()),
+                   bench::num(a.stats.time.total()),
+                   bench::num(cu.stats.time.total()),
+                   bench::num(c.stats.time.total() / a.stats.time.total()),
+                   std::to_string(a.stats.iterations),
+                   std::to_string(c.stats.iterations)});
+    }
+  }
+  bench::emit(acc, "openacc",
+              "E5b / §2.4 — OpenACC-style offload vs C Edge / CUDA Edge");
+  std::cout << "paper: OpenACC at best 1.25x vs C (K21, Edge); runs near "
+               "the iteration cap due to imprecise convergence checks\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E3 (§3.2.1): input-format comparison — BIF vs XML-BIF vs MTX-belief.
+//
+// Real wall-clock timing (google-benchmark) of the three parsers on
+// equivalent generated content: the family-out network, a ~1000-node /
+// ~2000-edge network (the paper's largest BIF), and a larger MTX-only
+// graph. The paper reports family-out at 162us (BIF) / 638us (XML-BIF),
+// ~21ms / ~83ms at 1000 nodes, ~2ms for the equivalent MTX file, and a
+// 100k-node XML-BIF taking 8.4s vs 0.28s for a 100k/400k MTX pair.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "io/bayes_net.h"
+#include "io/bif.h"
+#include "io/mtx_belief.h"
+#include "io/xmlbif.h"
+
+namespace {
+
+using namespace credo;
+
+const io::BayesNet& family_out() {
+  static const io::BayesNet net = io::BayesNet::family_out();
+  return net;
+}
+
+const io::BayesNet& net1000() {
+  // ~1000 nodes with up to 2 parents each: ~1000 nodes / ~1000-2000 deps.
+  static const io::BayesNet net = io::BayesNet::random(1000, 2, 2, 5);
+  return net;
+}
+
+const std::string& bif_text(const io::BayesNet& net) {
+  static std::map<const io::BayesNet*, std::string> cache;
+  auto [it, fresh] = cache.try_emplace(&net);
+  if (fresh) it->second = io::write_bif_string(net);
+  return it->second;
+}
+
+const std::string& xml_text(const io::BayesNet& net) {
+  static std::map<const io::BayesNet*, std::string> cache;
+  auto [it, fresh] = cache.try_emplace(&net);
+  if (fresh) it->second = io::write_xmlbif_string(net);
+  return it->second;
+}
+
+/// MTX node/edge text equivalent to a BayesNet.
+struct MtxText {
+  std::string nodes;
+  std::string edges;
+};
+const MtxText& mtx_text(const io::BayesNet& net) {
+  static std::map<const io::BayesNet*, MtxText> cache;
+  auto [it, fresh] = cache.try_emplace(&net);
+  if (fresh) {
+    std::ostringstream n;
+    std::ostringstream e;
+    io::write_mtx_belief_streams(net.to_factor_graph(), n, e);
+    it->second = {n.str(), e.str()};
+  }
+  return it->second;
+}
+
+/// MTX pair for a large shared-joint graph (beyond what BIF can hold).
+const MtxText& mtx_large() {
+  static const MtxText text = [] {
+    graph::BeliefConfig cfg;
+    cfg.beliefs = 2;
+    cfg.seed = 17;
+    const auto g = graph::uniform_random(100'000, 400'000, cfg);
+    std::ostringstream n;
+    std::ostringstream e;
+    io::write_mtx_belief_streams(g, n, e);
+    return MtxText{n.str(), e.str()};
+  }();
+  return text;
+}
+
+void BM_Bif_FamilyOut(benchmark::State& state) {
+  const auto& text = bif_text(family_out());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::read_bif_string(text, "family-out.bif"));
+  }
+}
+BENCHMARK(BM_Bif_FamilyOut);
+
+void BM_XmlBif_FamilyOut(benchmark::State& state) {
+  const auto& text = xml_text(family_out());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        io::read_xmlbif_string(text, "family-out.xml"));
+  }
+}
+BENCHMARK(BM_XmlBif_FamilyOut);
+
+void BM_Mtx_FamilyOut(benchmark::State& state) {
+  const auto& text = mtx_text(family_out());
+  for (auto _ : state) {
+    std::istringstream n(text.nodes);
+    std::istringstream e(text.edges);
+    benchmark::DoNotOptimize(io::read_mtx_belief_streams(n, e));
+  }
+}
+BENCHMARK(BM_Mtx_FamilyOut);
+
+void BM_Bif_1000(benchmark::State& state) {
+  const auto& text = bif_text(net1000());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::read_bif_string(text, "n1000.bif"));
+  }
+  state.counters["bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_Bif_1000);
+
+void BM_XmlBif_1000(benchmark::State& state) {
+  const auto& text = xml_text(net1000());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::read_xmlbif_string(text, "n1000.xml"));
+  }
+  state.counters["bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_XmlBif_1000);
+
+void BM_Mtx_1000(benchmark::State& state) {
+  const auto& text = mtx_text(net1000());
+  for (auto _ : state) {
+    std::istringstream n(text.nodes);
+    std::istringstream e(text.edges);
+    benchmark::DoNotOptimize(io::read_mtx_belief_streams(n, e));
+  }
+  state.counters["bytes"] =
+      static_cast<double>(text.nodes.size() + text.edges.size());
+}
+BENCHMARK(BM_Mtx_1000);
+
+void BM_Mtx_100k400k(benchmark::State& state) {
+  const auto& text = mtx_large();
+  for (auto _ : state) {
+    std::istringstream n(text.nodes);
+    std::istringstream e(text.edges);
+    benchmark::DoNotOptimize(io::read_mtx_belief_streams(n, e));
+  }
+  state.counters["bytes"] =
+      static_cast<double>(text.nodes.size() + text.edges.size());
+}
+BENCHMARK(BM_Mtx_100k400k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints the rows of the table/figure it regenerates as an
+// aligned text table and mirrors them to a CSV next to the binary
+// (credo_<name>.csv) for plotting.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bp/engine.h"
+#include "credo/suite.h"
+#include "graph/metadata.h"
+#include "util/table.h"
+
+namespace credo::bench {
+
+/// Default options mirroring the paper's evaluation setup (§4):
+/// convergence 0.001, cap 200 iterations, work queues on, 1024-thread
+/// blocks, batched GPU convergence checks.
+inline bp::BpOptions paper_options() {
+  bp::BpOptions o;
+  o.convergence_threshold = 1e-3f;
+  o.max_iterations = 200;
+  o.work_queue = true;
+  return o;
+}
+
+/// Runs `kind` on its default hardware and returns the result.
+inline bp::BpResult run_default(bp::EngineKind kind,
+                                const graph::FactorGraph& g,
+                                const bp::BpOptions& opts) {
+  return bp::make_default_engine(kind)->run(g, opts);
+}
+
+/// Prints the table and writes its CSV mirror.
+inline void emit(const util::Table& table, const std::string& bench_name,
+                 const std::string& caption) {
+  std::cout << "\n== " << caption << " ==\n";
+  table.print(std::cout);
+  const std::string path = "credo_" + bench_name + ".csv";
+  table.write_csv(path);
+  std::cout << "(csv: " << path << ")\n";
+}
+
+/// Shorthand numeric cell.
+inline std::string num(double v, int precision = 4) {
+  return util::Table::num(v, precision);
+}
+
+}  // namespace credo::bench

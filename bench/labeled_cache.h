@@ -1,0 +1,83 @@
+// Produces (or re-reads) the labeled engine-time dataset the classifier
+// benches share. The full 34-graph x 3-belief sweep over four engines takes
+// minutes, so the first bench to need it writes
+// credo_labeled_runs_<tag>.csv next to the binaries and later benches
+// reload it.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "credo/trainer.h"
+#include "util/strings.h"
+
+namespace credo::bench {
+
+inline std::string cache_path(const std::string& tag) {
+  return "credo_labeled_runs_" + tag + ".csv";
+}
+
+inline void save_runs(const std::vector<dispatch::LabeledRun>& runs,
+                      const std::string& tag) {
+  std::ofstream out(cache_path(tag));
+  out << "abbrev,beliefs,nodes,edges,max_in,max_out,avg_in,cpu_node,"
+         "cpu_edge,cuda_node,cuda_edge,label\n";
+  for (const auto& r : runs) {
+    out << r.abbrev << ',' << r.beliefs << ',' << r.metadata.num_nodes
+        << ',' << r.metadata.num_directed_edges << ','
+        << r.metadata.max_in_degree << ',' << r.metadata.max_out_degree
+        << ',' << r.metadata.avg_in_degree << ',' << r.times.cpu_node << ','
+        << r.times.cpu_edge << ',' << r.times.cuda_node << ','
+        << r.times.cuda_edge << ',' << r.paradigm_label << '\n';
+  }
+}
+
+inline bool load_runs(std::vector<dispatch::LabeledRun>& runs,
+                      const std::string& tag) {
+  std::ifstream in(cache_path(tag));
+  if (!in) return false;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    const auto f = util::split(line, ',');
+    if (f.size() != 12) return false;
+    dispatch::LabeledRun r;
+    r.abbrev = std::string(f[0]);
+    r.beliefs = static_cast<std::uint32_t>(*util::parse_u64(f[1]));
+    r.metadata.num_nodes = *util::parse_u64(f[2]);
+    r.metadata.num_directed_edges = *util::parse_u64(f[3]);
+    r.metadata.beliefs = r.beliefs;
+    r.metadata.max_in_degree =
+        static_cast<std::uint32_t>(*util::parse_u64(f[4]));
+    r.metadata.max_out_degree =
+        static_cast<std::uint32_t>(*util::parse_u64(f[5]));
+    r.metadata.avg_in_degree = *util::parse_double(f[6]);
+    r.times.cpu_node = *util::parse_double(f[7]);
+    r.times.cpu_edge = *util::parse_double(f[8]);
+    r.times.cuda_node = *util::parse_double(f[9]);
+    r.times.cuda_edge = *util::parse_double(f[10]);
+    r.paradigm_label = static_cast<int>(*util::parse_u64(f[11]));
+    runs.push_back(std::move(r));
+  }
+  return !runs.empty();
+}
+
+/// Loads the cached sweep for `tag`, or benchmarks the full suite on the
+/// given hardware and caches it. Tags used: "pascal" (GTX 1070) and
+/// "volta" (V100).
+inline std::vector<dispatch::LabeledRun> labeled_runs(
+    const std::string& tag, const perf::HardwareProfile& gpu) {
+  std::vector<dispatch::LabeledRun> runs;
+  if (load_runs(runs, tag)) return runs;
+  dispatch::TrainerConfig cfg;
+  cfg.gpu = gpu;
+  cfg.divisor_32 = 8;
+  runs = dispatch::benchmark_suite(suite::table1(),
+                                   suite::use_case_beliefs(), cfg);
+  save_runs(runs, tag);
+  return runs;
+}
+
+}  // namespace credo::bench

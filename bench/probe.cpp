@@ -1,0 +1,51 @@
+// Scratch calibration probe (not a paper bench): prints modelled engine
+// times and speedups across the suite so the cost-model constants can be
+// sanity-checked against the paper's headline numbers.
+#include <cstdio>
+#include <iostream>
+
+#include "bp/engine.h"
+#include "credo/suite.h"
+#include "graph/metadata.h"
+#include "util/timer.h"
+
+using namespace credo;
+
+int main(int argc, char** argv) {
+  const std::uint32_t beliefs =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2;
+  bp::BpOptions opts;
+  opts.work_queue = true;
+  opts.max_iterations = 100;
+
+  const auto cpu_node = bp::make_default_engine(bp::EngineKind::kCpuNode);
+  const auto cpu_edge = bp::make_default_engine(bp::EngineKind::kCpuEdge);
+  const auto gpu_node = bp::make_default_engine(bp::EngineKind::kCudaNode);
+  const auto gpu_edge = bp::make_default_engine(bp::EngineKind::kCudaEdge);
+
+  std::printf(
+      "%-12s %9s %9s | %10s %10s %10s %10s | %7s %7s | iters n/e/gn/ge\n",
+      "graph", "nodes", "edges", "C-node", "C-edge", "CU-node", "CU-edge",
+      "spd-n", "spd-e");
+  for (const auto& spec : suite::table1()) {
+    if (!spec.bold) continue;
+    util::Timer t;
+    const auto g =
+        suite::instantiate(spec, beliefs, beliefs >= 32 ? 8 : 1);
+    const auto cn = cpu_node->run(g, opts);
+    const auto ce = cpu_edge->run(g, opts);
+    const auto gn = gpu_node->run(g, opts);
+    const auto ge = gpu_edge->run(g, opts);
+    std::printf(
+        "%-12s %9u %9llu | %10.4g %10.4g %10.4g %10.4g | %7.1f %7.1f | "
+        "%u/%u/%u/%u  host=%.1fs\n",
+        spec.abbrev.c_str(), g.num_nodes(),
+        static_cast<unsigned long long>(g.num_edges()),
+        cn.stats.time.total(), ce.stats.time.total(), gn.stats.time.total(),
+        ge.stats.time.total(), cn.stats.time.total() / gn.stats.time.total(),
+        ce.stats.time.total() / ge.stats.time.total(), cn.stats.iterations,
+        ce.stats.iterations, gn.stats.iterations, ge.stats.iterations,
+        t.seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Format conversion CLI — the migration path §3.2 implies: read legacy
+// BIF / XML-BIF content once, write the streaming MTX-belief pair, and
+// report the size/parse-cost difference.
+//
+// Usage:
+//   format_convert <input.{bif,xml}> <out_nodes.mtx> <out_edges.mtx>
+//   format_convert --demo        (generates a 1000-node network first)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "io/bayes_net.h"
+#include "io/bif.h"
+#include "io/convert.h"
+#include "io/mtx_belief.h"
+#include "io/xmlbif.h"
+#include "util/timer.h"
+
+using namespace credo;
+
+namespace {
+
+std::uint64_t file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<std::uint64_t>(in.tellg()) : 0;
+}
+
+int convert(const std::string& input, const std::string& nodes_out,
+            const std::string& edges_out) {
+  const bool is_xml = input.size() > 4 &&
+                      (input.substr(input.size() - 4) == ".xml" ||
+                       input.substr(input.size() - 7) == ".xmlbif");
+  util::Timer parse_timer;
+  const io::BayesNet net =
+      is_xml ? io::read_xmlbif(input) : io::read_bif(input);
+  const double parse_s = parse_timer.seconds();
+
+  io::bayes_net_to_mtx(net, nodes_out, edges_out);
+
+  util::Timer reread_timer;
+  io::ParseStats stats;
+  const auto g = io::read_mtx_belief(nodes_out, edges_out, &stats);
+  const double reread_s = reread_timer.seconds();
+
+  std::printf("input:  %s (%llu bytes, parsed in %.3f ms as %s)\n",
+              input.c_str(),
+              static_cast<unsigned long long>(file_size(input)),
+              1e3 * parse_s, is_xml ? "XML-BIF" : "BIF");
+  std::printf("output: %s + %s (%llu + %llu bytes)\n", nodes_out.c_str(),
+              edges_out.c_str(),
+              static_cast<unsigned long long>(file_size(nodes_out)),
+              static_cast<unsigned long long>(file_size(edges_out)));
+  std::printf("graph:  %u nodes, %llu directed edges; MTX re-parse %.3f ms "
+              "(%llu lines streamed)\n",
+              g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()), 1e3 * reread_s,
+              static_cast<unsigned long long>(stats.lines));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+    const auto net = io::BayesNet::random(1000, 2, 2, 42);
+    io::write_bif(net, "demo.bif");
+    io::write_xmlbif(net, "demo.xml");
+    std::printf("generated demo.bif and demo.xml (1000 variables)\n\n");
+    const int rc = convert("demo.bif", "demo_nodes.mtx", "demo_edges.mtx");
+    std::printf("\n");
+    return rc == 0 ? convert("demo.xml", "demo_nodes2.mtx",
+                             "demo_edges2.mtx")
+                   : rc;
+  }
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: %s <input.{bif,xml}> <nodes.mtx> <edges.mtx>\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  try {
+    return convert(argv[1], argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,123 @@
+// Image correction — the paper's third use case (§4): a grid MRF that
+// cleans a noisy binary image.
+//
+// Classic construction: one hidden node per pixel linked 4-connectedly
+// with a smoothness potential, plus one *observed* evidence node per pixel
+// fixed at the noisy measurement and linked by the sensor model. Loopy BP
+// recovers each pixel's most likely true value. The example draws a glyph,
+// flips a fraction of pixels, denoises with the CUDA Edge engine (grids
+// are edge-friendly: uniform degree 4) and reports the error reduction.
+//
+// Build & run:  ./build/examples/image_denoise [side] [noise]
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bp/engine.h"
+#include "graph/builder.h"
+#include "util/prng.h"
+
+using namespace credo;
+
+namespace {
+
+/// Ground-truth binary image: a filled ring.
+std::vector<std::uint8_t> make_image(std::uint32_t side) {
+  std::vector<std::uint8_t> img(static_cast<std::size_t>(side) * side, 0);
+  const double cx = (side - 1) / 2.0;
+  const double r_out = side * 0.38;
+  const double r_in = side * 0.18;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const double d = std::hypot(x - cx, y - cx);
+      img[y * side + x] = (d <= r_out && d >= r_in) ? 1 : 0;
+    }
+  }
+  return img;
+}
+
+void print_image(const std::vector<std::uint8_t>& img, std::uint32_t side,
+                 const char* title) {
+  std::printf("%s\n", title);
+  const std::uint32_t step = side > 48 ? side / 48 : 1;
+  for (std::uint32_t y = 0; y < side; y += step) {
+    std::string line;
+    for (std::uint32_t x = 0; x < side; x += step) {
+      line += img[y * side + x] ? "#" : ".";
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto side =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 48);
+  const double noise = argc > 2 ? std::atof(argv[2]) : 0.12;
+  util::Prng rng(99);
+
+  const auto truth = make_image(side);
+  auto noisy = truth;
+  for (auto& px : noisy) {
+    if (rng.bernoulli(noise)) px ^= 1;
+  }
+
+  // Hidden pixel nodes 0..n-1, evidence nodes n..2n-1.
+  const auto n = static_cast<graph::NodeId>(side * side);
+  graph::GraphBuilder b;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    b.add_node(graph::BeliefVec::uniform(2));
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    b.add_observed_node(2, noisy[v]);
+  }
+  // Smoothness: neighboring pixels agree 80% of the time.
+  const auto smooth = graph::JointMatrix::diffusion(2, 0.80f);
+  // Sensor model: a pixel is measured correctly with probability 1-noise
+  // (slightly pessimistic keeps the posterior calibrated).
+  const auto sensor = graph::JointMatrix::diffusion(
+      2, static_cast<float>(1.0 - noise * 1.1));
+  auto id = [side](std::uint32_t x, std::uint32_t y) {
+    return static_cast<graph::NodeId>(y * side + x);
+  };
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      if (x + 1 < side) b.add_undirected(id(x, y), id(x + 1, y), smooth);
+      if (y + 1 < side) b.add_undirected(id(x, y), id(x, y + 1), smooth);
+      b.add_undirected(id(x, y), n + id(x, y), sensor);
+    }
+  }
+  const auto g = b.finalize();
+
+  bp::BpOptions opts;
+  opts.work_queue = true;
+  opts.max_iterations = 200;
+  const auto engine = bp::make_default_engine(bp::EngineKind::kCudaEdge);
+  const auto result = engine->run(g, opts);
+
+  std::vector<std::uint8_t> restored(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    restored[v] = result.beliefs[v][1] > 0.5f ? 1 : 0;
+  }
+  std::uint32_t noisy_err = 0;
+  std::uint32_t restored_err = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    noisy_err += noisy[v] != truth[v];
+    restored_err += restored[v] != truth[v];
+  }
+
+  print_image(noisy, side, "noisy input:");
+  print_image(restored, side, "denoised (loopy BP, CUDA Edge engine):");
+  std::printf("pixels: %u, noise flipped %u (%.1f%%), BP left %u wrong "
+              "(%.1f%%)\n",
+              n, noisy_err, 100.0 * noisy_err / n, restored_err,
+              100.0 * restored_err / n);
+  std::printf("%u iterations, modelled %.3g ms on %s\n",
+              result.stats.iterations,
+              1e3 * result.stats.modelled_seconds(),
+              engine->hardware().name.c_str());
+  return restored_err <= noisy_err ? 0 : 1;
+}

@@ -1,0 +1,206 @@
+// OpenACC-style naive GPU offload (§2.4's second negative result).
+//
+// Models what the paper got from pragma-annotated offload after its tuning:
+//  * edge paradigm only (work queues need "finer grained control than what
+//    OpenACC offers");
+//  * data stays device-resident after the initial load, with the
+//    convergence scalar transferred only every `convergence_batch`
+//    iterations (the paper had to override the runtime's default of full
+//    per-iteration transfers to get even this);
+//  * the runtime's generated reduction "fail[s] to precisely compute the
+//    convergence check": modelled as a per-element contribution floor
+//    (denormal diffs are not accumulated exactly), which keeps the sum
+//    pinned above the threshold on large graphs so runs terminate near the
+//    iteration cap — the paper's observed behaviour;
+//  * the hardware profile (profiles.h: gpu_gtx1070_openacc) charges the
+//    runtime's higher launch overhead and lower achieved occupancy.
+#include <vector>
+
+#include "bp/engines_internal.h"
+#include "gpusim/atomics.h"
+#include "gpusim/device.h"
+#include "graph/metadata.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace credo::bp::internal {
+namespace {
+
+using graph::BeliefVec;
+using graph::DirectedEdge;
+using graph::EdgeId;
+using graph::FactorGraph;
+using graph::JointMatrix;
+using graph::NodeId;
+using gpusim::Device;
+using gpusim::DeviceBuffer;
+using gpusim::LaunchDims;
+using gpusim::ThreadCtx;
+
+/// Contribution floor of the imprecise runtime reduction.
+constexpr float kReductionFloor = 1e-6f;
+
+class AccEdgeEngine final : public Engine {
+ public:
+  explicit AccEdgeEngine(perf::HardwareProfile profile)
+      : profile_(std::move(profile)) {
+    CREDO_CHECK_MSG(profile_.kind == perf::PlatformKind::kGpu,
+                    "OpenACC engine requires a GPU profile");
+  }
+
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kAccEdge;
+  }
+
+  [[nodiscard]] const perf::HardwareProfile& hardware()
+      const noexcept override {
+    return profile_;
+  }
+
+  [[nodiscard]] BpResult run(const FactorGraph& g,
+                             const BpOptions& opts) const override {
+    const util::Timer timer;
+    Device dev(profile_);
+    const NodeId n = g.num_nodes();
+    const std::uint64_t m = g.num_edges();
+    const auto md = graph::compute_metadata(g);
+    const std::uint32_t b = md.beliefs;
+
+    // Initial load: pragma data copy(...) — everything moves once. Belief
+    // payloads are packed for transfer.
+    std::uint64_t packed = 0;
+    for (NodeId v = 0; v < n; ++v) packed += belief_bytes(g.arity(v));
+    auto beliefs_buf = dev.alloc<BeliefVec>(n);
+    dev.h2d<BeliefVec>(beliefs_buf, g.initial_beliefs(), packed);
+    auto priors_buf = dev.alloc<BeliefVec>(n);
+    {
+      std::vector<BeliefVec> priors(n);
+      for (NodeId v = 0; v < n; ++v) priors[v] = g.prior(v);
+      dev.h2d<BeliefVec>(priors_buf, priors, packed);
+    }
+    auto observed_buf = dev.alloc<std::uint8_t>(n);
+    {
+      std::vector<std::uint8_t> obs(n);
+      for (NodeId v = 0; v < n; ++v) obs[v] = g.observed(v) ? 1 : 0;
+      dev.h2d<std::uint8_t>(observed_buf, obs);
+    }
+    auto edges_buf = dev.alloc<DirectedEdge>(m);
+    dev.h2d<DirectedEdge>(edges_buf, g.edges());
+    // OpenACC has no constant-memory placement: the shared matrix sits in
+    // global memory and is charged as a scattered read per message.
+    std::vector<JointMatrix> ms;
+    if (g.joints().is_shared()) {
+      ms.push_back(g.joints().shared_matrix());
+    } else {
+      ms.resize(m);
+      for (EdgeId e = 0; e < m; ++e) ms[e] = g.joints().at(e);
+    }
+    auto joints_buf = dev.alloc<JointMatrix>(ms.size());
+    dev.h2d<JointMatrix>(joints_buf, ms);
+    auto acc_buf = dev.alloc<float>(static_cast<std::size_t>(n) * b);
+    auto diff_buf = dev.alloc<float>(n);
+
+    const auto beliefs = beliefs_buf.span();
+    const auto observed = observed_buf.cspan();
+    const auto edges = edges_buf.cspan();
+    const auto joints = joints_buf.cspan();
+    const auto acc = acc_buf.span();
+    const auto diff = diff_buf.span();
+    const bool shared = g.joints().is_shared();
+
+    BpResult r;
+    bool done = false;
+    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
+         ++iter) {
+      r.stats.iterations = iter + 1;
+
+      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
+                 [&](ThreadCtx& ctx) {
+                   const auto v = static_cast<NodeId>(ctx.global_id());
+                   const std::uint32_t arity = g.arity(v);
+                   for (std::uint32_t s = 0; s < arity; ++s) {
+                     acc.store(ctx, static_cast<std::size_t>(v) * b + s,
+                               0.0f);
+                   }
+                 });
+
+      dev.launch(
+          LaunchDims::cover(m, opts.block_threads), m,
+          [&](ThreadCtx& ctx) {
+            thread_local BeliefVec msg;
+            const auto e = static_cast<EdgeId>(ctx.global_id());
+            const DirectedEdge ed = edges.load(ctx, e);
+            const BeliefVec src = beliefs.load_bytes(
+                ctx, ed.src, belief_bytes(g.arity(ed.src)));
+            const JointMatrix& jm = *(joints.host_data() +
+                                      (shared ? 0 : e));
+            ctx.meter().rand_read(jm.payload_bytes());
+            ctx.flop(graph::compute_message(src, jm, msg));
+            for (std::uint32_t s = 0; s < msg.size; ++s) {
+              gpusim::atomic_add(
+                  ctx, acc, static_cast<std::size_t>(ed.dst) * b + s,
+                  log_msg(msg.v[s]));
+            }
+            ctx.flop(2ull * msg.size);
+          });
+      r.stats.elements_processed += m;
+      perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
+
+      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
+                 [&](ThreadCtx& ctx) {
+                   const auto v = static_cast<NodeId>(ctx.global_id());
+                   if (observed.load(ctx, v) != 0 ||
+                       g.in_csr().degree(v) == 0) {
+                     diff.store(ctx, v, 0.0f);
+                     return;
+                   }
+                   const std::uint32_t arity = g.arity(v);
+                   float local[graph::kMaxStates];
+                   for (std::uint32_t s = 0; s < arity; ++s) {
+                     local[s] = acc.load(
+                         ctx, static_cast<std::size_t>(v) * b + s);
+                   }
+                   BeliefVec nb;
+                   ctx.flop(softmax(local, arity, nb));
+                   const BeliefVec prev =
+                       beliefs.load_bytes(ctx, v, belief_bytes(arity));
+                   ctx.flop(apply_damping(nb, prev, opts.damping));
+                   float dlt = graph::l1_diff(prev, nb);
+                   ctx.flop(2ull * arity);
+                   // The imprecise runtime reduction: contributions are
+                   // floored rather than accumulated exactly.
+                   if (dlt < kReductionFloor) dlt = kReductionFloor;
+                   beliefs.store_bytes(ctx, v, nb, belief_bytes(arity));
+                   diff.store(ctx, v, dlt);
+                 });
+
+      if ((iter + 1) % opts.convergence_batch == 0 ||
+          iter + 1 == opts.max_iterations) {
+        const float sum = dev.read_scalar(dev.reduce_sum(diff_buf, n));
+        r.stats.final_delta = sum;
+        if (sum < opts.convergence_threshold) {
+          r.stats.converged = true;
+          done = true;
+        }
+      }
+    }
+
+    r.beliefs.resize(n);
+    dev.d2h<BeliefVec>(r.beliefs, beliefs_buf);
+    r.stats.counters = dev.counters();
+    r.stats.time = dev.modelled_time();
+    r.stats.host_seconds = timer.seconds();
+    return r;
+  }
+
+ private:
+  perf::HardwareProfile profile_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_acc_edge(const perf::HardwareProfile& p) {
+  return std::make_unique<AccEdgeEngine>(p);
+}
+
+}  // namespace credo::bp::internal

@@ -1,0 +1,376 @@
+// Sequential "C" engines — the paper's control implementations (§3.6).
+//
+// Both follow Algorithm 1 with in-place (chaotic/Gauss-Seidel) updates:
+// each node keeps a local previous copy for the convergence diff and reads
+// whatever its neighbors' current beliefs are, exactly as lines 5-12
+// describe. The Node engine pulls from parents per node; the Edge engine
+// pushes one message per directed edge into log-space accumulators (the
+// combine that must be atomic in the parallel engines, §3.3).
+#include <vector>
+
+#include "bp/engines_internal.h"
+#include "graph/metadata.h"
+#include "perf/cost_model.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace credo::bp::internal {
+namespace {
+
+using graph::BeliefVec;
+using graph::EdgeId;
+using graph::FactorGraph;
+using graph::NodeId;
+
+/// Common base handling profile storage and result finalization.
+class CpuEngineBase : public Engine {
+ public:
+  explicit CpuEngineBase(perf::HardwareProfile profile)
+      : profile_(std::move(profile)) {
+    CREDO_CHECK_MSG(profile_.kind == perf::PlatformKind::kCpuSerial,
+                    "sequential engine requires a serial CPU profile");
+  }
+
+  [[nodiscard]] const perf::HardwareProfile& hardware()
+      const noexcept override {
+    return profile_;
+  }
+
+ protected:
+  void finish(BpResult& r, const util::Timer& timer) const {
+    r.stats.time = perf::model_time(r.stats.counters, profile_);
+    r.stats.host_seconds = timer.seconds();
+  }
+
+  perf::HardwareProfile profile_;
+};
+
+// ---------------------------------------------------------------------------
+// C Node
+// ---------------------------------------------------------------------------
+
+class CpuNodeEngine final : public CpuEngineBase {
+ public:
+  using CpuEngineBase::CpuEngineBase;
+
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kCpuNode;
+  }
+
+  [[nodiscard]] BpResult run(const FactorGraph& g,
+                             const BpOptions& opts) const override {
+    const util::Timer timer;
+    BpResult r;
+    r.beliefs = g.initial_beliefs();
+    perf::Meter meter(r.stats.counters);
+
+    const auto& in = g.in_csr();
+    const auto& joints = g.joints();
+    const NodeId n = g.num_nodes();
+
+    // Work queue (§3.5): indices of unconverged nodes; starts full.
+    std::vector<NodeId> queue;
+    std::vector<NodeId> next_queue;
+    if (opts.work_queue) {
+      queue.reserve(n);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!g.observed(v)) queue.push_back(v);
+      }
+    }
+
+    BeliefVec msg;
+    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
+      r.stats.iterations = iter + 1;
+      double sum = 0.0;
+      next_queue.clear();
+
+      const std::uint64_t count = opts.work_queue ? queue.size() : n;
+      for (std::uint64_t qi = 0; qi < count; ++qi) {
+        NodeId v;
+        if (opts.work_queue) {
+          v = queue[qi];
+          meter.seq_read(sizeof(NodeId));  // queue entry
+        } else {
+          v = static_cast<NodeId>(qi);
+          if (g.observed(v)) continue;
+        }
+        // A node with no incoming edges receives no updates: its belief
+        // keeps its current (initial) value.
+        if (in.degree(v) == 0) continue;
+        ++r.stats.elements_processed;
+        const std::uint32_t b = g.arity(v);
+
+        // Local previous copy (Algorithm 1 line 5).
+        const BeliefVec prev = r.beliefs[v];
+        meter.rand_read(belief_bytes(b));
+
+        // Pull from every parent (lines 6-9): scattered lookups, the Node
+        // paradigm's cost (§3.3). Per Algorithm 1, the new belief combines
+        // the incoming updates only — priors enter as the initial state.
+        BeliefVec acc = BeliefVec::ones(b);
+        meter.seq_read(sizeof(std::uint64_t));  // CSR offset
+        for (const auto& entry : in.neighbors(v)) {
+          meter.seq_read(sizeof(entry));  // adjacency index walk
+          const BeliefVec& parent = r.beliefs[entry.node];
+          meter.rand_read(belief_bytes(parent.size));
+          charge_joint_load(meter, joints, entry.edge);
+          const auto& jm = joints.at(entry.edge);
+          meter.flop(graph::compute_message(parent, jm, msg));
+          meter.flop(graph::combine(acc, msg));
+        }
+        graph::normalize(acc);
+        meter.flop(2ull * b);
+        meter.flop(apply_damping(acc, prev, opts.damping));
+        r.beliefs[v] = acc;
+        meter.rand_write(belief_bytes(b));
+
+        const float d = graph::l1_diff(prev, acc);
+        meter.flop(2ull * b);
+        sum += d;
+        if (opts.work_queue && d > opts.queue_threshold) {
+          next_queue.push_back(v);
+          meter.seq_write(sizeof(NodeId));
+        }
+      }
+
+      r.stats.final_delta = sum;
+      if (sum < opts.convergence_threshold) {
+        r.stats.converged = true;
+        break;
+      }
+      if (opts.work_queue) {
+        queue.swap(next_queue);
+        if (queue.empty()) {
+          // Every remaining element individually converged.
+          r.stats.converged = true;
+          break;
+        }
+      }
+    }
+    finish(r, timer);
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// C Edge
+// ---------------------------------------------------------------------------
+
+class CpuEdgeEngine final : public CpuEngineBase {
+ public:
+  using CpuEngineBase::CpuEngineBase;
+
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kCpuEdge;
+  }
+
+  [[nodiscard]] BpResult run(const FactorGraph& g,
+                             const BpOptions& opts) const override {
+    return opts.work_queue ? run_queued(g, opts) : run_full(g, opts);
+  }
+
+ private:
+  /// Jacobi-per-iteration form: reset accumulators, push every edge,
+  /// derive beliefs.
+  [[nodiscard]] BpResult run_full(const FactorGraph& g,
+                                  const BpOptions& opts) const {
+    const util::Timer timer;
+    BpResult r;
+    r.beliefs = g.initial_beliefs();
+    perf::Meter meter(r.stats.counters);
+
+    const NodeId n = g.num_nodes();
+    const auto& edges = g.edges();
+    const auto& joints = g.joints();
+    const std::uint32_t b = graph::compute_metadata(g).beliefs;
+
+    std::vector<float> acc(static_cast<std::size_t>(n) * b, 0.0f);
+    BeliefVec msg;
+
+    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
+      r.stats.iterations = iter + 1;
+
+      // Phase 1: reset accumulators to the multiplicative identity
+      // (streaming); Algorithm 1 combines incoming updates only.
+      for (NodeId v = 0; v < n; ++v) {
+        const std::uint32_t arity = g.arity(v);
+        float* a = acc.data() + static_cast<std::size_t>(v) * b;
+        for (std::uint32_t s = 0; s < arity; ++s) a[s] = 0.0f;
+        meter.seq_write(4ull * arity);
+      }
+
+      // Phase 2: one message per directed edge (edges sorted by source, so
+      // the source belief is streamed; the destination combine is the
+      // scattered write, §3.3).
+      for (EdgeId e = 0; e < edges.size(); ++e) {
+        ++r.stats.elements_processed;
+        const auto& ed = edges[e];
+        meter.seq_read(sizeof(ed));
+        const BeliefVec& src = r.beliefs[ed.src];
+        meter.seq_read(belief_bytes(src.size));
+        charge_joint_load(meter, joints, e);
+        const auto& jm = joints.at(e);
+        meter.flop(graph::compute_message(src, jm, msg));
+        float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
+        for (std::uint32_t s = 0; s < msg.size; ++s) {
+          a[s] += log_msg(msg.v[s]);
+        }
+        meter.flop(2ull * msg.size);
+        // Packed accumulator array stays cache-resident (near scatter).
+        meter.near_read(4ull * msg.size);
+        meter.near_write(4ull * msg.size);
+      }
+
+      // Phase 3: marginalize + convergence (streaming). Nodes with no
+      // incoming edges received no updates and keep their beliefs.
+      double sum = 0.0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
+        const std::uint32_t arity = g.arity(v);
+        BeliefVec nb;
+        meter.flop(softmax(acc.data() + static_cast<std::size_t>(v) * b,
+                           arity, nb));
+        meter.seq_read(4ull * arity);
+        meter.flop(apply_damping(nb, r.beliefs[v], opts.damping));
+        const float d = graph::l1_diff(r.beliefs[v], nb);
+        meter.flop(2ull * arity);
+        meter.seq_read(belief_bytes(arity));
+        r.beliefs[v] = nb;
+        meter.seq_write(belief_bytes(arity));
+        sum += d;
+      }
+
+      r.stats.final_delta = sum;
+      if (sum < opts.convergence_threshold) {
+        r.stats.converged = true;
+        break;
+      }
+    }
+    finish(r, timer);
+    return r;
+  }
+
+  /// §3.5 queued form: per-edge message caches are updated incrementally
+  /// (acc += log(new) - log(old)); only edges whose source changed last
+  /// iteration are reprocessed.
+  [[nodiscard]] BpResult run_queued(const FactorGraph& g,
+                                    const BpOptions& opts) const {
+    const util::Timer timer;
+    BpResult r;
+    r.beliefs = g.initial_beliefs();
+    perf::Meter meter(r.stats.counters);
+
+    const NodeId n = g.num_nodes();
+    const auto& edges = g.edges();
+    const auto& joints = g.joints();
+    const auto& out = g.out_csr();
+    const std::uint32_t b = graph::compute_metadata(g).beliefs;
+
+    // Accumulators start at log(1) = 0: Algorithm 1 combines incoming
+    // updates only (priors seed the initial beliefs the first messages are
+    // computed from). Cached log-messages also start at 0.
+    std::vector<float> acc(static_cast<std::size_t>(n) * b, 0.0f);
+    std::vector<float> cache(edges.size() * static_cast<std::size_t>(b),
+                             0.0f);
+    std::vector<std::uint8_t> dirty(n, 0);
+
+    std::vector<EdgeId> queue;
+    std::vector<EdgeId> next_queue;
+    queue.reserve(edges.size());
+    for (EdgeId e = 0; e < edges.size(); ++e) {
+      if (!g.observed(edges[e].dst)) queue.push_back(e);
+    }
+
+    BeliefVec msg;
+    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
+      r.stats.iterations = iter + 1;
+
+      // Phase 1: replay queued edges with incremental combines. The queue
+      // is rebuilt in ascending edge-id order (nodes scanned in order,
+      // out-edges contiguous because edges are source-sorted), so the edge
+      // structs, source beliefs and message caches are all streamed.
+      for (const EdgeId e : queue) {
+        ++r.stats.elements_processed;
+        meter.seq_read(sizeof(EdgeId));
+        const auto& ed = edges[e];
+        meter.seq_read(sizeof(ed));
+        const BeliefVec& src = r.beliefs[ed.src];
+        meter.seq_read(belief_bytes(src.size));
+        charge_joint_load(meter, joints, e);
+        meter.flop(graph::compute_message(src, joints.at(e), msg));
+        float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
+        float* c = cache.data() + static_cast<std::size_t>(e) * b;
+        for (std::uint32_t s = 0; s < msg.size; ++s) {
+          const float lm = log_msg(msg.v[s]);
+          a[s] += lm - c[s];
+          c[s] = lm;
+        }
+        meter.flop(4ull * msg.size);
+        meter.near_read(4ull * msg.size);   // packed accumulators
+        meter.near_write(4ull * msg.size);
+        meter.seq_read(4ull * msg.size);    // message cache, streamed
+        meter.seq_write(4ull * msg.size);
+        dirty[ed.dst] = 1;
+        meter.near_write(1);
+      }
+
+      // Phase 2: marginalize dirty nodes, rebuild the queue from the
+      // out-edges of nodes that moved beyond the element threshold.
+      double sum = 0.0;
+      next_queue.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        meter.seq_read(1);  // dirty flag scan
+        if (!dirty[v]) continue;
+        dirty[v] = 0;
+        if (g.observed(v)) continue;
+        const std::uint32_t arity = g.arity(v);
+        BeliefVec nb;
+        meter.flop(softmax(acc.data() + static_cast<std::size_t>(v) * b,
+                           arity, nb));
+        meter.near_read(4ull * arity);
+        meter.flop(apply_damping(nb, r.beliefs[v], opts.damping));
+        const float d = graph::l1_diff(r.beliefs[v], nb);
+        meter.flop(2ull * arity);
+        meter.rand_read(belief_bytes(arity));
+        r.beliefs[v] = nb;
+        meter.rand_write(belief_bytes(arity));
+        sum += d;
+        if (d > opts.queue_threshold) {
+          meter.seq_read(sizeof(std::uint64_t));  // CSR offset
+          for (const auto& entry : out.neighbors(v)) {
+            meter.seq_read(sizeof(entry));
+            if (!g.observed(entry.node)) {
+              next_queue.push_back(entry.edge);
+              meter.seq_write(sizeof(EdgeId));
+            }
+          }
+        }
+      }
+
+      r.stats.final_delta = sum;
+      if (sum < opts.convergence_threshold) {
+        r.stats.converged = true;
+        break;
+      }
+      queue.swap(next_queue);
+      if (queue.empty()) {
+        r.stats.converged = true;
+        break;
+      }
+    }
+    finish(r, timer);
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_cpu_node(const perf::HardwareProfile& p) {
+  return std::make_unique<CpuNodeEngine>(p);
+}
+
+std::unique_ptr<Engine> make_cpu_edge(const perf::HardwareProfile& p) {
+  return std::make_unique<CpuEdgeEngine>(p);
+}
+
+}  // namespace credo::bp::internal

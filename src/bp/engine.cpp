@@ -1,0 +1,58 @@
+#include "bp/engine.h"
+
+#include "bp/engines_internal.h"
+#include "util/error.h"
+
+namespace credo::bp {
+
+std::string_view engine_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kCpuNode: return "C Node";
+    case EngineKind::kCpuEdge: return "C Edge";
+    case EngineKind::kOmpNode: return "OpenMP Node";
+    case EngineKind::kOmpEdge: return "OpenMP Edge";
+    case EngineKind::kCudaNode: return "CUDA Node";
+    case EngineKind::kCudaEdge: return "CUDA Edge";
+    case EngineKind::kAccEdge: return "OpenACC Edge";
+    case EngineKind::kTree: return "Tree BP";
+    case EngineKind::kResidual: return "Residual";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    const perf::HardwareProfile& profile) {
+  switch (kind) {
+    case EngineKind::kCpuNode: return internal::make_cpu_node(profile);
+    case EngineKind::kCpuEdge: return internal::make_cpu_edge(profile);
+    case EngineKind::kOmpNode: return internal::make_omp_node(profile);
+    case EngineKind::kOmpEdge: return internal::make_omp_edge(profile);
+    case EngineKind::kCudaNode: return internal::make_cuda_node(profile);
+    case EngineKind::kCudaEdge: return internal::make_cuda_edge(profile);
+    case EngineKind::kAccEdge: return internal::make_acc_edge(profile);
+    case EngineKind::kTree: return internal::make_tree(profile);
+    case EngineKind::kResidual: return internal::make_residual(profile);
+  }
+  throw util::InvalidArgument("unknown engine kind");
+}
+
+std::unique_ptr<Engine> make_default_engine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCpuNode:
+    case EngineKind::kCpuEdge:
+    case EngineKind::kTree:
+    case EngineKind::kResidual:
+      return make_engine(kind, perf::cpu_i7_7700hq_serial());
+    case EngineKind::kOmpNode:
+    case EngineKind::kOmpEdge:
+      return make_engine(kind, perf::cpu_i7_7700hq_parallel(8));
+    case EngineKind::kCudaNode:
+    case EngineKind::kCudaEdge:
+      return make_engine(kind, perf::gpu_gtx1070());
+    case EngineKind::kAccEdge:
+      return make_engine(kind, perf::gpu_gtx1070_openacc());
+  }
+  throw util::InvalidArgument("unknown engine kind");
+}
+
+}  // namespace credo::bp

@@ -1,0 +1,69 @@
+// The engine interface and registry — Credo's suite of implementations.
+//
+// The paper's core four are the sequential C Node/Edge and CUDA Node/Edge
+// engines (§3.6); the OpenMP- and OpenACC-style engines reproduce the §2.4
+// negative results; the tree engine is the §2.1.1 non-loopy baseline.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bp/options.h"
+#include "graph/factor_graph.h"
+#include "perf/profiles.h"
+
+namespace credo::bp {
+
+/// Engine identifiers, named as the paper names them.
+enum class EngineKind {
+  kCpuNode,   // "C Node"  — sequential, per-node processing
+  kCpuEdge,   // "C Edge"  — sequential, per-edge processing
+  kOmpNode,   // OpenMP-style CPU-parallel, per-node
+  kOmpEdge,   // OpenMP-style CPU-parallel, per-edge
+  kCudaNode,  // "CUDA Node" on the simulated device
+  kCudaEdge,  // "CUDA Edge" on the simulated device
+  kAccEdge,   // OpenACC-style naive offload (edge paradigm)
+  kTree,      // non-loopy two-pass tree BP (§2.1.1 baseline)
+  kResidual,  // residual-prioritized scheduling (extension; cf. §5.1)
+};
+
+/// Human-readable engine name ("C Node", "CUDA Edge", ...).
+[[nodiscard]] std::string_view engine_name(EngineKind kind) noexcept;
+
+/// Result of a propagation: final beliefs plus run statistics.
+struct BpResult {
+  std::vector<graph::BeliefVec> beliefs;
+  BpStats stats;
+};
+
+/// A belief-propagation engine bound to a hardware profile.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  [[nodiscard]] virtual EngineKind kind() const noexcept = 0;
+  [[nodiscard]] virtual const perf::HardwareProfile& hardware()
+      const noexcept = 0;
+
+  /// Runs BP on `g` to convergence (or the iteration cap) and returns the
+  /// marginal beliefs. The graph is not modified; engines copy the mutable
+  /// state they need.
+  [[nodiscard]] virtual BpResult run(const graph::FactorGraph& g,
+                                     const BpOptions& opts) const = 0;
+
+  [[nodiscard]] std::string_view name() const noexcept {
+    return engine_name(kind());
+  }
+};
+
+/// Creates an engine of the given kind on the given hardware profile. CPU
+/// kinds require a CPU profile and GPU kinds a GPU profile (checked).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(
+    EngineKind kind, const perf::HardwareProfile& profile);
+
+/// Convenience: engines on the paper's default hardware (i7-7700HQ +
+/// GTX 1070). OpenMP engines get the 8-thread profile.
+[[nodiscard]] std::unique_ptr<Engine> make_default_engine(EngineKind kind);
+
+}  // namespace credo::bp

@@ -1,0 +1,92 @@
+// Internal factory hooks and helpers shared by the engine translation
+// units. Not part of the public API — include bp/engine.h instead.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "bp/engine.h"
+#include "graph/belief.h"
+
+namespace credo::bp::internal {
+
+std::unique_ptr<Engine> make_cpu_node(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_cpu_edge(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_omp_node(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_omp_edge(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_cuda_node(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_cuda_edge(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_acc_edge(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_tree(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_residual(const perf::HardwareProfile& p);
+
+/// Messages are clamped away from zero before entering log space so a
+/// contradicting observation cannot produce -inf accumulators.
+inline constexpr float kMsgFloor = 1e-30f;
+
+/// log of a clamped message entry.
+inline float log_msg(float v) noexcept {
+  return std::log(v < kMsgFloor ? kMsgFloor : v);
+}
+
+/// Numerically stable exp-normalization of a log-space accumulator into a
+/// belief vector. Returns flops performed.
+inline std::uint32_t softmax(const float* log_acc, std::uint32_t n,
+                             graph::BeliefVec& out) noexcept {
+  out.size = n;
+  float maxv = log_acc[0];
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (log_acc[i] > maxv) maxv = log_acc[i];
+  }
+  float sum = 0.0f;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.v[i] = std::exp(log_acc[i] - maxv);
+    sum += out.v[i];
+  }
+  const float inv = 1.0f / sum;
+  for (std::uint32_t i = 0; i < n; ++i) out.v[i] *= inv;
+  return 4 * n;
+}
+
+/// Flop cost of one message computation (matvec + normalize), matching
+/// graph::compute_message.
+inline std::uint64_t message_flops(std::uint32_t rows,
+                                   std::uint32_t cols) noexcept {
+  return 2ull * rows * cols + 2ull * cols;
+}
+
+/// Charges the cost of loading the joint matrix for edge `e`. The shared
+/// matrix (§2.2) lives in constant memory / stays cache-resident and is
+/// charged per-element constant-cache reads; per-edge matrices are
+/// scattered global loads — the §2.2 bottleneck.
+inline void charge_joint_load(perf::Meter& meter,
+                              const graph::JointStore& joints,
+                              graph::EdgeId e) {
+  const auto& m = joints.at(e);
+  if (joints.is_shared()) {
+    meter.const_op(static_cast<std::uint64_t>(m.rows) * m.cols);
+  } else {
+    meter.rand_read(m.payload_bytes());
+  }
+}
+
+/// Applies damping: b = (1-d)*b + d*prev, renormalized. No-op at d == 0.
+/// Returns flops performed.
+inline std::uint32_t apply_damping(graph::BeliefVec& b,
+                                   const graph::BeliefVec& prev,
+                                   float damping) noexcept {
+  if (damping <= 0.0f) return 0;
+  for (std::uint32_t i = 0; i < b.size; ++i) {
+    b.v[i] = (1.0f - damping) * b.v[i] + damping * prev.v[i];
+  }
+  graph::normalize(b);
+  return 5 * b.size;
+}
+
+/// Bytes actually touched when loading/storing a belief vector (live floats
+/// plus the dimension field).
+inline std::uint64_t belief_bytes(std::uint32_t arity) noexcept {
+  return 4ull * arity + 4ull;
+}
+
+}  // namespace credo::bp::internal

@@ -1,0 +1,665 @@
+// CUDA-style Node and Edge engines on the simulated device (§3.6).
+//
+// Faithful to the paper's CUDA design:
+//  * 1024-thread blocks, one work item per thread;
+//  * the shared joint matrix lives in constant memory, per-edge matrices in
+//    global memory (§2.2 / §3.6);
+//  * the convergence sum is a shared-memory tree reduction
+//    (Device::reduce_sum) and its scalar is transferred only every
+//    `convergence_batch` iterations (§2.4's batching, kept for CUDA);
+//  * §3.5 work queues are device-resident index buffers repopulated through
+//    an atomic cursor each iteration;
+//  * all graph data is uploaded once up front — the allocation + transfer
+//    cost that dominates small graphs (99.8% for the smallest benchmark,
+//    §4.1.1) is metered by those calls.
+#include <vector>
+
+#include "bp/engines_internal.h"
+#include "gpusim/atomics.h"
+#include "gpusim/device.h"
+#include "graph/metadata.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace credo::bp::internal {
+namespace {
+
+using graph::BeliefVec;
+using graph::DirectedEdge;
+using graph::EdgeId;
+using graph::FactorGraph;
+using graph::JointMatrix;
+using graph::NodeId;
+using gpusim::ConstSpan;
+using gpusim::Device;
+using gpusim::DeviceBuffer;
+using gpusim::DeviceSpan;
+using gpusim::LaunchDims;
+using gpusim::ThreadCtx;
+
+/// Device-resident graph image shared by both engines.
+struct DeviceGraph {
+  DeviceBuffer<BeliefVec> beliefs;
+  DeviceBuffer<BeliefVec> priors;
+  DeviceBuffer<std::uint8_t> observed;
+  DeviceBuffer<std::uint64_t> in_offsets;
+  DeviceBuffer<graph::Csr::Entry> in_entries;
+  DeviceBuffer<DirectedEdge> edges;
+  DeviceBuffer<JointMatrix> joints_global;  // per-edge mode
+  ConstSpan<JointMatrix> joint_const;       // shared mode (§3.6)
+  DeviceBuffer<float> diff;
+  bool shared_joint = false;
+
+  /// Loads the matrix for edge `e`, metering constant-cache or global
+  /// traffic as configured.
+  const JointMatrix& joint(ThreadCtx& ctx, EdgeId e) const {
+    if (shared_joint) {
+      const JointMatrix& m = *joint_const.host_data();
+      ctx.meter().const_op(static_cast<std::uint64_t>(m.rows) * m.cols);
+      return m;
+    }
+    const JointMatrix& m = joints_global.cspan().host(e);
+    ctx.meter().rand_read(m.payload_bytes());
+    return m;
+  }
+};
+
+/// Uploads the graph (the one-time cudaMalloc/cudaMemcpy cost).
+DeviceGraph upload(Device& dev, const FactorGraph& g, bool need_in_csr,
+                   bool need_edges) {
+  DeviceGraph d;
+  const NodeId n = g.num_nodes();
+
+  // Belief payloads are packed for transfer (live states + dimension, not
+  // the padded host struct).
+  std::uint64_t packed = 0;
+  for (NodeId v = 0; v < n; ++v) packed += belief_bytes(g.arity(v));
+
+  d.beliefs = dev.alloc<BeliefVec>(n);
+  dev.h2d<BeliefVec>(d.beliefs, g.initial_beliefs(), packed);
+  d.priors = dev.alloc<BeliefVec>(n);
+  {
+    std::vector<BeliefVec> priors(n);
+    for (NodeId v = 0; v < n; ++v) priors[v] = g.prior(v);
+    dev.h2d<BeliefVec>(d.priors, priors, packed);
+  }
+  d.observed = dev.alloc<std::uint8_t>(n);
+  {
+    std::vector<std::uint8_t> obs(n);
+    for (NodeId v = 0; v < n; ++v) obs[v] = g.observed(v) ? 1 : 0;
+    dev.h2d<std::uint8_t>(d.observed, obs);
+  }
+  if (need_in_csr) {
+    std::vector<std::uint64_t> offsets(n + 1);
+    std::vector<graph::Csr::Entry> entries;
+    entries.reserve(g.num_edges());
+    offsets[0] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const auto& e : g.in_csr().neighbors(v)) entries.push_back(e);
+      offsets[v + 1] = entries.size();
+    }
+    d.in_offsets = dev.alloc<std::uint64_t>(offsets.size());
+    dev.h2d<std::uint64_t>(d.in_offsets, offsets);
+    d.in_entries = dev.alloc<graph::Csr::Entry>(entries.size());
+    dev.h2d<graph::Csr::Entry>(d.in_entries, entries);
+  }
+  if (need_edges) {
+    d.edges = dev.alloc<DirectedEdge>(g.num_edges());
+    dev.h2d<DirectedEdge>(d.edges, g.edges());
+  }
+  if (g.joints().is_shared()) {
+    d.shared_joint = true;
+    const JointMatrix& m = g.joints().shared_matrix();
+    d.joint_const = dev.set_constant<JointMatrix>({&m, 1});
+  } else {
+    std::vector<JointMatrix> ms(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) ms[e] = g.joints().at(e);
+    d.joints_global = dev.alloc<JointMatrix>(ms.size());
+    dev.h2d<JointMatrix>(d.joints_global, ms);
+  }
+  d.diff = dev.alloc<float>(n);
+  return d;
+}
+
+/// SIMT warp divergence for the Node kernel: lanes of a 32-thread warp run
+/// in lockstep, so every lane pays for the warp's deepest adjacency walk.
+/// Returns the number of idle-lane message slots — the difference between
+/// warp-time (32 x max degree per warp) and useful work (sum of degrees).
+/// This is the §3.3/§4.1 cost that makes the Edge paradigm competitive on
+/// hub-heavy (high-connectivity) graphs despite its atomics.
+template <typename DegreeFn>
+std::uint64_t warp_divergence_slots(std::uint64_t count, DegreeFn&& degree) {
+  constexpr std::uint64_t kWarp = 32;
+  std::uint64_t extra = 0;
+  for (std::uint64_t base = 0; base < count; base += kWarp) {
+    const std::uint64_t end = std::min(count, base + kWarp);
+    std::uint64_t max_deg = 0;
+    std::uint64_t sum_deg = 0;
+    for (std::uint64_t i = base; i < end; ++i) {
+      const std::uint64_t deg = degree(i);
+      max_deg = std::max(max_deg, deg);
+      sum_deg += deg;
+    }
+    extra += kWarp * max_deg - sum_deg;
+  }
+  return extra;
+}
+
+/// Copies final beliefs back and fills in common result fields.
+void download(Device& dev, DeviceGraph& d, BpResult& r,
+              const util::Timer& timer) {
+  r.beliefs.resize(d.beliefs.size());
+  dev.d2h<BeliefVec>(r.beliefs, d.beliefs);
+  r.stats.counters = dev.counters();
+  r.stats.time = dev.modelled_time();
+  r.stats.host_seconds = timer.seconds();
+}
+
+class GpuEngineBase : public Engine {
+ public:
+  explicit GpuEngineBase(perf::HardwareProfile profile)
+      : profile_(std::move(profile)) {
+    CREDO_CHECK_MSG(profile_.kind == perf::PlatformKind::kGpu,
+                    "CUDA-style engine requires a GPU profile");
+  }
+
+  [[nodiscard]] const perf::HardwareProfile& hardware()
+      const noexcept override {
+    return profile_;
+  }
+
+ protected:
+  perf::HardwareProfile profile_;
+};
+
+// ---------------------------------------------------------------------------
+// CUDA Node
+// ---------------------------------------------------------------------------
+
+class CudaNodeEngine final : public GpuEngineBase {
+ public:
+  using GpuEngineBase::GpuEngineBase;
+
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kCudaNode;
+  }
+
+  [[nodiscard]] BpResult run(const FactorGraph& g,
+                             const BpOptions& opts) const override {
+    const util::Timer timer;
+    Device dev(profile_);
+    DeviceGraph d = upload(dev, g, /*need_in_csr=*/true,
+                           /*need_edges=*/false);
+    const NodeId n = g.num_nodes();
+
+    // Work-queue double buffer + cursor.
+    DeviceBuffer<std::uint32_t> queue_a;
+    DeviceBuffer<std::uint32_t> queue_b;
+    DeviceBuffer<std::uint32_t> cursor;
+    std::uint32_t queued = 0;
+    if (opts.work_queue) {
+      queue_a = dev.alloc<std::uint32_t>(n);
+      queue_b = dev.alloc<std::uint32_t>(n);
+      cursor = dev.alloc<std::uint32_t>(1);
+      std::vector<std::uint32_t> init;
+      init.reserve(n);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!g.observed(v)) init.push_back(v);
+      }
+      queued = static_cast<std::uint32_t>(init.size());
+      dev.h2d<std::uint32_t>(queue_a, init);
+    }
+
+    BpResult r;
+    const auto beliefs = d.beliefs.span();
+    const auto observed = d.observed.cspan();
+    const auto offsets = d.in_offsets.cspan();
+    const auto entries = d.in_entries.cspan();
+    const auto diff = d.diff.span();
+
+    bool done = false;
+    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
+         ++iter) {
+      r.stats.iterations = iter + 1;
+      const std::uint64_t count = opts.work_queue ? queued : n;
+      if (opts.work_queue) {
+        // Reset the next-queue cursor and the diff buffer (stale entries of
+        // frozen nodes must not feed the reduction).
+        dev.launch(LaunchDims::cover(n, opts.block_threads), n,
+                   [&](ThreadCtx& ctx) {
+                     diff.store(ctx, ctx.global_id(), 0.0f);
+                   });
+        cursor.host()[0] = 0;
+      }
+      const auto cur_q =
+          (iter % 2 == 0) ? queue_a.cspan() : queue_b.cspan();
+      const auto next_q =
+          (iter % 2 == 0) ? queue_b.span() : queue_a.span();
+      const auto cursor_span = cursor.span();
+
+      dev.launch(
+          LaunchDims::cover(count, opts.block_threads), count,
+          [&](ThreadCtx& ctx) {
+            thread_local BeliefVec msg;
+            NodeId v;
+            if (opts.work_queue) {
+              v = cur_q.load(ctx, ctx.global_id());
+            } else {
+              v = static_cast<NodeId>(ctx.global_id());
+              if (observed.load(ctx, v) != 0) {
+                diff.store(ctx, v, 0.0f);
+                return;
+              }
+            }
+            const bool scattered = opts.work_queue;
+            const BeliefVec prev =
+                scattered ? beliefs.load_scattered_bytes(
+                                ctx, v, belief_bytes(g.arity(v)))
+                          : beliefs.load_bytes(ctx, v,
+                                               belief_bytes(g.arity(v)));
+            BeliefVec acc = BeliefVec::ones(g.arity(v));
+            const std::uint64_t lo = offsets.load(ctx, v);
+            const std::uint64_t hi = offsets.load(ctx, v + 1);
+            if (lo == hi) {  // no parents: belief keeps its value
+              diff.store(ctx, v, 0.0f);
+              return;
+            }
+            for (std::uint64_t k = lo; k < hi; ++k) {
+              const auto entry = entries.load(ctx, k);
+              // The §3.3 cost of the Node paradigm: parent beliefs land at
+              // random addresses — uncoalesced sector transactions.
+              const BeliefVec parent = beliefs.load_scattered_bytes(
+                  ctx, entry.node, belief_bytes(prev.size));
+              const JointMatrix& jm = d.joint(ctx, entry.edge);
+              ctx.flop(graph::compute_message(parent, jm, msg));
+              ctx.flop(graph::combine(acc, msg));
+            }
+            graph::normalize(acc);
+            ctx.flop(2ull * acc.size);
+            ctx.flop(apply_damping(acc, prev, opts.damping));
+            if (scattered) {
+              beliefs.store_scattered_bytes(ctx, v, acc,
+                                            belief_bytes(acc.size));
+            } else {
+              beliefs.store_bytes(ctx, v, acc, belief_bytes(acc.size));
+            }
+            const float dlt = graph::l1_diff(prev, acc);
+            ctx.flop(2ull * acc.size);
+            if (scattered) {
+              diff.store_scattered(ctx, v, dlt);
+            } else {
+              diff.store(ctx, v, dlt);
+            }
+            if (opts.work_queue && dlt > opts.queue_threshold) {
+              const std::uint32_t slot =
+                  gpusim::atomic_add_u32(ctx, cursor_span, 0, 1);
+              next_q.store(ctx, slot, v);
+            }
+          });
+      r.stats.elements_processed += count;
+
+      // Warp-divergence charge: idle lanes stall on the warp's deepest
+      // walk; each idle message slot occupies a memory-latency slot.
+      {
+        const std::uint32_t bmax = graph::kMaxStates;
+        (void)bmax;
+        const auto degree_of = [&](std::uint64_t i) -> std::uint64_t {
+          NodeId v;
+          if (opts.work_queue) {
+            v = (iter % 2 == 0) ? queue_a.host()[i] : queue_b.host()[i];
+          } else {
+            v = static_cast<NodeId>(i);
+            if (g.observed(v)) return 0;
+          }
+          return g.in_csr().degree(v);
+        };
+        const std::uint64_t extra = warp_divergence_slots(count, degree_of);
+        std::uint64_t max_deg = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          max_deg = std::max(max_deg, degree_of(i));
+        }
+        perf::Meter m(dev.mutable_counters());
+        if (extra > 0) {
+          m.rand_read(belief_bytes(g.arity(0)), extra);
+        }
+        // Hub critical path: the kernel cannot retire before its deepest
+        // lane walks every parent (sector count x unhidden latency / the
+        // lane's own MLP).
+        if (max_deg > 0) {
+          const std::uint64_t sectors =
+              (belief_bytes(g.arity(0)) + 31) / 32;
+          m.serial_latency(max_deg * sectors);
+        }
+      }
+
+      if (opts.work_queue) {
+        // Cursor readback sizes the next launch (4-byte d2h every
+        // iteration — part of the queue-management overhead of §3.5).
+        const std::uint32_t appended = cursor.host()[0];
+        perf::Meter m(dev.mutable_counters());
+        m.d2h(sizeof(std::uint32_t));
+        // Every append serialized on the single cursor.
+        m.atomic(0, appended);
+        queued = appended;
+        if (queued == 0) {
+          r.stats.converged = true;
+          done = true;
+        }
+      }
+
+      // Batched convergence check (§3.6).
+      if (!done && ((iter + 1) % opts.convergence_batch == 0 ||
+                    iter + 1 == opts.max_iterations)) {
+        const float sum = dev.read_scalar(dev.reduce_sum(d.diff, n));
+        r.stats.final_delta = sum;
+        if (sum < opts.convergence_threshold) {
+          r.stats.converged = true;
+          done = true;
+        }
+      }
+    }
+    download(dev, d, r, timer);
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CUDA Edge
+// ---------------------------------------------------------------------------
+
+class CudaEdgeEngine final : public GpuEngineBase {
+ public:
+  using GpuEngineBase::GpuEngineBase;
+
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kCudaEdge;
+  }
+
+  [[nodiscard]] BpResult run(const FactorGraph& g,
+                             const BpOptions& opts) const override {
+    return opts.work_queue ? run_queued(g, opts) : run_full(g, opts);
+  }
+
+ private:
+  [[nodiscard]] BpResult run_full(const FactorGraph& g,
+                                  const BpOptions& opts) const {
+    const util::Timer timer;
+    Device dev(profile_);
+    DeviceGraph d = upload(dev, g, /*need_in_csr=*/false,
+                           /*need_edges=*/true);
+    const NodeId n = g.num_nodes();
+    const std::uint64_t m = g.num_edges();
+    const auto md = graph::compute_metadata(g);
+    const std::uint32_t b = md.beliefs;
+
+    auto acc_buf = dev.alloc<float>(static_cast<std::size_t>(n) * b);
+    const auto acc = acc_buf.span();
+    const auto beliefs = d.beliefs.span();
+    const auto observed = d.observed.cspan();
+    const auto edges = d.edges.cspan();
+    const auto diff = d.diff.span();
+
+    BpResult r;
+    bool done = false;
+    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
+         ++iter) {
+      r.stats.iterations = iter + 1;
+
+      // Kernel 1: reset accumulators to the multiplicative identity
+      // (coalesced stores).
+      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
+                 [&](ThreadCtx& ctx) {
+                   const auto v = static_cast<NodeId>(ctx.global_id());
+                   const std::uint32_t arity = g.arity(v);
+                   for (std::uint32_t s = 0; s < arity; ++s) {
+                     acc.store(ctx, static_cast<std::size_t>(v) * b + s,
+                               0.0f);
+                   }
+                 });
+
+      // Kernel 2: one thread per directed edge. Sources stream (edges are
+      // sorted by source); the combine is the atomic scattered write.
+      dev.launch(
+          LaunchDims::cover(m, opts.block_threads), m,
+          [&](ThreadCtx& ctx) {
+            thread_local BeliefVec msg;
+            const auto e = static_cast<EdgeId>(ctx.global_id());
+            const DirectedEdge ed = edges.load(ctx, e);
+            const BeliefVec src = beliefs.load_bytes(
+                ctx, ed.src, belief_bytes(g.arity(ed.src)));
+            const JointMatrix& jm = d.joint(ctx, e);
+            ctx.flop(graph::compute_message(src, jm, msg));
+            for (std::uint32_t s = 0; s < msg.size; ++s) {
+              gpusim::atomic_add(
+                  ctx, acc, static_cast<std::size_t>(ed.dst) * b + s,
+                  log_msg(msg.v[s]));
+            }
+            ctx.flop(2ull * msg.size);
+          });
+      r.stats.elements_processed += m;
+      perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
+
+      // Kernel 3: marginalize + per-node diff (coalesced).
+      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
+                 [&](ThreadCtx& ctx) {
+                   const auto v = static_cast<NodeId>(ctx.global_id());
+                   if (observed.load(ctx, v) != 0 ||
+                       g.in_csr().degree(v) == 0) {
+                     diff.store(ctx, v, 0.0f);
+                     return;
+                   }
+                   const std::uint32_t arity = g.arity(v);
+                   float local[graph::kMaxStates];
+                   for (std::uint32_t s = 0; s < arity; ++s) {
+                     local[s] =
+                         acc.load(ctx, static_cast<std::size_t>(v) * b + s);
+                   }
+                   BeliefVec nb;
+                   ctx.flop(softmax(local, arity, nb));
+                   const BeliefVec prev =
+                       beliefs.load_bytes(ctx, v, belief_bytes(arity));
+                   ctx.flop(apply_damping(nb, prev, opts.damping));
+                   const float dlt = graph::l1_diff(prev, nb);
+                   ctx.flop(2ull * arity);
+                   beliefs.store_bytes(ctx, v, nb, belief_bytes(arity));
+                   diff.store(ctx, v, dlt);
+                 });
+
+      if ((iter + 1) % opts.convergence_batch == 0 ||
+          iter + 1 == opts.max_iterations) {
+        const float sum = dev.read_scalar(dev.reduce_sum(d.diff, n));
+        r.stats.final_delta = sum;
+        if (sum < opts.convergence_threshold) {
+          r.stats.converged = true;
+          done = true;
+        }
+      }
+    }
+    download(dev, d, r, timer);
+    return r;
+  }
+
+  [[nodiscard]] BpResult run_queued(const FactorGraph& g,
+                                    const BpOptions& opts) const {
+    const util::Timer timer;
+    Device dev(profile_);
+    DeviceGraph d = upload(dev, g, /*need_in_csr=*/false,
+                           /*need_edges=*/true);
+    const NodeId n = g.num_nodes();
+    const std::uint64_t m = g.num_edges();
+    const auto md = graph::compute_metadata(g);
+    const std::uint32_t b = md.beliefs;
+
+    auto acc_buf = dev.alloc<float>(static_cast<std::size_t>(n) * b);
+    auto cache_buf = dev.alloc<float>(m * b);
+    auto dirty_buf = dev.alloc<std::uint8_t>(n);
+    auto queue_a = dev.alloc<std::uint32_t>(m);
+    auto queue_b = dev.alloc<std::uint32_t>(m);
+    auto cursor = dev.alloc<std::uint32_t>(1);
+    // Out-CSR for queue rebuild (changed node -> its out edges).
+    std::vector<std::uint64_t> ooff(n + 1);
+    std::vector<graph::Csr::Entry> oent;
+    oent.reserve(m);
+    ooff[0] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const auto& e : g.out_csr().neighbors(v)) oent.push_back(e);
+      ooff[v + 1] = oent.size();
+    }
+    auto out_off = dev.alloc<std::uint64_t>(ooff.size());
+    dev.h2d<std::uint64_t>(out_off, ooff);
+    auto out_ent = dev.alloc<graph::Csr::Entry>(oent.size());
+    dev.h2d<graph::Csr::Entry>(out_ent, oent);
+
+    // Initial state: acc = 0 = log(1) (Algorithm 1 combines updates only;
+    // priors seed the initial beliefs), cache = 0 (identity messages),
+    // queue = every edge into an unobserved node.
+    {
+      std::vector<float> acc0(static_cast<std::size_t>(n) * b, 0.0f);
+      dev.h2d<float>(acc_buf, acc0);
+      std::vector<std::uint32_t> init;
+      init.reserve(m);
+      for (EdgeId e = 0; e < m; ++e) {
+        if (!g.observed(g.edge(e).dst)) init.push_back(e);
+      }
+      dev.h2d<std::uint32_t>(queue_a, init);
+      cursor.host()[0] = static_cast<std::uint32_t>(init.size());
+    }
+
+    const auto acc = acc_buf.span();
+    const auto cache = cache_buf.span();
+    const auto dirty = dirty_buf.span();
+    const auto beliefs = d.beliefs.span();
+    const auto observed = d.observed.cspan();
+    const auto edges = d.edges.cspan();
+    const auto diff = d.diff.span();
+    const auto ooffs = out_off.cspan();
+    const auto oents = out_ent.cspan();
+
+    BpResult r;
+    std::uint32_t queued = cursor.host()[0];
+    bool done = false;
+    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
+         ++iter) {
+      r.stats.iterations = iter + 1;
+      const auto cur_q =
+          (iter % 2 == 0) ? queue_a.cspan() : queue_b.cspan();
+      const auto next_q =
+          (iter % 2 == 0) ? queue_b.span() : queue_a.span();
+      cursor.host()[0] = 0;
+      const auto cursor_span = cursor.span();
+
+      // Kernel 1: replay queued edges with incremental combines.
+      dev.launch(
+          LaunchDims::cover(queued, opts.block_threads), queued,
+          [&](ThreadCtx& ctx) {
+            thread_local BeliefVec msg;
+            // Queue entries come out in ascending edge-id order (rebuilt
+            // node-by-node over source-sorted edges), so edge structs,
+            // source beliefs and the message cache coalesce.
+            const EdgeId e =
+                static_cast<EdgeId>(cur_q.load(ctx, ctx.global_id()));
+            const DirectedEdge ed = edges.load(ctx, e);
+            const BeliefVec src = beliefs.load_bytes(
+                ctx, ed.src, belief_bytes(g.arity(ed.src)));
+            const JointMatrix& jm = d.joint(ctx, e);
+            ctx.flop(graph::compute_message(src, jm, msg));
+            for (std::uint32_t s = 0; s < msg.size; ++s) {
+              const float lm = log_msg(msg.v[s]);
+              const std::size_t ci = static_cast<std::size_t>(e) * b + s;
+              const float old = cache.load_bytes(ctx, ci, 4);
+              cache.store_bytes(ctx, ci, lm, 4);
+              gpusim::atomic_add(
+                  ctx, acc, static_cast<std::size_t>(ed.dst) * b + s,
+                  lm - old);
+            }
+            ctx.flop(4ull * msg.size);
+            dirty.store_scattered(ctx, ed.dst, 1);
+          });
+      r.stats.elements_processed += queued;
+      perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
+
+      // Kernel 2: marginalize dirty nodes, rebuild the edge queue from the
+      // out-edges of nodes that moved.
+      dev.launch(
+          LaunchDims::cover(n, opts.block_threads), n,
+          [&](ThreadCtx& ctx) {
+            const auto v = static_cast<NodeId>(ctx.global_id());
+            if (dirty.load(ctx, v) == 0) {
+              diff.store(ctx, v, 0.0f);
+              return;
+            }
+            dirty.store(ctx, v, 0);
+            if (observed.load(ctx, v) != 0) {
+              diff.store(ctx, v, 0.0f);
+              return;
+            }
+            const std::uint32_t arity = g.arity(v);
+            float local[graph::kMaxStates];
+            for (std::uint32_t s = 0; s < arity; ++s) {
+              local[s] = acc.load_near(
+                  ctx, static_cast<std::size_t>(v) * b + s);
+            }
+            BeliefVec nb;
+            ctx.flop(softmax(local, arity, nb));
+            const BeliefVec prev = beliefs.load_scattered_bytes(
+                ctx, v, belief_bytes(arity));
+            ctx.flop(apply_damping(nb, prev, opts.damping));
+            const float dlt = graph::l1_diff(prev, nb);
+            ctx.flop(2ull * arity);
+            beliefs.store_scattered_bytes(ctx, v, nb, belief_bytes(arity));
+            diff.store(ctx, v, dlt);
+            if (dlt > opts.queue_threshold) {
+              const std::uint64_t lo = ooffs.load(ctx, v);
+              const std::uint64_t hi = ooffs.load(ctx, v + 1);
+              const auto deg = static_cast<std::uint32_t>(hi - lo);
+              if (deg > 0) {
+                const std::uint32_t slot =
+                    gpusim::atomic_add_u32(ctx, cursor_span, 0, deg);
+                std::uint32_t w = 0;
+                for (std::uint64_t k = lo; k < hi; ++k) {
+                  const auto entry = oents.load(ctx, k);
+                  next_q.store(ctx, slot + w, entry.edge);
+                  ++w;
+                }
+              }
+            }
+          });
+
+      {
+        const std::uint32_t appended = cursor.host()[0];
+        perf::Meter meter(dev.mutable_counters());
+        meter.d2h(sizeof(std::uint32_t));
+        meter.atomic(0, appended > 0 ? appended : 0);
+        queued = appended;
+      }
+      if (queued == 0) {
+        r.stats.converged = true;
+        done = true;
+      }
+
+      if (!done && ((iter + 1) % opts.convergence_batch == 0 ||
+                    iter + 1 == opts.max_iterations)) {
+        const float sum = dev.read_scalar(dev.reduce_sum(d.diff, n));
+        r.stats.final_delta = sum;
+        if (sum < opts.convergence_threshold) {
+          r.stats.converged = true;
+          done = true;
+        }
+      }
+    }
+    download(dev, d, r, timer);
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_cuda_node(const perf::HardwareProfile& p) {
+  return std::make_unique<CudaNodeEngine>(p);
+}
+
+std::unique_ptr<Engine> make_cuda_edge(const perf::HardwareProfile& p) {
+  return std::make_unique<CudaEdgeEngine>(p);
+}
+
+}  // namespace credo::bp::internal

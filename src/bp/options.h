@@ -1,0 +1,75 @@
+// Options and results shared by every BP engine.
+#pragma once
+
+#include <cstdint>
+
+#include "parallel/parallel_for.h"
+#include "perf/cost_model.h"
+#include "perf/counters.h"
+
+namespace credo::bp {
+
+/// Knobs for a propagation run. Defaults follow the paper's evaluation
+/// setup: convergence within 0.001, cut off at 200 iterations, 1024-thread
+/// blocks on the GPU.
+struct BpOptions {
+  /// Stop when the sum of per-node L1 belief changes drops below this.
+  float convergence_threshold = 1e-3f;
+
+  /// Hard iteration cap (the paper's 200).
+  std::uint32_t max_iterations = 200;
+
+  /// §3.5 work queues: only unconverged nodes/edges are processed after
+  /// the first iteration.
+  bool work_queue = false;
+
+  /// Per-element convergence threshold used to drop elements from the work
+  /// queue. The global threshold is an absolute sum over all nodes
+  /// (Algorithm 1), so the per-element bar must sit well below
+  /// threshold / num_nodes for the two stopping rules to agree.
+  float queue_threshold = 1e-7f;
+
+  /// GPU engines: iterations executed between convergence-check transfers
+  /// (the batching of §2.4/§3.6). 1 = check every iteration.
+  std::uint32_t convergence_batch = 4;
+
+  /// CPU-parallel engines: team size and loop schedule (§2.4).
+  unsigned threads = 8;
+  parallel::Schedule schedule = parallel::Schedule::kStatic;
+  std::uint64_t chunk = 256;
+
+  /// GPU engines: threads per block (the paper uses 1024 everywhere).
+  std::uint32_t block_threads = 1024;
+
+  /// Damping factor in [0, 1): the stored belief becomes
+  /// (1-damping)*update + damping*previous. 0 reproduces the paper's
+  /// undamped Algorithm 1; positive values stabilize loopy dynamics on
+  /// multi-stable systems (strong couplings, dense hubs) at the cost of
+  /// extra flops per node.
+  float damping = 0.0f;
+
+  /// Tree (non-loopy) engine: true reproduces the paper's §2.1.1 baseline,
+  /// which finds each level's members by rescanning the whole edge list
+  /// (no adjacency index); false uses the CSR-indexed implementation.
+  bool tree_naive = true;
+};
+
+/// Outcome of a run. `time` is the modelled execution time on the engine's
+/// hardware profile (see DESIGN.md §2); `host_seconds` is the real time the
+/// simulation itself took (reported for transparency, never used in the
+/// paper-reproduction tables).
+struct BpStats {
+  std::uint32_t iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;
+  std::uint64_t elements_processed = 0;  // node- or edge-visits summed
+  perf::Counters counters;
+  perf::TimeBreakdown time;
+  double host_seconds = 0.0;
+
+  [[nodiscard]] double modelled_seconds() const noexcept {
+    return time.total();
+  }
+};
+
+}  // namespace credo::bp

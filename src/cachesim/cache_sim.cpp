@@ -1,0 +1,68 @@
+#include "cachesim/cache_sim.h"
+
+#include "util/error.h"
+
+namespace credo::cachesim {
+namespace {
+
+constexpr bool is_pow2(std::uint32_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+  CREDO_CHECK_MSG(is_pow2(config_.line_bytes) && is_pow2(config_.sets),
+                  "cache line size and set count must be powers of two");
+  CREDO_CHECK_MSG(config_.ways >= 1, "cache needs at least one way");
+  tags_.assign(static_cast<std::size_t>(config_.sets) * config_.ways, 0);
+}
+
+void CacheSim::reset() noexcept {
+  stats_ = {};
+  tags_.assign(tags_.size(), 0);
+}
+
+void CacheSim::access(std::uintptr_t addr, std::uint32_t bytes, bool write) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr / config_.line_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / config_.line_bytes;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    touch_line(line, write);
+  }
+}
+
+void CacheSim::touch_line(std::uint64_t line, bool write) {
+  if (write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(line & (config_.sets - 1));
+  // Tag 0 marks an empty way, so shift real tags up by one.
+  const std::uint64_t tag = line + 1;
+  std::uint64_t* ways = tags_.data() +
+                        static_cast<std::size_t>(set) * config_.ways;
+  // MRU-first linear scan; tiny associativities make this fast.
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (ways[w] == tag) {
+      // Hit: move to MRU position.
+      for (std::uint32_t k = w; k > 0; --k) ways[k] = ways[k - 1];
+      ways[0] = tag;
+      return;
+    }
+  }
+  // Miss: evict LRU (last way), insert at MRU.
+  if (write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+  for (std::uint32_t k = config_.ways - 1; k > 0; --k) {
+    ways[k] = ways[k - 1];
+  }
+  ways[0] = tag;
+}
+
+}  // namespace credo::cachesim

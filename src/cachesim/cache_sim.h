@@ -1,0 +1,75 @@
+// Set-associative data-cache simulator — a cachegrind-style stand-in.
+//
+// The paper chose the AoS belief layout after profiling with valgrind's
+// cachegrind (§3.4: "the AoS approach has circa 56% fewer data cache reads
+// and writes"). valgrind is not part of this environment, so this module
+// replays the belief-store access streams through a small LRU
+// set-associative cache model and reports the same quantities: data
+// reads/writes (one per accessed cache line, cachegrind's Dr/Dw) and
+// read/write misses (D1mr/D1mw).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace credo::cachesim {
+
+/// Cache geometry. Defaults model a Kaby Lake L1D: 32 KiB, 8-way, 64 B
+/// lines.
+struct CacheConfig {
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  std::uint32_t sets = 64;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return static_cast<std::uint64_t>(line_bytes) * ways * sets;
+  }
+};
+
+/// Access totals, cachegrind-style.
+struct CacheStats {
+  std::uint64_t reads = 0;         // Dr: lines touched by reads
+  std::uint64_t writes = 0;        // Dw: lines touched by writes
+  std::uint64_t read_misses = 0;   // D1mr
+  std::uint64_t write_misses = 0;  // D1mw
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return reads + writes;
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses() > 0
+               ? static_cast<double>(misses()) /
+                     static_cast<double>(accesses())
+               : 0.0;
+  }
+};
+
+/// LRU set-associative cache over virtual addresses.
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheConfig& config = {});
+
+  /// Simulates one access of `bytes` bytes starting at `addr`; every cache
+  /// line the range touches counts as one read or write.
+  void access(std::uintptr_t addr, std::uint32_t bytes, bool write);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset() noexcept;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void touch_line(std::uint64_t line, bool write);
+
+  CacheConfig config_;
+  CacheStats stats_;
+  // ways_ per set, most-recently-used first; 0 = invalid.
+  std::vector<std::uint64_t> tags_;
+};
+
+}  // namespace credo::cachesim

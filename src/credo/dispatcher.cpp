@@ -1,0 +1,158 @@
+#include "credo/dispatcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace credo::dispatch {
+namespace {
+
+/// Learns, per belief arity, the node-count threshold that best separates
+/// "a CUDA implementation won" from "a C implementation won" — the paper's
+/// quickly-discerned rule, fitted as a 1-D stump on the training runs.
+std::map<std::uint32_t, double> learn_pivots(
+    const std::vector<LabeledRun>& runs) {
+  std::map<std::uint32_t, std::vector<std::pair<double, bool>>> by_arity;
+  for (const auto& run : runs) {
+    const auto best = run.times.best_kind();
+    const bool cuda_won = best == bp::EngineKind::kCudaNode ||
+                          best == bp::EngineKind::kCudaEdge;
+    by_arity[run.beliefs].emplace_back(
+        static_cast<double>(run.metadata.num_nodes), cuda_won);
+  }
+  std::map<std::uint32_t, double> pivots;
+  for (auto& [arity, points] : by_arity) {
+    std::sort(points.begin(), points.end());
+    // Evaluate every midpoint threshold; pick the one misclassifying the
+    // fewest runs (CUDA expected above, C below).
+    double best_threshold = points.back().first + 1.0;
+    std::size_t best_errors = points.size() + 1;
+    for (std::size_t cut = 0; cut <= points.size(); ++cut) {
+      std::size_t errors = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const bool predicted_cuda = i >= cut;
+        if (predicted_cuda != points[i].second) ++errors;
+      }
+      if (errors < best_errors) {
+        best_errors = errors;
+        if (cut == 0) {
+          best_threshold = points.front().first * 0.5;
+        } else if (cut == points.size()) {
+          best_threshold = points.back().first * 2.0;
+        } else {
+          best_threshold =
+              0.5 * (points[cut - 1].first + points[cut].first);
+        }
+      }
+    }
+    pivots[arity] = best_threshold;
+  }
+  return pivots;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(Config config, ml::RandomForest forest,
+                       std::map<std::uint32_t, double> pivots)
+    : config_(std::move(config)),
+      forest_(std::move(forest)),
+      pivots_(std::move(pivots)) {}
+
+Dispatcher Dispatcher::train(const std::vector<LabeledRun>& runs) {
+  return train(runs, Config());
+}
+
+Dispatcher Dispatcher::train(const std::vector<LabeledRun>& runs,
+                             Config config) {
+  CREDO_CHECK_MSG(!runs.empty(), "cannot train a dispatcher on no runs");
+  ml::RandomForest forest(config.forest);
+  forest.fit(to_dataset(runs));
+  return Dispatcher(std::move(config), std::move(forest),
+                    learn_pivots(runs));
+}
+
+double Dispatcher::platform_pivot(std::uint32_t beliefs) const {
+  CREDO_CHECK_MSG(!pivots_.empty(), "dispatcher has no pivots");
+  // Exact arity if known; otherwise log-log interpolate/extrapolate
+  // between the nearest learned anchors.
+  const auto it = pivots_.find(beliefs);
+  if (it != pivots_.end()) return it->second;
+  const auto hi = pivots_.lower_bound(beliefs);
+  if (hi == pivots_.begin()) return hi->second;
+  if (hi == pivots_.end()) return std::prev(hi)->second;
+  const auto lo = std::prev(hi);
+  const double t = (std::log2(beliefs) - std::log2(lo->first)) /
+                   (std::log2(hi->first) - std::log2(lo->first));
+  return std::exp2(std::log2(lo->second) +
+                   t * (std::log2(hi->second) - std::log2(lo->second)));
+}
+
+bp::EngineKind Dispatcher::choose(const graph::GraphMetadata& md) const {
+  const auto f = md.features();
+  const int paradigm =
+      forest_.predict(std::vector<double>(f.begin(), f.end()));
+  const bool cuda = static_cast<double>(md.num_nodes) >=
+                    platform_pivot(md.beliefs);
+  if (paradigm == 1) {
+    return cuda ? bp::EngineKind::kCudaNode : bp::EngineKind::kCpuNode;
+  }
+  return cuda ? bp::EngineKind::kCudaEdge : bp::EngineKind::kCpuEdge;
+}
+
+bp::BpResult Dispatcher::run(const graph::FactorGraph& g,
+                             const bp::BpOptions& opts) const {
+  const auto kind = choose(graph::compute_metadata(g));
+  const bool is_gpu = kind == bp::EngineKind::kCudaNode ||
+                      kind == bp::EngineKind::kCudaEdge;
+  const auto engine =
+      bp::make_engine(kind, is_gpu ? config_.gpu : config_.cpu);
+  return engine->run(g, opts);
+}
+
+void Dispatcher::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  out << "credo-dispatcher 1\n";
+  out << "pivots " << pivots_.size() << '\n';
+  for (const auto& [beliefs, pivot] : pivots_) {
+    out << beliefs << ' ' << pivot << '\n';
+  }
+  out << forest_.serialize();
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+Dispatcher Dispatcher::load(const std::string& path) {
+  return load(path, Config());
+}
+
+Dispatcher Dispatcher::load(const std::string& path, Config config) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open dispatcher model: " + path);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "credo-dispatcher" || version != 1) {
+    throw util::InvalidArgument("unrecognized dispatcher model format");
+  }
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "pivots") {
+    throw util::InvalidArgument("malformed dispatcher model (pivots)");
+  }
+  std::map<std::uint32_t, double> pivots;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t beliefs = 0;
+    double pivot = 0;
+    if (!(in >> beliefs >> pivot)) {
+      throw util::InvalidArgument("malformed dispatcher model (pivot row)");
+    }
+    pivots[beliefs] = pivot;
+  }
+  std::string rest((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Dispatcher(std::move(config),
+                    ml::RandomForest::deserialize(rest),
+                    std::move(pivots));
+}
+
+}  // namespace credo::dispatch

@@ -1,0 +1,71 @@
+// Credo's a-priori engine selection (§3.7): a learned size rule picks the
+// platform (C below the pivot, CUDA above — the pivot depends on the number
+// of beliefs, §3.6/§4.3), and the tuned random forest picks the processing
+// paradigm (Node vs Edge) from graph metadata alone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "bp/engine.h"
+#include "credo/trainer.h"
+#include "ml/random_forest.h"
+
+namespace credo::dispatch {
+
+/// The trained dispatcher. Construct via train().
+class Dispatcher {
+ public:
+  struct Config {
+    perf::HardwareProfile cpu = perf::cpu_i7_7700hq_serial();
+    perf::HardwareProfile gpu = perf::gpu_gtx1070();
+    ml::RandomForestParams forest;  // paper-tuned defaults
+  };
+
+  /// Learns the platform pivots (per belief arity, from the observed
+  /// C-vs-CUDA crossovers) and fits the paradigm forest on the runs.
+  [[nodiscard]] static Dispatcher train(const std::vector<LabeledRun>& runs,
+                                        Config config);
+  /// train() with a default-constructed Config (paper-default hardware).
+  [[nodiscard]] static Dispatcher train(const std::vector<LabeledRun>& runs);
+
+  /// Picks the engine for a graph from its metadata alone.
+  [[nodiscard]] bp::EngineKind choose(
+      const graph::GraphMetadata& md) const;
+
+  /// Chooses and executes; the returned result carries the chosen engine's
+  /// modelled time.
+  [[nodiscard]] bp::BpResult run(const graph::FactorGraph& g,
+                                 const bp::BpOptions& opts) const;
+
+  /// Node count above which CUDA is selected for the given arity
+  /// (log-log interpolated between learned anchors).
+  [[nodiscard]] double platform_pivot(std::uint32_t beliefs) const;
+
+  /// Persists the trained model (pivots + forest) to a file so the
+  /// expensive training sweep runs once. Hardware configuration is NOT
+  /// saved — supply it again at load(). Throws util::IoError.
+  void save(const std::string& path) const;
+
+  /// Restores a dispatcher saved with save(). Throws util::IoError /
+  /// util::InvalidArgument.
+  [[nodiscard]] static Dispatcher load(const std::string& path,
+                                       Config config);
+  [[nodiscard]] static Dispatcher load(const std::string& path);
+
+  [[nodiscard]] const ml::RandomForest& forest() const noexcept {
+    return forest_;
+  }
+
+ private:
+  Dispatcher(Config config, ml::RandomForest forest,
+             std::map<std::uint32_t, double> pivots);
+
+  Config config_;
+  ml::RandomForest forest_;
+  /// beliefs -> node-count pivot learned from the training runs.
+  std::map<std::uint32_t, double> pivots_;
+};
+
+}  // namespace credo::dispatch

@@ -1,0 +1,190 @@
+#include "credo/suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/error.h"
+#include "util/prng.h"
+
+namespace credo::suite {
+namespace {
+
+/// Scaling rule (DESIGN.md §6): shrink a row by the single factor that
+/// keeps it inside the instantiation budget while preserving its
+/// edge/node ratio (the classifier's key feature).
+constexpr std::uint64_t kMaxNodes = 120'000;
+constexpr std::uint64_t kMaxUndirectedEdges = 600'000;
+
+BenchmarkSpec make(std::string name, std::string abbrev, Family family,
+                   std::uint64_t paper_nodes, std::uint64_t paper_edges,
+                   bool bold) {
+  BenchmarkSpec s;
+  s.name = std::move(name);
+  s.abbrev = std::move(abbrev);
+  s.family = family;
+  s.paper_nodes = paper_nodes;
+  s.paper_edges = paper_edges;
+  s.bold = bold;
+  const double factor = std::min(
+      {1.0,
+       static_cast<double>(kMaxNodes) / static_cast<double>(paper_nodes),
+       static_cast<double>(kMaxUndirectedEdges) /
+           static_cast<double>(paper_edges)});
+  s.nodes = std::max<std::uint64_t>(
+      4, static_cast<std::uint64_t>(
+             std::llround(factor * static_cast<double>(paper_nodes))));
+  s.edges = std::max<std::uint64_t>(
+      4, static_cast<std::uint64_t>(
+             std::llround(factor * static_cast<double>(paper_edges))));
+  return s;
+}
+
+std::vector<BenchmarkSpec> build_table1() {
+  // Bold = the rendered subset. The paper's PDF bolding is not recoverable
+  // from the text, so the subset here is the graphs its prose discusses
+  // plus a spread across size decades.
+  std::vector<BenchmarkSpec> t;
+  // --- Table 1, left column ---
+  t.push_back(make("10_nodes_40_edges", "10x40", Family::kUniform, 10, 40,
+                   true));
+  t.push_back(make("1000_nodes_4000_edges", "1k4k", Family::kUniform, 1000,
+                   4000, true));
+  t.push_back(make("kron-g500-logn16", "K16", Family::kKron, 55'321,
+                   2'456'398, false));
+  t.push_back(make("100000_nodes_400000_edges", "100kx400k",
+                   Family::kUniform, 100'000, 400'000, true));
+  t.push_back(make("loc-gowalla", "GO", Family::kSocial, 196'591,
+                   1'900'654, true));
+  t.push_back(make("soc-google-plus", "GP", Family::kSocial, 211'187,
+                   1'506'896, false));
+  t.push_back(make("web-Stanford", "ST", Family::kSocial, 281'903,
+                   2'312'497, false));
+  t.push_back(make("kron-g500-logn19", "K19", Family::kKron, 409'175,
+                   21'781'478, false));
+  t.push_back(make("web-it-2004", "IT", Family::kSocial, 509'338,
+                   7'178'413, false));
+  t.push_back(make("600000_nodes_1200000_edges", "600kx1200k",
+                   Family::kUniform, 600'000, 1'200'000, true));
+  t.push_back(make("800000_nodes_3200000_edges", "800kx3200k",
+                   Family::kUniform, 800'000, 3'200'000, false));
+  t.push_back(make("com-youtube", "YO", Family::kSocial, 1'134'890,
+                   2'987'624, true));
+  t.push_back(make("soc-pokec-relationships", "PO", Family::kSocial,
+                   1'632'803, 30'622'564, true));
+  t.push_back(make("2000000_nodes_8000000_edges", "2Mx8M",
+                   Family::kUniform, 2'000'000, 8'000'000, true));
+  t.push_back(make("soc-orkut", "OR", Family::kSocial, 2'997'166,
+                   106'349'209, false));
+  t.push_back(make("soc-LiveJournal1", "LJ", Family::kSocial, 4'846'609,
+                   68'475'391, true));
+  t.push_back(make("friendster", "FR", Family::kSocial, 8'658'744,
+                   55'170'227, false));
+  t.push_back(make("soc-twitter-2010", "TW", Family::kSocial, 21'297'772,
+                   265'025'809, false));
+  // --- Table 1, right column ---
+  t.push_back(make("100_nodes_400_edges", "100x400", Family::kUniform, 100,
+                   400, true));
+  t.push_back(make("10000_nodes_40000_edges", "10kx40k", Family::kUniform,
+                   10'000, 40'000, true));
+  t.push_back(make("hollywood-2009", "HO", Family::kSocial, 83'832,
+                   549'038, false));
+  t.push_back(make("kron-g500-logn17", "K17", Family::kKron, 131'071,
+                   5'114'375, true));
+  t.push_back(make("200000_nodes_800000_edges", "200kx800k",
+                   Family::kUniform, 200'000, 800'000, false));
+  t.push_back(make("kron-g500-logn18", "K18", Family::kKron, 262'144,
+                   10'583'222, false));
+  t.push_back(make("400000_nodes_1600000_edges", "400kx1600k",
+                   Family::kUniform, 400'000, 1'600'000, false));
+  t.push_back(make("soc-twitter-follows-mun", "TF", Family::kSocial,
+                   465'017, 835'423, false));
+  t.push_back(make("soc-delicious", "DE", Family::kSocial, 536'108,
+                   1'365'961, false));
+  t.push_back(make("kron-g500-logn20", "K20", Family::kKron, 795'241,
+                   44'620'272, false));
+  t.push_back(make("1000000_nodes_4000000_edges", "1Mx4M",
+                   Family::kUniform, 1'000'000, 4'000'000, false));
+  t.push_back(make("kron-g500-logn21", "K21", Family::kKron, 1'544'087,
+                   91'042'010, true));
+  t.push_back(make("web-wiki-ch-internal", "WW", Family::kSocial,
+                   1'930'275, 9'359'108, false));
+  t.push_back(make("wiki-Talk", "WT", Family::kSocial, 2'394'385,
+                   5'021'410, false));
+  t.push_back(make("wikipedia-link-en", "WL", Family::kSocial, 3'371'716,
+                   31'956'268, false));
+  t.push_back(make("tech-p2p", "TP", Family::kSocial, 5'792'297,
+                   8'105'822, false));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& table1() {
+  static const std::vector<BenchmarkSpec> t = build_table1();
+  return t;
+}
+
+std::vector<BenchmarkSpec> table1_bold() {
+  std::vector<BenchmarkSpec> out;
+  for (const auto& s : table1()) {
+    if (s.bold) out.push_back(s);
+  }
+  return out;
+}
+
+const std::vector<std::uint32_t>& use_case_beliefs() {
+  static const std::vector<std::uint32_t> b = {2, 3, 32};
+  return b;
+}
+
+graph::FactorGraph instantiate(const BenchmarkSpec& spec,
+                               std::uint32_t beliefs,
+                               std::uint64_t extra_divisor) {
+  CREDO_CHECK_MSG(extra_divisor >= 1, "divisor must be >= 1");
+  // The extra divisor trims only rows that are actually expensive; small
+  // rows keep their exact Table 1 shape.
+  const bool shrink = spec.nodes / extra_divisor >= 1000;
+  const std::uint64_t nodes =
+      shrink ? spec.nodes / extra_divisor : spec.nodes;
+  const std::uint64_t edges =
+      shrink ? spec.edges / extra_divisor : spec.edges;
+  graph::BeliefConfig cfg;
+  cfg.beliefs = beliefs;
+  cfg.observed_fraction = 0.05;
+  cfg.shared_joint = true;
+  // Seeded from the row name so every bench and test sees the same graph.
+  std::uint64_t seed = 0xcafef00d;
+  for (const char c : spec.name) {
+    seed = util::splitmix64(seed ^ static_cast<std::uint64_t>(c));
+  }
+  cfg.seed = seed ^ beliefs;
+
+  switch (spec.family) {
+    case Family::kUniform:
+      return graph::uniform_random(static_cast<graph::NodeId>(nodes), edges,
+                                   cfg);
+    case Family::kKron: {
+      const auto scale = static_cast<std::uint32_t>(std::max(
+          2.0, std::round(std::log2(static_cast<double>(nodes)))));
+      return graph::rmat(scale, edges, cfg);
+    }
+    case Family::kSocial: {
+      const auto per_node = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(1, edges / std::max<std::uint64_t>(
+                                              1, nodes)));
+      return graph::preferential_attachment(
+          static_cast<graph::NodeId>(nodes), per_node, cfg);
+    }
+  }
+  throw util::InvalidArgument("unknown benchmark family");
+}
+
+const BenchmarkSpec& by_abbrev(const std::string& abbrev) {
+  for (const auto& s : table1()) {
+    if (s.abbrev == abbrev) return s;
+  }
+  throw util::InvalidArgument("unknown benchmark abbreviation: " + abbrev);
+}
+
+}  // namespace credo::suite

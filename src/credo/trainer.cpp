@@ -1,0 +1,86 @@
+#include "credo/trainer.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace credo::dispatch {
+
+double EngineTimes::best_time() const noexcept {
+  return std::min({cpu_node, cpu_edge, cuda_node, cuda_edge});
+}
+
+bp::EngineKind EngineTimes::best_kind() const noexcept {
+  bp::EngineKind best = bp::EngineKind::kCpuNode;
+  double t = cpu_node;
+  if (cpu_edge < t) {
+    t = cpu_edge;
+    best = bp::EngineKind::kCpuEdge;
+  }
+  if (cuda_node < t) {
+    t = cuda_node;
+    best = bp::EngineKind::kCudaNode;
+  }
+  if (cuda_edge < t) {
+    best = bp::EngineKind::kCudaEdge;
+  }
+  return best;
+}
+
+double EngineTimes::of(bp::EngineKind kind) const {
+  switch (kind) {
+    case bp::EngineKind::kCpuNode: return cpu_node;
+    case bp::EngineKind::kCpuEdge: return cpu_edge;
+    case bp::EngineKind::kCudaNode: return cuda_node;
+    case bp::EngineKind::kCudaEdge: return cuda_edge;
+    default:
+      throw util::InvalidArgument(
+          "EngineTimes only covers the four core engines");
+  }
+}
+
+std::vector<LabeledRun> benchmark_suite(
+    const std::vector<suite::BenchmarkSpec>& specs,
+    const std::vector<std::uint32_t>& beliefs, const TrainerConfig& cfg) {
+  const auto cpu_node = bp::make_engine(bp::EngineKind::kCpuNode, cfg.cpu);
+  const auto cpu_edge = bp::make_engine(bp::EngineKind::kCpuEdge, cfg.cpu);
+  const auto cuda_node =
+      bp::make_engine(bp::EngineKind::kCudaNode, cfg.gpu);
+  const auto cuda_edge =
+      bp::make_engine(bp::EngineKind::kCudaEdge, cfg.gpu);
+
+  std::vector<LabeledRun> runs;
+  runs.reserve(specs.size() * beliefs.size());
+  for (const auto& spec : specs) {
+    for (const auto b : beliefs) {
+      const std::uint64_t divisor = b >= 32 ? cfg.divisor_32 : 1;
+      const auto g = suite::instantiate(spec, b, divisor);
+      LabeledRun run;
+      run.abbrev = spec.abbrev;
+      run.beliefs = b;
+      run.metadata = graph::compute_metadata(g);
+      run.times.cpu_node = cpu_node->run(g, cfg.opts).stats.time.total();
+      run.times.cpu_edge = cpu_edge->run(g, cfg.opts).stats.time.total();
+      run.times.cuda_node = cuda_node->run(g, cfg.opts).stats.time.total();
+      run.times.cuda_edge = cuda_edge->run(g, cfg.opts).stats.time.total();
+      const auto best = run.times.best_kind();
+      run.paradigm_label = (best == bp::EngineKind::kCpuNode ||
+                            best == bp::EngineKind::kCudaNode)
+                               ? 1
+                               : 0;
+      runs.push_back(std::move(run));
+    }
+  }
+  return runs;
+}
+
+ml::Dataset to_dataset(const std::vector<LabeledRun>& runs) {
+  ml::Dataset d;
+  for (const auto& run : runs) {
+    const auto f = run.metadata.features();
+    d.add(std::vector<double>(f.begin(), f.end()), run.paradigm_label);
+  }
+  return d;
+}
+
+}  // namespace credo::dispatch

@@ -1,0 +1,60 @@
+// Labeled-run production for the §3.7 classifier: run Credo's four core
+// engines over benchmark instances, record modelled times, and label each
+// instance Node or Edge by which paradigm's best implementation won.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bp/engine.h"
+#include "credo/suite.h"
+#include "graph/metadata.h"
+#include "ml/dataset.h"
+#include "perf/profiles.h"
+
+namespace credo::dispatch {
+
+/// Modelled execution times of the four core implementations (seconds).
+struct EngineTimes {
+  double cpu_node = 0.0;
+  double cpu_edge = 0.0;
+  double cuda_node = 0.0;
+  double cuda_edge = 0.0;
+
+  [[nodiscard]] double best_time() const noexcept;
+  [[nodiscard]] bp::EngineKind best_kind() const noexcept;
+  [[nodiscard]] double of(bp::EngineKind kind) const;
+};
+
+/// One benchmarked instance with its features and label.
+struct LabeledRun {
+  std::string abbrev;
+  std::uint32_t beliefs = 0;
+  graph::GraphMetadata metadata;
+  EngineTimes times;
+  /// 1 = a Node implementation is best, 0 = an Edge implementation (§3.7).
+  int paradigm_label = 0;
+};
+
+/// Knobs for producing the labeled dataset.
+struct TrainerConfig {
+  bp::BpOptions opts;                 // work queues on by default
+  perf::HardwareProfile cpu = perf::cpu_i7_7700hq_serial();
+  perf::HardwareProfile gpu = perf::gpu_gtx1070();
+  /// Extra shrink applied to 32-belief instances (32x32 matrix math).
+  std::uint64_t divisor_32 = 8;
+
+  TrainerConfig() { opts.work_queue = true; }
+};
+
+/// Runs all four engines on every (spec, beliefs) pair and labels the
+/// winners. This is the expensive step; benches cache its result.
+[[nodiscard]] std::vector<LabeledRun> benchmark_suite(
+    const std::vector<suite::BenchmarkSpec>& specs,
+    const std::vector<std::uint32_t>& beliefs, const TrainerConfig& cfg);
+
+/// Converts runs to the 5-feature ml::Dataset of §3.7 (label 1 = Node).
+[[nodiscard]] ml::Dataset to_dataset(const std::vector<LabeledRun>& runs);
+
+}  // namespace credo::dispatch

@@ -1,0 +1,50 @@
+// Device atomic operations.
+//
+// Execution inside the simulator is sequential, so the operations are
+// plain read-modify-writes functionally; their cost is what matters.
+// Each call meters one atomic op; callers declare the conflict-group count
+// (distinct target addresses) once per kernel through
+// perf::Meter::atomic(), letting the cost model serialize contended chains
+// (see perf/counters.h).
+#pragma once
+
+#include "gpusim/device.h"
+
+namespace credo::gpusim {
+
+/// atomicAdd on a float in global memory.
+inline float atomic_add(ThreadCtx& ctx, DeviceSpan<float> span,
+                        std::size_t i, float v) {
+  ctx.meter().atomic(1, 0);
+  ctx.meter().near_write(sizeof(float));
+  float& slot = *(span.host_data() + i);
+  const float old = slot;
+  slot = old + v;
+  return old;
+}
+
+/// atomicMul emulated via atomicCAS (how a CUDA float multiply-combine is
+/// actually written); meters one atomic (the CAS loop's expected single
+/// iteration under the simulator's sequential execution).
+inline float atomic_mul(ThreadCtx& ctx, DeviceSpan<float> span,
+                        std::size_t i, float v) {
+  ctx.meter().atomic(1, 0);
+  ctx.meter().near_write(sizeof(float));
+  float& slot = *(span.host_data() + i);
+  const float old = slot;
+  slot = old * v;
+  return old;
+}
+
+/// atomicAdd on a 32-bit counter (work-queue append cursor).
+inline std::uint32_t atomic_add_u32(ThreadCtx& ctx,
+                                    DeviceSpan<std::uint32_t> span,
+                                    std::size_t i, std::uint32_t v) {
+  ctx.meter().atomic(1, 0);
+  std::uint32_t& slot = *(span.host_data() + i);
+  const std::uint32_t old = slot;
+  slot = old + v;
+  return old;
+}
+
+}  // namespace credo::gpusim

@@ -1,0 +1,63 @@
+#include "gpusim/device.h"
+
+#include <cstring>
+
+namespace credo::gpusim {
+
+Device::Device(perf::HardwareProfile profile)
+    : profile_(std::move(profile)) {
+  CREDO_CHECK_MSG(profile_.kind == perf::PlatformKind::kGpu,
+                  "Device requires a GPU hardware profile");
+}
+
+void Device::reserve_vram(std::uint64_t bytes) {
+  if (profile_.vram_bytes > 0 &&
+      static_cast<double>(vram_used_ + bytes) > profile_.vram_bytes) {
+    throw DeviceOutOfMemory(
+        "device allocation of " + std::to_string(bytes) +
+        " bytes exceeds VRAM capacity of " +
+        std::to_string(static_cast<std::uint64_t>(profile_.vram_bytes)) +
+        " bytes (" + std::to_string(vram_used_) + " in use)");
+  }
+  vram_used_ += bytes;
+}
+
+void Device::release_vram(std::uint64_t bytes) noexcept {
+  vram_used_ = bytes > vram_used_ ? 0 : vram_used_ - bytes;
+}
+
+float Device::reduce_sum(const DeviceBuffer<float>& data, std::uint64_t n) {
+  CREDO_CHECK_MSG(n <= data.size(), "reduce_sum overruns buffer");
+  perf::Meter meter(counters_);
+  meter.kernel_launch();
+  constexpr std::uint32_t kBlock = 1024;
+  const std::uint64_t blocks = (n + kBlock - 1) / kBlock;
+  // Pass 1: each block loads its tile coalesced into shared memory and
+  // tree-reduces it: log2(block) rounds of shared ops and barriers.
+  meter.seq_read(n * sizeof(float));
+  meter.shared_op(n);                 // one shared store per loaded element
+  meter.shared_op(2 * n);             // tree reads+writes (geometric ~2n)
+  meter.flop(n);                      // adds
+  meter.barrier(blocks * 10);         // log2(1024) __syncthreads per block
+  // Pass 2: block partials reduced the same way (negligible but counted).
+  if (blocks > 1) {
+    meter.kernel_launch();
+    meter.seq_read(blocks * sizeof(float));
+    meter.shared_op(3 * blocks);
+    meter.flop(blocks);
+    meter.barrier(10);
+  }
+  // Functional result (Kahan not needed at test scales; matches float
+  // accumulation order of a deterministic tree closely enough).
+  double sum = 0.0;
+  const float* p = data.host().data();
+  for (std::uint64_t i = 0; i < n; ++i) sum += p[i];
+  return static_cast<float>(sum);
+}
+
+float Device::read_scalar(float device_value) {
+  perf::Meter(counters_).d2h(sizeof(float));
+  return device_value;
+}
+
+}  // namespace credo::gpusim

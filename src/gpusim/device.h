@@ -1,0 +1,364 @@
+// SIMT GPU simulator — the stand-in for the paper's CUDA platform.
+//
+// Kernels are C++ callables executed per thread over a grid/block geometry,
+// with device-resident buffers, constant memory, device atomics and a
+// shared-memory tree reduction. Execution is functional (real data, real
+// results) while every hardware event is metered into perf::Counters; the
+// cost model (perf/cost_model.h) turns those counts into modelled GPU time
+// for the profile the device was constructed with (GTX 1070, V100, ...).
+//
+// Design notes:
+//  * Threads run sequentially and deterministically. BP kernels are
+//    data-parallel with no intra-block communication except the reduction,
+//    which is provided as a device primitive (Device::reduce_sum) modelling
+//    the shared-memory tree the paper describes in §3.6.
+//  * Memory access pattern (coalesced vs scattered) is declared at the
+//    access site, as in hand-tuned CUDA where the author chooses the layout
+//    that yields coalescing. Constant-memory reads go through ConstSpan.
+//  * DeviceBuffer storage actually lives in host memory; the device tracks
+//    VRAM occupancy against the profile's capacity and throws
+//    DeviceOutOfMemory on exhaustion (the paper's TW/OR 32-belief exclusion).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "perf/cost_model.h"
+#include "perf/counters.h"
+#include "perf/profiles.h"
+#include "util/error.h"
+
+namespace credo::gpusim {
+
+/// Raised when an allocation exceeds the device profile's VRAM capacity.
+class DeviceOutOfMemory : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Grid/block geometry (1-D is all BP needs; kept scalar for clarity).
+struct LaunchDims {
+  std::uint64_t grid_blocks = 1;
+  std::uint32_t block_threads = 1024;  // the paper uses 1024 throughout
+
+  [[nodiscard]] std::uint64_t total_threads() const noexcept {
+    return grid_blocks * block_threads;
+  }
+
+  /// Geometry covering `n` work items with the given block size.
+  static LaunchDims cover(std::uint64_t n, std::uint32_t block = 1024) {
+    return {(n + block - 1) / block, block};
+  }
+};
+
+/// Per-thread execution context handed to kernels.
+class ThreadCtx {
+ public:
+  ThreadCtx(std::uint64_t block, std::uint32_t thread,
+            const LaunchDims& dims, perf::Meter& meter) noexcept
+      : block_(block), thread_(thread), dims_(dims), meter_(meter) {}
+
+  [[nodiscard]] std::uint64_t block_idx() const noexcept { return block_; }
+  [[nodiscard]] std::uint32_t thread_idx() const noexcept { return thread_; }
+  [[nodiscard]] std::uint32_t block_dim() const noexcept {
+    return dims_.block_threads;
+  }
+  [[nodiscard]] std::uint64_t global_id() const noexcept {
+    return block_ * dims_.block_threads + thread_;
+  }
+
+  /// Meters `n` floating point operations by this thread.
+  void flop(std::uint64_t n = 1) noexcept { meter_.flop(n); }
+
+  [[nodiscard]] perf::Meter& meter() noexcept { return meter_; }
+
+ private:
+  std::uint64_t block_;
+  std::uint32_t thread_;
+  const LaunchDims& dims_;
+  perf::Meter& meter_;
+};
+
+class Device;
+
+/// Non-owning view of device-resident memory, usable inside kernels.
+/// Loads/stores declare their coalescing behaviour at the call site.
+template <typename T>
+class DeviceSpan {
+ public:
+  DeviceSpan() = default;
+  DeviceSpan(T* data, std::size_t n) noexcept : data_(data), n_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Coalesced (warp-contiguous) load of element i.
+  [[nodiscard]] const T& load(ThreadCtx& ctx, std::size_t i) const {
+    ctx.meter().seq_read(sizeof(T));
+    return data_[i];
+  }
+
+  /// Coalesced load of only the first `bytes` of element i (partial struct
+  /// read: the live states of a BeliefVec, not its full padded extent).
+  [[nodiscard]] const T& load_bytes(ThreadCtx& ctx, std::size_t i,
+                                    std::uint64_t bytes) const {
+    ctx.meter().seq_read(bytes);
+    return data_[i];
+  }
+
+  /// Coalesced store of only the first `bytes` of element i.
+  void store_bytes(ThreadCtx& ctx, std::size_t i, const T& v,
+                   std::uint64_t bytes) const {
+    ctx.meter().seq_write(bytes);
+    data_[i] = v;
+  }
+
+  /// Scattered (uncoalesced) load of element i.
+  [[nodiscard]] const T& load_scattered(ThreadCtx& ctx,
+                                        std::size_t i) const {
+    ctx.meter().rand_read(sizeof(T));
+    return data_[i];
+  }
+
+  /// Scattered load of only the first `bytes` of element i (partial struct
+  /// read, e.g. the live states of a BeliefVec).
+  [[nodiscard]] const T& load_scattered_bytes(ThreadCtx& ctx, std::size_t i,
+                                              std::uint64_t bytes) const {
+    ctx.meter().rand_read(bytes);
+    return data_[i];
+  }
+
+  /// Scattered load into an L2-resident working set (e.g. the packed
+  /// accumulator array).
+  [[nodiscard]] const T& load_near(ThreadCtx& ctx, std::size_t i) const {
+    ctx.meter().near_read(sizeof(T));
+    return data_[i];
+  }
+
+  /// Scattered store into an L2-resident working set.
+  void store_near(ThreadCtx& ctx, std::size_t i, const T& v) const {
+    ctx.meter().near_write(sizeof(T));
+    data_[i] = v;
+  }
+
+  /// Coalesced store.
+  void store(ThreadCtx& ctx, std::size_t i, const T& v) const {
+    ctx.meter().seq_write(sizeof(T));
+    data_[i] = v;
+  }
+
+  /// Scattered store.
+  void store_scattered(ThreadCtx& ctx, std::size_t i, const T& v) const {
+    ctx.meter().rand_write(sizeof(T));
+    data_[i] = v;
+  }
+
+  /// Scattered store of only the first `bytes` of element i.
+  void store_scattered_bytes(ThreadCtx& ctx, std::size_t i, const T& v,
+                             std::uint64_t bytes) const {
+    ctx.meter().rand_write(bytes);
+    data_[i] = v;
+  }
+
+  /// Direct host access (outside kernels: init, verification).
+  [[nodiscard]] T* host_data() noexcept { return data_; }
+  [[nodiscard]] const T* host_data() const noexcept { return data_; }
+  T& host(std::size_t i) noexcept { return data_[i]; }
+  const T& host(std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n_ = 0;
+
+  friend class Device;
+};
+
+/// Constant-memory view: reads hit the constant cache (§3.6 places the
+/// shared joint matrix here).
+template <typename T>
+class ConstSpan {
+ public:
+  ConstSpan() = default;
+  ConstSpan(const T* data, std::size_t n) noexcept : data_(data), n_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] const T& load(ThreadCtx& ctx, std::size_t i) const {
+    ctx.meter().const_op();
+    return data_[i];
+  }
+
+  [[nodiscard]] const T* host_data() const noexcept { return data_; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+/// Owning device allocation. Freed (and VRAM released) on destruction.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return storage_ ? storage_->size() : 0;
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return size() * sizeof(T);
+  }
+
+  [[nodiscard]] DeviceSpan<T> span() noexcept {
+    return {storage_ ? storage_->data() : nullptr, size()};
+  }
+  [[nodiscard]] DeviceSpan<const T> cspan() const noexcept {
+    return {storage_ ? storage_->data() : nullptr, size()};
+  }
+
+  /// Host-side access for initialization and result checks.
+  [[nodiscard]] std::span<T> host() noexcept {
+    return {storage_ ? storage_->data() : nullptr, size()};
+  }
+  [[nodiscard]] std::span<const T> host() const noexcept {
+    return {storage_ ? storage_->data() : nullptr, size()};
+  }
+
+ private:
+  friend class Device;
+
+  struct VramLease {
+    VramLease(Device* d, std::uint64_t b) noexcept : device(d), bytes(b) {}
+    VramLease(const VramLease&) = delete;
+    VramLease& operator=(const VramLease&) = delete;
+    ~VramLease();
+
+    Device* device;
+    std::uint64_t bytes;
+  };
+
+  std::shared_ptr<std::vector<T>> storage_;
+  std::shared_ptr<VramLease> lease_;
+};
+
+/// One simulated GPU.
+class Device {
+ public:
+  explicit Device(perf::HardwareProfile profile);
+
+  [[nodiscard]] const perf::HardwareProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Event counters accumulated so far (reset with reset_counters()).
+  [[nodiscard]] const perf::Counters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] perf::Counters& mutable_counters() noexcept {
+    return counters_;
+  }
+  void reset_counters() noexcept { counters_ = {}; }
+
+  /// Modelled elapsed time for everything metered so far.
+  [[nodiscard]] perf::TimeBreakdown modelled_time() const {
+    return perf::model_time(counters_, profile_);
+  }
+
+  [[nodiscard]] std::uint64_t vram_used() const noexcept {
+    return vram_used_;
+  }
+
+  /// Allocates a device buffer of `n` elements (cudaMalloc analogue).
+  /// Throws DeviceOutOfMemory when the profile's VRAM would be exceeded.
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n) {
+    const std::uint64_t bytes = n * sizeof(T);
+    reserve_vram(bytes);
+    perf::Meter(counters_).device_alloc(bytes);
+    DeviceBuffer<T> buf;
+    buf.storage_ = std::make_shared<std::vector<T>>(n);
+    buf.lease_ = std::make_shared<typename DeviceBuffer<T>::VramLease>(
+        this, bytes);
+    return buf;
+  }
+
+  /// Host -> device copy (cudaMemcpy analogue). `packed_bytes` overrides
+  /// the metered transfer size for payloads a real implementation would
+  /// pack before shipping (e.g. BeliefVec arrays, whose live states are a
+  /// fraction of the padded struct); 0 = the span's full byte size.
+  template <typename T>
+  void h2d(DeviceBuffer<T>& dst, std::span<const T> src,
+           std::uint64_t packed_bytes = 0) {
+    CREDO_CHECK_MSG(src.size() <= dst.size(), "h2d copy overruns buffer");
+    std::copy(src.begin(), src.end(), dst.host().begin());
+    perf::Meter(counters_).h2d(packed_bytes > 0 ? packed_bytes
+                                                : src.size_bytes());
+  }
+
+  /// Device -> host copy.
+  template <typename T>
+  void d2h(std::span<T> dst, const DeviceBuffer<T>& src) {
+    CREDO_CHECK_MSG(dst.size() <= src.size(), "d2h copy overruns buffer");
+    std::copy_n(src.host().begin(), dst.size(), dst.begin());
+    perf::Meter(counters_).d2h(dst.size_bytes());
+  }
+
+  /// Uploads constant memory (cudaMemcpyToSymbol analogue). The returned
+  /// view stays valid until the next set_constant call with the same tag.
+  template <typename T>
+  ConstSpan<T> set_constant(std::span<const T> data) {
+    auto storage = std::make_shared<std::vector<std::byte>>(
+        data.size_bytes());
+    std::memcpy(storage->data(), data.data(), data.size_bytes());
+    constant_slots_.push_back(storage);
+    perf::Meter(counters_).h2d(data.size_bytes());
+    return {reinterpret_cast<const T*>(storage->data()), data.size()};
+  }
+
+  /// Launches `kernel(ThreadCtx&)` over the geometry. Threads whose
+  /// global_id() >= work_items immediately return (the usual guard);
+  /// pass work_items = dims.total_threads() to run every thread.
+  template <typename Kernel>
+  void launch(const LaunchDims& dims, std::uint64_t work_items,
+              Kernel&& kernel) {
+    perf::Meter meter(counters_);
+    meter.kernel_launch();
+    for (std::uint64_t b = 0; b < dims.grid_blocks; ++b) {
+      for (std::uint32_t t = 0; t < dims.block_threads; ++t) {
+        ThreadCtx ctx(b, t, dims, meter);
+        if (ctx.global_id() >= work_items) break;
+        kernel(ctx);
+      }
+    }
+  }
+
+  /// Device-wide sum of `n` floats using the §3.6 shared-memory tree
+  /// reduction: each block reduces its tile in shared memory, block results
+  /// are summed by a second pass. The result stays on the device
+  /// conceptually; read_scalar() transfers it.
+  float reduce_sum(const DeviceBuffer<float>& data, std::uint64_t n);
+
+  /// Transfers one float device->host (the batched convergence check).
+  float read_scalar(float device_value);
+
+ private:
+  template <typename T>
+  friend class DeviceBuffer;
+
+  void reserve_vram(std::uint64_t bytes);
+  void release_vram(std::uint64_t bytes) noexcept;
+
+  perf::HardwareProfile profile_;
+  perf::Counters counters_;
+  std::uint64_t vram_used_ = 0;
+  std::vector<std::shared_ptr<std::vector<std::byte>>> constant_slots_;
+};
+
+template <typename T>
+DeviceBuffer<T>::VramLease::~VramLease() {
+  device->release_vram(bytes);
+}
+
+}  // namespace credo::gpusim

@@ -1,0 +1,68 @@
+#include "graph/belief.h"
+
+#include <cmath>
+
+namespace credo::graph {
+
+float normalize(BeliefVec& b) noexcept {
+  float sum = 0.0f;
+  for (std::uint32_t i = 0; i < b.size; ++i) sum += b.v[i];
+  if (sum > 0.0f && std::isfinite(sum)) {
+    const float inv = 1.0f / sum;
+    for (std::uint32_t i = 0; i < b.size; ++i) b.v[i] *= inv;
+  } else {
+    const float p = 1.0f / static_cast<float>(b.size);
+    for (std::uint32_t i = 0; i < b.size; ++i) b.v[i] = p;
+  }
+  return sum;
+}
+
+float l1_diff(const BeliefVec& a, const BeliefVec& b) noexcept {
+  float d = 0.0f;
+  const std::uint32_t n = a.size < b.size ? a.size : b.size;
+  for (std::uint32_t i = 0; i < n; ++i) d += std::fabs(a.v[i] - b.v[i]);
+  return d;
+}
+
+std::uint32_t combine(BeliefVec& acc, const BeliefVec& m) noexcept {
+  float maxv = 0.0f;
+  for (std::uint32_t i = 0; i < acc.size; ++i) {
+    acc.v[i] *= m.v[i];
+    if (acc.v[i] > maxv) maxv = acc.v[i];
+  }
+  // Rescale before products of many sub-unit messages underflow float.
+  if (maxv > 0.0f && maxv < 1e-20f) {
+    const float inv = 1.0f / maxv;
+    for (std::uint32_t i = 0; i < acc.size; ++i) acc.v[i] *= inv;
+    return 2 * acc.size;
+  }
+  return acc.size;
+}
+
+JointMatrix JointMatrix::diffusion(std::uint32_t n, float stay) {
+  JointMatrix j(n, n);
+  const float off = n > 1 ? (1.0f - stay) / static_cast<float>(n - 1) : 0.0f;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      j.m[r][c] = (r == c) ? stay : off;
+    }
+  }
+  return j;
+}
+
+std::uint32_t compute_message(const BeliefVec& in, const JointMatrix& j,
+                              BeliefVec& out) noexcept {
+  out.size = j.cols;
+  for (std::uint32_t c = 0; c < j.cols; ++c) out.v[c] = 0.0f;
+  for (std::uint32_t r = 0; r < j.rows; ++r) {
+    const float w = in.v[r];
+    if (w == 0.0f) continue;
+    for (std::uint32_t c = 0; c < j.cols; ++c) {
+      out.v[c] += w * j.m[r][c];
+    }
+  }
+  normalize(out);
+  return 2u * j.rows * j.cols + 2u * j.cols;
+}
+
+}  // namespace credo::graph

@@ -1,0 +1,144 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace credo::graph {
+namespace {
+
+JointMatrix transpose(const JointMatrix& m) {
+  JointMatrix t(m.cols, m.rows);
+  for (std::uint32_t r = 0; r < m.rows; ++r) {
+    for (std::uint32_t c = 0; c < m.cols; ++c) {
+      t.at(c, r) = m.at(r, c);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+void GraphBuilder::use_shared_joint(const JointMatrix& m) {
+  CREDO_CHECK_MSG(per_edge_.empty(),
+                  "cannot switch to a shared joint after per-edge matrices "
+                  "were added");
+  CREDO_CHECK_MSG(m.rows == m.cols,
+                  "a shared joint matrix must be square: every edge links "
+                  "variables of the same arity");
+  shared_ = m;
+}
+
+void GraphBuilder::reserve(NodeId nodes, std::uint64_t directed_edges) {
+  priors_.reserve(nodes);
+  observed_.reserve(nodes);
+  names_.reserve(nodes);
+  edges_.reserve(directed_edges);
+  if (!shared_.has_value()) per_edge_.reserve(directed_edges);
+}
+
+NodeId GraphBuilder::add_node(const BeliefVec& prior, std::string name) {
+  CREDO_CHECK_MSG(prior.size >= 1 && prior.size <= kMaxStates,
+                  "node arity out of range");
+  const auto id = static_cast<NodeId>(priors_.size());
+  priors_.push_back(prior);
+  observed_.push_back(0);
+  if (!name.empty()) any_names_ = true;
+  names_.push_back(std::move(name));
+  return id;
+}
+
+NodeId GraphBuilder::add_observed_node(std::uint32_t arity,
+                                       std::uint32_t state,
+                                       std::string name) {
+  const NodeId id = add_node(BeliefVec::observed(arity, state),
+                             std::move(name));
+  observed_[id] = 1;
+  return id;
+}
+
+void GraphBuilder::observe(NodeId v, std::uint32_t state) {
+  CREDO_CHECK_MSG(v < priors_.size(), "node id out of range");
+  priors_[v] = BeliefVec::observed(priors_[v].size, state);
+  observed_[v] = 1;
+}
+
+EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst, const JointMatrix& m) {
+  CREDO_CHECK_MSG(!shared_.has_value(),
+                  "per-edge matrix supplied to a shared-joint builder");
+  CREDO_CHECK_MSG(src < priors_.size() && dst < priors_.size(),
+                  "edge endpoint out of range");
+  if (m.rows != priors_[src].size || m.cols != priors_[dst].size) {
+    throw util::InvalidArgument(
+        "joint matrix shape does not match endpoint arities");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({src, dst});
+  per_edge_.push_back(m);
+  return id;
+}
+
+EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst) {
+  CREDO_CHECK_MSG(shared_.has_value(),
+                  "shared-joint edge added before use_shared_joint()");
+  CREDO_CHECK_MSG(src < priors_.size() && dst < priors_.size(),
+                  "edge endpoint out of range");
+  if (shared_->rows != priors_[src].size ||
+      shared_->cols != priors_[dst].size) {
+    throw util::InvalidArgument(
+        "shared joint matrix shape does not match endpoint arities");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({src, dst});
+  return id;
+}
+
+EdgeId GraphBuilder::add_undirected(NodeId u, NodeId v,
+                                    const JointMatrix& m) {
+  const EdgeId first = add_edge(u, v, m);
+  add_edge(v, u, transpose(m));
+  return first;
+}
+
+EdgeId GraphBuilder::add_undirected(NodeId u, NodeId v) {
+  const EdgeId first = add_edge(u, v);
+  add_edge(v, u);
+  return first;
+}
+
+FactorGraph GraphBuilder::finalize() {
+  FactorGraph g;
+  g.priors_ = std::move(priors_);
+  g.observed_ = std::move(observed_);
+  if (any_names_) g.names_ = std::move(names_);
+  // Edges are stored sorted by source node: the edge engines then stream
+  // the source beliefs sequentially (coalesced on the GPU), which is the
+  // access pattern the paper's Edge paradigm relies on.
+  std::vector<EdgeId> order(edges_.size());
+  for (EdgeId i = 0; i < edges_.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](EdgeId a, EdgeId b) {
+                     return edges_[a].src < edges_[b].src;
+                   });
+  g.edges_.resize(edges_.size());
+  for (EdgeId i = 0; i < edges_.size(); ++i) g.edges_[i] = edges_[order[i]];
+  edges_.clear();
+  if (shared_.has_value()) {
+    g.joints_ = JointStore::shared(*shared_);
+  } else {
+    std::vector<JointMatrix> permuted(g.edges_.size());
+    for (EdgeId i = 0; i < g.edges_.size(); ++i) {
+      permuted[i] = per_edge_[order[i]];
+    }
+    per_edge_.clear();
+    g.joints_ = JointStore::per_edge_from(std::move(permuted));
+  }
+  g.in_csr_ = Csr::by_target(g.num_nodes(), g.edges_);
+  g.out_csr_ = Csr::by_source(g.num_nodes(), g.edges_);
+  *this = GraphBuilder();
+  return g;
+}
+
+}  // namespace credo::graph

@@ -1,0 +1,42 @@
+#include "graph/csr.h"
+
+#include "util/error.h"
+
+namespace credo::graph {
+
+Csr Csr::build(NodeId num_nodes, std::span<const DirectedEdge> edges,
+               bool key_by_target) {
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_nodes) + 1,
+                                     0);
+  for (const auto& e : edges) {
+    const NodeId key = key_by_target ? e.dst : e.src;
+    CREDO_CHECK_MSG(key < num_nodes && e.src < num_nodes && e.dst < num_nodes,
+                    "edge endpoint out of range");
+    ++offsets[key + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  std::vector<Csr::Entry> entries(edges.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (EdgeId id = 0; id < edges.size(); ++id) {
+    const auto& e = edges[id];
+    const NodeId key = key_by_target ? e.dst : e.src;
+    const NodeId other = key_by_target ? e.src : e.dst;
+    entries[cursor[key]++] = {other, id};
+  }
+  Csr csr;
+  csr.offsets_ = std::move(offsets);
+  csr.entries_ = std::move(entries);
+  return csr;
+}
+
+Csr Csr::by_target(NodeId num_nodes, std::span<const DirectedEdge> edges) {
+  return build(num_nodes, edges, /*key_by_target=*/true);
+}
+
+Csr Csr::by_source(NodeId num_nodes, std::span<const DirectedEdge> edges) {
+  return build(num_nodes, edges, /*key_by_target=*/false);
+}
+
+}  // namespace credo::graph

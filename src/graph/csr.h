@@ -1,0 +1,80 @@
+// Compressed sparse row adjacency — §3.4's "compressed adjacency lists".
+//
+// The engines walk indices only and touch belief/joint payloads just when
+// doing BP math, exactly as the paper describes. Both orientations are
+// provided: by-target CSR (in-edges; what the Node engine pulls) and
+// by-source CSR (out-edges).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace credo::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// One directed edge. Undirected MRF edges are stored as two directed edges
+/// so that observed (statically fixed) nodes can be handled per direction
+/// (§3.3).
+struct DirectedEdge {
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+/// Immutable CSR index over a directed edge list.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// One adjacency entry: the opposite endpoint and the directed edge id.
+  struct Entry {
+    NodeId node;
+    EdgeId edge;
+  };
+
+  /// Neighbors of `v` under this orientation.
+  [[nodiscard]] std::span<const Entry> neighbors(NodeId v) const noexcept {
+    return {entries_.data() + offsets_[v],
+            entries_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return offsets_.empty() ? 0
+                            : static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  [[nodiscard]] std::uint64_t num_entries() const noexcept {
+    return entries_.size();
+  }
+
+  /// Bytes occupied by the index (reported in the memory-footprint benches).
+  [[nodiscard]] std::uint64_t index_bytes() const noexcept {
+    return offsets_.size() * sizeof(std::uint64_t) +
+           entries_.size() * sizeof(Entry);
+  }
+
+  /// Builds a CSR keyed by edge target: neighbors(v) are v's in-edges,
+  /// Entry::node the source. Single counting-sort pass, O(n + m).
+  static Csr by_target(NodeId num_nodes,
+                       std::span<const DirectedEdge> edges);
+
+  /// Builds a CSR keyed by edge source: neighbors(v) are v's out-edges,
+  /// Entry::node the destination.
+  static Csr by_source(NodeId num_nodes,
+                       std::span<const DirectedEdge> edges);
+
+ private:
+  static Csr build(NodeId num_nodes, std::span<const DirectedEdge> edges,
+                   bool key_by_target);
+
+  std::vector<std::uint64_t> offsets_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace credo::graph

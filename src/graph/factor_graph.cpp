@@ -1,0 +1,17 @@
+#include "graph/factor_graph.h"
+
+namespace credo::graph {
+
+std::uint64_t FactorGraph::memory_bytes() const noexcept {
+  std::uint64_t total = 0;
+  total += priors_.size() * sizeof(BeliefVec);
+  total += observed_.size() * sizeof(std::uint8_t);
+  total += edges_.size() * sizeof(DirectedEdge);
+  total += joints_.payload_bytes();
+  total += in_csr_.index_bytes();
+  total += out_csr_.index_bytes();
+  for (const auto& n : names_) total += n.capacity();
+  return total;
+}
+
+}  // namespace credo::graph

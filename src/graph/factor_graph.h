@@ -1,0 +1,155 @@
+// The in-memory graph representation all engines operate on.
+//
+// A FactorGraph is an MRF/Bayesian-network-style graph of discrete random
+// variables: per node a prior and a current belief vector (AoS layout, the
+// winner of the §3.4 study), a directed edge list with CSR indices in both
+// orientations, and a JointStore holding either one conditional-probability
+// matrix per edge (the original formulation) or a single shared matrix
+// (the §2.2 large-graph refinement).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/belief.h"
+#include "graph/csr.h"
+#include "util/error.h"
+
+namespace credo::graph {
+
+/// Storage for edge conditional-probability matrices. Either one matrix per
+/// directed edge, or a single matrix shared by every edge (§2.2); the shared
+/// form is what the GPU engines place in constant memory (§3.6).
+class JointStore {
+ public:
+  /// Creates a per-edge store (matrices added through push_back).
+  static JointStore per_edge() { return JointStore(false); }
+
+  /// Creates a per-edge store by taking ownership of a prepared vector
+  /// (no per-matrix copies — matters at ~4 KiB per matrix).
+  static JointStore per_edge_from(std::vector<JointMatrix>&& ms) {
+    JointStore s(false);
+    s.per_edge_ = std::move(ms);
+    return s;
+  }
+
+  /// Creates a shared store with the given matrix.
+  static JointStore shared(const JointMatrix& m) {
+    JointStore s(true);
+    s.shared_ = m;
+    return s;
+  }
+
+  [[nodiscard]] bool is_shared() const noexcept { return is_shared_; }
+
+  /// Matrix for directed edge `e`.
+  [[nodiscard]] const JointMatrix& at(EdgeId e) const noexcept {
+    return is_shared_ ? shared_ : per_edge_[e];
+  }
+
+  /// Shared matrix accessor; only valid when is_shared().
+  [[nodiscard]] const JointMatrix& shared_matrix() const {
+    CREDO_CHECK(is_shared_);
+    return shared_;
+  }
+
+  /// Appends a per-edge matrix; only valid when !is_shared().
+  void push_back(const JointMatrix& m) {
+    CREDO_CHECK(!is_shared_);
+    per_edge_.push_back(m);
+  }
+
+  [[nodiscard]] std::size_t per_edge_count() const noexcept {
+    return per_edge_.size();
+  }
+
+  /// Total bytes of probability-table payload (the dominant memory term the
+  /// §2.2 refinement eliminates).
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
+    if (is_shared_) return sizeof(JointMatrix);
+    return per_edge_.size() * sizeof(JointMatrix);
+  }
+
+ private:
+  explicit JointStore(bool shared) : is_shared_(shared) {}
+
+  bool is_shared_;
+  JointMatrix shared_{};
+  std::vector<JointMatrix> per_edge_;
+};
+
+/// An immutable belief network ready for propagation. Construct through
+/// GraphBuilder or a generator; engines read the structure and write only
+/// the mutable belief state they copy out.
+class FactorGraph {
+ public:
+  FactorGraph() = default;
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(priors_.size());
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Arity (number of states) of node `v`.
+  [[nodiscard]] std::uint32_t arity(NodeId v) const noexcept {
+    return priors_[v].size;
+  }
+
+  [[nodiscard]] const BeliefVec& prior(NodeId v) const noexcept {
+    return priors_[v];
+  }
+
+  /// True when `v` was observed: its belief is statically fixed and engines
+  /// must not update it (§3.3).
+  [[nodiscard]] bool observed(NodeId v) const noexcept {
+    return observed_[v] != 0;
+  }
+
+  [[nodiscard]] const std::vector<DirectedEdge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const DirectedEdge& edge(EdgeId e) const noexcept {
+    return edges_[e];
+  }
+
+  /// In-edge index: in_csr().neighbors(v) are the parents the Node engine
+  /// pulls from.
+  [[nodiscard]] const Csr& in_csr() const noexcept { return in_csr_; }
+  /// Out-edge index.
+  [[nodiscard]] const Csr& out_csr() const noexcept { return out_csr_; }
+
+  [[nodiscard]] const JointStore& joints() const noexcept { return joints_; }
+
+  /// Node names, if the input carried them (BIF does; MTX-belief carries
+  /// numeric ids only). Empty when absent.
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  /// A fresh mutable belief state: every unobserved node starts at its
+  /// prior, observed nodes at their fixed point-mass.
+  [[nodiscard]] std::vector<BeliefVec> initial_beliefs() const {
+    return priors_;
+  }
+
+  /// Total resident bytes of the representation (indices + payloads),
+  /// reported by the memory-footprint benches.
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<BeliefVec> priors_;
+  std::vector<std::uint8_t> observed_;
+  std::vector<std::string> names_;
+  std::vector<DirectedEdge> edges_;
+  JointStore joints_ = JointStore::per_edge();
+  Csr in_csr_;
+  Csr out_csr_;
+};
+
+}  // namespace credo::graph

@@ -1,0 +1,184 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/error.h"
+
+namespace credo::graph {
+namespace {
+
+/// Populates the builder with `nodes` nodes: random priors, a random subset
+/// observed, and the shared joint installed when configured.
+void emit_nodes(GraphBuilder& b, NodeId nodes, const BeliefConfig& cfg,
+                util::Prng& rng) {
+  if (cfg.shared_joint) {
+    b.use_shared_joint(random_joint(cfg.beliefs, cfg.coupling, rng));
+  }
+  b.reserve(nodes, 0);
+  for (NodeId v = 0; v < nodes; ++v) {
+    if (rng.bernoulli(cfg.observed_fraction)) {
+      b.add_observed_node(cfg.beliefs,
+                          static_cast<std::uint32_t>(
+                              rng.uniform(cfg.beliefs)));
+    } else {
+      b.add_node(random_prior(cfg.beliefs, rng));
+    }
+  }
+}
+
+/// Adds one undirected edge, honoring shared vs per-edge joint mode.
+void emit_undirected(GraphBuilder& b, NodeId u, NodeId v,
+                     const BeliefConfig& cfg, util::Prng& rng) {
+  if (cfg.shared_joint) {
+    b.add_undirected(u, v);
+  } else {
+    b.add_undirected(u, v, random_joint(cfg.beliefs, cfg.coupling, rng));
+  }
+}
+
+}  // namespace
+
+JointMatrix random_joint(std::uint32_t arity, float coupling,
+                         util::Prng& rng) {
+  CREDO_CHECK_MSG(arity >= 1 && arity <= kMaxStates,
+                  "arity out of range");
+  JointMatrix j(arity, arity);
+  const float off = arity > 1
+                        ? (1.0f - coupling) / static_cast<float>(arity - 1)
+                        : 0.0f;
+  for (std::uint32_t r = 0; r < arity; ++r) {
+    float sum = 0.0f;
+    for (std::uint32_t c = 0; c < arity; ++c) {
+      // Diagonal dominance (state persists across the edge with weight
+      // ~coupling) plus jitter, then row-normalized.
+      const float base = (r == c) ? coupling : off;
+      j.at(r, c) = base * (0.5f + rng.uniform01f());
+      sum += j.at(r, c);
+    }
+    for (std::uint32_t c = 0; c < arity; ++c) j.at(r, c) /= sum;
+  }
+  return j;
+}
+
+BeliefVec random_prior(std::uint32_t arity, util::Prng& rng) {
+  BeliefVec b;
+  b.size = arity;
+  for (std::uint32_t i = 0; i < arity; ++i) {
+    b.v[i] = 0.05f + rng.uniform01f();
+  }
+  normalize(b);
+  return b;
+}
+
+FactorGraph uniform_random(NodeId nodes, std::uint64_t undirected_edges,
+                           const BeliefConfig& cfg) {
+  CREDO_CHECK_MSG(nodes >= 2, "need at least two nodes");
+  util::Prng rng(cfg.seed);
+  GraphBuilder b;
+  emit_nodes(b, nodes, cfg, rng);
+  for (std::uint64_t e = 0; e < undirected_edges; ++e) {
+    const auto u = static_cast<NodeId>(rng.uniform(nodes));
+    auto v = static_cast<NodeId>(rng.uniform(nodes - 1));
+    if (v >= u) ++v;  // distinct endpoints, no self loops
+    emit_undirected(b, u, v, cfg, rng);
+  }
+  return b.finalize();
+}
+
+FactorGraph rmat(std::uint32_t scale, std::uint64_t undirected_edges,
+                 const BeliefConfig& cfg, const RmatParams& p) {
+  CREDO_CHECK_MSG(scale >= 1 && scale < 32, "rmat scale out of range");
+  const NodeId nodes = NodeId{1} << scale;
+  util::Prng rng(cfg.seed);
+  GraphBuilder b;
+  emit_nodes(b, nodes, cfg, rng);
+  const double ab = p.a + p.b;
+  const double abc = ab + p.c;
+  for (std::uint64_t e = 0; e < undirected_edges; ++e) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform01();
+      if (r < p.a) {
+        // upper-left quadrant: no bits set
+      } else if (r < ab) {
+        v |= NodeId{1} << bit;
+      } else if (r < abc) {
+        u |= NodeId{1} << bit;
+      } else {
+        u |= NodeId{1} << bit;
+        v |= NodeId{1} << bit;
+      }
+    }
+    if (u == v) v = static_cast<NodeId>((v + 1) % nodes);
+    emit_undirected(b, u, v, cfg, rng);
+  }
+  return b.finalize();
+}
+
+FactorGraph preferential_attachment(NodeId nodes,
+                                    std::uint32_t edges_per_node,
+                                    const BeliefConfig& cfg) {
+  CREDO_CHECK_MSG(nodes > edges_per_node && edges_per_node >= 1,
+                  "need nodes > edges_per_node >= 1");
+  util::Prng rng(cfg.seed);
+  GraphBuilder b;
+  emit_nodes(b, nodes, cfg, rng);
+  // Repeated-endpoints trick: sampling a uniform element of the running
+  // endpoint list is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(nodes) * edges_per_node * 2);
+  // Seed clique over the first edges_per_node + 1 nodes.
+  for (NodeId u = 0; u <= edges_per_node; ++u) {
+    for (NodeId v = u + 1; v <= edges_per_node; ++v) {
+      emit_undirected(b, u, v, cfg, rng);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = edges_per_node + 1; u < nodes; ++u) {
+    for (std::uint32_t k = 0; k < edges_per_node; ++k) {
+      const NodeId v = endpoints[rng.uniform(endpoints.size())];
+      if (v == u) continue;  // skip (keeps expected degree ~edges_per_node)
+      emit_undirected(b, u, v, cfg, rng);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return b.finalize();
+}
+
+FactorGraph random_tree(NodeId nodes, const BeliefConfig& cfg) {
+  CREDO_CHECK_MSG(nodes >= 1, "need at least one node");
+  util::Prng rng(cfg.seed);
+  GraphBuilder b;
+  emit_nodes(b, nodes, cfg, rng);
+  for (NodeId v = 1; v < nodes; ++v) {
+    const auto parent = static_cast<NodeId>(rng.uniform(v));
+    emit_undirected(b, parent, v, cfg, rng);
+  }
+  return b.finalize();
+}
+
+FactorGraph grid(std::uint32_t width, std::uint32_t height,
+                 const BeliefConfig& cfg) {
+  CREDO_CHECK_MSG(width >= 1 && height >= 1, "grid must be non-empty");
+  util::Prng rng(cfg.seed);
+  GraphBuilder b;
+  const auto nodes = static_cast<NodeId>(width * height);
+  emit_nodes(b, nodes, cfg, rng);
+  auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) emit_undirected(b, id(x, y), id(x + 1, y), cfg, rng);
+      if (y + 1 < height) emit_undirected(b, id(x, y), id(x, y + 1), cfg, rng);
+    }
+  }
+  return b.finalize();
+}
+
+}  // namespace credo::graph

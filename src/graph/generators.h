@@ -1,0 +1,77 @@
+// Synthetic belief-network generators — the stand-ins for Table 1.
+//
+// The paper's benchmark suite mixes synthetic n-node/4n-edge graphs with
+// real networks from networkrepository.com (Kronecker kron-g500 rows, and
+// social/web graphs such as Gowalla, LiveJournal and Twitter). Those
+// downloads are unavailable offline, so each family is generated: uniform
+// random graphs for the synthetic rows, R-MAT for the Kronecker rows, and
+// preferential attachment (heavy-tailed degrees) for the social/web rows.
+// Generators also synthesize priors and joint matrices, mirroring the
+// paper's "randomly encode generated beliefs into the input files".
+#pragma once
+
+#include <cstdint>
+
+#include "graph/factor_graph.h"
+#include "util/prng.h"
+
+namespace credo::graph {
+
+/// Common knobs for belief synthesis.
+struct BeliefConfig {
+  /// States per variable (2 = true/false, 3 = virus SIR, 32 = image bits).
+  std::uint32_t beliefs = 2;
+  /// Fraction of nodes observed (statically fixed) — the "new information"
+  /// whose effects BP propagates.
+  double observed_fraction = 0.05;
+  /// Whether all edges share one joint matrix (§2.2) or each edge gets its
+  /// own randomized one.
+  bool shared_joint = true;
+  /// Diagonal dominance of generated joint matrices (how strongly state
+  /// persists across an edge). In (1/beliefs, 1).
+  float coupling = 0.7f;
+  std::uint64_t seed = 42;
+};
+
+/// Uniform random multigraph: `undirected_edges` distinct-endpoint edges
+/// placed uniformly (the paper's synthetic "NxM" rows; each undirected edge
+/// becomes two directed edges).
+[[nodiscard]] FactorGraph uniform_random(NodeId nodes,
+                                         std::uint64_t undirected_edges,
+                                         const BeliefConfig& cfg);
+
+/// R-MAT / Kronecker-style generator (a,b,c,d quadrant probabilities;
+/// Graph500 uses 0.57/0.19/0.19/0.05) — stand-in for the kron-g500 rows.
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+};
+[[nodiscard]] FactorGraph rmat(std::uint32_t scale,
+                               std::uint64_t undirected_edges,
+                               const BeliefConfig& cfg,
+                               const RmatParams& p = {});
+
+/// Preferential attachment (Barabási–Albert-like): each new node attaches
+/// to `edges_per_node` existing nodes chosen by degree — stand-in for the
+/// social/web rows (heavy-tailed degree distribution).
+[[nodiscard]] FactorGraph preferential_attachment(NodeId nodes,
+                                                  std::uint32_t edges_per_node,
+                                                  const BeliefConfig& cfg);
+
+/// Uniform random tree on `nodes` nodes (random parent among earlier
+/// nodes) — acyclic input for the exact/tree BP engine and the §2.1.1
+/// algorithm comparison.
+[[nodiscard]] FactorGraph random_tree(NodeId nodes, const BeliefConfig& cfg);
+
+/// 4-connected width x height lattice — the image-correction MRF of the
+/// paper's third use case.
+[[nodiscard]] FactorGraph grid(std::uint32_t width, std::uint32_t height,
+                               const BeliefConfig& cfg);
+
+/// A random row-normalized joint matrix with diagonal weight `coupling`.
+[[nodiscard]] JointMatrix random_joint(std::uint32_t arity, float coupling,
+                                       util::Prng& rng);
+
+/// A random normalized prior.
+[[nodiscard]] BeliefVec random_prior(std::uint32_t arity, util::Prng& rng);
+
+}  // namespace credo::graph

@@ -1,0 +1,33 @@
+#include "graph/metadata.h"
+
+#include <algorithm>
+
+namespace credo::graph {
+
+const std::array<const char*, 5>& GraphMetadata::feature_names() noexcept {
+  static const std::array<const char*, 5> names = {
+      "num_nodes", "nodes_to_edges", "num_beliefs", "degree_imbalance",
+      "skew"};
+  return names;
+}
+
+GraphMetadata compute_metadata(const FactorGraph& g) {
+  GraphMetadata md;
+  md.num_nodes = g.num_nodes();
+  md.num_directed_edges = g.num_edges();
+  std::uint64_t in_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    md.beliefs = std::max(md.beliefs, g.arity(v));
+    const std::uint32_t din = g.in_csr().degree(v);
+    const std::uint32_t dout = g.out_csr().degree(v);
+    md.max_in_degree = std::max(md.max_in_degree, din);
+    md.max_out_degree = std::max(md.max_out_degree, dout);
+    in_sum += din;
+  }
+  md.avg_in_degree = md.num_nodes > 0 ? static_cast<double>(in_sum) /
+                                            static_cast<double>(md.num_nodes)
+                                      : 0.0;
+  return md;
+}
+
+}  // namespace credo::graph

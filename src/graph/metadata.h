@@ -1,0 +1,64 @@
+// Graph metadata and the classifier feature vector (§3.7).
+//
+// Credo's dispatcher decides which engine to run from metadata available
+// right after parsing: node/edge counts, belief arity and the degree
+// statistics. The paper's feature engineering distilled these into five
+// features: number of nodes, nodes-to-edges ratio, number of beliefs,
+// degree imbalance (max in-degree / max out-degree) and skew (average
+// in-degree / max in-degree).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/factor_graph.h"
+
+namespace credo::graph {
+
+/// Summary statistics computed in one pass over the CSR indices.
+struct GraphMetadata {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_directed_edges = 0;
+  std::uint32_t beliefs = 0;  // max arity in the graph
+
+  std::uint32_t max_in_degree = 0;
+  std::uint32_t max_out_degree = 0;
+  double avg_in_degree = 0.0;
+
+  /// nodes / directed edges.
+  [[nodiscard]] double nodes_to_edges_ratio() const noexcept {
+    return num_directed_edges > 0
+               ? static_cast<double>(num_nodes) /
+                     static_cast<double>(num_directed_edges)
+               : 0.0;
+  }
+
+  /// max in-degree / max out-degree.
+  [[nodiscard]] double degree_imbalance() const noexcept {
+    return max_out_degree > 0 ? static_cast<double>(max_in_degree) /
+                                    static_cast<double>(max_out_degree)
+                              : 0.0;
+  }
+
+  /// average in-degree / max in-degree.
+  [[nodiscard]] double skew() const noexcept {
+    return max_in_degree > 0
+               ? avg_in_degree / static_cast<double>(max_in_degree)
+               : 0.0;
+  }
+
+  /// The paper's five-feature vector, in its order: {num nodes,
+  /// nodes-to-edges ratio, num beliefs, degree imbalance, skew}.
+  [[nodiscard]] std::array<double, 5> features() const noexcept {
+    return {static_cast<double>(num_nodes), nodes_to_edges_ratio(),
+            static_cast<double>(beliefs), degree_imbalance(), skew()};
+  }
+
+  /// Human-readable feature names, index-aligned with features().
+  static const std::array<const char*, 5>& feature_names() noexcept;
+};
+
+/// Computes metadata for a finalized graph.
+[[nodiscard]] GraphMetadata compute_metadata(const FactorGraph& g);
+
+}  // namespace credo::graph

@@ -1,0 +1,206 @@
+#include "io/bayes_net.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "util/error.h"
+
+namespace credo::io {
+namespace {
+
+/// Number of rows a CPT has: product of parent arities.
+std::size_t cpt_rows(const BayesNet& net, const BayesCpt& c) {
+  std::size_t rows = 1;
+  for (const auto p : c.parents) rows *= net.variables[p].arity();
+  return rows;
+}
+
+}  // namespace
+
+std::uint32_t BayesNet::index_of(const std::string& var_name) const {
+  for (std::uint32_t i = 0; i < variables.size(); ++i) {
+    if (variables[i].name == var_name) return i;
+  }
+  throw util::InvalidArgument("unknown variable: " + var_name);
+}
+
+void BayesNet::validate() const {
+  std::vector<std::uint8_t> seen(variables.size(), 0);
+  for (const auto& v : variables) {
+    if (v.outcomes.empty() || v.outcomes.size() > graph::kMaxStates) {
+      throw util::InvalidArgument("variable '" + v.name +
+                                  "' has invalid outcome count");
+    }
+  }
+  for (const auto& c : cpts) {
+    if (c.child >= variables.size()) {
+      throw util::InvalidArgument("CPT child index out of range");
+    }
+    if (seen[c.child]) {
+      throw util::InvalidArgument("duplicate CPT for variable '" +
+                                  variables[c.child].name + "'");
+    }
+    seen[c.child] = 1;
+    for (const auto p : c.parents) {
+      if (p >= variables.size()) {
+        throw util::InvalidArgument("CPT parent index out of range");
+      }
+      if (p == c.child) {
+        throw util::InvalidArgument("variable cannot be its own parent");
+      }
+    }
+    const std::size_t expect =
+        cpt_rows(*this, c) * variables[c.child].arity();
+    if (c.values.size() != expect) {
+      throw util::InvalidArgument(
+          "CPT for '" + variables[c.child].name + "' has " +
+          std::to_string(c.values.size()) + " values, expected " +
+          std::to_string(expect));
+    }
+  }
+  for (std::uint32_t i = 0; i < variables.size(); ++i) {
+    if (!seen[i]) {
+      throw util::InvalidArgument("variable '" + variables[i].name +
+                                  "' has no CPT");
+    }
+  }
+}
+
+graph::FactorGraph BayesNet::to_factor_graph() const {
+  validate();
+  graph::GraphBuilder b;
+  std::uint64_t dependency_pairs = 0;
+  for (const auto& c : cpts) dependency_pairs += c.parents.size();
+  b.reserve(static_cast<graph::NodeId>(variables.size()),
+            2 * dependency_pairs);
+  // Priors: root CPT for roots; uniform for non-roots (their information
+  // arrives through the edges).
+  for (std::uint32_t i = 0; i < variables.size(); ++i) {
+    const std::uint32_t arity = variables[i].arity();
+    graph::BeliefVec prior = graph::BeliefVec::uniform(arity);
+    for (const auto& c : cpts) {
+      if (c.child == i && c.parents.empty()) {
+        prior = graph::BeliefVec(
+            std::span<const float>(c.values.data(), arity));
+        graph::normalize(prior);
+      }
+    }
+    b.add_node(prior, variables[i].name);
+  }
+  // Pairwise factorization of each conditional CPT.
+  for (const auto& c : cpts) {
+    if (c.parents.empty()) continue;
+    const std::uint32_t child_arity = variables[c.child].arity();
+    // Strides: values index = (Σ_k state_k * stride_k) * child_arity + s_c.
+    std::vector<std::size_t> stride(c.parents.size(), 1);
+    for (std::size_t k = c.parents.size(); k-- > 1;) {
+      stride[k - 1] =
+          stride[k] * variables[c.parents[k]].arity();
+    }
+    const std::size_t rows = cpt_rows(*this, c);
+    for (std::size_t k = 0; k < c.parents.size(); ++k) {
+      const std::uint32_t parent = c.parents[k];
+      const std::uint32_t parent_arity = variables[parent].arity();
+      graph::JointMatrix m(parent_arity, child_arity);
+      // Marginalize the CPT over all other parents with uniform weights.
+      for (std::size_t row = 0; row < rows; ++row) {
+        const auto pstate = static_cast<std::uint32_t>(
+            (row / stride[k]) % parent_arity);
+        for (std::uint32_t s = 0; s < child_arity; ++s) {
+          m.at(pstate, s) += c.values[row * child_arity + s];
+        }
+      }
+      // Row-normalize.
+      for (std::uint32_t r = 0; r < parent_arity; ++r) {
+        float sum = 0.0f;
+        for (std::uint32_t s = 0; s < child_arity; ++s) sum += m.at(r, s);
+        if (sum > 0.0f) {
+          for (std::uint32_t s = 0; s < child_arity; ++s) m.at(r, s) /= sum;
+        }
+      }
+      b.add_undirected(parent, c.child, m);
+    }
+  }
+  return b.finalize();
+}
+
+BayesNet BayesNet::random(std::uint32_t n, std::uint32_t arity,
+                          std::uint32_t max_parents, std::uint64_t seed) {
+  CREDO_CHECK_MSG(n >= 1 && arity >= 2 && arity <= graph::kMaxStates,
+                  "bad random BayesNet shape");
+  util::Prng rng(seed);
+  BayesNet net;
+  net.name = "random_" + std::to_string(n);
+  char buf[32];
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "v%u", i);
+    BayesVar var;
+    var.name = buf;
+    for (std::uint32_t s = 0; s < arity; ++s) {
+      std::snprintf(buf, sizeof(buf), "s%u", s);
+      var.outcomes.push_back(buf);
+    }
+    net.variables.push_back(std::move(var));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BayesCpt cpt;
+    cpt.child = i;
+    const std::uint32_t k =
+        i == 0 ? 0
+               : static_cast<std::uint32_t>(rng.uniform(
+                     std::min<std::uint64_t>(max_parents, i) + 1));
+    std::vector<std::uint32_t> pool(i);
+    std::iota(pool.begin(), pool.end(), 0u);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const auto pick = rng.uniform(pool.size());
+      cpt.parents.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    std::size_t rows = 1;
+    for (const auto p : cpt.parents) rows *= net.variables[p].arity();
+    cpt.values.resize(rows * arity);
+    for (std::size_t r = 0; r < rows; ++r) {
+      float sum = 0.0f;
+      for (std::uint32_t s = 0; s < arity; ++s) {
+        const float v = 0.05f + rng.uniform01f();
+        cpt.values[r * arity + s] = v;
+        sum += v;
+      }
+      for (std::uint32_t s = 0; s < arity; ++s) {
+        cpt.values[r * arity + s] /= sum;
+      }
+    }
+    net.cpts.push_back(std::move(cpt));
+  }
+  return net;
+}
+
+BayesNet BayesNet::family_out() {
+  BayesNet net;
+  net.name = "family-out";
+  auto var = [&](const char* name) {
+    net.variables.push_back(BayesVar{name, {"true", "false"}});
+  };
+  var("family-out");     // 0: fo
+  var("bowel-problem");  // 1: bp
+  var("light-on");       // 2: lo
+  var("dog-out");        // 3: do
+  var("hear-bark");      // 4: hb
+  // Priors and CPTs follow Charniak's classic numbers (paper Fig. 1).
+  net.cpts.push_back({0, {}, {0.15f, 0.85f}});
+  net.cpts.push_back({1, {}, {0.01f, 0.99f}});
+  // p(lo | fo): fo=true -> 0.6, fo=false -> 0.05.
+  net.cpts.push_back({2, {0}, {0.6f, 0.4f, 0.05f, 0.95f}});
+  // p(do | fo, bp): rows (fo,bp) = TT, TF, FT, FF.
+  net.cpts.push_back({3,
+                      {0, 1},
+                      {0.99f, 0.01f, 0.90f, 0.10f, 0.97f, 0.03f, 0.30f,
+                       0.70f}});
+  // p(hb | do): do=true -> 0.7, do=false -> 0.01.
+  net.cpts.push_back({4, {3}, {0.7f, 0.3f, 0.01f, 0.99f}});
+  return net;
+}
+
+}  // namespace credo::io

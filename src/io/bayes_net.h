@@ -1,0 +1,73 @@
+// Bayesian-network description — the logical content of a BIF / XML-BIF
+// file, kept separate from the runtime FactorGraph.
+//
+// The legacy parsers produce a BayesNet; to_factor_graph() lowers it to the
+// pairwise MRF representation the engines run on, applying the Markov
+// assumption the paper describes (§2.1): multi-parent CPTs are factored into
+// pairwise conditionals by marginalizing over the other parents under
+// uniform assumptions, and every dependency becomes an undirected MRF edge
+// (two directed edges).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/factor_graph.h"
+#include "util/prng.h"
+
+namespace credo::io {
+
+/// A discrete variable: name plus named outcomes.
+struct BayesVar {
+  std::string name;
+  std::vector<std::string> outcomes;
+
+  [[nodiscard]] std::uint32_t arity() const noexcept {
+    return static_cast<std::uint32_t>(outcomes.size());
+  }
+};
+
+/// One conditional probability table: p(child | parents...).
+/// `values` is row-major over parent assignments (first parent slowest,
+/// last parent fastest) with the child outcome varying fastest within each
+/// row; a root node has no parents and `values` is just its prior.
+struct BayesCpt {
+  std::uint32_t child = 0;
+  std::vector<std::uint32_t> parents;
+  std::vector<float> values;
+};
+
+/// A parsed Bayesian network.
+struct BayesNet {
+  std::string name;
+  std::vector<BayesVar> variables;
+  std::vector<BayesCpt> cpts;
+
+  /// Index of a variable by name; throws util::InvalidArgument when absent.
+  [[nodiscard]] std::uint32_t index_of(const std::string& var_name) const;
+
+  /// Structural validation: every variable has exactly one CPT, parent
+  /// indices are in range, table sizes match arities. Throws
+  /// util::InvalidArgument on violation.
+  void validate() const;
+
+  /// Lowers to the pairwise MRF FactorGraph (per-edge JointStore). Root
+  /// CPTs become priors; each (parent, child) dependency becomes an
+  /// undirected edge whose joint matrix is the CPT marginalized over the
+  /// remaining parents (uniform weights).
+  [[nodiscard]] graph::FactorGraph to_factor_graph() const;
+
+  /// Generates a random DAG-structured network: `n` variables of `arity`
+  /// states, each non-root choosing up to `max_parents` parents among
+  /// earlier variables. Used to fabricate BIF/XML-BIF bench inputs.
+  static BayesNet random(std::uint32_t n, std::uint32_t arity,
+                         std::uint32_t max_parents, std::uint64_t seed);
+
+  /// The paper's running example (Fig. 1): the family-out problem.
+  /// Variables: family-out (fo), bowel-problem (bp), light-on (lo),
+  /// dog-out (do), hear-bark (hb).
+  static BayesNet family_out();
+};
+
+}  // namespace credo::io

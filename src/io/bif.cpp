@@ -1,0 +1,385 @@
+#include "io/bif.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace credo::io {
+namespace {
+
+using util::ParseError;
+
+/// Token kinds for the BIF lexer.
+enum class Tok {
+  kWord,    // identifiers, keywords, numbers
+  kLBrace,  // {
+  kRBrace,  // }
+  kLParen,  // (
+  kRParen,  // )
+  kLBrack,  // [
+  kRBrack,  // ]
+  kComma,
+  kSemi,
+  kPipe,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string_view text;
+  std::uint64_t line = 1;
+};
+
+/// Whole-buffer lexer: BIF's grammar forces loading the full text first.
+class Lexer {
+ public:
+  Lexer(std::string_view text, std::string name)
+      : text_(text), name_(std::move(name)) {
+    advance();
+  }
+
+  [[nodiscard]] const Token& peek() const noexcept { return cur_; }
+
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(name_, cur_.line, what);
+  }
+
+  /// Consumes a punctuation token of the given kind or fails.
+  void expect(Tok kind, const char* what) {
+    if (cur_.kind != kind) fail(std::string("expected ") + what);
+    advance();
+  }
+
+  /// Consumes a word token and returns its text.
+  std::string_view word(const char* what) {
+    if (cur_.kind != Tok::kWord) fail(std::string("expected ") + what);
+    const auto t = cur_.text;
+    advance();
+    return t;
+  }
+
+  /// Consumes the specific keyword or fails.
+  void keyword(std::string_view kw) {
+    if (cur_.kind != Tok::kWord || cur_.text != kw) {
+      fail("expected keyword '" + std::string(kw) + "'");
+    }
+    advance();
+  }
+
+  [[nodiscard]] bool at_keyword(std::string_view kw) const noexcept {
+    return cur_.kind == Tok::kWord && cur_.text == kw;
+  }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    cur_.line = line_;
+    if (pos_ >= text_.size()) {
+      cur_ = {Tok::kEnd, {}, line_};
+      return;
+    }
+    const char c = text_[pos_];
+    const auto punct = [&](Tok k) {
+      cur_ = {k, text_.substr(pos_, 1), line_};
+      ++pos_;
+    };
+    switch (c) {
+      case '{': punct(Tok::kLBrace); return;
+      case '}': punct(Tok::kRBrace); return;
+      case '(': punct(Tok::kLParen); return;
+      case ')': punct(Tok::kRParen); return;
+      case '[': punct(Tok::kLBrack); return;
+      case ']': punct(Tok::kRBrack); return;
+      case ',': punct(Tok::kComma); return;
+      case ';': punct(Tok::kSemi); return;
+      case '|': punct(Tok::kPipe); return;
+      default: break;
+    }
+    // Word: identifier / number / quoted string.
+    if (c == '"') {
+      const std::size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') bump();
+      if (pos_ >= text_.size()) {
+        throw ParseError(name_, line_, "unterminated string");
+      }
+      cur_ = {Tok::kWord, text_.substr(start, pos_ - start), line_};
+      ++pos_;
+      return;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !is_delim(text_[pos_])) bump();
+    if (pos_ == start) {
+      throw ParseError(name_, line_,
+                       std::string("unexpected character '") + c + "'");
+    }
+    cur_ = {Tok::kWord, text_.substr(start, pos_ - start), line_};
+  }
+
+  static bool is_delim(char c) noexcept {
+    switch (c) {
+      case '{': case '}': case '(': case ')': case '[': case ']':
+      case ',': case ';': case '|': case '"':
+      case ' ': case '\t': case '\r': case '\n': case '\f': case '\v':
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void bump() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+          c == '\v') {
+        bump();
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') bump();
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          bump();
+        }
+        if (pos_ + 1 >= text_.size()) {
+          throw ParseError(name_, line_, "unterminated block comment");
+        }
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string name_;
+  std::size_t pos_ = 0;
+  std::uint64_t line_ = 1;
+  Token cur_;
+};
+
+/// Recursive-descent parser producing a BayesNet.
+class BifParser {
+ public:
+  BifParser(std::string_view text, std::string name)
+      : lex_(text, std::move(name)) {}
+
+  BayesNet parse() {
+    parse_network();
+    while (lex_.peek().kind != Tok::kEnd) {
+      if (lex_.at_keyword("variable")) {
+        parse_variable();
+      } else if (lex_.at_keyword("probability")) {
+        parse_probability();
+      } else {
+        lex_.fail("expected 'variable' or 'probability'");
+      }
+    }
+    net_.validate();
+    return std::move(net_);
+  }
+
+ private:
+  void skip_properties() {
+    while (lex_.at_keyword("property")) {
+      lex_.take();
+      // A property's payload is free-form up to the semicolon.
+      while (lex_.peek().kind != Tok::kSemi &&
+             lex_.peek().kind != Tok::kEnd) {
+        lex_.take();
+      }
+      lex_.expect(Tok::kSemi, "';' ending property");
+    }
+  }
+
+  void parse_network() {
+    lex_.keyword("network");
+    net_.name = std::string(lex_.word("network name"));
+    lex_.expect(Tok::kLBrace, "'{'");
+    skip_properties();
+    lex_.expect(Tok::kRBrace, "'}'");
+  }
+
+  void parse_variable() {
+    lex_.keyword("variable");
+    BayesVar var;
+    var.name = std::string(lex_.word("variable name"));
+    lex_.expect(Tok::kLBrace, "'{'");
+    lex_.keyword("type");
+    lex_.keyword("discrete");
+    lex_.expect(Tok::kLBrack, "'['");
+    const auto n = util::parse_u64(lex_.word("outcome count"));
+    if (!n || *n == 0 || *n > graph::kMaxStates) {
+      lex_.fail("bad outcome count");
+    }
+    lex_.expect(Tok::kRBrack, "']'");
+    lex_.expect(Tok::kLBrace, "'{'");
+    for (std::uint64_t i = 0; i < *n; ++i) {
+      if (i > 0) lex_.expect(Tok::kComma, "','");
+      var.outcomes.emplace_back(lex_.word("outcome name"));
+    }
+    lex_.expect(Tok::kRBrace, "'}'");
+    lex_.expect(Tok::kSemi, "';'");
+    skip_properties();
+    lex_.expect(Tok::kRBrace, "'}'");
+    net_.variables.push_back(std::move(var));
+  }
+
+  float parse_float_word(const char* what) {
+    const auto f = util::parse_float(lex_.word(what));
+    if (!f) lex_.fail(std::string("malformed number for ") + what);
+    return *f;
+  }
+
+  void parse_probability() {
+    lex_.keyword("probability");
+    lex_.expect(Tok::kLParen, "'('");
+    BayesCpt cpt;
+    cpt.child = index_or_fail(lex_.word("variable name"));
+    if (lex_.peek().kind == Tok::kPipe) {
+      lex_.take();
+      cpt.parents.push_back(
+          index_or_fail(lex_.word("parent name")));
+      while (lex_.peek().kind == Tok::kComma) {
+        lex_.take();
+        cpt.parents.push_back(
+            index_or_fail(lex_.word("parent name")));
+      }
+    }
+    lex_.expect(Tok::kRParen, "')'");
+    lex_.expect(Tok::kLBrace, "'{'");
+
+    const std::uint32_t child_arity =
+        net_.variables[cpt.child].arity();
+    std::size_t rows = 1;
+    for (const auto p : cpt.parents) {
+      rows *= net_.variables[p].arity();
+    }
+    cpt.values.assign(rows * child_arity, -1.0f);
+
+    if (lex_.at_keyword("table")) {
+      lex_.take();
+      for (std::size_t i = 0; i < cpt.values.size(); ++i) {
+        if (i > 0) lex_.expect(Tok::kComma, "','");
+        cpt.values[i] = parse_float_word("table value");
+      }
+      lex_.expect(Tok::kSemi, "';'");
+    } else {
+      // Row entries keyed by parent outcomes: "(true, false) 0.2, 0.8;".
+      while (lex_.peek().kind == Tok::kLParen) {
+        lex_.take();
+        std::size_t row = 0;
+        for (std::size_t k = 0; k < cpt.parents.size(); ++k) {
+          if (k > 0) lex_.expect(Tok::kComma, "','");
+          const auto& pv = net_.variables[cpt.parents[k]];
+          const auto outcome = lex_.word("parent outcome");
+          std::size_t idx = pv.outcomes.size();
+          for (std::size_t o = 0; o < pv.outcomes.size(); ++o) {
+            if (pv.outcomes[o] == outcome) {
+              idx = o;
+              break;
+            }
+          }
+          if (idx == pv.outcomes.size()) {
+            lex_.fail("unknown outcome '" + std::string(outcome) +
+                      "' for parent '" + pv.name + "'");
+          }
+          row = row * pv.arity() + idx;
+        }
+        lex_.expect(Tok::kRParen, "')'");
+        for (std::uint32_t s = 0; s < child_arity; ++s) {
+          if (s > 0) lex_.expect(Tok::kComma, "','");
+          cpt.values[row * child_arity + s] =
+              parse_float_word("probability value");
+        }
+        lex_.expect(Tok::kSemi, "';'");
+      }
+      for (const float v : cpt.values) {
+        if (v < 0.0f) lex_.fail("probability table has missing rows");
+      }
+    }
+    lex_.expect(Tok::kRBrace, "'}'");
+    net_.cpts.push_back(std::move(cpt));
+  }
+
+  std::uint32_t index_or_fail(std::string_view name) {
+    for (std::uint32_t i = 0; i < net_.variables.size(); ++i) {
+      if (net_.variables[i].name == name) return i;
+    }
+    lex_.fail("unknown variable '" + std::string(name) + "'");
+  }
+
+  Lexer lex_;
+  BayesNet net_;
+};
+
+}  // namespace
+
+BayesNet read_bif_string(const std::string& text, const std::string& name) {
+  BifParser parser(text, name);
+  return parser.parse();
+}
+
+BayesNet read_bif(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open BIF file: " + path);
+  // BIF's grammar requires the whole text in memory (§3.2).
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_bif_string(buf.str(), path);
+}
+
+std::string write_bif_string(const BayesNet& net) {
+  net.validate();
+  std::ostringstream os;
+  os << "network " << (net.name.empty() ? "unnamed" : net.name) << " {\n}\n";
+  for (const auto& v : net.variables) {
+    os << "variable " << v.name << " {\n  type discrete [ "
+       << v.outcomes.size() << " ] { ";
+    for (std::size_t i = 0; i < v.outcomes.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << v.outcomes[i];
+    }
+    os << " };\n}\n";
+  }
+  for (const auto& c : net.cpts) {
+    os << "probability ( " << net.variables[c.child].name;
+    if (!c.parents.empty()) {
+      os << " | ";
+      for (std::size_t i = 0; i < c.parents.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << net.variables[c.parents[i]].name;
+      }
+    }
+    os << " ) {\n  table ";
+    for (std::size_t i = 0; i < c.values.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << c.values[i];
+    }
+    os << ";\n}\n";
+  }
+  return os.str();
+}
+
+void write_bif(const BayesNet& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  out << write_bif_string(net);
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+}  // namespace credo::io

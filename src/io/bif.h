@@ -1,0 +1,45 @@
+// Bayesian Interchange Format (BIF) reader/writer.
+//
+// This is the legacy path the paper measures against (§3.2): a
+// recursive-descent parser over BIF's context-free grammar that — exactly
+// like the implementations the paper critiques — must slurp the whole file
+// into memory before walking the production rules. The supported grammar is
+// the classic BIF 0.15 subset used by the Bayesian Network Repository:
+//
+//   network   := "network" WORD "{" property* "}"
+//   variable  := "variable" WORD "{"
+//                   "type" "discrete" "[" INT "]" "{" WORD ("," WORD)* "}" ";"
+//                   property* "}"
+//   prob      := "probability" "(" WORD ("|" WORD ("," WORD)*)? ")" "{"
+//                   ( "table" FLOAT ("," FLOAT)* ";"
+//                   | ( "(" WORD ("," WORD)* ")" FLOAT ("," FLOAT)* ";" )+ )
+//                "}"
+//   property  := "property" <chars> ";"
+//
+// Entry rows keyed by parent outcomes — the "(true) 0.2, 0.8;" form — may
+// appear in any order; "table" lists the full CPT with parents varying
+// slowest and the child outcome fastest (BayesCpt's layout).
+#pragma once
+
+#include <string>
+
+#include "io/bayes_net.h"
+
+namespace credo::io {
+
+/// Parses a BIF file. Reads the entire file into memory first (inherent to
+/// the format, and the behaviour the paper benchmarks). Throws
+/// util::ParseError / util::IoError.
+[[nodiscard]] BayesNet read_bif(const std::string& path);
+
+/// Parses BIF from an in-memory string (`name` used in error messages).
+[[nodiscard]] BayesNet read_bif_string(const std::string& text,
+                                       const std::string& name);
+
+/// Writes `net` as BIF text.
+[[nodiscard]] std::string write_bif_string(const BayesNet& net);
+
+/// Writes `net` as a BIF file. Throws util::IoError on failure.
+void write_bif(const BayesNet& net, const std::string& path);
+
+}  // namespace credo::io

@@ -1,0 +1,26 @@
+#include "io/convert.h"
+
+#include "io/bif.h"
+#include "io/mtx_belief.h"
+#include "io/xmlbif.h"
+
+namespace credo::io {
+
+void bayes_net_to_mtx(const BayesNet& net, const std::string& node_path,
+                      const std::string& edge_path) {
+  write_mtx_belief(net.to_factor_graph(), node_path, edge_path);
+}
+
+void convert_bif_to_mtx(const std::string& bif_path,
+                        const std::string& node_path,
+                        const std::string& edge_path) {
+  bayes_net_to_mtx(read_bif(bif_path), node_path, edge_path);
+}
+
+void convert_xmlbif_to_mtx(const std::string& xmlbif_path,
+                           const std::string& node_path,
+                           const std::string& edge_path) {
+  bayes_net_to_mtx(read_xmlbif(xmlbif_path), node_path, edge_path);
+}
+
+}  // namespace credo::io

@@ -1,0 +1,26 @@
+// Format conversion entry points (the migration path the paper implies:
+// legacy BIF/XML-BIF content moves to the MTX-belief format once, then all
+// later runs stream it).
+#pragma once
+
+#include <string>
+
+#include "io/bayes_net.h"
+
+namespace credo::io {
+
+/// Lowers a BayesNet to a FactorGraph and writes it as an MTX-belief pair.
+void bayes_net_to_mtx(const BayesNet& net, const std::string& node_path,
+                      const std::string& edge_path);
+
+/// Converts a BIF file to an MTX-belief pair.
+void convert_bif_to_mtx(const std::string& bif_path,
+                        const std::string& node_path,
+                        const std::string& edge_path);
+
+/// Converts an XML-BIF file to an MTX-belief pair.
+void convert_xmlbif_to_mtx(const std::string& xmlbif_path,
+                           const std::string& node_path,
+                           const std::string& edge_path);
+
+}  // namespace credo::io

@@ -1,0 +1,63 @@
+// The MTX-belief input format (§3.2) — the paper's replacement for BIF.
+//
+// A belief network is split across two Matrix-Market-derived files that can
+// be streamed line by line, never holding the raw text in memory:
+//
+//   Node file:
+//     %%MatrixMarket credo beliefs            <- banner (first line)
+//     % free-form comments                    <- '%' comments anywhere
+//     N N N                                   <- dimensions line
+//     id id p_1 ... p_k [*]                   <- one line per node
+//
+//   Edge file:
+//     %%MatrixMarket credo joints             <- banner
+//     %%shared-joint K v_11 ... v_KK          <- optional shared matrix
+//     N N M                                   <- dimensions line
+//     src dst [v_11 ... v_RC]                 <- one line per directed edge
+//
+// Node lines repeat the id ("nothing but self-cycling nodes", §3.2) so the
+// file remains a valid MTX edge list to other tools. A trailing '*' marks an
+// observed node. Edge lines carry a full row-major R x C conditional matrix
+// (R = arity(src), C = arity(dst)) unless a %%shared-joint header supplied
+// the single matrix every edge shares (§2.2). Ids are 1-based as in MTX.
+//
+// Parsing needs no grammar — a handful of field splits per line — and node
+// lines are consumed before edge lines, so memory use is the graph itself.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/factor_graph.h"
+
+namespace credo::io {
+
+/// Statistics from a parse, used by the parser-comparison bench (§3.2.1).
+struct ParseStats {
+  std::uint64_t lines = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Reads a belief network from the node/edge file pair.
+/// Throws util::IoError if a file cannot be opened, util::ParseError on
+/// malformed content.
+[[nodiscard]] graph::FactorGraph read_mtx_belief(
+    const std::string& node_path, const std::string& edge_path,
+    ParseStats* stats = nullptr);
+
+/// Stream-based form (tests drive this with istringstream).
+[[nodiscard]] graph::FactorGraph read_mtx_belief_streams(
+    std::istream& nodes, std::istream& edges, ParseStats* stats = nullptr);
+
+/// Writes `g` as an MTX-belief file pair. A graph with a shared JointStore
+/// produces a %%shared-joint header and bare edge lines.
+void write_mtx_belief(const graph::FactorGraph& g,
+                      const std::string& node_path,
+                      const std::string& edge_path);
+
+/// Stream-based writer.
+void write_mtx_belief_streams(const graph::FactorGraph& g,
+                              std::ostream& nodes, std::ostream& edges);
+
+}  // namespace credo::io

@@ -1,0 +1,35 @@
+// Plain Matrix Market edge-list reader — the format the paper's real
+// benchmark graphs ship in (networkrepository.com) and the base the
+// MTX-belief format extends (§3.2).
+//
+// Supported: the `%%MatrixMarket matrix coordinate <field> <symmetry>`
+// banner, '%' comments, a rows/cols/entries header, and one edge per line
+// (1-based ids; any trailing weight value is ignored). `symmetric` inputs
+// produce one undirected edge per entry; `general` inputs treat each entry
+// as an undirected edge too (BP needs both directions), deduplicating
+// explicit back-edges.
+//
+// Since plain MTX carries no probabilities, beliefs are synthesized from a
+// graph::BeliefConfig — exactly the paper's procedure of "randomly
+// encod[ing] generated beliefs" into each downloaded graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/factor_graph.h"
+#include "graph/generators.h"
+
+namespace credo::io {
+
+/// Reads a plain Matrix Market graph and synthesizes beliefs per `cfg`.
+/// Self loops are dropped. Throws util::IoError / util::ParseError.
+[[nodiscard]] graph::FactorGraph read_mtx_graph(
+    const std::string& path, const graph::BeliefConfig& cfg);
+
+/// Stream form (tests use istringstream).
+[[nodiscard]] graph::FactorGraph read_mtx_graph_stream(
+    std::istream& in, const graph::BeliefConfig& cfg,
+    const std::string& name = "<mtx>");
+
+}  // namespace credo::io

@@ -1,0 +1,246 @@
+#include "io/xml.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace credo::io {
+namespace {
+
+using util::ParseError;
+
+class XmlParser {
+ public:
+  XmlParser(const std::string& text, std::string name)
+      : text_(text), name_(std::move(name)) {}
+
+  std::unique_ptr<XmlElement> parse() {
+    skip_misc();
+    auto root = parse_element();
+    skip_misc();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(name_, line_, what);
+  }
+
+  [[nodiscard]] bool at(std::string_view s) const noexcept {
+    return text_.compare(pos_, s.size(), s) == 0;
+  }
+
+  char cur() const {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void bump() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      bump();
+    }
+  }
+
+  void skip_until(std::string_view terminator) {
+    while (pos_ < text_.size() && !at(terminator)) bump();
+    if (pos_ >= text_.size()) {
+      fail("unterminated construct (expected '" + std::string(terminator) +
+           "')");
+    }
+    pos_ += terminator.size();
+  }
+
+  /// Skips whitespace, comments, PIs and the prolog between elements.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (at("<!--")) {
+        pos_ += 4;
+        skip_until("-->");
+      } else if (at("<?")) {
+        pos_ += 2;
+        skip_until("?>");
+      } else if (at("<!DOCTYPE")) {
+        // Consume to the matching '>' (internal subsets unsupported).
+        while (pos_ < text_.size() && text_[pos_] != '>') bump();
+        if (pos_ < text_.size()) bump();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                      c == '.' || c == ':';
+      if (!ok) break;
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  void decode_entity(std::string& out) {
+    // pos_ is at '&'.
+    const std::size_t semi = text_.find(';', pos_);
+    if (semi == std::string::npos || semi - pos_ > 8) {
+      fail("malformed entity reference");
+    }
+    const std::string_view ent(text_.data() + pos_ + 1, semi - pos_ - 1);
+    if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "amp") {
+      out += '&';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (!ent.empty() && ent[0] == '#') {
+      const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      unsigned long code = 0;
+      try {
+        code = std::stoul(std::string(ent.substr(hex ? 2 : 1)), nullptr,
+                          hex ? 16 : 10);
+      } catch (...) {
+        fail("malformed character reference");
+      }
+      if (code == 0 || code > 0x7f) {
+        fail("character references above ASCII are unsupported");
+      }
+      out += static_cast<char>(code);
+    } else {
+      fail("unknown entity '&" + std::string(ent) + ";'");
+    }
+    pos_ = semi + 1;
+  }
+
+  std::string parse_attr_value() {
+    const char quote = cur();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute");
+    bump();
+    std::string out;
+    while (cur() != quote) {
+      if (cur() == '&') {
+        decode_entity(out);
+      } else {
+        out += cur();
+        bump();
+      }
+    }
+    bump();
+    return out;
+  }
+
+  std::unique_ptr<XmlElement> parse_element() {
+    if (cur() != '<') fail("expected '<'");
+    bump();
+    auto el = std::make_unique<XmlElement>();
+    el->name = parse_name();
+    for (;;) {
+      skip_ws();
+      if (at("/>")) {
+        pos_ += 2;
+        return el;
+      }
+      if (cur() == '>') {
+        bump();
+        break;
+      }
+      std::string key = parse_name();
+      skip_ws();
+      if (cur() != '=') fail("expected '=' in attribute");
+      bump();
+      skip_ws();
+      el->attributes.emplace_back(std::move(key), parse_attr_value());
+    }
+    // Content.
+    for (;;) {
+      if (at("</")) {
+        pos_ += 2;
+        const std::string close = parse_name();
+        if (close != el->name) {
+          fail("mismatched closing tag </" + close + "> for <" + el->name +
+               ">");
+        }
+        skip_ws();
+        if (cur() != '>') fail("expected '>' after closing tag");
+        bump();
+        return el;
+      }
+      if (at("<!--")) {
+        pos_ += 4;
+        skip_until("-->");
+      } else if (at("<![CDATA[")) {
+        pos_ += 9;
+        const std::size_t end = text_.find("]]>", pos_);
+        if (end == std::string::npos) fail("unterminated CDATA");
+        el->text.append(text_, pos_, end - pos_);
+        for (; pos_ < end; ++pos_) {
+          if (text_[pos_] == '\n') ++line_;
+        }
+        pos_ = end + 3;
+      } else if (at("<?")) {
+        pos_ += 2;
+        skip_until("?>");
+      } else if (cur() == '<') {
+        el->children.push_back(parse_element());
+      } else if (cur() == '&') {
+        decode_entity(el->text);
+      } else {
+        el->text += cur();
+        bump();
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::string name_;
+  std::size_t pos_ = 0;
+  std::uint64_t line_ = 1;
+};
+
+}  // namespace
+
+const XmlElement* XmlElement::child(const std::string& tag) const {
+  for (const auto& c : children) {
+    if (c->name == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(
+    const std::string& tag) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children) {
+    if (c->name == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlElement::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::unique_ptr<XmlElement> parse_xml(const std::string& text,
+                                      const std::string& name) {
+  XmlParser p(text, name);
+  return p.parse();
+}
+
+}  // namespace credo::io

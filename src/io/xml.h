@@ -1,0 +1,43 @@
+// Minimal from-scratch XML parser — just enough for XML-BIF.
+//
+// Builds a DOM over the whole document (like the parsers the paper
+// benchmarks, XML cannot be consumed as independent lines). Supported:
+// elements, attributes (single or double quoted), text content, comments,
+// processing instructions/prolog, CDATA, and the five predefined entities.
+// Not supported (not needed for XML-BIF): DTDs, namespaces, encodings other
+// than ASCII/UTF-8 passthrough.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace credo::io {
+
+/// One parsed element. Text content is concatenated across child text nodes
+/// (interleaved text ordering is not preserved — XML-BIF never relies on
+/// it).
+struct XmlElement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;
+
+  /// First child with the given element name, or nullptr.
+  [[nodiscard]] const XmlElement* child(const std::string& tag) const;
+
+  /// All children with the given element name.
+  [[nodiscard]] std::vector<const XmlElement*> children_named(
+      const std::string& tag) const;
+
+  /// Attribute value or empty string.
+  [[nodiscard]] std::string attribute(const std::string& key) const;
+};
+
+/// Parses a document; returns its root element.
+/// Throws util::ParseError (with `name` as the file tag) on malformed XML.
+[[nodiscard]] std::unique_ptr<XmlElement> parse_xml(const std::string& text,
+                                                    const std::string& name);
+
+}  // namespace credo::io

@@ -1,0 +1,135 @@
+#include "io/xmlbif.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/xml.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace credo::io {
+namespace {
+
+using util::ParseError;
+
+[[noreturn]] void fail(const std::string& name, const std::string& what) {
+  throw ParseError(name, 0, what);
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BayesNet read_xmlbif_string(const std::string& text,
+                            const std::string& name) {
+  const auto root = parse_xml(text, name);
+  if (root->name != "BIF") fail(name, "root element must be <BIF>");
+  const XmlElement* network = root->child("NETWORK");
+  if (network == nullptr) fail(name, "missing <NETWORK>");
+
+  BayesNet net;
+  if (const auto* n = network->child("NAME")) {
+    net.name = std::string(util::trim(n->text));
+  }
+  for (const auto* v : network->children_named("VARIABLE")) {
+    BayesVar var;
+    const auto* vn = v->child("NAME");
+    if (vn == nullptr) fail(name, "<VARIABLE> missing <NAME>");
+    var.name = std::string(util::trim(vn->text));
+    for (const auto* o : v->children_named("OUTCOME")) {
+      var.outcomes.emplace_back(util::trim(o->text));
+    }
+    if (var.outcomes.empty()) {
+      fail(name, "variable '" + var.name + "' has no outcomes");
+    }
+    net.variables.push_back(std::move(var));
+  }
+  for (const auto* d : network->children_named("DEFINITION")) {
+    BayesCpt cpt;
+    const auto* forEl = d->child("FOR");
+    if (forEl == nullptr) fail(name, "<DEFINITION> missing <FOR>");
+    cpt.child = net.index_of(std::string(util::trim(forEl->text)));
+    for (const auto* g : d->children_named("GIVEN")) {
+      cpt.parents.push_back(
+          net.index_of(std::string(util::trim(g->text))));
+    }
+    const auto* t = d->child("TABLE");
+    if (t == nullptr) fail(name, "<DEFINITION> missing <TABLE>");
+    util::FieldCursor c(t->text);
+    while (auto f = c.next()) {
+      const auto v = util::parse_float(*f);
+      if (!v) {
+        fail(name, "malformed table value '" + std::string(*f) + "'");
+      }
+      cpt.values.push_back(*v);
+    }
+    net.cpts.push_back(std::move(cpt));
+  }
+  try {
+    net.validate();
+  } catch (const util::InvalidArgument& e) {
+    fail(name, e.what());
+  }
+  return net;
+}
+
+BayesNet read_xmlbif(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open XML-BIF file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_xmlbif_string(buf.str(), path);
+}
+
+std::string write_xmlbif_string(const BayesNet& net) {
+  net.validate();
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>\n<BIF VERSION=\"0.3\">\n<NETWORK>\n";
+  os << "<NAME>" << escape(net.name.empty() ? "unnamed" : net.name)
+     << "</NAME>\n";
+  for (const auto& v : net.variables) {
+    os << "<VARIABLE TYPE=\"nature\">\n  <NAME>" << escape(v.name)
+       << "</NAME>\n";
+    for (const auto& o : v.outcomes) {
+      os << "  <OUTCOME>" << escape(o) << "</OUTCOME>\n";
+    }
+    os << "</VARIABLE>\n";
+  }
+  for (const auto& c : net.cpts) {
+    os << "<DEFINITION>\n  <FOR>" << escape(net.variables[c.child].name)
+       << "</FOR>\n";
+    for (const auto p : c.parents) {
+      os << "  <GIVEN>" << escape(net.variables[p].name) << "</GIVEN>\n";
+    }
+    os << "  <TABLE>";
+    for (std::size_t i = 0; i < c.values.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << c.values[i];
+    }
+    os << "</TABLE>\n</DEFINITION>\n";
+  }
+  os << "</NETWORK>\n</BIF>\n";
+  return os.str();
+}
+
+void write_xmlbif(const BayesNet& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  out << write_xmlbif_string(net);
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+}  // namespace credo::io

@@ -1,0 +1,38 @@
+// XML-BIF (BIF 0.3 XML interchange) reader/writer — the second legacy
+// format of §3.2. Structure:
+//
+//   <BIF VERSION="0.3"><NETWORK>
+//     <NAME>net</NAME>
+//     <VARIABLE TYPE="nature">
+//       <NAME>A</NAME><OUTCOME>true</OUTCOME><OUTCOME>false</OUTCOME>
+//     </VARIABLE>
+//     <DEFINITION>
+//       <FOR>B</FOR><GIVEN>A</GIVEN><TABLE>0.2 0.8 0.7 0.3</TABLE>
+//     </DEFINITION>
+//   </NETWORK></BIF>
+//
+// TABLE values use the same layout as BayesCpt (parents slowest, child
+// outcome fastest).
+#pragma once
+
+#include <string>
+
+#include "io/bayes_net.h"
+
+namespace credo::io {
+
+/// Parses an XML-BIF file (whole-document DOM parse — the memory behaviour
+/// the paper measures). Throws util::ParseError / util::IoError.
+[[nodiscard]] BayesNet read_xmlbif(const std::string& path);
+
+/// Parses XML-BIF from a string (`name` used in error messages).
+[[nodiscard]] BayesNet read_xmlbif_string(const std::string& text,
+                                          const std::string& name);
+
+/// Serializes `net` as XML-BIF text.
+[[nodiscard]] std::string write_xmlbif_string(const BayesNet& net);
+
+/// Writes `net` as an XML-BIF file. Throws util::IoError on failure.
+void write_xmlbif(const BayesNet& net, const std::string& path);
+
+}  // namespace credo::io

@@ -1,0 +1,51 @@
+#include "ml/classifier.h"
+
+#include "ml/decision_tree.h"
+#include "ml/gaussian_process.h"
+#include "ml/gradient_boost.h"
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "util/error.h"
+
+namespace credo::ml {
+
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kDecisionTree:
+      return std::make_unique<DecisionTree>();
+    case ClassifierKind::kRandomForest:
+      return std::make_unique<RandomForest>();
+    case ClassifierKind::kKNearest:
+      return std::make_unique<Knn>();
+    case ClassifierKind::kNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+    case ClassifierKind::kSvmLinear:
+      return std::make_unique<LinearSvm>();
+    case ClassifierKind::kGaussianProcess:
+      return std::make_unique<GaussianProcessClassifier>();
+    case ClassifierKind::kGradientBoost:
+      return std::make_unique<GradientBoost>();
+    case ClassifierKind::kMlp:
+      return std::make_unique<Mlp>();
+  }
+  throw util::InvalidArgument("unknown classifier kind");
+}
+
+const std::vector<ClassifierKind>& all_classifier_kinds() {
+  static const std::vector<ClassifierKind> kinds = {
+      ClassifierKind::kDecisionTree,   ClassifierKind::kRandomForest,
+      ClassifierKind::kKNearest,       ClassifierKind::kNaiveBayes,
+      ClassifierKind::kSvmLinear,      ClassifierKind::kGaussianProcess,
+      ClassifierKind::kGradientBoost,  ClassifierKind::kMlp,
+  };
+  return kinds;
+}
+
+std::string classifier_kind_name(ClassifierKind kind) {
+  return make_classifier(kind)->name();
+}
+
+}  // namespace credo::ml

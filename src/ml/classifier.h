@@ -1,0 +1,62 @@
+// Classifier interface shared by the §4.3 comparison suite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace credo::ml {
+
+/// A trainable classifier. fit() may be called repeatedly (refits from
+/// scratch); predict() requires a prior fit().
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on `d`. Throws util::InvalidArgument on unusable input (empty,
+  /// or multi-class data given to a binary-only model).
+  virtual void fit(const Dataset& d) = 0;
+
+  /// Predicts the class of one row.
+  [[nodiscard]] virtual int predict(const std::vector<double>& row)
+      const = 0;
+
+  /// Predicts a batch (default: row-wise predict()).
+  [[nodiscard]] virtual std::vector<int> predict_all(
+      const Dataset& d) const {
+    std::vector<int> out;
+    out.reserve(d.size());
+    for (const auto& row : d.x) out.push_back(predict(row));
+    return out;
+  }
+};
+
+/// The classifiers compared in Fig. 10, keyed by the paper's naming.
+enum class ClassifierKind {
+  kDecisionTree,
+  kRandomForest,
+  kKNearest,
+  kNaiveBayes,
+  kSvmLinear,
+  kGaussianProcess,
+  kGradientBoost,
+  kMlp,
+};
+
+/// Creates a classifier with the paper's tuned hyperparameters (decision
+/// tree max-depth 2; random forest max-depth 6, 14 trees; defaults noted in
+/// each implementation header otherwise).
+[[nodiscard]] std::unique_ptr<Classifier> make_classifier(
+    ClassifierKind kind);
+
+/// All kinds, in Fig. 10's presentation order.
+[[nodiscard]] const std::vector<ClassifierKind>& all_classifier_kinds();
+
+/// Display name ("Decision Tree", "Random Forest", ...).
+[[nodiscard]] std::string classifier_kind_name(ClassifierKind kind);
+
+}  // namespace credo::ml

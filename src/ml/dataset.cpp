@@ -1,0 +1,179 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace credo::ml {
+namespace {
+
+/// Indices grouped by class, each group shuffled.
+std::vector<std::vector<std::size_t>> by_class(const Dataset& d,
+                                               util::Prng& rng) {
+  std::vector<std::vector<std::size_t>> groups(
+      static_cast<std::size_t>(d.num_classes()));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    groups[static_cast<std::size_t>(d.y[i])].push_back(i);
+  }
+  for (auto& g : groups) {
+    for (std::size_t i = g.size(); i > 1; --i) {
+      std::swap(g[i - 1], g[rng.uniform(i)]);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+int Dataset::num_classes() const noexcept {
+  int m = 0;
+  for (const int label : y) m = std::max(m, label + 1);
+  return m;
+}
+
+void Dataset::add(std::vector<double> row, int label) {
+  CREDO_CHECK_MSG(x.empty() || row.size() == x.front().size(),
+                  "inconsistent feature width");
+  CREDO_CHECK_MSG(label >= 0, "labels must be non-negative");
+  x.push_back(std::move(row));
+  y.push_back(label);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& idx) const {
+  Dataset out;
+  out.x.reserve(idx.size());
+  out.y.reserve(idx.size());
+  for (const auto i : idx) {
+    out.x.push_back(x[i]);
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+Split stratified_split(const Dataset& d, double train_fraction,
+                       util::Prng& rng) {
+  CREDO_CHECK_MSG(train_fraction > 0.0 && train_fraction < 1.0,
+                  "train_fraction must be in (0,1)");
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  for (const auto& g : by_class(d, rng)) {
+    const auto cut = static_cast<std::size_t>(
+        std::lround(train_fraction * static_cast<double>(g.size())));
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      (i < cut ? train_idx : test_idx).push_back(g[i]);
+    }
+  }
+  return {d.subset(train_idx), d.subset(test_idx)};
+}
+
+Dataset balanced_sample(const Dataset& d, std::size_t count,
+                        util::Prng& rng) {
+  auto groups = by_class(d, rng);
+  const std::size_t classes = groups.size();
+  CREDO_CHECK_MSG(classes >= 1, "dataset has no labels");
+  std::vector<std::size_t> idx;
+  const std::size_t per_class =
+      std::max<std::size_t>(1, count / classes);
+  for (auto& g : groups) {
+    const std::size_t take = std::min(per_class, g.size());
+    idx.insert(idx.end(), g.begin(), g.begin() + take);
+  }
+  // Shuffle the union so class runs do not bias downstream splits.
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.uniform(i)]);
+  }
+  return d.subset(idx);
+}
+
+std::vector<Dataset> stratified_folds(const Dataset& d, std::size_t k,
+                                      util::Prng& rng) {
+  CREDO_CHECK_MSG(k >= 2, "need at least two folds");
+  std::vector<std::vector<std::size_t>> fold_idx(k);
+  for (const auto& g : by_class(d, rng)) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      fold_idx[i % k].push_back(g[i]);
+    }
+  }
+  std::vector<Dataset> folds;
+  folds.reserve(k);
+  for (const auto& idx : fold_idx) folds.push_back(d.subset(idx));
+  return folds;
+}
+
+void MinMaxScaler::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(!d.x.empty(), "cannot fit scaler on empty dataset");
+  const std::size_t f = d.features();
+  lo_.assign(f, std::numeric_limits<double>::infinity());
+  hi_.assign(f, -std::numeric_limits<double>::infinity());
+  for (const auto& row : d.x) {
+    for (std::size_t j = 0; j < f; ++j) {
+      lo_[j] = std::min(lo_[j], row[j]);
+      hi_[j] = std::max(hi_[j], row[j]);
+    }
+  }
+}
+
+std::vector<double> MinMaxScaler::transform_row(
+    const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(row.size() == lo_.size(), "feature width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const double span = hi_[j] - lo_[j];
+    out[j] = span > 0 ? (row[j] - lo_[j]) / span : 0.0;
+    out[j] = std::clamp(out[j], 0.0, 1.0);
+  }
+  return out;
+}
+
+Dataset MinMaxScaler::transform(const Dataset& d) const {
+  Dataset out;
+  out.y = d.y;
+  out.x.reserve(d.size());
+  for (const auto& row : d.x) out.x.push_back(transform_row(row));
+  return out;
+}
+
+std::vector<std::vector<double>> correlation_with_label(const Dataset& d) {
+  const std::size_t f = d.features();
+  const std::size_t cols = f + 1;  // + label
+  const auto n = static_cast<double>(d.size());
+  CREDO_CHECK_MSG(d.size() >= 2, "need at least two rows for correlation");
+
+  auto value = [&](std::size_t row, std::size_t col) {
+    return col < f ? d.x[row][col] : static_cast<double>(d.y[row]);
+  };
+  std::vector<double> mean(cols, 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t c = 0; c < cols; ++c) mean[c] += value(i, c);
+  }
+  for (auto& m : mean) m /= n;
+
+  std::vector<std::vector<double>> cov(cols, std::vector<double>(cols, 0.0));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t a = 0; a < cols; ++a) {
+      const double da = value(i, a) - mean[a];
+      for (std::size_t b = a; b < cols; ++b) {
+        cov[a][b] += da * (value(i, b) - mean[b]);
+      }
+    }
+  }
+  std::vector<double> sd(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    sd[c] = std::sqrt(cov[c][c] / n);
+  }
+  std::vector<std::vector<double>> corr(cols,
+                                        std::vector<double>(cols, 0.0));
+  for (std::size_t a = 0; a < cols; ++a) {
+    for (std::size_t b = a; b < cols; ++b) {
+      const double denom = sd[a] * sd[b] * n;
+      const double r = denom > 0 ? cov[a][b] / denom : (a == b ? 1.0 : 0.0);
+      corr[a][b] = r;
+      corr[b][a] = r;
+    }
+  }
+  return corr;
+}
+
+}  // namespace credo::ml

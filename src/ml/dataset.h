@@ -1,0 +1,70 @@
+// Tabular dataset handling for the §3.7 classifier work: rows of continuous
+// features with integer class labels, stratified splitting, k-fold cross
+// validation, min-max normalization and feature covariance (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace credo::ml {
+
+/// Feature matrix + labels. Rows are observations.
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] std::size_t features() const noexcept {
+    return x.empty() ? 0 : x.front().size();
+  }
+  /// Number of classes = max label + 1.
+  [[nodiscard]] int num_classes() const noexcept;
+
+  void add(std::vector<double> row, int label);
+
+  /// Rows whose indices are in `idx`.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& idx) const;
+};
+
+/// A train/test split.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffles and splits with per-class proportions preserved
+/// (train_fraction in (0,1); the paper uses 0.6).
+[[nodiscard]] Split stratified_split(const Dataset& d, double train_fraction,
+                                     util::Prng& rng);
+
+/// Draws a class-balanced random sample of `count` rows (the paper's
+/// "well-balanced samples"); count is capped by availability.
+[[nodiscard]] Dataset balanced_sample(const Dataset& d, std::size_t count,
+                                      util::Prng& rng);
+
+/// K disjoint folds for cross-validation, stratified by class.
+[[nodiscard]] std::vector<Dataset> stratified_folds(const Dataset& d,
+                                                    std::size_t k,
+                                                    util::Prng& rng);
+
+/// Per-feature min-max scaling fit on one dataset and applied to others.
+class MinMaxScaler {
+ public:
+  void fit(const Dataset& d);
+  [[nodiscard]] Dataset transform(const Dataset& d) const;
+  [[nodiscard]] std::vector<double> transform_row(
+      const std::vector<double>& row) const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+/// Pearson correlation matrix over features and the label (last row/col) —
+/// the quantity behind the paper's Fig. 4 covariance analysis.
+[[nodiscard]] std::vector<std::vector<double>> correlation_with_label(
+    const Dataset& d);
+
+}  // namespace credo::ml

@@ -1,0 +1,243 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace credo::ml {
+namespace {
+
+/// Gini impurity of a weighted class histogram.
+double gini(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const double c : counts) sum_sq += (c / total) * (c / total);
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeParams params)
+    : params_(std::move(params)) {}
+
+void DecisionTree::fit(const Dataset& d) {
+  fit_weighted(d, std::vector<std::uint32_t>(d.size(), 1));
+}
+
+void DecisionTree::fit_weighted(const Dataset& d,
+                                const std::vector<std::uint32_t>& weights) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit a tree on an empty dataset");
+  CREDO_CHECK_MSG(weights.size() == d.size(), "weight/row count mismatch");
+  nodes_.clear();
+  n_features_ = d.features();
+  n_classes_ = d.num_classes();
+  std::vector<std::size_t> rows;
+  rows.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (weights[i] > 0) rows.push_back(i);
+  }
+  CREDO_CHECK_MSG(!rows.empty(), "all rows have zero weight");
+  util::Prng rng(params_.seed);
+  build(d, weights, rows, 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& d,
+                                 const std::vector<std::uint32_t>& weights,
+                                 std::vector<std::size_t>& rows,
+                                 std::uint32_t depth, util::Prng& rng) {
+  // Class histogram at this node.
+  std::vector<double> counts(static_cast<std::size_t>(n_classes_), 0.0);
+  double total = 0.0;
+  for (const auto i : rows) {
+    counts[static_cast<std::size_t>(d.y[i])] += weights[i];
+    total += weights[i];
+  }
+  Node node;
+  node.samples = total;
+  node.impurity = gini(counts, total);
+  node.label = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (depth >= params_.max_depth || rows.size() < params_.min_samples_split ||
+      node.impurity <= 0.0) {
+    return id;
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  std::vector<std::size_t> features(n_features_);
+  std::iota(features.begin(), features.end(), 0);
+  if (params_.max_features > 0 && params_.max_features < n_features_) {
+    for (std::size_t i = features.size(); i > 1; --i) {
+      std::swap(features[i - 1], features[rng.uniform(i)]);
+    }
+    features.resize(params_.max_features);
+  }
+
+  // Exhaustive threshold search per candidate feature: sort rows by value,
+  // sweep split points between distinct values.
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::size_t> sorted = rows;
+  for (const auto f : features) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return d.x[a][f] < d.x[b][f];
+              });
+    std::vector<double> left(static_cast<std::size_t>(n_classes_), 0.0);
+    std::vector<double> right = counts;
+    double left_total = 0.0;
+    double right_total = total;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const std::size_t i = sorted[k];
+      const double w = weights[i];
+      left[static_cast<std::size_t>(d.y[i])] += w;
+      right[static_cast<std::size_t>(d.y[i])] -= w;
+      left_total += w;
+      right_total -= w;
+      const double v = d.x[i][f];
+      const double vn = d.x[sorted[k + 1]][f];
+      if (vn <= v) continue;  // no split between equal values
+      const double gain =
+          node.impurity - (left_total / total) * gini(left, left_total) -
+          (right_total / total) * gini(right, right_total);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (v + vn);
+      }
+    }
+  }
+
+  if (best_feature < 0) return id;  // no informative split
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (const auto i : rows) {
+    (d.x[i][static_cast<std::size_t>(best_feature)] < best_threshold
+         ? left_rows
+         : right_rows)
+        .push_back(i);
+  }
+  if (left_rows.empty() || right_rows.empty()) return id;
+
+  nodes_[static_cast<std::size_t>(id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(id)].threshold = best_threshold;
+  const std::int32_t l = build(d, weights, left_rows, depth + 1, rng);
+  const std::int32_t r = build(d, weights, right_rows, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(id)].left = l;
+  nodes_[static_cast<std::size_t>(id)].right = r;
+  return id;
+}
+
+int DecisionTree::predict(const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(!nodes_.empty(), "predict before fit");
+  CREDO_CHECK_MSG(row.size() == n_features_, "feature width mismatch");
+  std::int32_t cur = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.is_leaf()) return n.label;
+    cur = row[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left
+                                                                 : n.right;
+  }
+}
+
+std::vector<double> DecisionTree::feature_importances() const {
+  std::vector<double> imp(n_features_, 0.0);
+  const double root_samples = nodes_.empty() ? 0.0 : nodes_[0].samples;
+  if (root_samples <= 0) return imp;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf()) continue;
+    const auto& l = nodes_[static_cast<std::size_t>(n.left)];
+    const auto& r = nodes_[static_cast<std::size_t>(n.right)];
+    const double decrease =
+        n.samples * n.impurity - l.samples * l.impurity -
+        r.samples * r.impurity;
+    imp[static_cast<std::size_t>(n.feature)] += decrease / root_samples;
+  }
+  const double sum = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (sum > 0) {
+    for (auto& v : imp) v /= sum;
+  }
+  return imp;
+}
+
+std::string DecisionTree::to_text(
+    const std::vector<std::string>& feature_names) const {
+  CREDO_CHECK_MSG(feature_names.size() >= n_features_,
+                  "not enough feature names");
+  std::ostringstream os;
+  // Iterative DFS with explicit depth to render indentation.
+  struct Frame {
+    std::int32_t node;
+    std::uint32_t depth;
+  };
+  std::vector<Frame> stack;
+  if (!nodes_.empty()) stack.push_back({0, 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(f.node)];
+    os << std::string(2 * f.depth, ' ');
+    if (n.is_leaf()) {
+      os << "leaf: class " << n.label << " (gini " << n.impurity
+         << ", samples " << n.samples << ")\n";
+    } else {
+      os << feature_names[static_cast<std::size_t>(n.feature)] << " < "
+         << n.threshold << " ? (gini " << n.impurity << ", samples "
+         << n.samples << ")\n";
+      stack.push_back({n.right, f.depth + 1});
+      stack.push_back({n.left, f.depth + 1});
+    }
+  }
+  return os.str();
+}
+
+std::string DecisionTree::serialize() const {
+  std::ostringstream os;
+  os << "tree " << n_features_ << ' ' << n_classes_ << ' ' << nodes_.size()
+     << '\n';
+  for (const auto& n : nodes_) {
+    os << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+       << ' ' << n.label << ' ' << n.impurity << ' ' << n.samples << '\n';
+  }
+  return os.str();
+}
+
+DecisionTree DecisionTree::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  std::size_t n_features = 0;
+  int n_classes = 0;
+  std::size_t count = 0;
+  if (!(is >> tag >> n_features >> n_classes >> count) || tag != "tree") {
+    throw util::InvalidArgument("malformed serialized decision tree");
+  }
+  DecisionTree tree;
+  tree.n_features_ = n_features;
+  tree.n_classes_ = n_classes;
+  tree.nodes_.resize(count);
+  for (auto& n : tree.nodes_) {
+    if (!(is >> n.feature >> n.threshold >> n.left >> n.right >> n.label >>
+          n.impurity >> n.samples)) {
+      throw util::InvalidArgument("truncated serialized decision tree");
+    }
+    const auto limit = static_cast<std::int32_t>(count);
+    if (n.left >= limit || n.right >= limit ||
+        (n.feature >= 0 && (n.left < 0 || n.right < 0))) {
+      throw util::InvalidArgument("inconsistent serialized decision tree");
+    }
+  }
+  if (tree.nodes_.empty()) {
+    throw util::InvalidArgument("serialized decision tree has no nodes");
+  }
+  return tree;
+}
+
+}  // namespace credo::ml

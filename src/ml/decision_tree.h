@@ -1,0 +1,81 @@
+// CART decision tree (gini impurity, axis-aligned splits) — the paper's
+// depth-2 tuned tree scores 89.5% F1 (§4.3) and its structure is Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace credo::ml {
+
+/// Tree hyperparameters.
+struct DecisionTreeParams {
+  std::uint32_t max_depth = 2;        // the paper's tuned depth
+  std::size_t min_samples_split = 2;
+  /// Consider only this many randomly chosen features per split
+  /// (0 = all; random forests pass sqrt(f)).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "Decision Tree"; }
+  void fit(const Dataset& d) override;
+  [[nodiscard]] int predict(const std::vector<double>& row) const override;
+
+  /// Impurity-decrease feature importances, normalized to sum 1
+  /// (Fig. 5's per-feature contributions come from averaging these across
+  /// a forest).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+  /// Renders the fitted tree as indented text (Fig. 6's structure).
+  /// `feature_names` must cover the training feature count.
+  [[nodiscard]] std::string to_text(
+      const std::vector<std::string>& feature_names) const;
+
+  /// Fits on a bootstrap-weighted dataset (used by the forest): row i
+  /// participates weight[i] times.
+  void fit_weighted(const Dataset& d,
+                    const std::vector<std::uint32_t>& weights);
+
+  /// Serializes the fitted tree to a line-oriented text form (stable across
+  /// versions of this library; used by Dispatcher::save).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Reconstructs a tree from serialize() output. Throws
+  /// util::InvalidArgument on malformed input.
+  static DecisionTree deserialize(const std::string& text);
+
+ private:
+  struct Node {
+    // Internal nodes: split on feature < threshold -> left else right.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaves: majority label.
+    int label = 0;
+    double impurity = 0.0;
+    double samples = 0.0;
+
+    [[nodiscard]] bool is_leaf() const noexcept { return feature < 0; }
+  };
+
+  std::int32_t build(const Dataset& d,
+                     const std::vector<std::uint32_t>& weights,
+                     std::vector<std::size_t>& rows, std::uint32_t depth,
+                     util::Prng& rng);
+
+  DecisionTreeParams params_;
+  std::vector<Node> nodes_;
+  std::size_t n_features_ = 0;
+  int n_classes_ = 0;
+};
+
+}  // namespace credo::ml

@@ -1,0 +1,88 @@
+#include "ml/gaussian_process.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace credo::ml {
+
+GaussianProcessClassifier::GaussianProcessClassifier(
+    GaussianProcessParams params)
+    : params_(std::move(params)) {
+  CREDO_CHECK_MSG(params_.length_scale > 0 && params_.noise > 0,
+                  "GP hyperparameters must be positive");
+}
+
+double GaussianProcessClassifier::kernel(const std::vector<double>& a,
+                                         const std::vector<double>& b) const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return std::exp(-s / (2.0 * params_.length_scale * params_.length_scale));
+}
+
+void GaussianProcessClassifier::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit GP on an empty dataset");
+  if (d.num_classes() > 2) {
+    throw util::InvalidArgument(
+        "GaussianProcessClassifier supports binary labels only");
+  }
+  scaler_.fit(d);
+  train_ = scaler_.transform(d);
+  const std::size_t n = train_.size();
+
+  // K + noise*I, solved by unpivoted Cholesky (the kernel matrix is SPD by
+  // construction once jitter is added).
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double k = kernel(train_.x[i], train_.x[j]);
+      a[i][j] = k;
+      a[j][i] = k;
+    }
+    a[i][i] += params_.noise;
+  }
+  // Cholesky: a = L L^T (in-place lower triangle).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a[i][j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i][k] * a[j][k];
+      if (i == j) {
+        CREDO_CHECK_MSG(s > 0, "kernel matrix lost positive definiteness");
+        a[i][i] = std::sqrt(s);
+      } else {
+        a[i][j] = s / a[j][j];
+      }
+    }
+  }
+  // Solve L L^T alpha = y with y in {-1,+1}.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = train_.y[i] == 1 ? 1.0 : -1.0;
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = y[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i][k] * z[k];
+    z[i] = s / a[i][i];
+  }
+  alpha_.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a[k][ii] * alpha_[k];
+    alpha_[ii] = s / a[ii][ii];
+  }
+}
+
+int GaussianProcessClassifier::predict(
+    const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(!alpha_.empty(), "predict before fit");
+  const auto q = scaler_.transform_row(row);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    mean += alpha_[i] * kernel(q, train_.x[i]);
+  }
+  return mean >= 0.0 ? 1 : 0;
+}
+
+}  // namespace credo::ml

@@ -1,0 +1,38 @@
+// Gaussian-process classifier: RBF-kernel GP regression on ±1 targets with
+// a sign readout (the standard label-regression approximation; exact GP
+// classification needs Laplace/EP iterations that add nothing at this
+// dataset size). Binary only. Its normality/independence assumptions are
+// what the paper blames for its middling score (§4.3).
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace credo::ml {
+
+struct GaussianProcessParams {
+  double length_scale = 0.5;  // RBF kernel width on scaled features
+  double noise = 1e-2;        // diagonal jitter / observation noise
+};
+
+class GaussianProcessClassifier final : public Classifier {
+ public:
+  explicit GaussianProcessClassifier(GaussianProcessParams params = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "Gaussian Process";
+  }
+  void fit(const Dataset& d) override;
+  [[nodiscard]] int predict(const std::vector<double>& row) const override;
+
+ private:
+  [[nodiscard]] double kernel(const std::vector<double>& a,
+                              const std::vector<double>& b) const;
+
+  GaussianProcessParams params_;
+  MinMaxScaler scaler_;
+  Dataset train_;               // scaled
+  std::vector<double> alpha_;   // (K + noise I)^-1 y
+};
+
+}  // namespace credo::ml

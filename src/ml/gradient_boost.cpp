@@ -1,0 +1,151 @@
+#include "ml/gradient_boost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace credo::ml {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+GradientBoost::GradientBoost(GradientBoostParams params)
+    : params_(std::move(params)) {
+  CREDO_CHECK_MSG(params_.n_rounds >= 1 && params_.learning_rate > 0,
+                  "bad boosting parameters");
+}
+
+double GradientBoost::RegTree::eval(const std::vector<double>& row) const {
+  std::int32_t cur = 0;
+  for (;;) {
+    const RegNode& n = nodes[static_cast<std::size_t>(cur)];
+    if (n.is_leaf()) return n.value;
+    cur = row[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left
+                                                                 : n.right;
+  }
+}
+
+std::int32_t GradientBoost::build(RegTree& tree, const Dataset& d,
+                                  const std::vector<double>& residual,
+                                  std::vector<std::size_t>& rows,
+                                  std::uint32_t depth) const {
+  double sum = 0.0;
+  for (const auto i : rows) sum += residual[i];
+  const double mean = sum / static_cast<double>(rows.size());
+
+  RegNode node;
+  node.value = mean;
+  const auto id = static_cast<std::int32_t>(tree.nodes.size());
+  tree.nodes.push_back(node);
+  if (depth >= params_.max_depth || rows.size() < 4) return id;
+
+  // Variance-reduction split search.
+  double node_sse = 0.0;
+  for (const auto i : rows) {
+    const double delta = residual[i] - mean;
+    node_sse += delta * delta;
+  }
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::size_t> sorted = rows;
+  for (std::size_t f = 0; f < d.features(); ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return d.x[a][f] < d.x[b][f];
+              });
+    double lsum = 0.0;
+    double lsq = 0.0;
+    double rsum = sum;
+    double rsq = 0.0;
+    for (const auto i : rows) rsq += residual[i] * residual[i];
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const std::size_t i = sorted[k];
+      lsum += residual[i];
+      lsq += residual[i] * residual[i];
+      rsum -= residual[i];
+      rsq -= residual[i] * residual[i];
+      const double v = d.x[i][f];
+      const double vn = d.x[sorted[k + 1]][f];
+      if (vn <= v) continue;
+      const auto ln = static_cast<double>(k + 1);
+      const auto rn = static_cast<double>(sorted.size() - k - 1);
+      const double sse =
+          (lsq - lsum * lsum / ln) + (rsq - rsum * rsum / rn);
+      const double gain = node_sse - sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (v + vn);
+      }
+    }
+  }
+  if (best_feature < 0) return id;
+
+  std::vector<std::size_t> lrows;
+  std::vector<std::size_t> rrows;
+  for (const auto i : rows) {
+    (d.x[i][static_cast<std::size_t>(best_feature)] < best_threshold
+         ? lrows
+         : rrows)
+        .push_back(i);
+  }
+  if (lrows.empty() || rrows.empty()) return id;
+  tree.nodes[static_cast<std::size_t>(id)].feature = best_feature;
+  tree.nodes[static_cast<std::size_t>(id)].threshold = best_threshold;
+  const auto l = build(tree, d, residual, lrows, depth + 1);
+  const auto r = build(tree, d, residual, rrows, depth + 1);
+  tree.nodes[static_cast<std::size_t>(id)].left = l;
+  tree.nodes[static_cast<std::size_t>(id)].right = r;
+  return id;
+}
+
+GradientBoost::RegTree GradientBoost::fit_tree(
+    const Dataset& d, const std::vector<double>& residual,
+    std::uint32_t /*depth_limit*/) const {
+  RegTree tree;
+  std::vector<std::size_t> rows(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) rows[i] = i;
+  build(tree, d, residual, rows, 0);
+  return tree;
+}
+
+void GradientBoost::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit boosting on an empty dataset");
+  if (d.num_classes() > 2) {
+    throw util::InvalidArgument("GradientBoost supports binary labels only");
+  }
+  trees_.clear();
+  double pos = 0.0;
+  for (const auto label : d.y) pos += label;
+  const double p =
+      std::clamp(pos / static_cast<double>(d.size()), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(p / (1.0 - p));
+
+  std::vector<double> score(d.size(), base_score_);
+  std::vector<double> residual(d.size());
+  for (std::size_t round = 0; round < params_.n_rounds; ++round) {
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      residual[i] = static_cast<double>(d.y[i]) - sigmoid(score[i]);
+    }
+    RegTree tree = fit_tree(d, residual, params_.max_depth);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      score[i] += params_.learning_rate * tree.eval(d.x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int GradientBoost::predict(const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(!trees_.empty(), "predict before fit");
+  double score = base_score_;
+  for (const auto& t : trees_) {
+    score += params_.learning_rate * t.eval(row);
+  }
+  return score >= 0.0 ? 1 : 0;
+}
+
+}  // namespace credo::ml

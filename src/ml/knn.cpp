@@ -1,0 +1,47 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace credo::ml {
+
+Knn::Knn(KnnParams params) : params_(std::move(params)) {
+  CREDO_CHECK_MSG(params_.k >= 1, "k must be >= 1");
+}
+
+void Knn::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit kNN on an empty dataset");
+  scaler_.fit(d);
+  train_ = scaler_.transform(d);
+  n_classes_ = d.num_classes();
+}
+
+int Knn::predict(const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(train_.size() > 0, "predict before fit");
+  const auto q = scaler_.transform_row(row);
+  // Partial sort of (distance, label) pairs; the training sets here are
+  // tiny (tens to hundreds of graphs) so O(n log n) is fine.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      const double delta = q[j] - train_.x[i][j];
+      s += delta * delta;
+    }
+    dist.emplace_back(s, train_.y[i]);
+  }
+  const std::size_t k = std::min(params_.k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  std::vector<std::size_t> votes(static_cast<std::size_t>(n_classes_), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<std::size_t>(dist[i].second)];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace credo::ml

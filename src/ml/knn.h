@@ -1,0 +1,32 @@
+// k-nearest-neighbors classifier (Euclidean over min-max-scaled features).
+// In the paper's comparison it is hampered by the features' interrelation —
+// the classes do not form separable clusters (§4.3).
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace credo::ml {
+
+struct KnnParams {
+  std::size_t k = 5;
+};
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnParams params = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "k-Nearest Neighbors";
+  }
+  void fit(const Dataset& d) override;
+  [[nodiscard]] int predict(const std::vector<double>& row) const override;
+
+ private:
+  KnnParams params_;
+  MinMaxScaler scaler_;
+  Dataset train_;  // stored scaled
+  int n_classes_ = 0;
+};
+
+}  // namespace credo::ml

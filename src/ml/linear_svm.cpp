@@ -1,0 +1,53 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace credo::ml {
+
+LinearSvm::LinearSvm(LinearSvmParams params) : params_(std::move(params)) {}
+
+void LinearSvm::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit SVM on an empty dataset");
+  if (d.num_classes() > 2) {
+    throw util::InvalidArgument("LinearSvm supports binary labels only");
+  }
+  scaler_.fit(d);
+  const Dataset s = scaler_.transform(d);
+  const std::size_t f = s.features();
+  w_.assign(f, 0.0);
+  b_ = 0.0;
+  util::Prng rng(params_.seed);
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (std::size_t step = 0; step < s.size(); ++step) {
+      const std::size_t i = rng.uniform(s.size());
+      ++t;
+      const double eta = 1.0 / (params_.lambda * static_cast<double>(t));
+      const double yi = s.y[i] == 1 ? 1.0 : -1.0;
+      double margin = b_;
+      for (std::size_t j = 0; j < f; ++j) margin += w_[j] * s.x[i][j];
+      margin *= yi;
+      // Pegasos update: shrink, then push along the violating sample.
+      const double shrink = 1.0 - eta * params_.lambda;
+      for (auto& w : w_) w *= shrink;
+      if (margin < 1.0) {
+        for (std::size_t j = 0; j < f; ++j) {
+          w_[j] += eta * yi * s.x[i][j];
+        }
+        b_ += eta * yi;
+      }
+    }
+  }
+}
+
+int LinearSvm::predict(const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(!w_.empty(), "predict before fit");
+  const auto q = scaler_.transform_row(row);
+  double margin = b_;
+  for (std::size_t j = 0; j < q.size(); ++j) margin += w_[j] * q[j];
+  return margin >= 0.0 ? 1 : 0;
+}
+
+}  // namespace credo::ml

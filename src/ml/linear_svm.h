@@ -1,0 +1,32 @@
+// Linear soft-margin SVM trained by hinge-loss SGD (Pegasos-style).
+// Binary only. The paper observes the heavily normalized ratio features
+// limit what the SVM's remapping can add (§4.3).
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace credo::ml {
+
+struct LinearSvmParams {
+  double lambda = 1e-3;     // L2 regularization
+  std::size_t epochs = 200;
+  std::uint64_t seed = 11;
+};
+
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "SVM (linear)"; }
+  void fit(const Dataset& d) override;
+  [[nodiscard]] int predict(const std::vector<double>& row) const override;
+
+ private:
+  LinearSvmParams params_;
+  MinMaxScaler scaler_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace credo::ml

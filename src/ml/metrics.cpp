@@ -1,0 +1,51 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace credo::ml {
+
+ClassificationReport evaluate(const std::vector<int>& truth,
+                              const std::vector<int>& pred) {
+  CREDO_CHECK_MSG(truth.size() == pred.size() && !truth.empty(),
+                  "evaluate needs equal-length non-empty vectors");
+  int classes = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    classes = std::max({classes, truth[i] + 1, pred[i] + 1});
+  }
+  ClassificationReport rep;
+  rep.confusion.assign(static_cast<std::size_t>(classes),
+                       std::vector<std::size_t>(
+                           static_cast<std::size_t>(classes), 0));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ++rep.confusion[static_cast<std::size_t>(truth[i])]
+                   [static_cast<std::size_t>(pred[i])];
+    if (truth[i] == pred[i]) ++correct;
+  }
+  rep.accuracy =
+      static_cast<double>(correct) / static_cast<double>(truth.size());
+
+  auto f1_of = [&](std::size_t c) {
+    std::size_t tp = rep.confusion[c][c];
+    std::size_t fp = 0;
+    std::size_t fn = 0;
+    for (std::size_t o = 0; o < rep.confusion.size(); ++o) {
+      if (o == c) continue;
+      fp += rep.confusion[o][c];
+      fn += rep.confusion[c][o];
+    }
+    const double denom = static_cast<double>(2 * tp + fp + fn);
+    return denom > 0 ? 2.0 * static_cast<double>(tp) / denom : 0.0;
+  };
+  double macro = 0.0;
+  for (std::size_t c = 0; c < rep.confusion.size(); ++c) {
+    macro += f1_of(c);
+  }
+  rep.f1_macro = macro / static_cast<double>(rep.confusion.size());
+  rep.f1_binary = rep.confusion.size() > 1 ? f1_of(1) : f1_of(0);
+  return rep;
+}
+
+}  // namespace credo::ml

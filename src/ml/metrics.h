@@ -1,0 +1,20 @@
+// Classification metrics: accuracy, per-class precision/recall, binary and
+// macro F1 — the scoring used throughout §4.3/§4.4.
+#pragma once
+
+#include <vector>
+
+namespace credo::ml {
+
+/// Computed over aligned truth/prediction vectors.
+struct ClassificationReport {
+  double accuracy = 0.0;
+  double f1_binary = 0.0;  // F1 of class 1 (the paper's Node-vs-Edge score)
+  double f1_macro = 0.0;   // unweighted mean of per-class F1
+  std::vector<std::vector<std::size_t>> confusion;  // [truth][predicted]
+};
+
+[[nodiscard]] ClassificationReport evaluate(const std::vector<int>& truth,
+                                            const std::vector<int>& pred);
+
+}  // namespace credo::ml

@@ -1,0 +1,81 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace credo::ml {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Mlp::Mlp(MlpParams params) : params_(std::move(params)) {
+  CREDO_CHECK_MSG(params_.hidden >= 1 && params_.epochs >= 1,
+                  "bad MLP parameters");
+}
+
+double Mlp::forward(const std::vector<double>& x,
+                    std::vector<double>* hidden_out) const {
+  double z2 = b2_;
+  for (std::size_t h = 0; h < params_.hidden; ++h) {
+    double z1 = b1_[h];
+    for (std::size_t j = 0; j < x.size(); ++j) z1 += w1_[h][j] * x[j];
+    const double a = std::tanh(z1);
+    if (hidden_out != nullptr) (*hidden_out)[h] = a;
+    z2 += w2_[h] * a;
+  }
+  return z2;
+}
+
+void Mlp::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit MLP on an empty dataset");
+  if (d.num_classes() > 2) {
+    throw util::InvalidArgument("Mlp supports binary labels only");
+  }
+  scaler_.fit(d);
+  const Dataset s = scaler_.transform(d);
+  const std::size_t f = s.features();
+  util::Prng rng(params_.seed);
+  auto init = [&] {
+    return (rng.uniform01() - 0.5) *
+           std::sqrt(2.0 / static_cast<double>(f + 1));
+  };
+  w1_.assign(params_.hidden, std::vector<double>(f));
+  b1_.assign(params_.hidden, 0.0);
+  w2_.assign(params_.hidden, 0.0);
+  b2_ = 0.0;
+  for (auto& row : w1_) {
+    for (auto& w : row) w = init();
+  }
+  for (auto& w : w2_) w = init();
+
+  std::vector<double> hidden(params_.hidden);
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (std::size_t step = 0; step < s.size(); ++step) {
+      const std::size_t i = rng.uniform(s.size());
+      const double z = forward(s.x[i], &hidden);
+      const double err = sigmoid(z) - static_cast<double>(s.y[i]);
+      const double lr = params_.learning_rate;
+      // Backprop through the logistic output and tanh hidden layer.
+      for (std::size_t h = 0; h < params_.hidden; ++h) {
+        const double g2 = err * hidden[h];
+        const double gh = err * w2_[h] * (1.0 - hidden[h] * hidden[h]);
+        w2_[h] -= lr * g2;
+        b1_[h] -= lr * gh;
+        for (std::size_t j = 0; j < s.x[i].size(); ++j) {
+          w1_[h][j] -= lr * gh * s.x[i][j];
+        }
+      }
+      b2_ -= lr * err;
+    }
+  }
+}
+
+int Mlp::predict(const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(!w2_.empty(), "predict before fit");
+  return forward(scaler_.transform_row(row), nullptr) >= 0.0 ? 1 : 0;
+}
+
+}  // namespace credo::ml

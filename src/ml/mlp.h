@@ -1,0 +1,42 @@
+// Multi-layer perceptron: one tanh hidden layer, logistic output, SGD.
+// Binary only. Like gradient boosting, the paper finds it data-hungry for
+// this task (§4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace credo::ml {
+
+struct MlpParams {
+  std::size_t hidden = 16;
+  std::size_t epochs = 300;
+  double learning_rate = 0.05;
+  std::uint64_t seed = 23;
+};
+
+class Mlp final : public Classifier {
+ public:
+  explicit Mlp(MlpParams params = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "Multi-Layer Perceptron";
+  }
+  void fit(const Dataset& d) override;
+  [[nodiscard]] int predict(const std::vector<double>& row) const override;
+
+ private:
+  [[nodiscard]] double forward(const std::vector<double>& x,
+                               std::vector<double>* hidden_out) const;
+
+  MlpParams params_;
+  MinMaxScaler scaler_;
+  std::vector<std::vector<double>> w1_;  // hidden x features
+  std::vector<double> b1_;
+  std::vector<double> w2_;  // hidden
+  double b2_ = 0.0;
+};
+
+}  // namespace credo::ml

@@ -1,0 +1,69 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace credo::ml {
+namespace {
+
+/// Variance floor keeps degenerate (constant) features from producing
+/// infinite log-likelihoods.
+constexpr double kVarFloor = 1e-9;
+
+}  // namespace
+
+void GaussianNaiveBayes::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit NB on an empty dataset");
+  const auto classes = static_cast<std::size_t>(d.num_classes());
+  const std::size_t f = d.features();
+  std::vector<double> count(classes, 0.0);
+  mean_.assign(classes, std::vector<double>(f, 0.0));
+  var_.assign(classes, std::vector<double>(f, 0.0));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto c = static_cast<std::size_t>(d.y[i]);
+    count[c] += 1.0;
+    for (std::size_t j = 0; j < f; ++j) mean_[c][j] += d.x[i][j];
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (count[c] == 0) continue;
+    for (auto& m : mean_[c]) m /= count[c];
+  }
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto c = static_cast<std::size_t>(d.y[i]);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double delta = d.x[i][j] - mean_[c][j];
+      var_[c][j] += delta * delta;
+    }
+  }
+  log_prior_.assign(classes, -1e18);
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (count[c] == 0) continue;
+    log_prior_[c] =
+        std::log(count[c] / static_cast<double>(d.size()));
+    for (auto& v : var_[c]) {
+      v = std::max(kVarFloor, v / count[c]);
+    }
+  }
+}
+
+int GaussianNaiveBayes::predict(const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(!mean_.empty(), "predict before fit");
+  int best = 0;
+  double best_ll = -1e300;
+  for (std::size_t c = 0; c < mean_.size(); ++c) {
+    double ll = log_prior_[c];
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double delta = row[j] - mean_[c][j];
+      ll += -0.5 * std::log(2.0 * M_PI * var_[c][j]) -
+            delta * delta / (2.0 * var_[c][j]);
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace credo::ml

@@ -1,0 +1,25 @@
+// Gaussian naive Bayes. The paper notes its independence assumption is
+// violated by the interrelated graph-metadata features (§4.3), which is
+// exactly what the comparison bench shows.
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace credo::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "Gaussian Naive Bayes";
+  }
+  void fit(const Dataset& d) override;
+  [[nodiscard]] int predict(const std::vector<double>& row) const override;
+
+ private:
+  // Per class: log-prior plus per-feature mean/variance.
+  std::vector<double> log_prior_;
+  std::vector<std::vector<double>> mean_;
+  std::vector<std::vector<double>> var_;
+};
+
+}  // namespace credo::ml

@@ -1,0 +1,103 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace credo::ml {
+
+std::vector<double> Pca::standardize(const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+void Pca::fit(const Dataset& d, std::size_t components) {
+  const std::size_t f = d.features();
+  CREDO_CHECK_MSG(components >= 1 && components <= f,
+                  "component count out of range");
+  CREDO_CHECK_MSG(d.size() >= 2, "PCA needs at least two rows");
+  const auto n = static_cast<double>(d.size());
+
+  mean_.assign(f, 0.0);
+  for (const auto& row : d.x) {
+    for (std::size_t j = 0; j < f; ++j) mean_[j] += row[j];
+  }
+  for (auto& m : mean_) m /= n;
+  scale_.assign(f, 0.0);
+  for (const auto& row : d.x) {
+    for (std::size_t j = 0; j < f; ++j) {
+      const double delta = row[j] - mean_[j];
+      scale_[j] += delta * delta;
+    }
+  }
+  for (auto& s : scale_) s = std::max(1e-12, std::sqrt(s / n));
+
+  // Covariance of standardized features.
+  std::vector<std::vector<double>> cov(f, std::vector<double>(f, 0.0));
+  for (const auto& row : d.x) {
+    const auto z = standardize(row);
+    for (std::size_t a = 0; a < f; ++a) {
+      for (std::size_t b = 0; b < f; ++b) cov[a][b] += z[a] * z[b];
+    }
+  }
+  for (auto& r : cov) {
+    for (auto& v : r) v /= n;
+  }
+
+  components_.clear();
+  eigenvalues_.clear();
+  for (std::size_t c = 0; c < components; ++c) {
+    // Power iteration on the deflated covariance.
+    std::vector<double> v(f, 1.0 / std::sqrt(static_cast<double>(f)));
+    double lambda = 0.0;
+    for (int it = 0; it < 500; ++it) {
+      std::vector<double> w(f, 0.0);
+      for (std::size_t a = 0; a < f; ++a) {
+        for (std::size_t b = 0; b < f; ++b) w[a] += cov[a][b] * v[b];
+      }
+      double norm = 0.0;
+      for (const auto x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) break;
+      for (auto& x : w) x /= norm;
+      lambda = norm;
+      double delta = 0.0;
+      for (std::size_t j = 0; j < f; ++j) {
+        delta += std::fabs(w[j] - v[j]);
+      }
+      v = std::move(w);
+      if (delta < 1e-12) break;
+    }
+    // Deflate: cov -= lambda v v^T.
+    for (std::size_t a = 0; a < f; ++a) {
+      for (std::size_t b = 0; b < f; ++b) {
+        cov[a][b] -= lambda * v[a] * v[b];
+      }
+    }
+    components_.push_back(std::move(v));
+    eigenvalues_.push_back(lambda);
+  }
+}
+
+Dataset Pca::transform(const Dataset& d) const {
+  CREDO_CHECK_MSG(!components_.empty(), "transform before fit");
+  Dataset out;
+  out.y = d.y;
+  out.x.reserve(d.size());
+  for (const auto& row : d.x) {
+    const auto z = standardize(row);
+    std::vector<double> proj(components_.size(), 0.0);
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      for (std::size_t j = 0; j < z.size(); ++j) {
+        proj[c] += components_[c][j] * z[j];
+      }
+    }
+    out.x.push_back(std::move(proj));
+  }
+  return out;
+}
+
+}  // namespace credo::ml

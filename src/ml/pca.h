@@ -1,0 +1,36 @@
+// Principal component analysis (power iteration with deflation) — used by
+// the ablation reproducing the paper's observation that PCA preprocessing
+// *worsens* the classifiers on these features (§3.7, §4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.h"
+
+namespace credo::ml {
+
+class Pca {
+ public:
+  /// Fits `components` principal directions on (mean-centered,
+  /// unit-scaled) features of `d`. components must be <= feature count.
+  void fit(const Dataset& d, std::size_t components);
+
+  /// Projects a dataset onto the fitted components (labels carried over).
+  [[nodiscard]] Dataset transform(const Dataset& d) const;
+
+  /// Variance captured by each component, descending.
+  [[nodiscard]] const std::vector<double>& explained_variance() const {
+    return eigenvalues_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<double> standardize(
+      const std::vector<double>& row) const;
+
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  std::vector<std::vector<double>> components_;  // each of length f
+  std::vector<double> eigenvalues_;
+};
+
+}  // namespace credo::ml

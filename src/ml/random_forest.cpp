@@ -1,0 +1,106 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace credo::ml {
+
+RandomForest::RandomForest(RandomForestParams params)
+    : params_(std::move(params)) {
+  CREDO_CHECK_MSG(params_.n_trees >= 1, "forest needs at least one tree");
+}
+
+void RandomForest::fit(const Dataset& d) {
+  CREDO_CHECK_MSG(d.size() > 0, "cannot fit a forest on an empty dataset");
+  trees_.clear();
+  n_classes_ = d.num_classes();
+  util::Prng rng(params_.seed);
+  const std::size_t mf =
+      params_.max_features > 0
+          ? params_.max_features
+          : static_cast<std::size_t>(
+                std::max(1.0, std::floor(std::sqrt(
+                                  static_cast<double>(d.features())))));
+  for (std::size_t t = 0; t < params_.n_trees; ++t) {
+    DecisionTreeParams tp;
+    tp.max_depth = params_.max_depth;
+    tp.max_features = mf;
+    tp.seed = rng();
+    DecisionTree tree(tp);
+    // Bootstrap sample expressed as per-row multiplicities.
+    std::vector<std::uint32_t> weights(d.size(), 0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      ++weights[rng.uniform(d.size())];
+    }
+    tree.fit_weighted(d, weights);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(const std::vector<double>& row) const {
+  CREDO_CHECK_MSG(!trees_.empty(), "predict before fit");
+  std::vector<std::size_t> votes(static_cast<std::size_t>(n_classes_), 0);
+  for (const auto& t : trees_) {
+    ++votes[static_cast<std::size_t>(t.predict(row))];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  CREDO_CHECK_MSG(!trees_.empty(), "importances before fit");
+  std::vector<double> sum;
+  for (const auto& t : trees_) {
+    const auto imp = t.feature_importances();
+    if (sum.empty()) sum.assign(imp.size(), 0.0);
+    for (std::size_t j = 0; j < imp.size(); ++j) sum[j] += imp[j];
+  }
+  const double total = std::accumulate(sum.begin(), sum.end(), 0.0);
+  if (total > 0) {
+    for (auto& v : sum) v /= total;
+  }
+  return sum;
+}
+
+std::string RandomForest::serialize() const {
+  CREDO_CHECK_MSG(!trees_.empty(), "serialize before fit");
+  std::ostringstream os;
+  os << "forest " << trees_.size() << ' ' << n_classes_ << '\n';
+  for (const auto& t : trees_) os << t.serialize();
+  return os.str();
+}
+
+RandomForest RandomForest::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  std::size_t count = 0;
+  int classes = 0;
+  if (!(is >> tag >> count >> classes) || tag != "forest" || count == 0) {
+    throw util::InvalidArgument("malformed serialized random forest");
+  }
+  std::string line;
+  std::getline(is, line);  // end of header line
+  RandomForest forest;
+  forest.n_classes_ = classes;
+  // Split the remaining text at each "tree" header.
+  std::string rest((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::size_t next = rest.find("tree ", pos + 1);
+    const std::string chunk = rest.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    forest.trees_.push_back(DecisionTree::deserialize(chunk));
+    if (next == std::string::npos && t + 1 < count) {
+      throw util::InvalidArgument("serialized forest has too few trees");
+    }
+    pos = next;
+  }
+  return forest;
+}
+
+}  // namespace credo::ml

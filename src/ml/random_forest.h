@@ -1,0 +1,42 @@
+// Random forest: bagged CART trees with per-split feature subsampling.
+// The paper's tuned forest (max-depth 6, 14 estimators) reaches 94.7% F1
+// (§4.3) and its averaged impurity importances are Fig. 5.
+#pragma once
+
+#include "ml/decision_tree.h"
+
+namespace credo::ml {
+
+struct RandomForestParams {
+  std::size_t n_trees = 14;     // the paper's tuned estimator count
+  std::uint32_t max_depth = 6;  // the paper's tuned depth
+  /// Features considered per split; 0 = floor(sqrt(n_features)).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 7;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "Random Forest"; }
+  void fit(const Dataset& d) override;
+  [[nodiscard]] int predict(const std::vector<double>& row) const override;
+
+  /// Mean impurity-decrease importances across trees, normalized (Fig. 5).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+  /// Serializes the fitted forest to text (used by Dispatcher::save).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Reconstructs a forest from serialize() output. Throws
+  /// util::InvalidArgument on malformed input.
+  static RandomForest deserialize(const std::string& text);
+
+ private:
+  RandomForestParams params_;
+  std::vector<DecisionTree> trees_;
+  int n_classes_ = 0;
+};
+
+}  // namespace credo::ml

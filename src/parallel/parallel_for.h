@@ -1,0 +1,52 @@
+// OpenMP-style loop scheduling over a ThreadPool.
+//
+// Mirrors the schedules the paper tried in §2.4: static (contiguous blocks),
+// dynamic (chunked work queue — more overhead, better for BP's tail-heavy
+// work distribution) and guided (shrinking chunks). parallel_reduce adds the
+// reduction pattern the convergence check uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace credo::parallel {
+
+/// Loop schedule, as in OpenMP.
+enum class Schedule {
+  kStatic,   // contiguous equal blocks, no runtime coordination
+  kDynamic,  // fixed-size chunks claimed from a shared counter
+  kGuided,   // exponentially shrinking chunks
+};
+
+/// Runs body(i) for i in [begin, end) across the pool's team.
+/// `chunk` applies to dynamic/guided (minimum chunk for guided).
+void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  Schedule schedule, std::uint64_t chunk,
+                  const std::function<void(std::uint64_t)>& body);
+
+/// Runs body(i, partial) with one `partial` accumulator per worker, then
+/// returns the sum of partials — the reduction idiom of Algorithm 1's
+/// convergence sum.
+[[nodiscard]] double parallel_reduce(
+    ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+    Schedule schedule, std::uint64_t chunk,
+    const std::function<void(std::uint64_t, double&)>& body);
+
+/// Like parallel_for, but the body also receives the worker index — used
+/// for lock-free per-worker sinks (metering, local queues).
+void parallel_for_indexed(
+    ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+    Schedule schedule, std::uint64_t chunk,
+    const std::function<void(std::uint64_t, unsigned)>& body);
+
+/// Worker-indexed reduction.
+[[nodiscard]] double parallel_reduce_indexed(
+    ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+    Schedule schedule, std::uint64_t chunk,
+    const std::function<void(std::uint64_t, unsigned, double&)>& body);
+
+}  // namespace credo::parallel

@@ -1,0 +1,54 @@
+#include "parallel/thread_pool.h"
+
+#include "util/error.h"
+
+namespace credo::parallel {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  CREDO_CHECK_MSG(threads >= 1, "pool needs at least one worker");
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_team(const std::function<void(unsigned)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &fn;
+  remaining_ = static_cast<unsigned>(workers_.size());
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return epoch_ != seen; });
+      seen = epoch_;
+      if (stop_) return;
+      task = task_;
+    }
+    if (task != nullptr) {
+      (*task)(index);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace credo::parallel

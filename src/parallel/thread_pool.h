@@ -1,0 +1,52 @@
+// Fixed-size worker pool — the substrate under the CPU-parallel BP engine.
+//
+// Deliberately fork/join shaped (like an OpenMP parallel region) rather than
+// a persistent task graph: the paper's §2.4 finding is precisely that
+// region-granular parallelism cannot amortize its overheads on BP's sub-
+// millisecond loops, and the engine meters one parallel_region event per
+// dispatch so the cost model can reproduce that result.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace credo::parallel {
+
+/// A pool of `threads` workers executing range tasks. Thread-safe for one
+/// dispatcher at a time (matching OpenMP's single-team model).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). The calling thread does not count as
+  /// a worker; dispatch blocks until the team finishes.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs `fn(worker_index)` on every worker and waits for all of them —
+  /// one fork/join region. `fn` must be safe to call concurrently.
+  void run_team(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t epoch_ = 0;  // increments per region; workers wake on change
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace credo::parallel

@@ -1,0 +1,72 @@
+// Error-handling vocabulary for the library.
+//
+// Parsers and other operations that fail on bad *input* report through
+// ParseError / IoError (exceptions carrying position information); violations
+// of library invariants use CREDO_CHECK, which is active in all build types
+// (the cost is negligible next to the work the checks guard).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace credo::util {
+
+/// Raised when an input file violates its format.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string file, std::uint64_t line, std::string what)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + what),
+        file_(std::move(file)),
+        line_(line),
+        message_(std::move(what)) {}
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] std::uint64_t line() const noexcept { return line_; }
+  /// The message without the file:line prefix (useful when re-tagging).
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+ private:
+  std::string file_;
+  std::uint64_t line_;
+  std::string message_;
+};
+
+/// Raised when a file cannot be opened/read/written.
+class IoError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when a caller violates an API precondition.
+class InvalidArgument : public std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": CHECK failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace credo::util
+
+/// Always-on invariant check. Throws std::logic_error on failure so tests can
+/// assert on invariant violations without aborting the process.
+#define CREDO_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::credo::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CREDO_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::credo::util::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,91 @@
+#include "util/prng.h"
+
+#include <cmath>
+
+namespace credo::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) noexcept { reseed(seed); }
+
+void Prng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& lane : s_) {
+    x = splitmix64(x);
+    lane = x;
+  }
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // consecutive zeros, so no further check is needed.
+  has_spare_normal_ = false;
+}
+
+Prng::result_type Prng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::uniform(std::uint64_t bound) noexcept {
+  // Lemire 2018: unbiased bounded integers without division in the hot path.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Prng::uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Prng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+float Prng::uniform01f() noexcept {
+  return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+}
+
+bool Prng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Prng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+Prng Prng::split() noexcept { return Prng((*this)()); }
+
+}  // namespace credo::util

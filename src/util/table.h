@@ -1,0 +1,43 @@
+// Plain-text table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints its figure/table as an aligned text table (the
+// rows the paper reports) and can additionally dump CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace credo::util {
+
+/// Column-aligned text table with an optional CSV mirror.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with %g-style precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Renders the aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
+  /// content; commas in cells are replaced by semicolons).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes the CSV form to a file. Throws IoError on failure.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace credo::util

@@ -1,0 +1,35 @@
+// Minimal wall-clock timing helpers used by benchmarks and the host side of
+// the engines. Simulated (modelled) time lives in perf/, not here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace credo::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed, as an integer (useful for log lines).
+  [[nodiscard]] std::int64_t micros() const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace credo::util

@@ -1,0 +1,189 @@
+// Property-based sweeps over the loopy engines: for every (engine, graph
+// family, belief arity) combination, the invariants below must hold.
+//
+//  P1 normalization  — every returned belief is a probability distribution;
+//  P2 observed nodes — statically fixed beliefs never move;
+//  P3 agreement      — all engines land near the same fixed point;
+//  P4 determinism    — a rerun returns bit-identical beliefs;
+//  P5 accounting     — counters and modelled time are populated sanely.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "bp/engine.h"
+#include "graph/generators.h"
+
+namespace credo::bp {
+namespace {
+
+using graph::BeliefConfig;
+using graph::FactorGraph;
+
+struct SweepCase {
+  EngineKind engine;
+  const char* family;
+  std::uint32_t beliefs;
+};
+
+FactorGraph make_graph(const std::string& family, std::uint32_t beliefs) {
+  BeliefConfig cfg;
+  cfg.beliefs = beliefs;
+  cfg.seed = 97;
+  cfg.observed_fraction = 0.08;
+  if (family == "uniform") return graph::uniform_random(150, 600, cfg);
+  if (family == "social") return graph::preferential_attachment(150, 4, cfg);
+  if (family == "grid") return graph::grid(12, 12, cfg);
+  return graph::rmat(7, 500, cfg);
+}
+
+BpOptions sweep_opts() {
+  BpOptions o;
+  o.convergence_threshold = 1e-5f;
+  o.max_iterations = 300;
+  o.work_queue = true;
+  return o;
+}
+
+class LoopySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(LoopySweep, InvariantsHold) {
+  const auto& p = GetParam();
+  const auto g = make_graph(p.family, p.beliefs);
+  const auto engine = make_default_engine(p.engine);
+  const auto result = engine->run(g, sweep_opts());
+
+  // P1: normalization.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    float sum = 0.0f;
+    for (std::uint32_t s = 0; s < g.arity(v); ++s) {
+      const float b = result.beliefs[v][s];
+      ASSERT_GE(b, 0.0f) << "node " << v;
+      ASSERT_LE(b, 1.0f + 1e-5f) << "node " << v;
+      sum += b;
+    }
+    ASSERT_NEAR(sum, 1.0f, 1e-3f) << "node " << v;
+  }
+
+  // P2: observed nodes fixed.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.observed(v)) {
+      ASSERT_LT(graph::l1_diff(result.beliefs[v], g.prior(v)), 1e-6f);
+    }
+  }
+
+  // P4: determinism. The OpenMP engines perform in-place (chaotic) reads
+  // across a real thread team; async BP on a multi-stable system (large
+  // arities with diagonally dominant potentials admit several attractors)
+  // may legitimately settle different fixed points per thread schedule,
+  // so the rerun check applies only to the deterministic engines.
+  const bool chaotic = p.engine == EngineKind::kOmpNode ||
+                       p.engine == EngineKind::kOmpEdge;
+  if (!chaotic) {
+    const auto rerun = engine->run(g, sweep_opts());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(graph::l1_diff(result.beliefs[v], rerun.beliefs[v]), 0.0f)
+          << "node " << v;
+    }
+  }
+
+  // P5: accounting.
+  EXPECT_GT(result.stats.counters.flops, 0u);
+  EXPECT_GT(result.stats.time.total(), 0.0);
+  EXPECT_GT(result.stats.elements_processed, 0u);
+  EXPECT_LE(result.stats.iterations, sweep_opts().max_iterations);
+  const bool is_gpu = p.engine == EngineKind::kCudaNode ||
+                      p.engine == EngineKind::kCudaEdge ||
+                      p.engine == EngineKind::kAccEdge;
+  if (is_gpu) {
+    EXPECT_GT(result.stats.counters.kernel_launches, 0u);
+    EXPECT_GT(result.stats.counters.h2d_bytes, 0u);
+  } else {
+    EXPECT_EQ(result.stats.counters.kernel_launches, 0u);
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const auto engine :
+       {EngineKind::kCpuNode, EngineKind::kCpuEdge, EngineKind::kOmpNode,
+        EngineKind::kOmpEdge, EngineKind::kCudaNode,
+        EngineKind::kCudaEdge, EngineKind::kAccEdge}) {
+    for (const char* family : {"uniform", "social", "grid", "rmat"}) {
+      for (const std::uint32_t beliefs : {2u, 3u, 8u}) {
+        cases.push_back({engine, family, beliefs});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesFamiliesBeliefs, LoopySweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = std::string(engine_name(info.param.engine)) + "_" +
+                         info.param.family + "_b" +
+                         std::to_string(info.param.beliefs);
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// P3: cross-engine agreement, swept over families and arities (one test
+// per combination, comparing every engine against C Node).
+struct AgreementCase {
+  const char* family;
+  std::uint32_t beliefs;
+};
+
+class AgreementSweep : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(AgreementSweep, EnginesAgree) {
+  const auto& p = GetParam();
+  const auto g = make_graph(p.family, p.beliefs);
+  const auto opts = sweep_opts();
+  const auto reference =
+      make_default_engine(EngineKind::kCpuNode)->run(g, opts);
+  for (const auto kind :
+       {EngineKind::kCpuEdge, EngineKind::kOmpNode, EngineKind::kOmpEdge,
+        EngineKind::kCudaNode, EngineKind::kCudaEdge}) {
+    const auto r = make_default_engine(kind)->run(g, opts);
+    float worst = 0.0f;
+    double sum = 0.0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const float gap =
+          graph::l1_diff(reference.beliefs[v], r.beliefs[v]);
+      worst = std::max(worst, gap);
+      sum += gap;
+    }
+    // Chaotic engines (OpenMP) may disagree more on individual stragglers;
+    // judge them by the mean gap, deterministic engines by the worst node.
+    const bool chaotic =
+        kind == EngineKind::kOmpNode || kind == EngineKind::kOmpEdge;
+    if (chaotic) {
+      // Chaotic schedules can park stragglers in a different attractor on
+      // multi-stable systems; require only that the bulk of the graph
+      // agrees.
+      EXPECT_LT(sum / g.num_nodes(), 0.05)
+          << engine_name(kind) << " on " << p.family << " b" << p.beliefs;
+    } else {
+      EXPECT_LT(worst, 0.05f) << engine_name(kind) << " on " << p.family
+                              << " b" << p.beliefs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesBeliefs, AgreementSweep,
+    ::testing::Values(AgreementCase{"uniform", 2},
+                      AgreementCase{"uniform", 8},
+                      AgreementCase{"social", 3},
+                      AgreementCase{"grid", 2}, AgreementCase{"rmat", 3}),
+    [](const ::testing::TestParamInfo<AgreementCase>& info) {
+      return std::string(info.param.family) + "_b" +
+             std::to_string(info.param.beliefs);
+    });
+
+}  // namespace
+}  // namespace credo::bp

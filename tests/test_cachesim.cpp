@@ -1,0 +1,105 @@
+// Tests for the set-associative LRU cache simulator.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache_sim.h"
+
+namespace credo::cachesim {
+namespace {
+
+TEST(CacheSim, FirstTouchMissesThenHits) {
+  CacheSim cache;
+  cache.access(0x1000, 4, false);
+  EXPECT_EQ(cache.stats().reads, 1u);
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+  cache.access(0x1000, 4, false);
+  EXPECT_EQ(cache.stats().reads, 2u);
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+  // Same line, different offset: still a hit.
+  cache.access(0x1020, 4, false);
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+}
+
+TEST(CacheSim, MultiLineAccessCountsEachLine) {
+  CacheSim cache;
+  // 100 bytes from 0x10 spans lines 0 and 1 (64 B lines).
+  cache.access(0x10, 100, true);
+  EXPECT_EQ(cache.stats().writes, 2u);
+  EXPECT_EQ(cache.stats().write_misses, 2u);
+}
+
+TEST(CacheSim, LruEvictsOldest) {
+  CacheConfig cfg;
+  cfg.line_bytes = 64;
+  cfg.sets = 1;
+  cfg.ways = 2;
+  CacheSim cache(cfg);
+  const auto line = [&](std::uint64_t i) { return i * 64; };
+  cache.access(line(0), 4, false);  // miss, cache = {0}
+  cache.access(line(1), 4, false);  // miss, cache = {1,0}
+  cache.access(line(0), 4, false);  // hit,  cache = {0,1}
+  cache.access(line(2), 4, false);  // miss, evicts 1
+  cache.access(line(0), 4, false);  // hit (0 was MRU)
+  cache.access(line(1), 4, false);  // miss (1 was evicted)
+  EXPECT_EQ(cache.stats().read_misses, 4u);
+  EXPECT_EQ(cache.stats().reads, 6u);
+}
+
+TEST(CacheSim, SetsIsolateAddresses) {
+  CacheConfig cfg;
+  cfg.sets = 2;
+  cfg.ways = 1;
+  CacheSim cache(cfg);
+  // Lines 0 and 1 map to different sets; both stay resident.
+  cache.access(0, 4, false);
+  cache.access(64, 4, false);
+  cache.access(0, 4, false);
+  cache.access(64, 4, false);
+  EXPECT_EQ(cache.stats().read_misses, 2u);
+}
+
+TEST(CacheSim, WorkingSetLargerThanCacheThrashes) {
+  CacheConfig cfg;  // 32 KiB
+  CacheSim cache(cfg);
+  // Stream 1 MiB twice: no reuse survives.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < (1u << 20); addr += 64) {
+      cache.access(addr, 4, false);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 1.0);
+}
+
+TEST(CacheSim, SmallWorkingSetHitsOnRevisit) {
+  CacheSim cache;  // 32 KiB
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t addr = 0; addr < (1u << 14); addr += 64) {
+      cache.access(addr, 4, false);
+    }
+  }
+  // 16 KiB fits: only the first pass misses.
+  EXPECT_LT(cache.stats().miss_rate(), 0.11);
+}
+
+TEST(CacheSim, ResetClearsStateAndStats) {
+  CacheSim cache;
+  cache.access(0, 4, false);
+  cache.reset();
+  EXPECT_EQ(cache.stats().reads, 0u);
+  cache.access(0, 4, false);
+  EXPECT_EQ(cache.stats().read_misses, 1u);  // cold again
+}
+
+TEST(CacheSim, ZeroByteAccessIsIgnored) {
+  CacheSim cache;
+  cache.access(0x100, 0, false);
+  EXPECT_EQ(cache.stats().accesses(), 0u);
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  CacheConfig cfg;
+  cfg.sets = 3;  // not a power of two
+  EXPECT_THROW(CacheSim{cfg}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace credo::cachesim

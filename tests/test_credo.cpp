@@ -1,0 +1,220 @@
+// Tests for the Credo front end: the Table 1 suite, the trainer's
+// labeling, and the dispatcher's rule + classifier selection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "credo/dispatcher.h"
+#include "credo/suite.h"
+#include "credo/trainer.h"
+#include "graph/metadata.h"
+
+namespace credo {
+namespace {
+
+TEST(Suite, HasAllTable1Rows) {
+  EXPECT_EQ(suite::table1().size(), 34u);
+  // Spot checks against the paper's Table 1.
+  EXPECT_EQ(suite::by_abbrev("K21").paper_nodes, 1'544'087u);
+  EXPECT_EQ(suite::by_abbrev("K21").paper_edges, 91'042'010u);
+  EXPECT_EQ(suite::by_abbrev("TW").paper_nodes, 21'297'772u);
+  EXPECT_EQ(suite::by_abbrev("10x40").paper_nodes, 10u);
+  EXPECT_THROW((void)suite::by_abbrev("NOPE"), util::InvalidArgument);
+}
+
+TEST(Suite, ScalingPreservesEdgeNodeRatio) {
+  for (const auto& spec : suite::table1()) {
+    const double paper_ratio = static_cast<double>(spec.paper_edges) /
+                               static_cast<double>(spec.paper_nodes);
+    const double scaled_ratio = static_cast<double>(spec.edges) /
+                                static_cast<double>(spec.nodes);
+    EXPECT_NEAR(scaled_ratio / paper_ratio, 1.0, 0.15) << spec.abbrev;
+    EXPECT_LE(spec.nodes, 120'000u) << spec.abbrev;
+    EXPECT_LE(spec.edges, 600'000u) << spec.abbrev;
+  }
+}
+
+TEST(Suite, SmallRowsKeepExactPaperSize) {
+  EXPECT_EQ(suite::by_abbrev("10x40").nodes, 10u);
+  EXPECT_EQ(suite::by_abbrev("1k4k").nodes, 1000u);
+  EXPECT_EQ(suite::by_abbrev("100kx400k").nodes, 100'000u);
+}
+
+TEST(Suite, InstantiateIsDeterministic) {
+  const auto& spec = suite::by_abbrev("1k4k");
+  const auto a = suite::instantiate(spec, 3);
+  const auto b = suite::instantiate(spec, 3);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edge(e).src, b.edge(e).src);
+  }
+  // Different belief counts give different graphs but the same shape
+  // family.
+  const auto c = suite::instantiate(spec, 2);
+  EXPECT_EQ(c.num_nodes(), a.num_nodes());
+  const auto md = graph::compute_metadata(a);
+  EXPECT_EQ(md.beliefs, 3u);
+}
+
+TEST(Suite, ExtraDivisorShrinksOnlyLargeRows) {
+  const auto big = suite::instantiate(suite::by_abbrev("100kx400k"), 32, 8);
+  EXPECT_EQ(big.num_nodes(), 12'500u);
+  const auto small = suite::instantiate(suite::by_abbrev("100x400"), 32, 8);
+  EXPECT_EQ(small.num_nodes(), 100u);
+}
+
+TEST(Suite, BoldSubsetIsNonTrivial) {
+  const auto bold = suite::table1_bold();
+  EXPECT_GE(bold.size(), 10u);
+  EXPECT_LT(bold.size(), suite::table1().size());
+}
+
+TEST(Trainer, EngineTimesBestKind) {
+  dispatch::EngineTimes t;
+  t.cpu_node = 4;
+  t.cpu_edge = 2;
+  t.cuda_node = 3;
+  t.cuda_edge = 5;
+  EXPECT_EQ(t.best_kind(), bp::EngineKind::kCpuEdge);
+  EXPECT_DOUBLE_EQ(t.best_time(), 2.0);
+  EXPECT_DOUBLE_EQ(t.of(bp::EngineKind::kCudaNode), 3.0);
+  EXPECT_THROW((void)t.of(bp::EngineKind::kTree), util::InvalidArgument);
+}
+
+TEST(Trainer, ProducesLabeledRuns) {
+  dispatch::TrainerConfig cfg;
+  const std::vector<suite::BenchmarkSpec> specs = {
+      suite::by_abbrev("10x40"), suite::by_abbrev("100x400"),
+      suite::by_abbrev("1k4k")};
+  const auto runs = dispatch::benchmark_suite(specs, {2u}, cfg);
+  ASSERT_EQ(runs.size(), 3u);
+  for (const auto& r : runs) {
+    EXPECT_GT(r.times.cpu_node, 0.0);
+    EXPECT_GT(r.times.cuda_edge, 0.0);
+    EXPECT_TRUE(r.paradigm_label == 0 || r.paradigm_label == 1);
+    EXPECT_EQ(r.metadata.beliefs, 2u);
+  }
+  const auto data = dispatch::to_dataset(runs);
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data.features(), 5u);
+}
+
+TEST(Dispatcher, LearnsPivotsAndDispatches) {
+  // Synthetic runs: CUDA wins above 50k nodes, Node paradigm wins when the
+  // nodes/edges ratio is low (dense graphs).
+  std::vector<dispatch::LabeledRun> runs;
+  util::Prng rng(71);
+  for (int i = 0; i < 60; ++i) {
+    dispatch::LabeledRun r;
+    r.beliefs = 2;
+    r.metadata.beliefs = 2;
+    r.metadata.num_nodes = 1000 + rng.uniform(200'000);
+    const bool dense = rng.bernoulli(0.5);
+    r.metadata.num_directed_edges =
+        r.metadata.num_nodes * (dense ? 30 : 3);
+    r.metadata.max_in_degree = dense ? 500 : 10;
+    r.metadata.max_out_degree = r.metadata.max_in_degree;
+    r.metadata.avg_in_degree = dense ? 30 : 3;
+    const bool cuda = r.metadata.num_nodes >= 50'000;
+    const bool node_wins = dense;
+    r.paradigm_label = node_wins ? 1 : 0;
+    const double fast = 0.01;
+    const double slow = 1.0;
+    r.times.cpu_node = (!cuda && node_wins) ? fast : slow;
+    r.times.cpu_edge = (!cuda && !node_wins) ? fast : slow;
+    r.times.cuda_node = (cuda && node_wins) ? fast : slow;
+    r.times.cuda_edge = (cuda && !node_wins) ? fast : slow;
+    runs.push_back(r);
+  }
+  const auto d = dispatch::Dispatcher::train(runs);
+  EXPECT_NEAR(d.platform_pivot(2), 50'000, 25'000);
+
+  graph::GraphMetadata small_dense;
+  small_dense.beliefs = 2;
+  small_dense.num_nodes = 2000;
+  small_dense.num_directed_edges = 60'000;
+  small_dense.max_in_degree = 500;
+  small_dense.max_out_degree = 500;
+  small_dense.avg_in_degree = 30;
+  EXPECT_EQ(d.choose(small_dense), bp::EngineKind::kCpuNode);
+
+  graph::GraphMetadata big_sparse = small_dense;
+  big_sparse.num_nodes = 150'000;
+  big_sparse.num_directed_edges = 450'000;
+  big_sparse.max_in_degree = 10;
+  big_sparse.max_out_degree = 10;
+  big_sparse.avg_in_degree = 3;
+  EXPECT_EQ(d.choose(big_sparse), bp::EngineKind::kCudaEdge);
+}
+
+TEST(Dispatcher, PivotInterpolatesAcrossArities) {
+  std::vector<dispatch::LabeledRun> runs;
+  for (const std::uint32_t b : {2u, 32u}) {
+    for (const std::uint64_t n : {1000ull, 10'000ull, 100'000ull}) {
+      dispatch::LabeledRun r;
+      r.beliefs = b;
+      r.metadata.beliefs = b;
+      r.metadata.num_nodes = n;
+      r.metadata.num_directed_edges = 4 * n;
+      r.metadata.max_in_degree = 8;
+      r.metadata.max_out_degree = 8;
+      r.metadata.avg_in_degree = 4;
+      // CUDA pivot: 50k at 2 beliefs, 5k at 32 beliefs.
+      const bool cuda = b == 2 ? n >= 50'000 : n >= 5'000;
+      r.paradigm_label = 0;
+      r.times.cpu_edge = cuda ? 1.0 : 0.01;
+      r.times.cuda_edge = cuda ? 0.01 : 1.0;
+      r.times.cpu_node = 2.0;
+      r.times.cuda_node = 2.0;
+      runs.push_back(r);
+    }
+  }
+  const auto d = dispatch::Dispatcher::train(runs);
+  const double p2 = d.platform_pivot(2);
+  const double p32 = d.platform_pivot(32);
+  EXPECT_GT(p2, p32);  // more beliefs -> earlier CUDA switch
+  const double p8 = d.platform_pivot(8);
+  EXPECT_LT(p8, p2);
+  EXPECT_GT(p8, p32);
+}
+
+TEST(Dispatcher, RunExecutesChosenEngine) {
+  dispatch::TrainerConfig cfg;
+  const std::vector<suite::BenchmarkSpec> specs = {
+      suite::by_abbrev("100x400"), suite::by_abbrev("1k4k"),
+      suite::by_abbrev("10kx40k")};
+  const auto runs = dispatch::benchmark_suite(specs, {2u}, cfg);
+  const auto d = dispatch::Dispatcher::train(runs);
+  const auto g = suite::instantiate(suite::by_abbrev("1k4k"), 2);
+  bp::BpOptions opts;
+  opts.work_queue = true;
+  const auto result = d.run(g, opts);
+  EXPECT_EQ(result.beliefs.size(), g.num_nodes());
+  EXPECT_GT(result.stats.iterations, 0u);
+}
+
+
+TEST(Dispatcher, SaveLoadRoundTrip) {
+  dispatch::TrainerConfig cfg;
+  const std::vector<suite::BenchmarkSpec> specs = {
+      suite::by_abbrev("100x400"), suite::by_abbrev("1k4k"),
+      suite::by_abbrev("10kx40k")};
+  const auto runs = dispatch::benchmark_suite(specs, {2u}, cfg);
+  const auto trained = dispatch::Dispatcher::train(runs);
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "credo_test_model.txt")
+                        .string();
+  trained.save(path);
+  const auto loaded = dispatch::Dispatcher::load(path);
+  EXPECT_DOUBLE_EQ(loaded.platform_pivot(2), trained.platform_pivot(2));
+  for (const auto& run : runs) {
+    EXPECT_EQ(loaded.choose(run.metadata), trained.choose(run.metadata));
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(dispatch::Dispatcher::load("/nonexistent/model.txt"),
+               util::IoError);
+}
+
+}  // namespace
+}  // namespace credo

@@ -1,0 +1,189 @@
+// Tests for the SIMT GPU simulator: buffers, transfers, launches,
+// atomics, reductions, VRAM accounting, and event metering.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/atomics.h"
+#include "gpusim/device.h"
+#include "perf/profiles.h"
+
+namespace credo::gpusim {
+namespace {
+
+Device make_device() { return Device(perf::gpu_gtx1070()); }
+
+TEST(Device, RequiresGpuProfile) {
+  EXPECT_THROW(Device(perf::cpu_i7_7700hq_serial()), std::logic_error);
+}
+
+TEST(Device, AllocTransferRoundTrip) {
+  auto dev = make_device();
+  std::vector<float> host(100);
+  std::iota(host.begin(), host.end(), 0.0f);
+  auto buf = dev.alloc<float>(100);
+  dev.h2d<float>(buf, host);
+  std::vector<float> back(100);
+  dev.d2h<float>(back, buf);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(dev.counters().h2d_bytes, 400u);
+  EXPECT_EQ(dev.counters().d2h_bytes, 400u);
+  EXPECT_EQ(dev.counters().transfer_ops, 2u);
+  EXPECT_EQ(dev.counters().device_allocs, 1u);
+}
+
+TEST(Device, PackedTransferOverridesMeteredBytes) {
+  auto dev = make_device();
+  std::vector<float> host(100, 1.0f);
+  auto buf = dev.alloc<float>(100);
+  dev.h2d<float>(buf, host, 64);
+  EXPECT_EQ(dev.counters().h2d_bytes, 64u);
+}
+
+TEST(Device, VramAccountingAndOom) {
+  auto dev = make_device();
+  const auto vram = static_cast<std::uint64_t>(
+      perf::gpu_gtx1070().vram_bytes);
+  {
+    auto big = dev.alloc<std::uint8_t>(vram / 2);
+    EXPECT_EQ(dev.vram_used(), vram / 2);
+    EXPECT_THROW(dev.alloc<std::uint8_t>(vram / 2 + 1024),
+                 DeviceOutOfMemory);
+  }
+  // Destructor released the lease.
+  EXPECT_EQ(dev.vram_used(), 0u);
+  auto again = dev.alloc<std::uint8_t>(vram / 2);
+  EXPECT_EQ(dev.vram_used(), vram / 2);
+}
+
+TEST(Device, LaunchCoversExactlyTheWorkItems) {
+  auto dev = make_device();
+  auto buf = dev.alloc<std::uint32_t>(3000);
+  const auto span = buf.span();
+  dev.launch(LaunchDims::cover(2500, 1024), 2500, [&](ThreadCtx& ctx) {
+    span.store(ctx, ctx.global_id(), 1u);
+  });
+  const auto host = buf.host();
+  for (std::size_t i = 0; i < 2500; ++i) ASSERT_EQ(host[i], 1u);
+  for (std::size_t i = 2500; i < 3000; ++i) ASSERT_EQ(host[i], 0u);
+  EXPECT_EQ(dev.counters().kernel_launches, 1u);
+}
+
+TEST(Device, LaunchDimsCoverRoundsUp) {
+  EXPECT_EQ(LaunchDims::cover(1, 1024).grid_blocks, 1u);
+  EXPECT_EQ(LaunchDims::cover(1024, 1024).grid_blocks, 1u);
+  EXPECT_EQ(LaunchDims::cover(1025, 1024).grid_blocks, 2u);
+  EXPECT_EQ(LaunchDims::cover(10, 2).total_threads(), 10u);
+}
+
+TEST(Device, ThreadCtxIndicesAreConsistent) {
+  auto dev = make_device();
+  bool ok = true;
+  dev.launch({4, 8}, 32, [&](ThreadCtx& ctx) {
+    if (ctx.global_id() != ctx.block_idx() * 8 + ctx.thread_idx()) {
+      ok = false;
+    }
+    if (ctx.block_dim() != 8) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(Device, AtomicsComputeCorrectly) {
+  auto dev = make_device();
+  auto buf = dev.alloc<float>(4);
+  auto counter = dev.alloc<std::uint32_t>(1);
+  const auto span = buf.span();
+  const auto cspan = counter.span();
+  dev.launch(LaunchDims::cover(1000, 256), 1000, [&](ThreadCtx& ctx) {
+    atomic_add(ctx, span, ctx.global_id() % 4, 1.0f);
+    atomic_add_u32(ctx, cspan, 0, 2);
+  });
+  EXPECT_FLOAT_EQ(buf.host()[0], 250.0f);
+  EXPECT_FLOAT_EQ(buf.host()[3], 250.0f);
+  EXPECT_EQ(counter.host()[0], 2000u);
+  EXPECT_EQ(dev.counters().atomic_ops, 2000u);
+}
+
+TEST(Device, AtomicMulMultiplies) {
+  auto dev = make_device();
+  auto buf = dev.alloc<float>(1);
+  buf.host()[0] = 1.0f;
+  const auto span = buf.span();
+  dev.launch(LaunchDims::cover(10, 32), 10, [&](ThreadCtx& ctx) {
+    atomic_mul(ctx, span, 0, 2.0f);
+  });
+  EXPECT_FLOAT_EQ(buf.host()[0], 1024.0f);
+}
+
+TEST(Device, ReduceSumIsExactEnough) {
+  auto dev = make_device();
+  constexpr std::uint64_t kN = 5000;
+  auto buf = dev.alloc<float>(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    buf.host()[i] = 0.5f;
+  }
+  const float sum = dev.reduce_sum(buf, kN);
+  EXPECT_NEAR(sum, 2500.0f, 0.01f);
+  // Partial reduction only sums the prefix.
+  EXPECT_NEAR(dev.reduce_sum(buf, 10), 5.0f, 1e-4f);
+  EXPECT_GT(dev.counters().shared_ops, 0u);
+  EXPECT_GT(dev.counters().barriers, 0u);
+}
+
+TEST(Device, ConstantMemoryReadsAreMetered) {
+  auto dev = make_device();
+  const std::vector<float> table = {1.0f, 2.0f, 3.0f};
+  const auto cspan = dev.set_constant<float>(table);
+  float total = 0.0f;
+  dev.launch(LaunchDims::cover(3, 32), 3, [&](ThreadCtx& ctx) {
+    total += cspan.load(ctx, ctx.global_id());
+  });
+  EXPECT_FLOAT_EQ(total, 6.0f);
+  EXPECT_EQ(dev.counters().const_ops, 3u);
+}
+
+TEST(Device, AccessPatternsLandInDistinctCounters) {
+  auto dev = make_device();
+  auto buf = dev.alloc<float>(64);
+  const auto span = buf.span();
+  dev.launch(LaunchDims::cover(1, 32), 1, [&](ThreadCtx& ctx) {
+    (void)span.load(ctx, 0);            // seq
+    (void)span.load_scattered(ctx, 1);  // rand
+    (void)span.load_near(ctx, 2);       // near
+    span.store(ctx, 3, 0.0f);
+    span.store_scattered(ctx, 4, 0.0f);
+    span.store_near(ctx, 5, 0.0f);
+    (void)span.load_bytes(ctx, 6, 2);
+    (void)span.load_scattered_bytes(ctx, 7, 2);
+  });
+  const auto& c = dev.counters();
+  EXPECT_EQ(c.seq_read_bytes, 4u + 2u);
+  EXPECT_EQ(c.rand_read_bytes, 4u + 2u);
+  EXPECT_EQ(c.near_read_bytes, 4u);
+  EXPECT_EQ(c.seq_write_bytes, 4u);
+  EXPECT_EQ(c.rand_write_bytes, 4u);
+  EXPECT_EQ(c.near_write_bytes, 4u);
+  EXPECT_EQ(c.rand_read_ops, 2u);
+}
+
+TEST(Device, ModelledTimeGrowsWithWork) {
+  auto dev = make_device();
+  auto buf = dev.alloc<float>(1024);
+  const auto span = buf.span();
+  dev.launch(LaunchDims::cover(1024, 1024), 1024, [&](ThreadCtx& ctx) {
+    span.store(ctx, ctx.global_id(), 1.0f);
+    ctx.flop(10);
+  });
+  const double t1 = dev.modelled_time().total();
+  for (int rep = 0; rep < 10; ++rep) {
+    dev.launch(LaunchDims::cover(1024, 1024), 1024, [&](ThreadCtx& ctx) {
+      span.store(ctx, ctx.global_id(), 1.0f);
+      ctx.flop(10);
+    });
+  }
+  EXPECT_GT(dev.modelled_time().total(), t1);
+}
+
+}  // namespace
+}  // namespace credo::gpusim

@@ -1,0 +1,119 @@
+// Tests for the thread-pool substrate: team execution, schedules,
+// reductions, and coverage properties.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace credo::parallel {
+namespace {
+
+TEST(ThreadPool, RunsEveryWorkerOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_team([&](unsigned w) { hits[w].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int region = 0; region < 50; ++region) {
+    pool.run_team([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, SingleWorkerWorks) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.run_team([&](unsigned w) {
+    EXPECT_EQ(w, 0u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+class ScheduleTest : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ScheduleTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN, GetParam(), 64,
+               [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ScheduleTest, HandlesEmptyAndOffsetRanges) {
+  ThreadPool pool(2);
+  int count = 0;
+  std::mutex mu;
+  parallel_for(pool, 5, 5, GetParam(), 8, [&](std::uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++count;
+  });
+  EXPECT_EQ(count, 0);
+  std::vector<std::uint64_t> seen;
+  parallel_for(pool, 100, 110, GetParam(), 3, [&](std::uint64_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(i);
+  });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 109u);
+}
+
+TEST_P(ScheduleTest, ReduceSumsCorrectly) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 5000;
+  const double sum = parallel_reduce(
+      pool, 0, kN, GetParam(), 32,
+      [](std::uint64_t i, double& partial) {
+        partial += static_cast<double>(i);
+      });
+  EXPECT_DOUBLE_EQ(sum, kN * (kN - 1) / 2.0);
+}
+
+TEST_P(ScheduleTest, IndexedVariantReportsValidWorker) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  parallel_for_indexed(pool, 0, 1000, GetParam(), 16,
+                       [&](std::uint64_t, unsigned w) {
+                         if (w >= 3) ok = false;
+                       });
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleTest,
+                         ::testing::Values(Schedule::kStatic,
+                                           Schedule::kDynamic,
+                                           Schedule::kGuided),
+                         [](const ::testing::TestParamInfo<Schedule>& info) {
+                           switch (info.param) {
+                             case Schedule::kStatic: return "static";
+                             case Schedule::kDynamic: return "dynamic";
+                             case Schedule::kGuided: return "guided";
+                           }
+                           return "unknown";
+                         });
+
+TEST(ParallelReduce, PartialsAreIsolatedPerWorker) {
+  // A reduction whose body writes large values must not race: the result
+  // must be exact, not approximately right.
+  ThreadPool pool(4);
+  const double sum = parallel_reduce(
+      pool, 0, 100'000, Schedule::kDynamic, 128,
+      [](std::uint64_t, double& partial) { partial += 1.0; });
+  EXPECT_DOUBLE_EQ(sum, 100'000.0);
+}
+
+}  // namespace
+}  // namespace credo::parallel

@@ -1,0 +1,184 @@
+// Tests for the cost model and hardware profiles: counter bookkeeping,
+// time-model monotonicity, and the relationships between platform profiles
+// that drive the paper's headline results.
+#include <gtest/gtest.h>
+
+#include "perf/cost_model.h"
+#include "perf/counters.h"
+#include "perf/profiles.h"
+
+namespace credo::perf {
+namespace {
+
+TEST(Counters, MeterAccumulates) {
+  Counters c;
+  Meter m(c);
+  m.flop(10);
+  m.seq_read(100);
+  m.seq_write(50);
+  m.rand_read(12, 3);
+  m.near_write(8, 2);
+  m.atomic(5, 2);
+  m.kernel_launch();
+  m.parallel_region(4);
+  m.h2d(1000);
+  m.device_alloc(4096);
+  EXPECT_EQ(c.flops, 10u);
+  EXPECT_EQ(c.seq_read_bytes, 100u);
+  EXPECT_EQ(c.rand_read_bytes, 36u);
+  EXPECT_EQ(c.rand_read_ops, 3u);
+  EXPECT_EQ(c.near_write_bytes, 16u);
+  EXPECT_EQ(c.atomic_ops, 5u);
+  EXPECT_EQ(c.atomic_chain_ops, 2u);
+  EXPECT_EQ(c.kernel_launches, 1u);
+  EXPECT_EQ(c.parallel_regions, 4u);
+  EXPECT_EQ(c.h2d_bytes, 1000u);
+  EXPECT_EQ(c.transfer_ops, 1u);
+  EXPECT_EQ(c.device_alloc_bytes, 4096u);
+  EXPECT_EQ(c.total_bytes(), 100u + 50u + 36u + 16u);
+}
+
+TEST(Counters, AddMerges) {
+  Counters a;
+  Counters b;
+  Meter(a).flop(5);
+  Meter(b).flop(7);
+  Meter(b).atomic(1, 3);
+  a.add(b);
+  EXPECT_EQ(a.flops, 12u);
+  EXPECT_EQ(a.atomic_chain_ops, 3u);
+}
+
+TEST(CostModel, ZeroWorkZeroTime) {
+  const Counters c;
+  const auto t = model_time(c, cpu_i7_7700hq_serial());
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+  EXPECT_DOUBLE_EQ(t.management_fraction(), 0.0);
+}
+
+TEST(CostModel, MonotoneInEachTerm) {
+  const auto p = gpu_gtx1070();
+  Counters base;
+  Meter(base).flop(1000);
+  const double t0 = model_time(base, p).total();
+
+  auto grow = [&](auto mutate) {
+    Counters c = base;
+    mutate(c);
+    return model_time(c, p).total();
+  };
+  EXPECT_GT(grow([](Counters& c) { c.flops += 1e12; }), t0);
+  EXPECT_GT(grow([](Counters& c) { c.seq_read_bytes += 1e12; }), t0);
+  EXPECT_GT(grow([](Counters& c) {
+              c.rand_read_bytes += 1e9;
+              c.rand_read_ops += 1e9 / 8;
+            }),
+            t0);
+  EXPECT_GT(grow([](Counters& c) { c.atomic_ops += 1e9; }), t0);
+  EXPECT_GT(grow([](Counters& c) { c.kernel_launches += 1000; }), t0);
+  EXPECT_GT(grow([](Counters& c) {
+              c.h2d_bytes += 1e9;
+              c.transfer_ops += 1;
+            }),
+            t0);
+  EXPECT_GT(grow([](Counters& c) {
+              c.device_allocs += 10;
+              c.device_alloc_bytes += 1e9;
+            }),
+            t0);
+}
+
+TEST(CostModel, ComputeAndMemoryOverlap) {
+  // total uses max(compute, memory): growing the smaller term below the
+  // larger one must not change the total.
+  const auto p = cpu_i7_7700hq_serial();
+  Counters c;
+  c.seq_read_bytes = static_cast<std::uint64_t>(p.seq_bw);  // 1 s memory
+  const double t0 = model_time(c, p).total();
+  c.flops = static_cast<std::uint64_t>(p.flops_per_s / 2);  // 0.5 s compute
+  EXPECT_DOUBLE_EQ(model_time(c, p).total(), t0);
+  c.flops = static_cast<std::uint64_t>(p.flops_per_s * 3);  // 3 s compute
+  EXPECT_GT(model_time(c, p).total(), t0);
+}
+
+TEST(CostModel, ScatteredGranularityCharged) {
+  // One 128-byte scattered access costs two 64-byte transactions on a CPU.
+  const auto p = cpu_i7_7700hq_serial();
+  Counters one;
+  one.rand_read_bytes = 64;
+  one.rand_read_ops = 1;
+  Counters two;
+  two.rand_read_bytes = 128;
+  two.rand_read_ops = 1;
+  EXPECT_NEAR(model_time(two, p).memory_s / model_time(one, p).memory_s,
+              2.0, 1e-9);
+}
+
+TEST(CostModel, AtomicChainsSerialize) {
+  const auto p = gpu_gtx1070();
+  Counters spread;
+  spread.atomic_ops = 1'000'000;
+  spread.atomic_chain_ops = 10;
+  Counters contended = spread;
+  contended.atomic_chain_ops = 1'000'000;
+  EXPECT_GT(model_time(contended, p).atomic_s,
+            model_time(spread, p).atomic_s);
+}
+
+TEST(Profiles, RelationshipsBehindThePaper) {
+  const auto cpu = cpu_i7_7700hq_serial();
+  const auto gpu = gpu_gtx1070();
+  const auto volta = gpu_v100();
+
+  // The GPU's scattered-access advantage is what powers the CUDA Node
+  // speedups (§4.1): effective random throughput must be far higher.
+  const double cpu_rand = cpu.rand_concurrency / cpu.rand_latency_s;
+  const double gpu_rand = gpu.rand_concurrency / gpu.rand_latency_s;
+  EXPECT_GT(gpu_rand / cpu_rand, 20.0);
+
+  // Volta: ~1.5x+ streaming bandwidth and cheaper atomics (§4.4).
+  EXPECT_GE(volta.seq_bw / gpu.seq_bw, 1.5);
+  EXPECT_LT(volta.atomic_serial_s, gpu.atomic_serial_s);
+  EXPECT_LT(volta.atomic_issue_s, gpu.atomic_issue_s);
+
+  // GPU platforms carry launch/transfer/alloc overheads; the serial CPU
+  // carries none (§4.1.1's management-overhead asymmetry).
+  EXPECT_GT(gpu.launch_s, 0.0);
+  EXPECT_GT(gpu.alloc_base_s, 0.0);
+  EXPECT_DOUBLE_EQ(cpu.launch_s, 0.0);
+  EXPECT_DOUBLE_EQ(cpu.fork_join_s, 0.0);
+}
+
+TEST(Profiles, OmpProfilesPenalizeOversubscription) {
+  const auto two = cpu_i7_7700hq_parallel(2);
+  const auto four = cpu_i7_7700hq_parallel(4);
+  const auto eight = cpu_i7_7700hq_parallel(8);
+  // Fork/join grows with team size; hyperthreading kicks in past 4.
+  EXPECT_GT(four.fork_join_s, two.fork_join_s);
+  EXPECT_GT(eight.fork_join_s, four.fork_join_s);
+  EXPECT_DOUBLE_EQ(two.smt_penalty, 1.0);
+  EXPECT_GT(eight.smt_penalty, 1.0);
+  EXPECT_EQ(eight.parallel_units, 8);
+}
+
+TEST(Profiles, OpenAccSlowerThanCuda) {
+  const auto cuda = gpu_gtx1070();
+  const auto acc = gpu_gtx1070_openacc();
+  EXPECT_GT(acc.launch_s, cuda.launch_s);
+  EXPECT_LT(acc.flops_per_s, cuda.flops_per_s);
+}
+
+TEST(CostModel, ManagementFractionIsBounded) {
+  Counters c;
+  c.device_allocs = 5;
+  c.device_alloc_bytes = 1 << 20;
+  c.h2d_bytes = 1 << 20;
+  c.transfer_ops = 5;
+  c.flops = 100;
+  const auto t = model_time(c, gpu_gtx1070());
+  EXPECT_GT(t.management_fraction(), 0.9);  // tiny compute, all overhead
+  EXPECT_LE(t.management_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace credo::perf

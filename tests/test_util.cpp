@@ -1,0 +1,199 @@
+// Unit tests for the util module: PRNG, string parsing, tables, errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/prng.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace credo::util {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, UniformRespectsBound) {
+  Prng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, UniformCoversSmallRange) {
+  Prng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, Uniform01InRangeAndWellSpread) {
+  Prng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Prng, NormalHasUnitVarianceApprox) {
+  Prng rng(13);
+  double sum = 0;
+  double sumsq = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.05);
+}
+
+TEST(Prng, UniformRangeInclusive) {
+  Prng rng(15);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, SplitDecorrelates) {
+  Prng parent(5);
+  Prng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Splitmix, IsPureFunction) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Strings, TrimVariants) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\r\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitDropsEmpties) {
+  const auto parts = split("a,,b,c,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, ParseU64Cases) {
+  EXPECT_EQ(parse_u64("42").value(), 42u);
+  EXPECT_EQ(parse_u64(" 42 ").value(), 42u);
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("4x").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("99999999999999999999999").has_value());
+}
+
+TEST(Strings, ParseFloatCases) {
+  EXPECT_FLOAT_EQ(parse_float("0.25").value(), 0.25f);
+  EXPECT_FLOAT_EQ(parse_float("1e-3").value(), 1e-3f);
+  EXPECT_FLOAT_EQ(parse_float("-2.5").value(), -2.5f);
+  EXPECT_FALSE(parse_float("abc").has_value());
+  EXPECT_FALSE(parse_float("1.0x").has_value());
+  EXPECT_FALSE(parse_float("").has_value());
+}
+
+TEST(Strings, FieldCursorWalksFields) {
+  FieldCursor c("  1 2.5  foo ");
+  EXPECT_EQ(c.next_u64().value(), 1u);
+  EXPECT_FLOAT_EQ(c.next_float().value(), 2.5f);
+  EXPECT_EQ(c.next().value(), "foo");
+  EXPECT_TRUE(c.done());
+  EXPECT_FALSE(c.next().has_value());
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("ABC", "abc"));
+  EXPECT_FALSE(iequals("ABC", "abd"));
+  EXPECT_FALSE(iequals("AB", "ABC"));
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("longer-name"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx;y,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Error, CheckMacroThrows) {
+  EXPECT_THROW([] { CREDO_CHECK_MSG(1 == 2, "impossible"); }(),
+               std::logic_error);
+  EXPECT_NO_THROW([] { CREDO_CHECK(1 == 1); }());
+}
+
+TEST(Error, ParseErrorCarriesLocation) {
+  const ParseError e("file.mtx", 17, "bad things");
+  EXPECT_EQ(e.file(), "file.mtx");
+  EXPECT_EQ(e.line(), 17u);
+  EXPECT_EQ(e.message(), "bad things");
+  EXPECT_NE(std::string(e.what()).find("file.mtx:17"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100'000; ++i) x = x + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.micros(), 0);
+}
+
+}  // namespace
+}  // namespace credo::util

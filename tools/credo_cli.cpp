@@ -1,0 +1,319 @@
+// credo — the command-line front end.
+//
+//   credo info     --nodes N.mtx --edges E.mtx
+//   credo run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|c-edge|
+//                  omp-node|omp-edge|cuda-node|cuda-edge|acc-edge|tree|
+//                  residual] [--no-queue] [--iters N] [--threshold X]
+//                  [--out beliefs.txt]
+//   credo generate --family uniform|kron|social|tree|grid --nodes N
+//                  [--edges M] [--beliefs B] [--seed S] [--observed F]
+//                  --out PREFIX
+//   credo convert  --in file.{bif,xml} --out PREFIX
+//   credo train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]
+//
+// `--engine auto` uses the §3.7 dispatcher: pass a pre-trained model with
+// --model model.txt (from `credo train`) or let it train on the bold
+// benchmark subset on the fly.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bp/engine.h"
+#include "credo/dispatcher.h"
+#include "credo/suite.h"
+#include "graph/generators.h"
+#include "graph/metadata.h"
+#include "io/bif.h"
+#include "io/convert.h"
+#include "io/mtx_belief.h"
+#include "io/xmlbif.h"
+#include "util/strings.h"
+#include <vector>
+
+using namespace credo;
+
+namespace {
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw util::InvalidArgument(std::string("expected --flag, got ") +
+                                    argv[i]);
+      }
+      kv_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - start) % 2 != 0) {
+      // Allow trailing boolean flags by rejecting loudly instead of
+      // silently mis-pairing.
+      const char* last = argv[argc - 1];
+      if (std::strcmp(last, "--no-queue") == 0) {
+        kv_["no-queue"] = "1";
+      } else {
+        throw util::InvalidArgument(std::string("flag without value: ") +
+                                    last);
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& k) const {
+    const auto it = kv_.find(k);
+    return it == kv_.end() ? std::nullopt
+                           : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::string require(const std::string& k) const {
+    const auto v = get(k);
+    if (!v) throw util::InvalidArgument("missing required --" + k);
+    return *v;
+  }
+  [[nodiscard]] double number(const std::string& k, double fallback) const {
+    const auto v = get(k);
+    if (!v) return fallback;
+    const auto d = util::parse_double(*v);
+    if (!d) throw util::InvalidArgument("bad number for --" + k);
+    return *d;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+const std::map<std::string, bp::EngineKind>& engine_names() {
+  static const std::map<std::string, bp::EngineKind> m = {
+      {"c-node", bp::EngineKind::kCpuNode},
+      {"c-edge", bp::EngineKind::kCpuEdge},
+      {"omp-node", bp::EngineKind::kOmpNode},
+      {"omp-edge", bp::EngineKind::kOmpEdge},
+      {"cuda-node", bp::EngineKind::kCudaNode},
+      {"cuda-edge", bp::EngineKind::kCudaEdge},
+      {"acc-edge", bp::EngineKind::kAccEdge},
+      {"tree", bp::EngineKind::kTree},
+      {"residual", bp::EngineKind::kResidual},
+  };
+  return m;
+}
+
+graph::FactorGraph load(const Args& args) {
+  io::ParseStats stats;
+  const auto g = io::read_mtx_belief(args.require("nodes"),
+                                     args.require("edges"), &stats);
+  std::fprintf(stderr, "loaded %u nodes, %llu directed edges (%llu lines)\n",
+               g.num_nodes(),
+               static_cast<unsigned long long>(g.num_edges()),
+               static_cast<unsigned long long>(stats.lines));
+  return g;
+}
+
+int cmd_info(const Args& args) {
+  const auto g = load(args);
+  const auto md = graph::compute_metadata(g);
+  std::printf("nodes:             %llu\n",
+              static_cast<unsigned long long>(md.num_nodes));
+  std::printf("directed edges:    %llu\n",
+              static_cast<unsigned long long>(md.num_directed_edges));
+  std::printf("beliefs (arity):   %u\n", md.beliefs);
+  std::printf("max in-degree:     %u\n", md.max_in_degree);
+  std::printf("max out-degree:    %u\n", md.max_out_degree);
+  std::printf("avg in-degree:     %.3f\n", md.avg_in_degree);
+  std::printf("nodes/edges ratio: %.5f\n", md.nodes_to_edges_ratio());
+  std::printf("degree imbalance:  %.3f\n", md.degree_imbalance());
+  std::printf("skew:              %.5f\n", md.skew());
+  std::printf("shared joint:      %s\n",
+              g.joints().is_shared() ? "yes" : "no");
+  std::printf("memory:            %.2f MiB\n",
+              static_cast<double>(g.memory_bytes()) / (1 << 20));
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto g = load(args);
+  bp::BpOptions opts;
+  opts.work_queue = !args.get("no-queue").has_value();
+  opts.max_iterations =
+      static_cast<std::uint32_t>(args.number("iters", 200));
+  opts.convergence_threshold =
+      static_cast<float>(args.number("threshold", 1e-3));
+
+  const std::string engine_arg = args.get("engine").value_or("auto");
+  bp::BpResult result;
+  std::string engine_used;
+  if (engine_arg == "auto") {
+    const auto dispatcher = [&] {
+      if (const auto model = args.get("model")) {
+        std::fprintf(stderr, "loading dispatcher model %s\n",
+                     model->c_str());
+        return dispatch::Dispatcher::load(*model);
+      }
+      std::fprintf(stderr,
+                   "training dispatcher on the bold benchmark subset...\n");
+      dispatch::TrainerConfig tcfg;
+      const auto runs = dispatch::benchmark_suite(suite::table1_bold(),
+                                                  {2u, 3u}, tcfg);
+      return dispatch::Dispatcher::train(runs);
+    }();
+    const auto kind = dispatcher.choose(graph::compute_metadata(g));
+    engine_used = std::string(bp::engine_name(kind));
+    std::fprintf(stderr, "dispatcher picked: %s\n", engine_used.c_str());
+    result = dispatcher.run(g, opts);
+  } else {
+    const auto it = engine_names().find(engine_arg);
+    if (it == engine_names().end()) {
+      throw util::InvalidArgument("unknown engine: " + engine_arg);
+    }
+    const auto engine = bp::make_default_engine(it->second);
+    engine_used = std::string(engine->name());
+    result = engine->run(g, opts);
+  }
+
+  std::printf("engine:          %s\n", engine_used.c_str());
+  std::printf("iterations:      %u\n", result.stats.iterations);
+  std::printf("converged:       %s\n",
+              result.stats.converged ? "yes" : "no (iteration cap)");
+  std::printf("final delta:     %.3g\n", result.stats.final_delta);
+  std::printf("modelled time:   %.6g s\n", result.stats.modelled_seconds());
+  std::printf("host time:       %.6g s\n", result.stats.host_seconds);
+  std::printf("elements:        %llu\n",
+              static_cast<unsigned long long>(
+                  result.stats.elements_processed));
+
+  if (const auto out = args.get("out")) {
+    std::ofstream f(*out);
+    if (!f) throw util::IoError("cannot open " + *out);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      f << (v + 1);
+      for (std::uint32_t s = 0; s < g.arity(v); ++s) {
+        f << ' ' << result.beliefs[v][s];
+      }
+      f << '\n';
+    }
+    std::printf("beliefs written: %s\n", out->c_str());
+  }
+  return result.stats.converged ? 0 : 3;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string family = args.require("family");
+  const auto nodes =
+      static_cast<graph::NodeId>(args.number("nodes", 1000));
+  const auto edges = static_cast<std::uint64_t>(
+      args.number("edges", 4.0 * nodes));
+  graph::BeliefConfig cfg;
+  cfg.beliefs = static_cast<std::uint32_t>(args.number("beliefs", 2));
+  cfg.seed = static_cast<std::uint64_t>(args.number("seed", 42));
+  cfg.observed_fraction = args.number("observed", 0.05);
+
+  graph::FactorGraph g;
+  if (family == "uniform") {
+    g = graph::uniform_random(nodes, edges, cfg);
+  } else if (family == "kron") {
+    const auto scale = static_cast<std::uint32_t>(
+        std::max(2.0, std::round(std::log2(static_cast<double>(nodes)))));
+    g = graph::rmat(scale, edges, cfg);
+  } else if (family == "social") {
+    g = graph::preferential_attachment(
+        nodes, static_cast<std::uint32_t>(
+                   std::max<std::uint64_t>(1, edges / nodes)),
+        cfg);
+  } else if (family == "tree") {
+    g = graph::random_tree(nodes, cfg);
+  } else if (family == "grid") {
+    const auto side = static_cast<std::uint32_t>(
+        std::max(1.0, std::floor(std::sqrt(static_cast<double>(nodes)))));
+    g = graph::grid(side, side, cfg);
+  } else {
+    throw util::InvalidArgument("unknown family: " + family);
+  }
+
+  const std::string prefix = args.require("out");
+  io::write_mtx_belief(g, prefix + "_nodes.mtx", prefix + "_edges.mtx");
+  std::printf("wrote %s_nodes.mtx / %s_edges.mtx (%u nodes, %llu directed "
+              "edges)\n",
+              prefix.c_str(), prefix.c_str(), g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  const std::string in = args.require("in");
+  const std::string prefix = args.require("out");
+  const bool xml = in.size() > 4 && (in.substr(in.size() - 4) == ".xml");
+  if (xml) {
+    io::convert_xmlbif_to_mtx(in, prefix + "_nodes.mtx",
+                              prefix + "_edges.mtx");
+  } else {
+    io::convert_bif_to_mtx(in, prefix + "_nodes.mtx",
+                           prefix + "_edges.mtx");
+  }
+  std::printf("converted %s -> %s_nodes.mtx / %s_edges.mtx\n", in.c_str(),
+              prefix.c_str(), prefix.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const std::string out = args.require("out");
+  std::vector<std::uint32_t> beliefs = {2, 3};
+  if (const auto b = args.get("beliefs")) {
+    beliefs.clear();
+    for (const auto part : util::split(*b, ',')) {
+      const auto v = util::parse_u64(part);
+      if (!v) throw util::InvalidArgument("bad --beliefs list");
+      beliefs.push_back(static_cast<std::uint32_t>(*v));
+    }
+  }
+  const bool full = args.number("full-suite", 0) != 0;
+  std::fprintf(stderr, "benchmarking the %s suite at %zu arities...\n",
+               full ? "full" : "bold", beliefs.size());
+  dispatch::TrainerConfig tcfg;
+  const auto runs = dispatch::benchmark_suite(
+      full ? suite::table1() : suite::table1_bold(), beliefs, tcfg);
+  const auto dispatcher = dispatch::Dispatcher::train(runs);
+  dispatcher.save(out);
+  std::printf("trained on %zu runs; model written to %s\n", runs.size(),
+              out.c_str());
+  for (const auto b : beliefs) {
+    std::printf("  pivot @%u beliefs: %g nodes\n", b,
+                dispatcher.platform_pivot(b));
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: credo <info|run|generate|convert> [--flag value]...\n"
+      "  info     --nodes N.mtx --edges E.mtx\n"
+      "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
+      "           [--iters N] [--threshold X] [--out beliefs.txt]"
+      " [--no-queue]\n"
+      "  generate --family uniform|kron|social|tree|grid --nodes N\n"
+      "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
+      " --out PREFIX\n"
+      "  convert  --in file.{bif,xml} --out PREFIX\n"
+      "  train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "train") return cmd_train(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
