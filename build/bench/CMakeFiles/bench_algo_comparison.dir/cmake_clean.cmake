@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algo_comparison.dir/bench_algo_comparison.cpp.o"
+  "CMakeFiles/bench_algo_comparison.dir/bench_algo_comparison.cpp.o.d"
+  "bench_algo_comparison"
+  "bench_algo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aos_soa.dir/bench_aos_soa.cpp.o"
+  "CMakeFiles/bench_aos_soa.dir/bench_aos_soa.cpp.o.d"
+  "bench_aos_soa"
+  "bench_aos_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aos_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classifier_features.dir/bench_classifier_features.cpp.o"
+  "CMakeFiles/bench_classifier_features.dir/bench_classifier_features.cpp.o.d"
+  "bench_classifier_features"
+  "bench_classifier_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifier_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

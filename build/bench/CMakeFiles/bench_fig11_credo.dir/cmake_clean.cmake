@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_credo.dir/bench_fig11_credo.cpp.o"
+  "CMakeFiles/bench_fig11_credo.dir/bench_fig11_credo.cpp.o.d"
+  "bench_fig11_credo"
+  "bench_fig11_credo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_credo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

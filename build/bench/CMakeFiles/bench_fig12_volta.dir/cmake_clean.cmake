@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_volta.dir/bench_fig12_volta.cpp.o"
+  "CMakeFiles/bench_fig12_volta.dir/bench_fig12_volta.cpp.o.d"
+  "bench_fig12_volta"
+  "bench_fig12_volta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_volta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

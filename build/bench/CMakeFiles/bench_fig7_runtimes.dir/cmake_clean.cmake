@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_runtimes.dir/bench_fig7_runtimes.cpp.o"
+  "CMakeFiles/bench_fig7_runtimes.dir/bench_fig7_runtimes.cpp.o.d"
+  "bench_fig7_runtimes"
+  "bench_fig7_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_beliefs.dir/bench_fig8_beliefs.cpp.o"
+  "CMakeFiles/bench_fig8_beliefs.dir/bench_fig8_beliefs.cpp.o.d"
+  "bench_fig8_beliefs"
+  "bench_fig8_beliefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_beliefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

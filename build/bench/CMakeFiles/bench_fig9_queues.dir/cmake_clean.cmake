@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_queues.dir/bench_fig9_queues.cpp.o"
+  "CMakeFiles/bench_fig9_queues.dir/bench_fig9_queues.cpp.o.d"
+  "bench_fig9_queues"
+  "bench_fig9_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

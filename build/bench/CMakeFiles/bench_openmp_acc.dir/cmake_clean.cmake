@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_openmp_acc.dir/bench_openmp_acc.cpp.o"
+  "CMakeFiles/bench_openmp_acc.dir/bench_openmp_acc.cpp.o.d"
+  "bench_openmp_acc"
+  "bench_openmp_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_openmp_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parsers.dir/bench_parsers.cpp.o"
+  "CMakeFiles/bench_parsers.dir/bench_parsers.cpp.o.d"
+  "bench_parsers"
+  "bench_parsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_matrix.dir/bench_shared_matrix.cpp.o"
+  "CMakeFiles/bench_shared_matrix.dir/bench_shared_matrix.cpp.o.d"
+  "bench_shared_matrix"
+  "bench_shared_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

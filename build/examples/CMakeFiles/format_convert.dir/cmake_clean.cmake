@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_convert.dir/format_convert.cpp.o"
+  "CMakeFiles/format_convert.dir/format_convert.cpp.o.d"
+  "format_convert"
+  "format_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

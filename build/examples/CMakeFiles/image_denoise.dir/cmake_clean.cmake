@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_denoise.dir/image_denoise.cpp.o"
+  "CMakeFiles/image_denoise.dir/image_denoise.cpp.o.d"
+  "image_denoise"
+  "image_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

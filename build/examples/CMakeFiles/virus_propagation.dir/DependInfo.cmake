@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/virus_propagation.cpp" "examples/CMakeFiles/virus_propagation.dir/virus_propagation.cpp.o" "gcc" "examples/CMakeFiles/virus_propagation.dir/virus_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/credo/CMakeFiles/credo_dispatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/credo_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/credo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/credo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/credo_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/credo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/credo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/credo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_propagation.dir/virus_propagation.cpp.o"
+  "CMakeFiles/virus_propagation.dir/virus_propagation.cpp.o.d"
+  "virus_propagation"
+  "virus_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

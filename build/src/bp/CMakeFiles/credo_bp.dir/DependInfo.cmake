@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bp/acc_engine.cpp" "src/bp/CMakeFiles/credo_bp.dir/acc_engine.cpp.o" "gcc" "src/bp/CMakeFiles/credo_bp.dir/acc_engine.cpp.o.d"
+  "/root/repo/src/bp/cpu_engines.cpp" "src/bp/CMakeFiles/credo_bp.dir/cpu_engines.cpp.o" "gcc" "src/bp/CMakeFiles/credo_bp.dir/cpu_engines.cpp.o.d"
+  "/root/repo/src/bp/engine.cpp" "src/bp/CMakeFiles/credo_bp.dir/engine.cpp.o" "gcc" "src/bp/CMakeFiles/credo_bp.dir/engine.cpp.o.d"
+  "/root/repo/src/bp/gpu_engines.cpp" "src/bp/CMakeFiles/credo_bp.dir/gpu_engines.cpp.o" "gcc" "src/bp/CMakeFiles/credo_bp.dir/gpu_engines.cpp.o.d"
+  "/root/repo/src/bp/parallel_engines.cpp" "src/bp/CMakeFiles/credo_bp.dir/parallel_engines.cpp.o" "gcc" "src/bp/CMakeFiles/credo_bp.dir/parallel_engines.cpp.o.d"
+  "/root/repo/src/bp/residual_engine.cpp" "src/bp/CMakeFiles/credo_bp.dir/residual_engine.cpp.o" "gcc" "src/bp/CMakeFiles/credo_bp.dir/residual_engine.cpp.o.d"
+  "/root/repo/src/bp/tree_engine.cpp" "src/bp/CMakeFiles/credo_bp.dir/tree_engine.cpp.o" "gcc" "src/bp/CMakeFiles/credo_bp.dir/tree_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/credo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/credo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/credo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/credo_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/credo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

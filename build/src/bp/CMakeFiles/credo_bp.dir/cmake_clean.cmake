@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_bp.dir/acc_engine.cpp.o"
+  "CMakeFiles/credo_bp.dir/acc_engine.cpp.o.d"
+  "CMakeFiles/credo_bp.dir/cpu_engines.cpp.o"
+  "CMakeFiles/credo_bp.dir/cpu_engines.cpp.o.d"
+  "CMakeFiles/credo_bp.dir/engine.cpp.o"
+  "CMakeFiles/credo_bp.dir/engine.cpp.o.d"
+  "CMakeFiles/credo_bp.dir/gpu_engines.cpp.o"
+  "CMakeFiles/credo_bp.dir/gpu_engines.cpp.o.d"
+  "CMakeFiles/credo_bp.dir/parallel_engines.cpp.o"
+  "CMakeFiles/credo_bp.dir/parallel_engines.cpp.o.d"
+  "CMakeFiles/credo_bp.dir/residual_engine.cpp.o"
+  "CMakeFiles/credo_bp.dir/residual_engine.cpp.o.d"
+  "CMakeFiles/credo_bp.dir/tree_engine.cpp.o"
+  "CMakeFiles/credo_bp.dir/tree_engine.cpp.o.d"
+  "libcredo_bp.a"
+  "libcredo_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

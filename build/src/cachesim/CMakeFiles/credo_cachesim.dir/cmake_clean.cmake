@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_cachesim.dir/cache_sim.cpp.o"
+  "CMakeFiles/credo_cachesim.dir/cache_sim.cpp.o.d"
+  "libcredo_cachesim.a"
+  "libcredo_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

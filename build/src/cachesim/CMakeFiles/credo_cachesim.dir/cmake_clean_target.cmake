@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcredo_cachesim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_dispatch.dir/dispatcher.cpp.o"
+  "CMakeFiles/credo_dispatch.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/credo_dispatch.dir/suite.cpp.o"
+  "CMakeFiles/credo_dispatch.dir/suite.cpp.o.d"
+  "CMakeFiles/credo_dispatch.dir/trainer.cpp.o"
+  "CMakeFiles/credo_dispatch.dir/trainer.cpp.o.d"
+  "libcredo_dispatch.a"
+  "libcredo_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

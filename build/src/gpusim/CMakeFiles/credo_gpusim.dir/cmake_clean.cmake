@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_gpusim.dir/device.cpp.o"
+  "CMakeFiles/credo_gpusim.dir/device.cpp.o.d"
+  "libcredo_gpusim.a"
+  "libcredo_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

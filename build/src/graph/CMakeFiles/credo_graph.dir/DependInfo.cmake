@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/belief.cpp" "src/graph/CMakeFiles/credo_graph.dir/belief.cpp.o" "gcc" "src/graph/CMakeFiles/credo_graph.dir/belief.cpp.o.d"
+  "/root/repo/src/graph/belief_store.cpp" "src/graph/CMakeFiles/credo_graph.dir/belief_store.cpp.o" "gcc" "src/graph/CMakeFiles/credo_graph.dir/belief_store.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/credo_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/credo_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/credo_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/credo_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/factor_graph.cpp" "src/graph/CMakeFiles/credo_graph.dir/factor_graph.cpp.o" "gcc" "src/graph/CMakeFiles/credo_graph.dir/factor_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/credo_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/credo_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/metadata.cpp" "src/graph/CMakeFiles/credo_graph.dir/metadata.cpp.o" "gcc" "src/graph/CMakeFiles/credo_graph.dir/metadata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/credo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

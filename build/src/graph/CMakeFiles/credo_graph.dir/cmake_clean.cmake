@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_graph.dir/belief.cpp.o"
+  "CMakeFiles/credo_graph.dir/belief.cpp.o.d"
+  "CMakeFiles/credo_graph.dir/belief_store.cpp.o"
+  "CMakeFiles/credo_graph.dir/belief_store.cpp.o.d"
+  "CMakeFiles/credo_graph.dir/builder.cpp.o"
+  "CMakeFiles/credo_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/credo_graph.dir/csr.cpp.o"
+  "CMakeFiles/credo_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/credo_graph.dir/factor_graph.cpp.o"
+  "CMakeFiles/credo_graph.dir/factor_graph.cpp.o.d"
+  "CMakeFiles/credo_graph.dir/generators.cpp.o"
+  "CMakeFiles/credo_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/credo_graph.dir/metadata.cpp.o"
+  "CMakeFiles/credo_graph.dir/metadata.cpp.o.d"
+  "libcredo_graph.a"
+  "libcredo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bayes_net.cpp" "src/io/CMakeFiles/credo_io.dir/bayes_net.cpp.o" "gcc" "src/io/CMakeFiles/credo_io.dir/bayes_net.cpp.o.d"
+  "/root/repo/src/io/bif.cpp" "src/io/CMakeFiles/credo_io.dir/bif.cpp.o" "gcc" "src/io/CMakeFiles/credo_io.dir/bif.cpp.o.d"
+  "/root/repo/src/io/convert.cpp" "src/io/CMakeFiles/credo_io.dir/convert.cpp.o" "gcc" "src/io/CMakeFiles/credo_io.dir/convert.cpp.o.d"
+  "/root/repo/src/io/mtx_belief.cpp" "src/io/CMakeFiles/credo_io.dir/mtx_belief.cpp.o" "gcc" "src/io/CMakeFiles/credo_io.dir/mtx_belief.cpp.o.d"
+  "/root/repo/src/io/mtx_graph.cpp" "src/io/CMakeFiles/credo_io.dir/mtx_graph.cpp.o" "gcc" "src/io/CMakeFiles/credo_io.dir/mtx_graph.cpp.o.d"
+  "/root/repo/src/io/xml.cpp" "src/io/CMakeFiles/credo_io.dir/xml.cpp.o" "gcc" "src/io/CMakeFiles/credo_io.dir/xml.cpp.o.d"
+  "/root/repo/src/io/xmlbif.cpp" "src/io/CMakeFiles/credo_io.dir/xmlbif.cpp.o" "gcc" "src/io/CMakeFiles/credo_io.dir/xmlbif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/credo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/credo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_io.dir/bayes_net.cpp.o"
+  "CMakeFiles/credo_io.dir/bayes_net.cpp.o.d"
+  "CMakeFiles/credo_io.dir/bif.cpp.o"
+  "CMakeFiles/credo_io.dir/bif.cpp.o.d"
+  "CMakeFiles/credo_io.dir/convert.cpp.o"
+  "CMakeFiles/credo_io.dir/convert.cpp.o.d"
+  "CMakeFiles/credo_io.dir/mtx_belief.cpp.o"
+  "CMakeFiles/credo_io.dir/mtx_belief.cpp.o.d"
+  "CMakeFiles/credo_io.dir/mtx_graph.cpp.o"
+  "CMakeFiles/credo_io.dir/mtx_graph.cpp.o.d"
+  "CMakeFiles/credo_io.dir/xml.cpp.o"
+  "CMakeFiles/credo_io.dir/xml.cpp.o.d"
+  "CMakeFiles/credo_io.dir/xmlbif.cpp.o"
+  "CMakeFiles/credo_io.dir/xmlbif.cpp.o.d"
+  "libcredo_io.a"
+  "libcredo_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_ml.dir/classifier.cpp.o"
+  "CMakeFiles/credo_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/dataset.cpp.o"
+  "CMakeFiles/credo_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/credo_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/gaussian_process.cpp.o"
+  "CMakeFiles/credo_ml.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/gradient_boost.cpp.o"
+  "CMakeFiles/credo_ml.dir/gradient_boost.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/knn.cpp.o"
+  "CMakeFiles/credo_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/linear_svm.cpp.o"
+  "CMakeFiles/credo_ml.dir/linear_svm.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/metrics.cpp.o"
+  "CMakeFiles/credo_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/mlp.cpp.o"
+  "CMakeFiles/credo_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/credo_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/pca.cpp.o"
+  "CMakeFiles/credo_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/credo_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/credo_ml.dir/random_forest.cpp.o.d"
+  "libcredo_ml.a"
+  "libcredo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_parallel.dir/parallel_for.cpp.o"
+  "CMakeFiles/credo_parallel.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/credo_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/credo_parallel.dir/thread_pool.cpp.o.d"
+  "libcredo_parallel.a"
+  "libcredo_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

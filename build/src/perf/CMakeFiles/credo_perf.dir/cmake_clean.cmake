@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/credo_perf.dir/cost_model.cpp.o.d"
+  "CMakeFiles/credo_perf.dir/profiles.cpp.o"
+  "CMakeFiles/credo_perf.dir/profiles.cpp.o.d"
+  "libcredo_perf.a"
+  "libcredo_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

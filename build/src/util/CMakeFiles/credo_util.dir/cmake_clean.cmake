@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_util.dir/prng.cpp.o"
+  "CMakeFiles/credo_util.dir/prng.cpp.o.d"
+  "CMakeFiles/credo_util.dir/strings.cpp.o"
+  "CMakeFiles/credo_util.dir/strings.cpp.o.d"
+  "CMakeFiles/credo_util.dir/table.cpp.o"
+  "CMakeFiles/credo_util.dir/table.cpp.o.d"
+  "libcredo_util.a"
+  "libcredo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

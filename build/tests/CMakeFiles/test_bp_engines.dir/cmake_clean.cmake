@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bp_engines.dir/test_bp_engines.cpp.o"
+  "CMakeFiles/test_bp_engines.dir/test_bp_engines.cpp.o.d"
+  "test_bp_engines"
+  "test_bp_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bp_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bp_properties.dir/test_bp_properties.cpp.o"
+  "CMakeFiles/test_bp_properties.dir/test_bp_properties.cpp.o.d"
+  "test_bp_properties"
+  "test_bp_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bp_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_credo.dir/test_credo.cpp.o"
+  "CMakeFiles/test_credo.dir/test_credo.cpp.o.d"
+  "test_credo"
+  "test_credo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_credo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

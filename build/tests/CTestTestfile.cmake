@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perf "/root/repo/build/tests/test_perf")
+set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_graph "/root/repo/build/tests/test_graph")
+set_tests_properties(test_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_io "/root/repo/build/tests/test_io")
+set_tests_properties(test_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parallel "/root/repo/build/tests/test_parallel")
+set_tests_properties(test_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gpusim "/root/repo/build/tests/test_gpusim")
+set_tests_properties(test_gpusim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cachesim "/root/repo/build/tests/test_cachesim")
+set_tests_properties(test_cachesim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ml "/root/repo/build/tests/test_ml")
+set_tests_properties(test_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bp_engines "/root/repo/build/tests/test_bp_engines")
+set_tests_properties(test_bp_engines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bp_properties "/root/repo/build/tests/test_bp_properties")
+set_tests_properties(test_bp_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_credo "/root/repo/build/tests/test_credo")
+set_tests_properties(test_credo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;credo_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credo_cli.dir/credo_cli.cpp.o"
+  "CMakeFiles/credo_cli.dir/credo_cli.cpp.o.d"
+  "credo"
+  "credo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
