@@ -78,7 +78,11 @@ class CpuNodeEngine final : public CpuEngineBase {
       }
     }
 
-    BeliefVec msg;
+    // Hoisted hot-loop scratch: prev-copy and message block are
+    // arity-aware (only padded live lanes move), not full 32-float
+    // payloads.
+    EdgeBlockScratch scratch;
+    BeliefVec prev;
     for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
       r.stats.iterations = iter + 1;
       double sum = 0.0;
@@ -101,27 +105,21 @@ class CpuNodeEngine final : public CpuEngineBase {
         const std::uint32_t b = g.arity(v);
 
         // Local previous copy (Algorithm 1 line 5).
-        const BeliefVec prev = r.beliefs[v];
+        graph::copy_belief(prev, r.beliefs[v]);
         meter.rand_read(belief_bytes(b));
 
         // Pull from every parent (lines 6-9): scattered lookups, the Node
         // paradigm's cost (§3.3). Per Algorithm 1, the new belief combines
         // the incoming updates only — priors enter as the initial state.
+        // Parents run through the batched message kernel block by block.
         BeliefVec acc = BeliefVec::ones(b);
         meter.seq_read(sizeof(std::uint64_t));  // CSR offset
-        for (const auto& entry : in.neighbors(v)) {
-          meter.seq_read(sizeof(entry));  // adjacency index walk
-          const BeliefVec& parent = r.beliefs[entry.node];
-          meter.rand_read(belief_bytes(parent.size));
-          charge_joint_load(meter, joints, entry.edge);
-          const auto& jm = joints.at(entry.edge);
-          meter.flop(graph::compute_message(parent, jm, msg));
-          meter.flop(graph::combine(acc, msg));
-        }
+        pull_parents_blocked(in.neighbors(v), r.beliefs, joints, meter,
+                             scratch, acc);
         graph::normalize(acc);
         meter.flop(2ull * b);
         meter.flop(apply_damping(acc, prev, opts.damping));
-        r.beliefs[v] = acc;
+        graph::copy_belief(r.beliefs[v], acc);
         meter.rand_write(belief_bytes(b));
 
         const float d = graph::l1_diff(prev, acc);
@@ -185,7 +183,7 @@ class CpuEdgeEngine final : public CpuEngineBase {
     const std::uint32_t b = graph::compute_metadata(g).beliefs;
 
     std::vector<float> acc(static_cast<std::size_t>(n) * b, 0.0f);
-    BeliefVec msg;
+    EdgeBlockScratch scratch;
 
     for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
       r.stats.iterations = iter + 1;
@@ -201,24 +199,37 @@ class CpuEdgeEngine final : public CpuEngineBase {
 
       // Phase 2: one message per directed edge (edges sorted by source, so
       // the source belief is streamed; the destination combine is the
-      // scattered write, §3.3).
-      for (EdgeId e = 0; e < edges.size(); ++e) {
-        ++r.stats.elements_processed;
-        const auto& ed = edges[e];
-        meter.seq_read(sizeof(ed));
-        const BeliefVec& src = r.beliefs[ed.src];
-        meter.seq_read(belief_bytes(src.size));
-        charge_joint_load(meter, joints, e);
-        const auto& jm = joints.at(e);
-        meter.flop(graph::compute_message(src, jm, msg));
-        float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
-        for (std::uint32_t s = 0; s < msg.size; ++s) {
-          a[s] += log_msg(msg.v[s]);
+      // scattered write, §3.3). Edge-blocked traversal: gather a block of
+      // sources, run the batched message kernel once, then scatter the
+      // log-space combines in edge order.
+      for (std::size_t base = 0; base < edges.size();
+           base += graph::kEdgeBlock) {
+        const std::size_t count =
+            std::min(graph::kEdgeBlock, edges.size() - base);
+        for (std::size_t k = 0; k < count; ++k) {
+          const auto e = static_cast<EdgeId>(base + k);
+          ++r.stats.elements_processed;
+          const auto& ed = edges[e];
+          meter.seq_read(sizeof(ed));
+          const BeliefVec& src = r.beliefs[ed.src];
+          meter.seq_read(belief_bytes(src.size));
+          charge_joint_load(meter, joints, e);
+          scratch.srcs[k] = &src;
+          if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
         }
-        meter.flop(2ull * msg.size);
-        // Packed accumulator array stays cache-resident (near scatter).
-        meter.near_read(4ull * msg.size);
-        meter.near_write(4ull * msg.size);
+        meter.flop(compute_block(joints, scratch, count));
+        for (std::size_t k = 0; k < count; ++k) {
+          const auto& ed = edges[base + k];
+          const BeliefVec& msg = scratch.msgs[k];
+          float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
+          for (std::uint32_t s = 0; s < msg.size; ++s) {
+            a[s] += log_msg(msg.v[s]);
+          }
+          meter.flop(2ull * msg.size);
+          // Packed accumulator array stays cache-resident (near scatter).
+          meter.near_read(4ull * msg.size);
+          meter.near_write(4ull * msg.size);
+        }
       }
 
       // Phase 3: marginalize + convergence (streaming). Nodes with no
@@ -281,7 +292,7 @@ class CpuEdgeEngine final : public CpuEngineBase {
       if (!g.observed(edges[e].dst)) queue.push_back(e);
     }
 
-    BeliefVec msg;
+    EdgeBlockScratch scratch;
     for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
       r.stats.iterations = iter + 1;
 
@@ -289,29 +300,43 @@ class CpuEdgeEngine final : public CpuEngineBase {
       // is rebuilt in ascending edge-id order (nodes scanned in order,
       // out-edges contiguous because edges are source-sorted), so the edge
       // structs, source beliefs and message caches are all streamed.
-      for (const EdgeId e : queue) {
-        ++r.stats.elements_processed;
-        meter.seq_read(sizeof(EdgeId));
-        const auto& ed = edges[e];
-        meter.seq_read(sizeof(ed));
-        const BeliefVec& src = r.beliefs[ed.src];
-        meter.seq_read(belief_bytes(src.size));
-        charge_joint_load(meter, joints, e);
-        meter.flop(graph::compute_message(src, joints.at(e), msg));
-        float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
-        float* c = cache.data() + static_cast<std::size_t>(e) * b;
-        for (std::uint32_t s = 0; s < msg.size; ++s) {
-          const float lm = log_msg(msg.v[s]);
-          a[s] += lm - c[s];
-          c[s] = lm;
+      // Edge-blocked traversal through the batched message kernel.
+      for (std::size_t qbase = 0; qbase < queue.size();
+           qbase += graph::kEdgeBlock) {
+        const std::size_t count =
+            std::min(graph::kEdgeBlock, queue.size() - qbase);
+        for (std::size_t k = 0; k < count; ++k) {
+          const EdgeId e = queue[qbase + k];
+          ++r.stats.elements_processed;
+          meter.seq_read(sizeof(EdgeId));
+          const auto& ed = edges[e];
+          meter.seq_read(sizeof(ed));
+          const BeliefVec& src = r.beliefs[ed.src];
+          meter.seq_read(belief_bytes(src.size));
+          charge_joint_load(meter, joints, e);
+          scratch.srcs[k] = &src;
+          if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
         }
-        meter.flop(4ull * msg.size);
-        meter.near_read(4ull * msg.size);   // packed accumulators
-        meter.near_write(4ull * msg.size);
-        meter.seq_read(4ull * msg.size);    // message cache, streamed
-        meter.seq_write(4ull * msg.size);
-        dirty[ed.dst] = 1;
-        meter.near_write(1);
+        meter.flop(compute_block(joints, scratch, count));
+        for (std::size_t k = 0; k < count; ++k) {
+          const EdgeId e = queue[qbase + k];
+          const auto& ed = edges[e];
+          const BeliefVec& msg = scratch.msgs[k];
+          float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
+          float* c = cache.data() + static_cast<std::size_t>(e) * b;
+          for (std::uint32_t s = 0; s < msg.size; ++s) {
+            const float lm = log_msg(msg.v[s]);
+            a[s] += lm - c[s];
+            c[s] = lm;
+          }
+          meter.flop(4ull * msg.size);
+          meter.near_read(4ull * msg.size);   // packed accumulators
+          meter.near_write(4ull * msg.size);
+          meter.seq_read(4ull * msg.size);    // message cache, streamed
+          meter.seq_write(4ull * msg.size);
+          dirty[ed.dst] = 1;
+          meter.near_write(1);
+        }
       }
 
       // Phase 2: marginalize dirty nodes, rebuild the queue from the

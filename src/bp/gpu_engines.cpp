@@ -240,7 +240,7 @@ class CudaNodeEngine final : public GpuEngineBase {
       dev.launch(
           LaunchDims::cover(count, opts.block_threads), count,
           [&](ThreadCtx& ctx) {
-            thread_local BeliefVec msg;
+            thread_local EdgeBlockScratch scratch;
             NodeId v;
             if (opts.work_queue) {
               v = cur_q.load(ctx, ctx.global_id());
@@ -264,15 +264,30 @@ class CudaNodeEngine final : public GpuEngineBase {
               diff.store(ctx, v, 0.0f);
               return;
             }
-            for (std::uint64_t k = lo; k < hi; ++k) {
-              const auto entry = entries.load(ctx, k);
-              // The §3.3 cost of the Node paradigm: parent beliefs land at
-              // random addresses — uncoalesced sector transactions.
-              const BeliefVec parent = beliefs.load_scattered_bytes(
-                  ctx, entry.node, belief_bytes(prev.size));
-              const JointMatrix& jm = d.joint(ctx, entry.edge);
-              ctx.flop(graph::compute_message(parent, jm, msg));
-              ctx.flop(graph::combine(acc, msg));
+            // Edge-blocked parent walk: gather a block of parents (the
+            // §3.3 uncoalesced scattered loads, metered as before), run
+            // the batched message kernel once per block, combine in CSR
+            // order — identical math, amortized matrix walks.
+            for (std::uint64_t base = lo; base < hi;
+                 base += graph::kEdgeBlock) {
+              const std::size_t bcount = std::min<std::uint64_t>(
+                  graph::kEdgeBlock, hi - base);
+              for (std::size_t k = 0; k < bcount; ++k) {
+                const auto entry = entries.load(ctx, base + k);
+                scratch.srcs[k] = &beliefs.load_scattered_bytes(
+                    ctx, entry.node, belief_bytes(prev.size));
+                scratch.mats[k] = &d.joint(ctx, entry.edge);
+              }
+              ctx.flop(d.shared_joint
+                           ? graph::compute_messages_batched(
+                                 *scratch.mats[0], scratch.srcs.data(),
+                                 scratch.msgs.data(), bcount)
+                           : graph::compute_messages_batched(
+                                 scratch.mats.data(), scratch.srcs.data(),
+                                 scratch.msgs.data(), bcount));
+              for (std::size_t k = 0; k < bcount; ++k) {
+                ctx.flop(graph::combine(acc, scratch.msgs[k]));
+              }
             }
             graph::normalize(acc);
             ctx.flop(2ull * acc.size);

@@ -107,51 +107,53 @@ class OmpNodeEngine final : public OmpEngineBase {
       const std::uint64_t count = opts.work_queue ? queue.size() : n;
 
       // One parallel region per iteration: node loop + sum reduction
-      // ("#pragma omp parallel for reduction(+:sum)").
+      // ("#pragma omp parallel for reduction(+:sum)"). Chunk-granular
+      // dispatch: the node loop lives here and inlines — no type-erased
+      // call per element.
       main_meter.parallel_region();
-      const double sum = parallel::parallel_reduce_indexed(
+      const double sum = parallel::parallel_reduce_chunked(
           pool, 0, count, opts.schedule, opts.chunk,
-          [&](std::uint64_t qi, unsigned w, double& partial) {
-            thread_local BeliefVec msg;
+          [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
+              double& partial) {
+            thread_local EdgeBlockScratch scratch;
+            thread_local BeliefVec prev;
             perf::Meter meter(sinks[w].counters);
-            NodeId v;
-            if (opts.work_queue) {
-              v = queue[qi];
-              meter.seq_read(sizeof(NodeId));
-            } else {
-              v = static_cast<NodeId>(qi);
-              if (g.observed(v)) return;
-            }
-            if (in.degree(v) == 0) return;  // no updates to combine
-            const std::uint32_t b = g.arity(v);
-            const BeliefVec prev = r.beliefs[v];
-            meter.rand_read(belief_bytes(b));
-            BeliefVec acc = BeliefVec::ones(b);
-            meter.seq_read(sizeof(std::uint64_t));
-            for (const auto& entry : in.neighbors(v)) {
-              meter.seq_read(sizeof(entry));
+            for (std::uint64_t qi = lo; qi < hi; ++qi) {
+              NodeId v;
+              if (opts.work_queue) {
+                v = queue[qi];
+                meter.seq_read(sizeof(NodeId));
+              } else {
+                v = static_cast<NodeId>(qi);
+                if (g.observed(v)) continue;
+              }
+              if (in.degree(v) == 0) continue;  // no updates to combine
+              const std::uint32_t b = g.arity(v);
+              graph::copy_belief(prev, r.beliefs[v]);
+              meter.rand_read(belief_bytes(b));
+              BeliefVec acc = BeliefVec::ones(b);
+              meter.seq_read(sizeof(std::uint64_t));
               // In-place (chaotic) reads: a neighbor may already hold its
-              // new belief this iteration — standard async BP.
-              const BeliefVec parent = r.beliefs[entry.node];
-              meter.rand_read(belief_bytes(parent.size));
-              charge_joint_load(meter, joints, entry.edge);
-              meter.flop(graph::compute_message(
-                  parent, joints.at(entry.edge), msg));
-              meter.flop(graph::combine(acc, msg));
-            }
-            graph::normalize(acc);
-            meter.flop(2ull * b);
-            meter.flop(apply_damping(acc, prev, opts.damping));
-            r.beliefs[v] = acc;
-            meter.rand_write(belief_bytes(b));
-            const float d = graph::l1_diff(prev, acc);
-            meter.flop(2ull * b);
-            partial += d;
-            if (opts.work_queue && d > opts.queue_threshold) {
-              sinks[w].queue.push_back(v);
-              // Real implementation appends through one shared cursor.
-              meter.atomic(1, 1);
-              meter.seq_write(sizeof(NodeId));
+              // new belief this iteration — standard async BP. The batched
+              // kernel reads every parent of v before combining, which is
+              // the same snapshot the per-edge walk saw (v's own belief
+              // only moves after the walk).
+              pull_parents_blocked(in.neighbors(v), r.beliefs, joints,
+                                   meter, scratch, acc);
+              graph::normalize(acc);
+              meter.flop(2ull * b);
+              meter.flop(apply_damping(acc, prev, opts.damping));
+              graph::copy_belief(r.beliefs[v], acc);
+              meter.rand_write(belief_bytes(b));
+              const float d = graph::l1_diff(prev, acc);
+              meter.flop(2ull * b);
+              partial += d;
+              if (opts.work_queue && d > opts.queue_threshold) {
+                sinks[w].queue.push_back(v);
+                // Real implementation appends through one shared cursor.
+                meter.atomic(1, 1);
+                meter.seq_write(sizeof(NodeId));
+              }
             }
           });
       r.stats.elements_processed += count;
@@ -213,40 +215,58 @@ class OmpEdgeEngine final : public OmpEngineBase {
 
       // Region 1: reset accumulators to the multiplicative identity.
       main_meter.parallel_region();
-      parallel::parallel_for_indexed(
+      parallel::parallel_for_chunked(
           pool, 0, n, opts.schedule, opts.chunk,
-          [&](std::uint64_t vi, unsigned w) {
-            const auto v = static_cast<NodeId>(vi);
-            const std::uint32_t arity = g.arity(v);
-            float* a = acc.data() + static_cast<std::size_t>(v) * b;
-            for (std::uint32_t s = 0; s < arity; ++s) a[s] = 0.0f;
+          [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
             perf::Meter meter(sinks[w].counters);
-            meter.seq_write(4ull * arity);
+            for (std::uint64_t vi = lo; vi < hi; ++vi) {
+              const auto v = static_cast<NodeId>(vi);
+              const std::uint32_t arity = g.arity(v);
+              float* a = acc.data() + static_cast<std::size_t>(v) * b;
+              for (std::uint32_t s = 0; s < arity; ++s) a[s] = 0.0f;
+              meter.seq_write(4ull * arity);
+            }
           });
 
       // Region 2: edge messages with atomic combines (§3.3's extra
       // atomics). Sequential simulation makes the adds race-free; on real
       // silicon these are atomicAdd, and that cost is what gets metered.
+      // Each chunk runs an edge-blocked traversal through the batched
+      // message kernel.
       main_meter.parallel_region();
-      parallel::parallel_for_indexed(
+      parallel::parallel_for_chunked(
           pool, 0, edges.size(), opts.schedule, opts.chunk,
-          [&](std::uint64_t ei, unsigned w) {
-            thread_local BeliefVec msg;
-            const auto e = static_cast<EdgeId>(ei);
-            const auto& ed = edges[e];
+          [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
+            thread_local EdgeBlockScratch scratch;
             perf::Meter meter(sinks[w].counters);
-            meter.seq_read(sizeof(ed));
-            const BeliefVec src = r.beliefs[ed.src];
-            meter.seq_read(belief_bytes(src.size));
-            charge_joint_load(meter, joints, e);
-            meter.flop(graph::compute_message(src, joints.at(e), msg));
-            float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
-            for (std::uint32_t s = 0; s < msg.size; ++s) {
-              a[s] += log_msg(msg.v[s]);
+            for (std::uint64_t base = lo; base < hi;
+                 base += graph::kEdgeBlock) {
+              const std::size_t count = std::min<std::uint64_t>(
+                  graph::kEdgeBlock, hi - base);
+              for (std::size_t k = 0; k < count; ++k) {
+                const auto e = static_cast<EdgeId>(base + k);
+                const auto& ed = edges[e];
+                meter.seq_read(sizeof(ed));
+                const BeliefVec& src = r.beliefs[ed.src];
+                meter.seq_read(belief_bytes(src.size));
+                charge_joint_load(meter, joints, e);
+                scratch.srcs[k] = &src;
+                if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
+              }
+              meter.flop(compute_block(joints, scratch, count));
+              for (std::size_t k = 0; k < count; ++k) {
+                const auto& ed = edges[base + k];
+                const BeliefVec& msg = scratch.msgs[k];
+                float* a =
+                    acc.data() + static_cast<std::size_t>(ed.dst) * b;
+                for (std::uint32_t s = 0; s < msg.size; ++s) {
+                  a[s] += log_msg(msg.v[s]);
+                }
+                meter.flop(2ull * msg.size);
+                meter.atomic(msg.size, 0);
+                meter.near_write(4ull * msg.size);
+              }
             }
-            meter.flop(2ull * msg.size);
-            meter.atomic(msg.size, 0);
-            meter.near_write(4ull * msg.size);
           });
       r.stats.elements_processed += edges.size();
       // Deepest conflict chain: the hottest destination receives
@@ -255,24 +275,27 @@ class OmpEdgeEngine final : public OmpEngineBase {
 
       // Region 3: marginalize + reduction.
       main_meter.parallel_region();
-      const double sum = parallel::parallel_reduce_indexed(
+      const double sum = parallel::parallel_reduce_chunked(
           pool, 0, n, opts.schedule, opts.chunk,
-          [&](std::uint64_t vi, unsigned w, double& partial) {
-            const auto v = static_cast<NodeId>(vi);
-            if (g.observed(v) || g.in_csr().degree(v) == 0) return;
-            const std::uint32_t arity = g.arity(v);
-            BeliefVec nb;
+          [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
+              double& partial) {
             perf::Meter meter(sinks[w].counters);
-            meter.flop(softmax(
-                acc.data() + static_cast<std::size_t>(v) * b, arity, nb));
-            meter.seq_read(4ull * arity);
-            meter.flop(apply_damping(nb, r.beliefs[v], opts.damping));
-            const float d = graph::l1_diff(r.beliefs[v], nb);
-            meter.flop(2ull * arity);
-            meter.seq_read(belief_bytes(arity));
-            r.beliefs[v] = nb;
-            meter.seq_write(belief_bytes(arity));
-            partial += d;
+            for (std::uint64_t vi = lo; vi < hi; ++vi) {
+              const auto v = static_cast<NodeId>(vi);
+              if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
+              const std::uint32_t arity = g.arity(v);
+              BeliefVec nb;
+              meter.flop(softmax(
+                  acc.data() + static_cast<std::size_t>(v) * b, arity, nb));
+              meter.seq_read(4ull * arity);
+              meter.flop(apply_damping(nb, r.beliefs[v], opts.damping));
+              const float d = graph::l1_diff(r.beliefs[v], nb);
+              meter.flop(2ull * arity);
+              meter.seq_read(belief_bytes(arity));
+              graph::copy_belief(r.beliefs[v], nb);
+              meter.seq_write(belief_bytes(arity));
+              partial += d;
+            }
           });
 
       r.stats.final_delta = sum;

@@ -69,7 +69,8 @@ class ResidualEngine final : public Engine {
     const std::uint64_t max_updates =
         static_cast<std::uint64_t>(opts.max_iterations) * n;
     std::uint64_t updates = 0;
-    BeliefVec msg;
+    EdgeBlockScratch scratch;
+    BeliefVec prev;
     while (!pq.empty() && updates < max_updates) {
       const auto [prio, v] = pq.top();
       pq.pop();
@@ -80,23 +81,16 @@ class ResidualEngine final : public Engine {
       ++updates;
       ++r.stats.elements_processed;
 
-      const BeliefVec prev = r.beliefs[v];
+      graph::copy_belief(prev, r.beliefs[v]);
       meter.rand_read(belief_bytes(prev.size));
       BeliefVec acc = BeliefVec::ones(g.arity(v));
       meter.seq_read(sizeof(std::uint64_t));
-      for (const auto& entry : in.neighbors(v)) {
-        meter.seq_read(sizeof(entry));
-        const BeliefVec& parent = r.beliefs[entry.node];
-        meter.rand_read(belief_bytes(parent.size));
-        charge_joint_load(meter, joints, entry.edge);
-        meter.flop(
-            graph::compute_message(parent, joints.at(entry.edge), msg));
-        meter.flop(graph::combine(acc, msg));
-      }
+      pull_parents_blocked(in.neighbors(v), r.beliefs, joints, meter,
+                           scratch, acc);
       graph::normalize(acc);
       meter.flop(2ull * acc.size);
       meter.flop(apply_damping(acc, prev, opts.damping));
-      r.beliefs[v] = acc;
+      graph::copy_belief(r.beliefs[v], acc);
       meter.rand_write(belief_bytes(acc.size));
       const float d = graph::l1_diff(prev, acc);
       meter.flop(2ull * acc.size);

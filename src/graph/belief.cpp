@@ -1,39 +1,59 @@
+// Public belief kernels, restructured into the padded, stride-aligned
+// forms of belief_kernels.h. See that header for the layout and numerical
+// contracts (bit-identical to the scalar reference; convergence-feeding
+// reductions stay in scalar order).
 #include "graph/belief.h"
 
 #include <cmath>
 
+#include "graph/belief_kernels.h"
+
 namespace credo::graph {
 
 float normalize(BeliefVec& b) noexcept {
+  const std::uint32_t n = b.size;
+  const std::uint32_t w = padded_states(n);
+  float* __restrict v = b.v.data();
+  // Scalar-order sum: this value feeds convergence decisions downstream,
+  // so its rounding must not depend on the vector width.
   float sum = 0.0f;
-  for (std::uint32_t i = 0; i < b.size; ++i) sum += b.v[i];
+  for (std::uint32_t i = 0; i < n; ++i) sum += v[i];
   if (sum > 0.0f && std::isfinite(sum)) {
     const float inv = 1.0f / sum;
-    for (std::uint32_t i = 0; i < b.size; ++i) b.v[i] *= inv;
+    // Elementwise over the padded width (pads scale 0 -> 0 exactly).
+    for (std::uint32_t i = 0; i < w; ++i) v[i] *= inv;
   } else {
-    const float p = 1.0f / static_cast<float>(b.size);
-    for (std::uint32_t i = 0; i < b.size; ++i) b.v[i] = p;
+    const float p = 1.0f / static_cast<float>(n);
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = p;
   }
   return sum;
 }
 
 float l1_diff(const BeliefVec& a, const BeliefVec& b) noexcept {
-  float d = 0.0f;
   const std::uint32_t n = a.size < b.size ? a.size : b.size;
-  for (std::uint32_t i = 0; i < n; ++i) d += std::fabs(a.v[i] - b.v[i]);
+  const float* __restrict av = a.v.data();
+  const float* __restrict bv = b.v.data();
+  // Scalar-order sum: the per-node term of the convergence sum.
+  float d = 0.0f;
+  for (std::uint32_t i = 0; i < n; ++i) d += std::fabs(av[i] - bv[i]);
   return d;
 }
 
 std::uint32_t combine(BeliefVec& acc, const BeliefVec& m) noexcept {
+  const std::uint32_t w = padded_states(acc.size);
+  float* __restrict a = acc.v.data();
+  const float* __restrict mv = m.v.data();
+  // Elementwise product and max over whole vector registers: pad lanes are
+  // 0 * 0 = 0 and never win the max, so results match the scalar form.
   float maxv = 0.0f;
-  for (std::uint32_t i = 0; i < acc.size; ++i) {
-    acc.v[i] *= m.v[i];
-    if (acc.v[i] > maxv) maxv = acc.v[i];
+  for (std::uint32_t i = 0; i < w; ++i) {
+    a[i] *= mv[i];
+    maxv = a[i] > maxv ? a[i] : maxv;
   }
   // Rescale before products of many sub-unit messages underflow float.
   if (maxv > 0.0f && maxv < 1e-20f) {
     const float inv = 1.0f / maxv;
-    for (std::uint32_t i = 0; i < acc.size; ++i) acc.v[i] *= inv;
+    for (std::uint32_t i = 0; i < w; ++i) a[i] *= inv;
     return 2 * acc.size;
   }
   return acc.size;
@@ -53,13 +73,25 @@ JointMatrix JointMatrix::diffusion(std::uint32_t n, float stay) {
 std::uint32_t compute_message(const BeliefVec& in, const JointMatrix& j,
                               BeliefVec& out) noexcept {
   out.size = j.cols;
-  for (std::uint32_t c = 0; c < j.cols; ++c) out.v[c] = 0.0f;
-  for (std::uint32_t r = 0; r < j.rows; ++r) {
-    const float w = in.v[r];
-    if (w == 0.0f) continue;
-    for (std::uint32_t c = 0; c < j.cols; ++c) {
-      out.v[c] += w * j.m[r][c];
-    }
+  // One switch on the padded width selects a fixed-trip-count matvec the
+  // compiler fully vectorizes; matrix pad columns are zero, so out's pad
+  // lanes come out zero as the layout contract requires.
+  const float* iv = in.v.data();
+  const std::array<float, kMaxStates>* rows = j.m.data();
+  float* ov = out.v.data();
+  switch (padded_states(j.cols)) {
+    case 8:
+      detail::matvec_padded<8>(iv, rows, j.rows, ov);
+      break;
+    case 16:
+      detail::matvec_padded<16>(iv, rows, j.rows, ov);
+      break;
+    case 24:
+      detail::matvec_padded<24>(iv, rows, j.rows, ov);
+      break;
+    default:
+      detail::matvec_padded<32>(iv, rows, j.rows, ov);
+      break;
   }
   normalize(out);
   return 2u * j.rows * j.cols + 2u * j.cols;

@@ -18,8 +18,26 @@ namespace credo::graph {
 /// Maximum number of discrete states a variable may take.
 inline constexpr std::uint32_t kMaxStates = 32;
 
+/// SIMD lane count the kernel layer pads to: 8 floats is one AVX register
+/// (two SSE/NEON registers). Every kernel loop runs over a multiple of this
+/// stride with a compile-time trip count so the compiler emits vector code
+/// without peel/epilogue loops.
+inline constexpr std::uint32_t kSimdLane = 8;
+
+/// Rounds an arity up to the padded SIMD stride.
+constexpr std::uint32_t padded_states(std::uint32_t n) noexcept {
+  return (n + kSimdLane - 1) / kSimdLane * kSimdLane;
+}
+
 /// A (possibly unnormalized) categorical distribution over up to kMaxStates
 /// states. Fixed-capacity by design: this is the AoS element of §3.4.
+///
+/// Kernel-layer invariant: lanes [size, padded_states(size)) are zero in any
+/// vector the kernels produce, so padded-stride loops can run over whole
+/// SIMD registers without masking. Lanes beyond the padded width are
+/// unspecified scratch. Deliberately *not* over-aligned: unaligned vector
+/// loads are cheap on every target we model, and sizeof() feeds the GPU
+/// simulator's allocation/transfer metering, which must stay stable.
 struct BeliefVec {
   std::array<float, kMaxStates> v{};
   std::uint32_t size = 0;

@@ -1,109 +1,50 @@
+// Element-granular (std::function) entry points, implemented on top of the
+// chunk-granular templates in the header. Each body call still pays one
+// type-erased dispatch per element — callers on a hot path should use
+// parallel_for_chunked / parallel_reduce_chunked instead.
 #include "parallel/parallel_for.h"
 
-#include <algorithm>
-
-#include "util/error.h"
-
 namespace credo::parallel {
-namespace {
-
-/// Shared chunk dispenser for dynamic/guided schedules.
-struct ChunkCounter {
-  std::atomic<std::uint64_t> next;
-  std::uint64_t end;
-  std::uint64_t min_chunk;
-  unsigned team;
-
-  /// Claims the next chunk; returns false when the range is exhausted.
-  bool claim(Schedule schedule, std::uint64_t& lo, std::uint64_t& hi) {
-    if (schedule == Schedule::kDynamic) {
-      lo = next.fetch_add(min_chunk, std::memory_order_relaxed);
-      if (lo >= end) return false;
-      hi = std::min(end, lo + min_chunk);
-      return true;
-    }
-    // Guided: chunk = remaining / team, floored at min_chunk. A CAS loop is
-    // needed because the chunk size depends on the current position.
-    std::uint64_t cur = next.load(std::memory_order_relaxed);
-    for (;;) {
-      if (cur >= end) return false;
-      const std::uint64_t remaining = end - cur;
-      const std::uint64_t size =
-          std::max<std::uint64_t>(min_chunk, remaining / team);
-      const std::uint64_t want = std::min(end, cur + size);
-      if (next.compare_exchange_weak(cur, want,
-                                     std::memory_order_relaxed)) {
-        lo = cur;
-        hi = want;
-        return true;
-      }
-    }
-  }
-};
-
-void dispatch(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
-              Schedule schedule, std::uint64_t chunk,
-              const std::function<void(std::uint64_t, unsigned)>& body) {
-  if (begin >= end) return;
-  const unsigned team = pool.size();
-  if (schedule == Schedule::kStatic) {
-    const std::uint64_t span = end - begin;
-    pool.run_team([&](unsigned w) {
-      const std::uint64_t lo = begin + span * w / team;
-      const std::uint64_t hi = begin + span * (w + 1) / team;
-      for (std::uint64_t i = lo; i < hi; ++i) body(i, w);
-    });
-    return;
-  }
-  ChunkCounter counter{std::atomic<std::uint64_t>(begin), end,
-                       std::max<std::uint64_t>(1, chunk), team};
-  pool.run_team([&](unsigned w) {
-    std::uint64_t lo = 0;
-    std::uint64_t hi = 0;
-    while (counter.claim(schedule, lo, hi)) {
-      for (std::uint64_t i = lo; i < hi; ++i) body(i, w);
-    }
-  });
-}
-
-}  // namespace
 
 void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
                   Schedule schedule, std::uint64_t chunk,
                   const std::function<void(std::uint64_t)>& body) {
-  dispatch(pool, begin, end, schedule, chunk,
-           [&](std::uint64_t i, unsigned) { body(i); });
+  parallel_for_chunked(pool, begin, end, schedule, chunk,
+                       [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+                         for (std::uint64_t i = lo; i < hi; ++i) body(i);
+                       });
 }
 
 double parallel_reduce(
     ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
     Schedule schedule, std::uint64_t chunk,
     const std::function<void(std::uint64_t, double&)>& body) {
-  return parallel_reduce_indexed(
+  return parallel_reduce_chunked(
       pool, begin, end, schedule, chunk,
-      [&](std::uint64_t i, unsigned, double& p) { body(i, p); });
+      [&](std::uint64_t lo, std::uint64_t hi, unsigned, double& partial) {
+        for (std::uint64_t i = lo; i < hi; ++i) body(i, partial);
+      });
 }
 
 void parallel_for_indexed(
     ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
     Schedule schedule, std::uint64_t chunk,
     const std::function<void(std::uint64_t, unsigned)>& body) {
-  dispatch(pool, begin, end, schedule, chunk, body);
+  parallel_for_chunked(pool, begin, end, schedule, chunk,
+                       [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
+                         for (std::uint64_t i = lo; i < hi; ++i) body(i, w);
+                       });
 }
 
 double parallel_reduce_indexed(
     ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
     Schedule schedule, std::uint64_t chunk,
     const std::function<void(std::uint64_t, unsigned, double&)>& body) {
-  struct alignas(64) Padded {
-    double v = 0.0;
-  };
-  std::vector<Padded> partials(pool.size());
-  dispatch(pool, begin, end, schedule, chunk,
-           [&](std::uint64_t i, unsigned w) { body(i, w, partials[w].v); });
-  double sum = 0.0;
-  for (const auto& p : partials) sum += p.v;
-  return sum;
+  return parallel_reduce_chunked(
+      pool, begin, end, schedule, chunk,
+      [&](std::uint64_t lo, std::uint64_t hi, unsigned w, double& partial) {
+        for (std::uint64_t i = lo; i < hi; ++i) body(i, w, partial);
+      });
 }
 
 }  // namespace credo::parallel

@@ -105,6 +105,120 @@ INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleTest,
                            return "unknown";
                          });
 
+// ---------------------------------------------------------------------------
+// Chunk-granular overloads: the templated body(lo, hi, worker) dispatch the
+// engines' hot loops use (no type-erased call per element).
+// ---------------------------------------------------------------------------
+
+TEST_P(ScheduleTest, ChunkedForTilesTheRangeExactly) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kBegin = 17, kEnd = 10'017;
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks;
+  parallel_for_chunked(pool, kBegin, kEnd, GetParam(), 64,
+                       [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         EXPECT_LT(lo, hi);
+                         EXPECT_LT(w, 4u);
+                         chunks.emplace_back(lo, hi);
+                       });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, kBegin);
+  EXPECT_EQ(chunks.back().second, kEnd);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second)
+        << "gap or overlap at chunk " << i;
+  }
+}
+
+TEST_P(ScheduleTest, ChunkedForEmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for_chunked(pool, 5, 5, GetParam(), 8,
+                       [&](std::uint64_t, std::uint64_t, unsigned) {
+                         calls.fetch_add(1);
+                       });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_P(ScheduleTest, ChunkedForChunkLargerThanRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks;
+  parallel_for_chunked(pool, 100, 110, GetParam(), 1000,
+                       [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         EXPECT_LT(lo, hi);
+                         chunks.emplace_back(lo, hi);
+                       });
+  // Dynamic and guided hand the whole range to one claimer; static splits
+  // it across the team (OpenMP semantics) — either way it tiles exactly.
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_LE(chunks.size(), 4u);
+  if (GetParam() != Schedule::kStatic) EXPECT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks.front().first, 100u);
+  EXPECT_EQ(chunks.back().second, 110u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST_P(ScheduleTest, ChunkedReduceMatchesSerialSum) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 5000;
+  const double sum = parallel_reduce_chunked(
+      pool, 0, kN, GetParam(), 32,
+      [](std::uint64_t lo, std::uint64_t hi, unsigned, double& partial) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          partial += static_cast<double>(i);
+        }
+      });
+  EXPECT_DOUBLE_EQ(sum, kN * (kN - 1) / 2.0);
+}
+
+TEST(ParallelChunked, StaticReductionIsDeterministic) {
+  // Static chunk->worker assignment is a pure function of (range, chunk,
+  // workers), and partials are summed in worker order — so a reduction over
+  // rounding-sensitive values must give the same bits every run.
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 20'000;
+  const auto run = [&] {
+    return parallel_reduce_chunked(
+        pool, 0, kN, Schedule::kStatic, 64,
+        [](std::uint64_t lo, std::uint64_t hi, unsigned, double& partial) {
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            partial += 0.1 * static_cast<double>(i % 7);
+          }
+        });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 10; ++rep) {
+    EXPECT_EQ(run(), first) << "run " << rep;
+  }
+}
+
+TEST(ParallelChunked, ElementApisAgreeWithChunkedApis) {
+  // The std::function entry points are thin wrappers over the chunked
+  // templates; both views of the same range must produce the same result.
+  ThreadPool pool(3);
+  constexpr std::uint64_t kN = 1234;
+  const double per_element = parallel_reduce(
+      pool, 0, kN, Schedule::kGuided, 16,
+      [](std::uint64_t i, double& partial) {
+        partial += static_cast<double>(i * i);
+      });
+  const double chunked = parallel_reduce_chunked(
+      pool, 0, kN, Schedule::kGuided, 16,
+      [](std::uint64_t lo, std::uint64_t hi, unsigned, double& partial) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          partial += static_cast<double>(i * i);
+        }
+      });
+  EXPECT_DOUBLE_EQ(per_element, chunked);
+}
+
 TEST(ParallelReduce, PartialsAreIsolatedPerWorker) {
   // A reduction whose body writes large values must not race: the result
   // must be exact, not approximately right.
