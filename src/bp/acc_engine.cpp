@@ -2,11 +2,12 @@
 //
 // Models what the paper got from pragma-annotated offload after its tuning:
 //  * edge paradigm only (work queues need "finer grained control than what
-//    OpenACC offers");
+//    OpenACC offers") — hence a DenseSweep schedule;
 //  * data stays device-resident after the initial load, with the
 //    convergence scalar transferred only every `convergence_batch`
 //    iterations (the paper had to override the runtime's default of full
-//    per-iteration transfers to get even this);
+//    per-iteration transfers to get even this) — the runtime layer's
+//    batched controller cadence;
 //  * the runtime's generated reduction "fail[s] to precisely compute the
 //    convergence check": modelled as a per-element contribution floor
 //    (denormal diffs are not accumulated exactly), which keeps the sum
@@ -17,6 +18,10 @@
 #include <vector>
 
 #include "bp/engines_internal.h"
+#include "bp/runtime/backend.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/driver.h"
+#include "bp/runtime/schedule.h"
 #include "gpusim/atomics.h"
 #include "gpusim/device.h"
 #include "graph/metadata.h"
@@ -57,8 +62,9 @@ class AccEdgeEngine final : public Engine {
     return profile_;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     const util::Timer timer;
     Device dev(profile_);
     const NodeId n = g.num_nodes();
@@ -109,24 +115,25 @@ class AccEdgeEngine final : public Engine {
     const bool shared = g.joints().is_shared();
 
     BpResult r;
-    bool done = false;
-    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
-         ++iter) {
-      r.stats.iterations = iter + 1;
+    runtime::DenseSweep sched(m);
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kBatched);
+    runtime::DeviceBackend backend(dev, opts.block_threads);
 
-      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
-                 [&](ThreadCtx& ctx) {
-                   const auto v = static_cast<NodeId>(ctx.global_id());
-                   const std::uint32_t arity = g.arity(v);
-                   for (std::uint32_t s = 0; s < arity; ++s) {
-                     acc.store(ctx, static_cast<std::size_t>(v) * b + s,
-                               0.0f);
-                   }
-                 });
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t, runtime::IterationOutcome& out) {
+          out.delta_valid = false;
 
-      dev.launch(
-          LaunchDims::cover(m, opts.block_threads), m,
-          [&](ThreadCtx& ctx) {
+          backend.launch(n, [&](ThreadCtx& ctx) {
+            const auto v = static_cast<NodeId>(ctx.global_id());
+            const std::uint32_t arity = g.arity(v);
+            for (std::uint32_t s = 0; s < arity; ++s) {
+              acc.store(ctx, static_cast<std::size_t>(v) * b + s, 0.0f);
+            }
+          });
+
+          backend.launch(m, [&](ThreadCtx& ctx) {
             thread_local BeliefVec msg;
             const auto e = static_cast<EdgeId>(ctx.global_id());
             const DirectedEdge ed = edges.load(ctx, e);
@@ -143,47 +150,37 @@ class AccEdgeEngine final : public Engine {
             }
             ctx.flop(2ull * msg.size);
           });
-      r.stats.elements_processed += m;
-      perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
+          out.processed = m;
+          perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
 
-      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
-                 [&](ThreadCtx& ctx) {
-                   const auto v = static_cast<NodeId>(ctx.global_id());
-                   if (observed.load(ctx, v) != 0 ||
-                       g.in_csr().degree(v) == 0) {
-                     diff.store(ctx, v, 0.0f);
-                     return;
-                   }
-                   const std::uint32_t arity = g.arity(v);
-                   float local[graph::kMaxStates];
-                   for (std::uint32_t s = 0; s < arity; ++s) {
-                     local[s] = acc.load(
-                         ctx, static_cast<std::size_t>(v) * b + s);
-                   }
-                   BeliefVec nb;
-                   ctx.flop(softmax(local, arity, nb));
-                   const BeliefVec prev =
-                       beliefs.load_bytes(ctx, v, belief_bytes(arity));
-                   ctx.flop(apply_damping(nb, prev, opts.damping));
-                   float dlt = graph::l1_diff(prev, nb);
-                   ctx.flop(2ull * arity);
-                   // The imprecise runtime reduction: contributions are
-                   // floored rather than accumulated exactly.
-                   if (dlt < kReductionFloor) dlt = kReductionFloor;
-                   beliefs.store_bytes(ctx, v, nb, belief_bytes(arity));
-                   diff.store(ctx, v, dlt);
-                 });
-
-      if ((iter + 1) % opts.convergence_batch == 0 ||
-          iter + 1 == opts.max_iterations) {
-        const float sum = dev.read_scalar(dev.reduce_sum(diff_buf, n));
-        r.stats.final_delta = sum;
-        if (sum < opts.convergence_threshold) {
-          r.stats.converged = true;
-          done = true;
-        }
-      }
-    }
+          backend.launch(n, [&](ThreadCtx& ctx) {
+            const auto v = static_cast<NodeId>(ctx.global_id());
+            if (observed.load(ctx, v) != 0 || g.in_csr().degree(v) == 0) {
+              diff.store(ctx, v, 0.0f);
+              return;
+            }
+            const std::uint32_t arity = g.arity(v);
+            float local[graph::kMaxStates];
+            for (std::uint32_t s = 0; s < arity; ++s) {
+              local[s] =
+                  acc.load(ctx, static_cast<std::size_t>(v) * b + s);
+            }
+            BeliefVec nb;
+            ctx.flop(softmax(local, arity, nb));
+            const BeliefVec prev =
+                beliefs.load_bytes(ctx, v, belief_bytes(arity));
+            ctx.flop(ctl.damp(nb, prev));
+            float dlt = graph::l1_diff(prev, nb);
+            ctx.flop(2ull * arity);
+            // The imprecise runtime reduction: contributions are floored
+            // rather than accumulated exactly.
+            if (dlt < kReductionFloor) dlt = kReductionFloor;
+            beliefs.store_bytes(ctx, v, nb, belief_bytes(arity));
+            diff.store(ctx, v, dlt);
+          });
+        },
+        [&] { return backend.reduce_to_host(diff_buf, n); },
+        [&] { return dev.modelled_time(); });
 
     r.beliefs.resize(n);
     dev.d2h<BeliefVec>(r.beliefs, beliefs_buf);

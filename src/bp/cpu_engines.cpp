@@ -6,9 +6,18 @@
 // describe. The Node engine pulls from parents per node; the Edge engine
 // pushes one message per directed edge into log-space accumulators (the
 // combine that must be atomic in the parallel engines, §3.3).
+//
+// Composition over the runtime layer (DESIGN.md §5b): NodeFrontier /
+// DenseSweep / EdgeFrontier schedules, the every-iteration convergence
+// cadence, and the sequential backend. The bodies below are the paradigm
+// kernels with their original metering, untouched.
 #include <vector>
 
 #include "bp/engines_internal.h"
+#include "bp/runtime/backend.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/driver.h"
+#include "bp/runtime/schedule.h"
 #include "graph/metadata.h"
 #include "perf/cost_model.h"
 #include "util/error.h"
@@ -57,8 +66,9 @@ class CpuNodeEngine final : public CpuEngineBase {
     return EngineKind::kCpuNode;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     const util::Timer timer;
     BpResult r;
     r.beliefs = g.initial_beliefs();
@@ -66,85 +76,64 @@ class CpuNodeEngine final : public CpuEngineBase {
 
     const auto& in = g.in_csr();
     const auto& joints = g.joints();
-    const NodeId n = g.num_nodes();
 
     // Work queue (§3.5): indices of unconverged nodes; starts full.
-    std::vector<NodeId> queue;
-    std::vector<NodeId> next_queue;
-    if (opts.work_queue) {
-      queue.reserve(n);
-      for (NodeId v = 0; v < n; ++v) {
-        if (!g.observed(v)) queue.push_back(v);
-      }
-    }
+    runtime::NodeFrontier sched(g, opts.work_queue);
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+    const runtime::SequentialBackend backend;
 
     // Hoisted hot-loop scratch: prev-copy and message block are
     // arity-aware (only padded live lanes move), not full 32-float
     // payloads.
     EdgeBlockScratch scratch;
     BeliefVec prev;
-    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
-      r.stats.iterations = iter + 1;
-      double sum = 0.0;
-      next_queue.clear();
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t, runtime::IterationOutcome& out) {
+          out.delta = backend.reduce_range(
+              0, sched.size(),
+              [&](std::uint64_t lo, std::uint64_t hi, unsigned,
+                  double& partial) {
+                for (std::uint64_t qi = lo; qi < hi; ++qi) {
+                  const NodeId v = sched.at(meter, qi);
+                  if (!sched.queued() && g.observed(v)) continue;
+                  // A node with no incoming edges receives no updates: its
+                  // belief keeps its current (initial) value.
+                  if (in.degree(v) == 0) continue;
+                  ++out.processed;
+                  const std::uint32_t b = g.arity(v);
 
-      const std::uint64_t count = opts.work_queue ? queue.size() : n;
-      for (std::uint64_t qi = 0; qi < count; ++qi) {
-        NodeId v;
-        if (opts.work_queue) {
-          v = queue[qi];
-          meter.seq_read(sizeof(NodeId));  // queue entry
-        } else {
-          v = static_cast<NodeId>(qi);
-          if (g.observed(v)) continue;
-        }
-        // A node with no incoming edges receives no updates: its belief
-        // keeps its current (initial) value.
-        if (in.degree(v) == 0) continue;
-        ++r.stats.elements_processed;
-        const std::uint32_t b = g.arity(v);
+                  // Local previous copy (Algorithm 1 line 5).
+                  graph::copy_belief(prev, r.beliefs[v]);
+                  meter.rand_read(belief_bytes(b));
 
-        // Local previous copy (Algorithm 1 line 5).
-        graph::copy_belief(prev, r.beliefs[v]);
-        meter.rand_read(belief_bytes(b));
+                  // Pull from every parent (lines 6-9): scattered lookups,
+                  // the Node paradigm's cost (§3.3). Per Algorithm 1, the
+                  // new belief combines the incoming updates only — priors
+                  // enter as the initial state. Parents run through the
+                  // batched message kernel block by block.
+                  BeliefVec acc = BeliefVec::ones(b);
+                  meter.seq_read(sizeof(std::uint64_t));  // CSR offset
+                  pull_parents_blocked(in.neighbors(v), r.beliefs, joints,
+                                       meter, scratch, acc);
+                  graph::normalize(acc);
+                  meter.flop(2ull * b);
+                  meter.flop(ctl.damp(acc, prev));
+                  graph::copy_belief(r.beliefs[v], acc);
+                  meter.rand_write(belief_bytes(b));
 
-        // Pull from every parent (lines 6-9): scattered lookups, the Node
-        // paradigm's cost (§3.3). Per Algorithm 1, the new belief combines
-        // the incoming updates only — priors enter as the initial state.
-        // Parents run through the batched message kernel block by block.
-        BeliefVec acc = BeliefVec::ones(b);
-        meter.seq_read(sizeof(std::uint64_t));  // CSR offset
-        pull_parents_blocked(in.neighbors(v), r.beliefs, joints, meter,
-                             scratch, acc);
-        graph::normalize(acc);
-        meter.flop(2ull * b);
-        meter.flop(apply_damping(acc, prev, opts.damping));
-        graph::copy_belief(r.beliefs[v], acc);
-        meter.rand_write(belief_bytes(b));
-
-        const float d = graph::l1_diff(prev, acc);
-        meter.flop(2ull * b);
-        sum += d;
-        if (opts.work_queue && d > opts.queue_threshold) {
-          next_queue.push_back(v);
-          meter.seq_write(sizeof(NodeId));
-        }
-      }
-
-      r.stats.final_delta = sum;
-      if (sum < opts.convergence_threshold) {
-        r.stats.converged = true;
-        break;
-      }
-      if (opts.work_queue) {
-        queue.swap(next_queue);
-        if (queue.empty()) {
-          // Every remaining element individually converged.
-          r.stats.converged = true;
-          break;
-        }
-      }
-    }
+                  const float d = graph::l1_diff(prev, acc);
+                  meter.flop(2ull * b);
+                  partial += d;
+                  if (sched.queued() && ctl.element_active(d)) {
+                    sched.keep(meter, v);
+                  }
+                }
+              });
+        },
+        [] { return 0.0; },  // delta is never deferred on the CPU
+        [&] { return perf::model_time(r.stats.counters, profile_); });
     finish(r, timer);
     return r;
   }
@@ -162,14 +151,15 @@ class CpuEdgeEngine final : public CpuEngineBase {
     return EngineKind::kCpuEdge;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     return opts.work_queue ? run_queued(g, opts) : run_full(g, opts);
   }
 
  private:
   /// Jacobi-per-iteration form: reset accumulators, push every edge,
-  /// derive beliefs.
+  /// derive beliefs. DenseSweep schedule — every edge, every iteration.
   [[nodiscard]] BpResult run_full(const FactorGraph& g,
                                   const BpOptions& opts) const {
     const util::Timer timer;
@@ -185,85 +175,87 @@ class CpuEdgeEngine final : public CpuEngineBase {
     std::vector<float> acc(static_cast<std::size_t>(n) * b, 0.0f);
     EdgeBlockScratch scratch;
 
-    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
-      r.stats.iterations = iter + 1;
+    runtime::DenseSweep sched(edges.size());
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kEveryIteration);
 
-      // Phase 1: reset accumulators to the multiplicative identity
-      // (streaming); Algorithm 1 combines incoming updates only.
-      for (NodeId v = 0; v < n; ++v) {
-        const std::uint32_t arity = g.arity(v);
-        float* a = acc.data() + static_cast<std::size_t>(v) * b;
-        for (std::uint32_t s = 0; s < arity; ++s) a[s] = 0.0f;
-        meter.seq_write(4ull * arity);
-      }
-
-      // Phase 2: one message per directed edge (edges sorted by source, so
-      // the source belief is streamed; the destination combine is the
-      // scattered write, §3.3). Edge-blocked traversal: gather a block of
-      // sources, run the batched message kernel once, then scatter the
-      // log-space combines in edge order.
-      for (std::size_t base = 0; base < edges.size();
-           base += graph::kEdgeBlock) {
-        const std::size_t count =
-            std::min(graph::kEdgeBlock, edges.size() - base);
-        for (std::size_t k = 0; k < count; ++k) {
-          const auto e = static_cast<EdgeId>(base + k);
-          ++r.stats.elements_processed;
-          const auto& ed = edges[e];
-          meter.seq_read(sizeof(ed));
-          const BeliefVec& src = r.beliefs[ed.src];
-          meter.seq_read(belief_bytes(src.size));
-          charge_joint_load(meter, joints, e);
-          scratch.srcs[k] = &src;
-          if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
-        }
-        meter.flop(compute_block(joints, scratch, count));
-        for (std::size_t k = 0; k < count; ++k) {
-          const auto& ed = edges[base + k];
-          const BeliefVec& msg = scratch.msgs[k];
-          float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
-          for (std::uint32_t s = 0; s < msg.size; ++s) {
-            a[s] += log_msg(msg.v[s]);
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t, runtime::IterationOutcome& out) {
+          // Phase 1: reset accumulators to the multiplicative identity
+          // (streaming); Algorithm 1 combines incoming updates only.
+          for (NodeId v = 0; v < n; ++v) {
+            const std::uint32_t arity = g.arity(v);
+            float* a = acc.data() + static_cast<std::size_t>(v) * b;
+            for (std::uint32_t s = 0; s < arity; ++s) a[s] = 0.0f;
+            meter.seq_write(4ull * arity);
           }
-          meter.flop(2ull * msg.size);
-          // Packed accumulator array stays cache-resident (near scatter).
-          meter.near_read(4ull * msg.size);
-          meter.near_write(4ull * msg.size);
-        }
-      }
 
-      // Phase 3: marginalize + convergence (streaming). Nodes with no
-      // incoming edges received no updates and keep their beliefs.
-      double sum = 0.0;
-      for (NodeId v = 0; v < n; ++v) {
-        if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
-        const std::uint32_t arity = g.arity(v);
-        BeliefVec nb;
-        meter.flop(softmax(acc.data() + static_cast<std::size_t>(v) * b,
-                           arity, nb));
-        meter.seq_read(4ull * arity);
-        meter.flop(apply_damping(nb, r.beliefs[v], opts.damping));
-        const float d = graph::l1_diff(r.beliefs[v], nb);
-        meter.flop(2ull * arity);
-        meter.seq_read(belief_bytes(arity));
-        r.beliefs[v] = nb;
-        meter.seq_write(belief_bytes(arity));
-        sum += d;
-      }
+          // Phase 2: one message per directed edge (edges sorted by source,
+          // so the source belief is streamed; the destination combine is
+          // the scattered write, §3.3). Edge-blocked traversal: gather a
+          // block of sources, run the batched message kernel once, then
+          // scatter the log-space combines in edge order.
+          for (std::size_t base = 0; base < edges.size();
+               base += graph::kEdgeBlock) {
+            const std::size_t count =
+                std::min(graph::kEdgeBlock, edges.size() - base);
+            for (std::size_t k = 0; k < count; ++k) {
+              const auto e = static_cast<EdgeId>(base + k);
+              ++out.processed;
+              const auto& ed = edges[e];
+              meter.seq_read(sizeof(ed));
+              const BeliefVec& src = r.beliefs[ed.src];
+              meter.seq_read(belief_bytes(src.size));
+              charge_joint_load(meter, joints, e);
+              scratch.srcs[k] = &src;
+              if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
+            }
+            meter.flop(compute_block(joints, scratch, count));
+            for (std::size_t k = 0; k < count; ++k) {
+              const auto& ed = edges[base + k];
+              const BeliefVec& msg = scratch.msgs[k];
+              float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
+              for (std::uint32_t s = 0; s < msg.size; ++s) {
+                a[s] += log_msg(msg.v[s]);
+              }
+              meter.flop(2ull * msg.size);
+              // Packed accumulator array stays cache-resident (near
+              // scatter).
+              meter.near_read(4ull * msg.size);
+              meter.near_write(4ull * msg.size);
+            }
+          }
 
-      r.stats.final_delta = sum;
-      if (sum < opts.convergence_threshold) {
-        r.stats.converged = true;
-        break;
-      }
-    }
+          // Phase 3: marginalize + convergence (streaming). Nodes with no
+          // incoming edges received no updates and keep their beliefs.
+          double sum = 0.0;
+          for (NodeId v = 0; v < n; ++v) {
+            if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
+            const std::uint32_t arity = g.arity(v);
+            BeliefVec nb;
+            meter.flop(softmax(acc.data() + static_cast<std::size_t>(v) * b,
+                               arity, nb));
+            meter.seq_read(4ull * arity);
+            meter.flop(ctl.damp(nb, r.beliefs[v]));
+            const float d = graph::l1_diff(r.beliefs[v], nb);
+            meter.flop(2ull * arity);
+            meter.seq_read(belief_bytes(arity));
+            r.beliefs[v] = nb;
+            meter.seq_write(belief_bytes(arity));
+            sum += d;
+          }
+          out.delta = sum;
+        },
+        [] { return 0.0; },
+        [&] { return perf::model_time(r.stats.counters, profile_); });
     finish(r, timer);
     return r;
   }
 
   /// §3.5 queued form: per-edge message caches are updated incrementally
   /// (acc += log(new) - log(old)); only edges whose source changed last
-  /// iteration are reprocessed.
+  /// iteration are reprocessed. EdgeFrontier schedule.
   [[nodiscard]] BpResult run_queued(const FactorGraph& g,
                                     const BpOptions& opts) const {
     const util::Timer timer;
@@ -274,7 +266,7 @@ class CpuEdgeEngine final : public CpuEngineBase {
     const NodeId n = g.num_nodes();
     const auto& edges = g.edges();
     const auto& joints = g.joints();
-    const auto& out = g.out_csr();
+    const auto& out_csr = g.out_csr();
     const std::uint32_t b = graph::compute_metadata(g).beliefs;
 
     // Accumulators start at log(1) = 0: Algorithm 1 combines incoming
@@ -285,104 +277,92 @@ class CpuEdgeEngine final : public CpuEngineBase {
                              0.0f);
     std::vector<std::uint8_t> dirty(n, 0);
 
-    std::vector<EdgeId> queue;
-    std::vector<EdgeId> next_queue;
-    queue.reserve(edges.size());
-    for (EdgeId e = 0; e < edges.size(); ++e) {
-      if (!g.observed(edges[e].dst)) queue.push_back(e);
-    }
+    runtime::EdgeFrontier sched(g);
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kEveryIteration);
 
     EdgeBlockScratch scratch;
-    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
-      r.stats.iterations = iter + 1;
-
-      // Phase 1: replay queued edges with incremental combines. The queue
-      // is rebuilt in ascending edge-id order (nodes scanned in order,
-      // out-edges contiguous because edges are source-sorted), so the edge
-      // structs, source beliefs and message caches are all streamed.
-      // Edge-blocked traversal through the batched message kernel.
-      for (std::size_t qbase = 0; qbase < queue.size();
-           qbase += graph::kEdgeBlock) {
-        const std::size_t count =
-            std::min(graph::kEdgeBlock, queue.size() - qbase);
-        for (std::size_t k = 0; k < count; ++k) {
-          const EdgeId e = queue[qbase + k];
-          ++r.stats.elements_processed;
-          meter.seq_read(sizeof(EdgeId));
-          const auto& ed = edges[e];
-          meter.seq_read(sizeof(ed));
-          const BeliefVec& src = r.beliefs[ed.src];
-          meter.seq_read(belief_bytes(src.size));
-          charge_joint_load(meter, joints, e);
-          scratch.srcs[k] = &src;
-          if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
-        }
-        meter.flop(compute_block(joints, scratch, count));
-        for (std::size_t k = 0; k < count; ++k) {
-          const EdgeId e = queue[qbase + k];
-          const auto& ed = edges[e];
-          const BeliefVec& msg = scratch.msgs[k];
-          float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
-          float* c = cache.data() + static_cast<std::size_t>(e) * b;
-          for (std::uint32_t s = 0; s < msg.size; ++s) {
-            const float lm = log_msg(msg.v[s]);
-            a[s] += lm - c[s];
-            c[s] = lm;
-          }
-          meter.flop(4ull * msg.size);
-          meter.near_read(4ull * msg.size);   // packed accumulators
-          meter.near_write(4ull * msg.size);
-          meter.seq_read(4ull * msg.size);    // message cache, streamed
-          meter.seq_write(4ull * msg.size);
-          dirty[ed.dst] = 1;
-          meter.near_write(1);
-        }
-      }
-
-      // Phase 2: marginalize dirty nodes, rebuild the queue from the
-      // out-edges of nodes that moved beyond the element threshold.
-      double sum = 0.0;
-      next_queue.clear();
-      for (NodeId v = 0; v < n; ++v) {
-        meter.seq_read(1);  // dirty flag scan
-        if (!dirty[v]) continue;
-        dirty[v] = 0;
-        if (g.observed(v)) continue;
-        const std::uint32_t arity = g.arity(v);
-        BeliefVec nb;
-        meter.flop(softmax(acc.data() + static_cast<std::size_t>(v) * b,
-                           arity, nb));
-        meter.near_read(4ull * arity);
-        meter.flop(apply_damping(nb, r.beliefs[v], opts.damping));
-        const float d = graph::l1_diff(r.beliefs[v], nb);
-        meter.flop(2ull * arity);
-        meter.rand_read(belief_bytes(arity));
-        r.beliefs[v] = nb;
-        meter.rand_write(belief_bytes(arity));
-        sum += d;
-        if (d > opts.queue_threshold) {
-          meter.seq_read(sizeof(std::uint64_t));  // CSR offset
-          for (const auto& entry : out.neighbors(v)) {
-            meter.seq_read(sizeof(entry));
-            if (!g.observed(entry.node)) {
-              next_queue.push_back(entry.edge);
-              meter.seq_write(sizeof(EdgeId));
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t, runtime::IterationOutcome& out) {
+          // Phase 1: replay queued edges with incremental combines. The
+          // queue is rebuilt in ascending edge-id order (nodes scanned in
+          // order, out-edges contiguous because edges are source-sorted),
+          // so the edge structs, source beliefs and message caches are all
+          // streamed. Edge-blocked traversal through the batched message
+          // kernel.
+          for (std::size_t qbase = 0; qbase < sched.size();
+               qbase += graph::kEdgeBlock) {
+            const std::size_t count =
+                std::min<std::uint64_t>(graph::kEdgeBlock,
+                                        sched.size() - qbase);
+            for (std::size_t k = 0; k < count; ++k) {
+              const EdgeId e = sched.at(meter, qbase + k);
+              ++out.processed;
+              const auto& ed = edges[e];
+              meter.seq_read(sizeof(ed));
+              const BeliefVec& src = r.beliefs[ed.src];
+              meter.seq_read(belief_bytes(src.size));
+              charge_joint_load(meter, joints, e);
+              scratch.srcs[k] = &src;
+              if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
+            }
+            meter.flop(compute_block(joints, scratch, count));
+            for (std::size_t k = 0; k < count; ++k) {
+              const EdgeId e = sched.peek(qbase + k);
+              const auto& ed = edges[e];
+              const BeliefVec& msg = scratch.msgs[k];
+              float* a = acc.data() + static_cast<std::size_t>(ed.dst) * b;
+              float* c = cache.data() + static_cast<std::size_t>(e) * b;
+              for (std::uint32_t s = 0; s < msg.size; ++s) {
+                const float lm = log_msg(msg.v[s]);
+                a[s] += lm - c[s];
+                c[s] = lm;
+              }
+              meter.flop(4ull * msg.size);
+              meter.near_read(4ull * msg.size);   // packed accumulators
+              meter.near_write(4ull * msg.size);
+              meter.seq_read(4ull * msg.size);    // message cache, streamed
+              meter.seq_write(4ull * msg.size);
+              dirty[ed.dst] = 1;
+              meter.near_write(1);
             }
           }
-        }
-      }
 
-      r.stats.final_delta = sum;
-      if (sum < opts.convergence_threshold) {
-        r.stats.converged = true;
-        break;
-      }
-      queue.swap(next_queue);
-      if (queue.empty()) {
-        r.stats.converged = true;
-        break;
-      }
-    }
+          // Phase 2: marginalize dirty nodes, rebuild the queue from the
+          // out-edges of nodes that moved beyond the element threshold.
+          double sum = 0.0;
+          for (NodeId v = 0; v < n; ++v) {
+            meter.seq_read(1);  // dirty flag scan
+            if (!dirty[v]) continue;
+            dirty[v] = 0;
+            if (g.observed(v)) continue;
+            const std::uint32_t arity = g.arity(v);
+            BeliefVec nb;
+            meter.flop(softmax(acc.data() + static_cast<std::size_t>(v) * b,
+                               arity, nb));
+            meter.near_read(4ull * arity);
+            meter.flop(ctl.damp(nb, r.beliefs[v]));
+            const float d = graph::l1_diff(r.beliefs[v], nb);
+            meter.flop(2ull * arity);
+            meter.rand_read(belief_bytes(arity));
+            r.beliefs[v] = nb;
+            meter.rand_write(belief_bytes(arity));
+            sum += d;
+            if (ctl.element_active(d)) {
+              meter.seq_read(sizeof(std::uint64_t));  // CSR offset
+              for (const auto& entry : out_csr.neighbors(v)) {
+                meter.seq_read(sizeof(entry));
+                if (!g.observed(entry.node)) {
+                  sched.keep(meter, entry.edge);
+                }
+              }
+            }
+          }
+          out.delta = sum;
+        },
+        [] { return 0.0; },
+        [&] { return perf::model_time(r.stats.counters, profile_); });
     finish(r, timer);
     return r;
   }

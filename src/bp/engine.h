@@ -47,14 +47,23 @@ class Engine {
       const noexcept = 0;
 
   /// Runs BP on `g` to convergence (or the iteration cap) and returns the
-  /// marginal beliefs. The graph is not modified; engines copy the mutable
-  /// state they need.
-  [[nodiscard]] virtual BpResult run(const graph::FactorGraph& g,
-                                     const BpOptions& opts) const = 0;
+  /// marginal beliefs. Validates `opts` first (BpOptions::validate, which
+  /// throws util::InvalidArgument on out-of-domain settings). The graph is
+  /// not modified; engines copy the mutable state they need.
+  [[nodiscard]] BpResult run(const graph::FactorGraph& g,
+                             const BpOptions& opts) const {
+    opts.validate();
+    return do_run(g, opts);
+  }
 
   [[nodiscard]] std::string_view name() const noexcept {
     return engine_name(kind());
   }
+
+ protected:
+  /// Engine implementation hook; `opts` arrives validated.
+  [[nodiscard]] virtual BpResult do_run(const graph::FactorGraph& g,
+                                        const BpOptions& opts) const = 0;
 };
 
 /// Creates an engine of the given kind on the given hardware profile. CPU

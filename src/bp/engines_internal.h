@@ -77,19 +77,6 @@ inline void charge_joint_load(perf::Meter& meter,
   }
 }
 
-/// Applies damping: b = (1-d)*b + d*prev, renormalized. No-op at d == 0.
-/// Returns flops performed.
-inline std::uint32_t apply_damping(graph::BeliefVec& b,
-                                   const graph::BeliefVec& prev,
-                                   float damping) noexcept {
-  if (damping <= 0.0f) return 0;
-  for (std::uint32_t i = 0; i < b.size; ++i) {
-    b.v[i] = (1.0f - damping) * b.v[i] + damping * prev.v[i];
-  }
-  graph::normalize(b);
-  return 5 * b.size;
-}
-
 /// Bytes actually touched when loading/storing a belief vector (live floats
 /// plus the dimension field).
 inline std::uint64_t belief_bytes(std::uint32_t arity) noexcept {

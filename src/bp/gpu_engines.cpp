@@ -12,9 +12,19 @@
 //  * all graph data is uploaded once up front — the allocation + transfer
 //    cost that dominates small graphs (99.8% for the smallest benchmark,
 //    §4.1.1) is metered by those calls.
+//
+// Composition over the runtime layer (DESIGN.md §5b): device frontiers own
+// the double-buffered queues and cursor readbacks, the batched controller
+// owns the §3.6 check cadence, and the DeviceBackend owns launches and the
+// deferred reduction. Kernel bodies are unchanged.
 #include <vector>
 
 #include "bp/engines_internal.h"
+#include "bp/runtime/backend.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/device_schedule.h"
+#include "bp/runtime/driver.h"
+#include "bp/runtime/schedule.h"
 #include "gpusim/atomics.h"
 #include "gpusim/device.h"
 #include "graph/metadata.h"
@@ -184,31 +194,14 @@ class CudaNodeEngine final : public GpuEngineBase {
     return EngineKind::kCudaNode;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     const util::Timer timer;
     Device dev(profile_);
     DeviceGraph d = upload(dev, g, /*need_in_csr=*/true,
                            /*need_edges=*/false);
     const NodeId n = g.num_nodes();
-
-    // Work-queue double buffer + cursor.
-    DeviceBuffer<std::uint32_t> queue_a;
-    DeviceBuffer<std::uint32_t> queue_b;
-    DeviceBuffer<std::uint32_t> cursor;
-    std::uint32_t queued = 0;
-    if (opts.work_queue) {
-      queue_a = dev.alloc<std::uint32_t>(n);
-      queue_b = dev.alloc<std::uint32_t>(n);
-      cursor = dev.alloc<std::uint32_t>(1);
-      std::vector<std::uint32_t> init;
-      init.reserve(n);
-      for (NodeId v = 0; v < n; ++v) {
-        if (!g.observed(v)) init.push_back(v);
-      }
-      queued = static_cast<std::uint32_t>(init.size());
-      dev.h2d<std::uint32_t>(queue_a, init);
-    }
 
     BpResult r;
     const auto beliefs = d.beliefs.span();
@@ -217,32 +210,27 @@ class CudaNodeEngine final : public GpuEngineBase {
     const auto entries = d.in_entries.cspan();
     const auto diff = d.diff.span();
 
-    bool done = false;
-    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
-         ++iter) {
-      r.stats.iterations = iter + 1;
-      const std::uint64_t count = opts.work_queue ? queued : n;
-      if (opts.work_queue) {
-        // Reset the next-queue cursor and the diff buffer (stale entries of
-        // frozen nodes must not feed the reduction).
-        dev.launch(LaunchDims::cover(n, opts.block_threads), n,
-                   [&](ThreadCtx& ctx) {
-                     diff.store(ctx, ctx.global_id(), 0.0f);
-                   });
-        cursor.host()[0] = 0;
-      }
-      const auto cur_q =
-          (iter % 2 == 0) ? queue_a.cspan() : queue_b.cspan();
-      const auto next_q =
-          (iter % 2 == 0) ? queue_b.span() : queue_a.span();
-      const auto cursor_span = cursor.span();
+    // Device-resident §3.5 frontier (double buffer + atomic cursor) and
+    // the §3.6 batched check cadence.
+    runtime::DeviceNodeFrontier sched(dev, g, opts.work_queue,
+                                      opts.block_threads, diff);
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kBatched);
+    runtime::DeviceBackend backend(dev, opts.block_threads);
 
-      dev.launch(
-          LaunchDims::cover(count, opts.block_threads), count,
-          [&](ThreadCtx& ctx) {
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t iter, runtime::IterationOutcome& out) {
+          out.delta_valid = false;  // sum lives on-device until a check
+          const std::uint64_t count = sched.size();
+          const auto cur_q = sched.current(iter);
+          const auto next_q = sched.next(iter);
+          const auto cursor_span = sched.cursor();
+
+          backend.launch(count, [&](ThreadCtx& ctx) {
             thread_local EdgeBlockScratch scratch;
             NodeId v;
-            if (opts.work_queue) {
+            if (sched.queued()) {
               v = cur_q.load(ctx, ctx.global_id());
             } else {
               v = static_cast<NodeId>(ctx.global_id());
@@ -251,7 +239,7 @@ class CudaNodeEngine final : public GpuEngineBase {
                 return;
               }
             }
-            const bool scattered = opts.work_queue;
+            const bool scattered = sched.queued();
             const BeliefVec prev =
                 scattered ? beliefs.load_scattered_bytes(
                                 ctx, v, belief_bytes(g.arity(v)))
@@ -291,7 +279,7 @@ class CudaNodeEngine final : public GpuEngineBase {
             }
             graph::normalize(acc);
             ctx.flop(2ull * acc.size);
-            ctx.flop(apply_damping(acc, prev, opts.damping));
+            ctx.flop(ctl.damp(acc, prev));
             if (scattered) {
               beliefs.store_scattered_bytes(ctx, v, acc,
                                             belief_bytes(acc.size));
@@ -305,74 +293,51 @@ class CudaNodeEngine final : public GpuEngineBase {
             } else {
               diff.store(ctx, v, dlt);
             }
-            if (opts.work_queue && dlt > opts.queue_threshold) {
+            if (sched.queued() && ctl.element_active(dlt)) {
               const std::uint32_t slot =
                   gpusim::atomic_add_u32(ctx, cursor_span, 0, 1);
               next_q.store(ctx, slot, v);
             }
           });
-      r.stats.elements_processed += count;
+          out.processed = count;
 
-      // Warp-divergence charge: idle lanes stall on the warp's deepest
-      // walk; each idle message slot occupies a memory-latency slot.
-      {
-        const std::uint32_t bmax = graph::kMaxStates;
-        (void)bmax;
-        const auto degree_of = [&](std::uint64_t i) -> std::uint64_t {
-          NodeId v;
-          if (opts.work_queue) {
-            v = (iter % 2 == 0) ? queue_a.host()[i] : queue_b.host()[i];
-          } else {
-            v = static_cast<NodeId>(i);
-            if (g.observed(v)) return 0;
+          // Warp-divergence charge: idle lanes stall on the warp's deepest
+          // walk; each idle message slot occupies a memory-latency slot.
+          {
+            const auto degree_of = [&](std::uint64_t i) -> std::uint64_t {
+              NodeId v;
+              if (sched.queued()) {
+                v = sched.host_at(iter, i);
+              } else {
+                v = static_cast<NodeId>(i);
+                if (g.observed(v)) return 0;
+              }
+              return g.in_csr().degree(v);
+            };
+            const std::uint64_t extra =
+                warp_divergence_slots(count, degree_of);
+            std::uint64_t max_deg = 0;
+            for (std::uint64_t i = 0; i < count; ++i) {
+              max_deg = std::max(max_deg, degree_of(i));
+            }
+            perf::Meter m(dev.mutable_counters());
+            if (extra > 0) {
+              m.rand_read(belief_bytes(g.arity(0)), extra);
+            }
+            // Hub critical path: the kernel cannot retire before its
+            // deepest lane walks every parent (sector count x unhidden
+            // latency / the lane's own MLP).
+            if (max_deg > 0) {
+              const std::uint64_t sectors =
+                  (belief_bytes(g.arity(0)) + 31) / 32;
+              m.serial_latency(max_deg * sectors);
+            }
           }
-          return g.in_csr().degree(v);
-        };
-        const std::uint64_t extra = warp_divergence_slots(count, degree_of);
-        std::uint64_t max_deg = 0;
-        for (std::uint64_t i = 0; i < count; ++i) {
-          max_deg = std::max(max_deg, degree_of(i));
-        }
-        perf::Meter m(dev.mutable_counters());
-        if (extra > 0) {
-          m.rand_read(belief_bytes(g.arity(0)), extra);
-        }
-        // Hub critical path: the kernel cannot retire before its deepest
-        // lane walks every parent (sector count x unhidden latency / the
-        // lane's own MLP).
-        if (max_deg > 0) {
-          const std::uint64_t sectors =
-              (belief_bytes(g.arity(0)) + 31) / 32;
-          m.serial_latency(max_deg * sectors);
-        }
-      }
-
-      if (opts.work_queue) {
-        // Cursor readback sizes the next launch (4-byte d2h every
-        // iteration — part of the queue-management overhead of §3.5).
-        const std::uint32_t appended = cursor.host()[0];
-        perf::Meter m(dev.mutable_counters());
-        m.d2h(sizeof(std::uint32_t));
-        // Every append serialized on the single cursor.
-        m.atomic(0, appended);
-        queued = appended;
-        if (queued == 0) {
-          r.stats.converged = true;
-          done = true;
-        }
-      }
-
-      // Batched convergence check (§3.6).
-      if (!done && ((iter + 1) % opts.convergence_batch == 0 ||
-                    iter + 1 == opts.max_iterations)) {
-        const float sum = dev.read_scalar(dev.reduce_sum(d.diff, n));
-        r.stats.final_delta = sum;
-        if (sum < opts.convergence_threshold) {
-          r.stats.converged = true;
-          done = true;
-        }
-      }
-    }
+        },
+        // Batched convergence check (§3.6): shared-memory reduction + one
+        // scalar transfer.
+        [&] { return backend.reduce_to_host(d.diff, n); },
+        [&] { return dev.modelled_time(); });
     download(dev, d, r, timer);
     return r;
   }
@@ -390,8 +355,9 @@ class CudaEdgeEngine final : public GpuEngineBase {
     return EngineKind::kCudaEdge;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     return opts.work_queue ? run_queued(g, opts) : run_full(g, opts);
   }
 
@@ -415,28 +381,30 @@ class CudaEdgeEngine final : public GpuEngineBase {
     const auto diff = d.diff.span();
 
     BpResult r;
-    bool done = false;
-    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
-         ++iter) {
-      r.stats.iterations = iter + 1;
+    runtime::DenseSweep sched(m);
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kBatched);
+    runtime::DeviceBackend backend(dev, opts.block_threads);
 
-      // Kernel 1: reset accumulators to the multiplicative identity
-      // (coalesced stores).
-      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
-                 [&](ThreadCtx& ctx) {
-                   const auto v = static_cast<NodeId>(ctx.global_id());
-                   const std::uint32_t arity = g.arity(v);
-                   for (std::uint32_t s = 0; s < arity; ++s) {
-                     acc.store(ctx, static_cast<std::size_t>(v) * b + s,
-                               0.0f);
-                   }
-                 });
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t, runtime::IterationOutcome& out) {
+          out.delta_valid = false;
 
-      // Kernel 2: one thread per directed edge. Sources stream (edges are
-      // sorted by source); the combine is the atomic scattered write.
-      dev.launch(
-          LaunchDims::cover(m, opts.block_threads), m,
-          [&](ThreadCtx& ctx) {
+          // Kernel 1: reset accumulators to the multiplicative identity
+          // (coalesced stores).
+          backend.launch(n, [&](ThreadCtx& ctx) {
+            const auto v = static_cast<NodeId>(ctx.global_id());
+            const std::uint32_t arity = g.arity(v);
+            for (std::uint32_t s = 0; s < arity; ++s) {
+              acc.store(ctx, static_cast<std::size_t>(v) * b + s, 0.0f);
+            }
+          });
+
+          // Kernel 2: one thread per directed edge. Sources stream (edges
+          // are sorted by source); the combine is the atomic scattered
+          // write.
+          backend.launch(m, [&](ThreadCtx& ctx) {
             thread_local BeliefVec msg;
             const auto e = static_cast<EdgeId>(ctx.global_id());
             const DirectedEdge ed = edges.load(ctx, e);
@@ -451,45 +419,35 @@ class CudaEdgeEngine final : public GpuEngineBase {
             }
             ctx.flop(2ull * msg.size);
           });
-      r.stats.elements_processed += m;
-      perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
+          out.processed = m;
+          perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
 
-      // Kernel 3: marginalize + per-node diff (coalesced).
-      dev.launch(LaunchDims::cover(n, opts.block_threads), n,
-                 [&](ThreadCtx& ctx) {
-                   const auto v = static_cast<NodeId>(ctx.global_id());
-                   if (observed.load(ctx, v) != 0 ||
-                       g.in_csr().degree(v) == 0) {
-                     diff.store(ctx, v, 0.0f);
-                     return;
-                   }
-                   const std::uint32_t arity = g.arity(v);
-                   float local[graph::kMaxStates];
-                   for (std::uint32_t s = 0; s < arity; ++s) {
-                     local[s] =
-                         acc.load(ctx, static_cast<std::size_t>(v) * b + s);
-                   }
-                   BeliefVec nb;
-                   ctx.flop(softmax(local, arity, nb));
-                   const BeliefVec prev =
-                       beliefs.load_bytes(ctx, v, belief_bytes(arity));
-                   ctx.flop(apply_damping(nb, prev, opts.damping));
-                   const float dlt = graph::l1_diff(prev, nb);
-                   ctx.flop(2ull * arity);
-                   beliefs.store_bytes(ctx, v, nb, belief_bytes(arity));
-                   diff.store(ctx, v, dlt);
-                 });
-
-      if ((iter + 1) % opts.convergence_batch == 0 ||
-          iter + 1 == opts.max_iterations) {
-        const float sum = dev.read_scalar(dev.reduce_sum(d.diff, n));
-        r.stats.final_delta = sum;
-        if (sum < opts.convergence_threshold) {
-          r.stats.converged = true;
-          done = true;
-        }
-      }
-    }
+          // Kernel 3: marginalize + per-node diff (coalesced).
+          backend.launch(n, [&](ThreadCtx& ctx) {
+            const auto v = static_cast<NodeId>(ctx.global_id());
+            if (observed.load(ctx, v) != 0 || g.in_csr().degree(v) == 0) {
+              diff.store(ctx, v, 0.0f);
+              return;
+            }
+            const std::uint32_t arity = g.arity(v);
+            float local[graph::kMaxStates];
+            for (std::uint32_t s = 0; s < arity; ++s) {
+              local[s] =
+                  acc.load(ctx, static_cast<std::size_t>(v) * b + s);
+            }
+            BeliefVec nb;
+            ctx.flop(softmax(local, arity, nb));
+            const BeliefVec prev =
+                beliefs.load_bytes(ctx, v, belief_bytes(arity));
+            ctx.flop(ctl.damp(nb, prev));
+            const float dlt = graph::l1_diff(prev, nb);
+            ctx.flop(2ull * arity);
+            beliefs.store_bytes(ctx, v, nb, belief_bytes(arity));
+            diff.store(ctx, v, dlt);
+          });
+        },
+        [&] { return backend.reduce_to_host(d.diff, n); },
+        [&] { return dev.modelled_time(); });
     download(dev, d, r, timer);
     return r;
   }
@@ -508,9 +466,9 @@ class CudaEdgeEngine final : public GpuEngineBase {
     auto acc_buf = dev.alloc<float>(static_cast<std::size_t>(n) * b);
     auto cache_buf = dev.alloc<float>(m * b);
     auto dirty_buf = dev.alloc<std::uint8_t>(n);
-    auto queue_a = dev.alloc<std::uint32_t>(m);
-    auto queue_b = dev.alloc<std::uint32_t>(m);
-    auto cursor = dev.alloc<std::uint32_t>(1);
+    // Device-resident §3.5 edge frontier: double buffer + cursor, seeded
+    // with every edge into an unobserved node.
+    runtime::DeviceEdgeFrontier sched(dev, g);
     // Out-CSR for queue rebuild (changed node -> its out edges).
     std::vector<std::uint64_t> ooff(n + 1);
     std::vector<graph::Csr::Entry> oent;
@@ -525,19 +483,12 @@ class CudaEdgeEngine final : public GpuEngineBase {
     auto out_ent = dev.alloc<graph::Csr::Entry>(oent.size());
     dev.h2d<graph::Csr::Entry>(out_ent, oent);
 
-    // Initial state: acc = 0 = log(1) (Algorithm 1 combines updates only;
-    // priors seed the initial beliefs), cache = 0 (identity messages),
-    // queue = every edge into an unobserved node.
+    // Initial accumulators: acc = 0 = log(1) (Algorithm 1 combines updates
+    // only; priors seed the initial beliefs), cache = 0 (identity
+    // messages).
     {
       std::vector<float> acc0(static_cast<std::size_t>(n) * b, 0.0f);
       dev.h2d<float>(acc_buf, acc0);
-      std::vector<std::uint32_t> init;
-      init.reserve(m);
-      for (EdgeId e = 0; e < m; ++e) {
-        if (!g.observed(g.edge(e).dst)) init.push_back(e);
-      }
-      dev.h2d<std::uint32_t>(queue_a, init);
-      cursor.host()[0] = static_cast<std::uint32_t>(init.size());
     }
 
     const auto acc = acc_buf.span();
@@ -551,22 +502,21 @@ class CudaEdgeEngine final : public GpuEngineBase {
     const auto oents = out_ent.cspan();
 
     BpResult r;
-    std::uint32_t queued = cursor.host()[0];
-    bool done = false;
-    for (std::uint32_t iter = 0; iter < opts.max_iterations && !done;
-         ++iter) {
-      r.stats.iterations = iter + 1;
-      const auto cur_q =
-          (iter % 2 == 0) ? queue_a.cspan() : queue_b.cspan();
-      const auto next_q =
-          (iter % 2 == 0) ? queue_b.span() : queue_a.span();
-      cursor.host()[0] = 0;
-      const auto cursor_span = cursor.span();
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kBatched);
+    runtime::DeviceBackend backend(dev, opts.block_threads);
 
-      // Kernel 1: replay queued edges with incremental combines.
-      dev.launch(
-          LaunchDims::cover(queued, opts.block_threads), queued,
-          [&](ThreadCtx& ctx) {
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t iter, runtime::IterationOutcome& out) {
+          out.delta_valid = false;
+          const std::uint64_t queued = sched.size();
+          const auto cur_q = sched.current(iter);
+          const auto next_q = sched.next(iter);
+          const auto cursor_span = sched.cursor();
+
+          // Kernel 1: replay queued edges with incremental combines.
+          backend.launch(queued, [&](ThreadCtx& ctx) {
             thread_local BeliefVec msg;
             // Queue entries come out in ascending edge-id order (rebuilt
             // node-by-node over source-sorted edges), so edge structs,
@@ -590,14 +540,12 @@ class CudaEdgeEngine final : public GpuEngineBase {
             ctx.flop(4ull * msg.size);
             dirty.store_scattered(ctx, ed.dst, 1);
           });
-      r.stats.elements_processed += queued;
-      perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
+          out.processed = queued;
+          perf::Meter(dev.mutable_counters()).atomic(0, md.max_in_degree);
 
-      // Kernel 2: marginalize dirty nodes, rebuild the edge queue from the
-      // out-edges of nodes that moved.
-      dev.launch(
-          LaunchDims::cover(n, opts.block_threads), n,
-          [&](ThreadCtx& ctx) {
+          // Kernel 2: marginalize dirty nodes, rebuild the edge queue from
+          // the out-edges of nodes that moved.
+          backend.launch(n, [&](ThreadCtx& ctx) {
             const auto v = static_cast<NodeId>(ctx.global_id());
             if (dirty.load(ctx, v) == 0) {
               diff.store(ctx, v, 0.0f);
@@ -611,19 +559,20 @@ class CudaEdgeEngine final : public GpuEngineBase {
             const std::uint32_t arity = g.arity(v);
             float local[graph::kMaxStates];
             for (std::uint32_t s = 0; s < arity; ++s) {
-              local[s] = acc.load_near(
-                  ctx, static_cast<std::size_t>(v) * b + s);
+              local[s] =
+                  acc.load_near(ctx, static_cast<std::size_t>(v) * b + s);
             }
             BeliefVec nb;
             ctx.flop(softmax(local, arity, nb));
-            const BeliefVec prev = beliefs.load_scattered_bytes(
-                ctx, v, belief_bytes(arity));
-            ctx.flop(apply_damping(nb, prev, opts.damping));
+            const BeliefVec prev =
+                beliefs.load_scattered_bytes(ctx, v, belief_bytes(arity));
+            ctx.flop(ctl.damp(nb, prev));
             const float dlt = graph::l1_diff(prev, nb);
             ctx.flop(2ull * arity);
-            beliefs.store_scattered_bytes(ctx, v, nb, belief_bytes(arity));
+            beliefs.store_scattered_bytes(ctx, v, nb,
+                                          belief_bytes(arity));
             diff.store(ctx, v, dlt);
-            if (dlt > opts.queue_threshold) {
+            if (ctl.element_active(dlt)) {
               const std::uint64_t lo = ooffs.load(ctx, v);
               const std::uint64_t hi = ooffs.load(ctx, v + 1);
               const auto deg = static_cast<std::uint32_t>(hi - lo);
@@ -639,29 +588,9 @@ class CudaEdgeEngine final : public GpuEngineBase {
               }
             }
           });
-
-      {
-        const std::uint32_t appended = cursor.host()[0];
-        perf::Meter meter(dev.mutable_counters());
-        meter.d2h(sizeof(std::uint32_t));
-        meter.atomic(0, appended > 0 ? appended : 0);
-        queued = appended;
-      }
-      if (queued == 0) {
-        r.stats.converged = true;
-        done = true;
-      }
-
-      if (!done && ((iter + 1) % opts.convergence_batch == 0 ||
-                    iter + 1 == opts.max_iterations)) {
-        const float sum = dev.read_scalar(dev.reduce_sum(d.diff, n));
-        r.stats.final_delta = sum;
-        if (sum < opts.convergence_threshold) {
-          r.stats.converged = true;
-          done = true;
-        }
-      }
-    }
+        },
+        [&] { return backend.reduce_to_host(d.diff, n); },
+        [&] { return dev.modelled_time(); });
     download(dev, d, r, timer);
     return r;
   }

@@ -2,10 +2,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "bp/runtime/telemetry.h"
 #include "parallel/parallel_for.h"
 #include "perf/cost_model.h"
 #include "perf/counters.h"
+#include "util/error.h"
 
 namespace credo::bp {
 
@@ -52,6 +55,43 @@ struct BpOptions {
   /// which finds each level's members by rescanning the whole edge list
   /// (no adjacency index); false uses the CSR-indexed implementation.
   bool tree_naive = true;
+
+  /// Record one runtime::IterationRecord per iteration into
+  /// BpStats::trace (`credo_cli run --trace out.csv`). Off by default:
+  /// cheap but not free — one cost-model evaluation per iteration.
+  bool collect_trace = false;
+
+  /// Rejects settings that would loop forever, divide by zero or never
+  /// converge. Called by Engine::run before dispatching; throws
+  /// util::InvalidArgument. The comparisons are written so NaN fails too.
+  void validate() const {
+    if (!(convergence_threshold > 0.0f)) {
+      throw util::InvalidArgument(
+          "BpOptions: convergence_threshold must be positive");
+    }
+    if (!(queue_threshold > 0.0f)) {
+      throw util::InvalidArgument(
+          "BpOptions: queue_threshold must be positive");
+    }
+    if (max_iterations == 0) {
+      throw util::InvalidArgument(
+          "BpOptions: max_iterations must be nonzero");
+    }
+    if (!(damping >= 0.0f && damping < 1.0f)) {
+      throw util::InvalidArgument("BpOptions: damping must be in [0, 1)");
+    }
+    if (threads == 0) {
+      throw util::InvalidArgument("BpOptions: threads must be nonzero");
+    }
+    if (block_threads == 0) {
+      throw util::InvalidArgument(
+          "BpOptions: block_threads must be nonzero");
+    }
+    if (convergence_batch == 0) {
+      throw util::InvalidArgument(
+          "BpOptions: convergence_batch must be nonzero");
+    }
+  }
 };
 
 /// Outcome of a run. `time` is the modelled execution time on the engine's
@@ -66,6 +106,9 @@ struct BpStats {
   perf::Counters counters;
   perf::TimeBreakdown time;
   double host_seconds = 0.0;
+
+  /// Per-iteration telemetry; filled only when BpOptions::collect_trace.
+  std::vector<runtime::IterationRecord> trace;
 
   [[nodiscard]] double modelled_seconds() const noexcept {
     return time.total();

@@ -7,11 +7,19 @@
 // and SMT terms are what reproduce the paper's finding that 2/4/8-thread
 // OpenMP *slows BP down* (regions finish in well under a millisecond, so
 // team wake/join overhead dominates).
+//
+// Composition over the runtime layer (DESIGN.md §5b): the PoolBackend owns
+// the fork/join dispatch (and its parallel_region charge), the
+// FragmentedNodeFrontier owns the §3.5 per-worker queue fragments, and the
+// every-iteration controller owns thresholds and damping.
 #include <vector>
 
 #include "bp/engines_internal.h"
+#include "bp/runtime/backend.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/driver.h"
+#include "bp/runtime/schedule.h"
 #include "graph/metadata.h"
-#include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 #include "perf/cost_model.h"
 #include "util/error.h"
@@ -26,11 +34,10 @@ using graph::FactorGraph;
 using graph::NodeId;
 using parallel::ThreadPool;
 
-/// Per-worker sinks (metering and queue fragments), cache-line padded so
-/// the bookkeeping itself does not contend.
+/// Per-worker metering sinks, cache-line padded so the bookkeeping itself
+/// does not contend.
 struct alignas(64) WorkerSink {
   perf::Counters counters;
-  std::vector<NodeId> queue;
 };
 
 class OmpEngineBase : public Engine {
@@ -66,6 +73,16 @@ class OmpEngineBase : public Engine {
     r.stats.host_seconds = timer.seconds();
   }
 
+  /// Telemetry view of "counters so far": main counters plus every
+  /// worker sink, folded the same way finish() folds them at the end.
+  [[nodiscard]] perf::TimeBreakdown snapshot_time(
+      const BpResult& r, const std::vector<WorkerSink>& sinks,
+      const perf::HardwareProfile& p) const {
+    perf::Counters total = r.stats.counters;
+    for (const auto& s : sinks) total.add(s.counters);
+    return perf::model_time(total, p);
+  }
+
   perf::HardwareProfile profile_;
 };
 
@@ -81,8 +98,9 @@ class OmpNodeEngine final : public OmpEngineBase {
     return EngineKind::kOmpNode;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
     ThreadPool pool(static_cast<unsigned>(prof.parallel_units));
@@ -92,89 +110,60 @@ class OmpNodeEngine final : public OmpEngineBase {
     r.beliefs = g.initial_beliefs();
     const auto& in = g.in_csr();
     const auto& joints = g.joints();
-    const NodeId n = g.num_nodes();
 
-    std::vector<NodeId> queue;
-    if (opts.work_queue) {
-      for (NodeId v = 0; v < n; ++v) {
-        if (!g.observed(v)) queue.push_back(v);
-      }
-    }
+    runtime::FragmentedNodeFrontier sched(g, opts.work_queue, pool.size());
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+    runtime::PoolBackend backend(pool, opts, r.stats.counters);
 
-    perf::Meter main_meter(r.stats.counters);
-    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
-      r.stats.iterations = iter + 1;
-      const std::uint64_t count = opts.work_queue ? queue.size() : n;
-
-      // One parallel region per iteration: node loop + sum reduction
-      // ("#pragma omp parallel for reduction(+:sum)"). Chunk-granular
-      // dispatch: the node loop lives here and inlines — no type-erased
-      // call per element.
-      main_meter.parallel_region();
-      const double sum = parallel::parallel_reduce_chunked(
-          pool, 0, count, opts.schedule, opts.chunk,
-          [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
-              double& partial) {
-            thread_local EdgeBlockScratch scratch;
-            thread_local BeliefVec prev;
-            perf::Meter meter(sinks[w].counters);
-            for (std::uint64_t qi = lo; qi < hi; ++qi) {
-              NodeId v;
-              if (opts.work_queue) {
-                v = queue[qi];
-                meter.seq_read(sizeof(NodeId));
-              } else {
-                v = static_cast<NodeId>(qi);
-                if (g.observed(v)) continue;
-              }
-              if (in.degree(v) == 0) continue;  // no updates to combine
-              const std::uint32_t b = g.arity(v);
-              graph::copy_belief(prev, r.beliefs[v]);
-              meter.rand_read(belief_bytes(b));
-              BeliefVec acc = BeliefVec::ones(b);
-              meter.seq_read(sizeof(std::uint64_t));
-              // In-place (chaotic) reads: a neighbor may already hold its
-              // new belief this iteration — standard async BP. The batched
-              // kernel reads every parent of v before combining, which is
-              // the same snapshot the per-edge walk saw (v's own belief
-              // only moves after the walk).
-              pull_parents_blocked(in.neighbors(v), r.beliefs, joints,
-                                   meter, scratch, acc);
-              graph::normalize(acc);
-              meter.flop(2ull * b);
-              meter.flop(apply_damping(acc, prev, opts.damping));
-              graph::copy_belief(r.beliefs[v], acc);
-              meter.rand_write(belief_bytes(b));
-              const float d = graph::l1_diff(prev, acc);
-              meter.flop(2ull * b);
-              partial += d;
-              if (opts.work_queue && d > opts.queue_threshold) {
-                sinks[w].queue.push_back(v);
-                // Real implementation appends through one shared cursor.
-                meter.atomic(1, 1);
-                meter.seq_write(sizeof(NodeId));
-              }
-            }
-          });
-      r.stats.elements_processed += count;
-
-      r.stats.final_delta = sum;
-      if (sum < opts.convergence_threshold) {
-        r.stats.converged = true;
-        break;
-      }
-      if (opts.work_queue) {
-        queue.clear();
-        for (auto& s : sinks) {
-          queue.insert(queue.end(), s.queue.begin(), s.queue.end());
-          s.queue.clear();
-        }
-        if (queue.empty()) {
-          r.stats.converged = true;
-          break;
-        }
-      }
-    }
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t, runtime::IterationOutcome& out) {
+          const std::uint64_t count = sched.size();
+          // One parallel region per iteration: node loop + sum reduction
+          // ("#pragma omp parallel for reduction(+:sum)"). Chunk-granular
+          // dispatch: the node loop lives here and inlines — no type-erased
+          // call per element.
+          out.delta = backend.reduce_range(
+              0, count,
+              [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
+                  double& partial) {
+                thread_local EdgeBlockScratch scratch;
+                thread_local BeliefVec prev;
+                perf::Meter meter(sinks[w].counters);
+                for (std::uint64_t qi = lo; qi < hi; ++qi) {
+                  const NodeId v = sched.at(meter, qi);
+                  if (!sched.queued() && g.observed(v)) continue;
+                  if (in.degree(v) == 0) continue;  // no updates to combine
+                  const std::uint32_t b = g.arity(v);
+                  graph::copy_belief(prev, r.beliefs[v]);
+                  meter.rand_read(belief_bytes(b));
+                  BeliefVec acc = BeliefVec::ones(b);
+                  meter.seq_read(sizeof(std::uint64_t));
+                  // In-place (chaotic) reads: a neighbor may already hold
+                  // its new belief this iteration — standard async BP. The
+                  // batched kernel reads every parent of v before
+                  // combining, which is the same snapshot the per-edge walk
+                  // saw (v's own belief only moves after the walk).
+                  pull_parents_blocked(in.neighbors(v), r.beliefs, joints,
+                                       meter, scratch, acc);
+                  graph::normalize(acc);
+                  meter.flop(2ull * b);
+                  meter.flop(ctl.damp(acc, prev));
+                  graph::copy_belief(r.beliefs[v], acc);
+                  meter.rand_write(belief_bytes(b));
+                  const float d = graph::l1_diff(prev, acc);
+                  meter.flop(2ull * b);
+                  partial += d;
+                  if (sched.queued() && ctl.element_active(d)) {
+                    sched.keep(meter, w, v);
+                  }
+                }
+              });
+          out.processed = count;
+        },
+        [] { return 0.0; },
+        [&] { return snapshot_time(r, sinks, prof); });
     finish(r, timer, prof, sinks);
     return r;
   }
@@ -192,8 +181,9 @@ class OmpEdgeEngine final : public OmpEngineBase {
     return EngineKind::kOmpEdge;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
     ThreadPool pool(static_cast<unsigned>(prof.parallel_units));
@@ -210,100 +200,101 @@ class OmpEdgeEngine final : public OmpEngineBase {
     std::vector<float> acc(static_cast<std::size_t>(n) * b, 0.0f);
     perf::Meter main_meter(r.stats.counters);
 
-    for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
-      r.stats.iterations = iter + 1;
+    runtime::DenseSweep sched(edges.size());
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+    runtime::PoolBackend backend(pool, opts, r.stats.counters);
 
-      // Region 1: reset accumulators to the multiplicative identity.
-      main_meter.parallel_region();
-      parallel::parallel_for_chunked(
-          pool, 0, n, opts.schedule, opts.chunk,
-          [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
-            perf::Meter meter(sinks[w].counters);
-            for (std::uint64_t vi = lo; vi < hi; ++vi) {
-              const auto v = static_cast<NodeId>(vi);
-              const std::uint32_t arity = g.arity(v);
-              float* a = acc.data() + static_cast<std::size_t>(v) * b;
-              for (std::uint32_t s = 0; s < arity; ++s) a[s] = 0.0f;
-              meter.seq_write(4ull * arity);
-            }
-          });
-
-      // Region 2: edge messages with atomic combines (§3.3's extra
-      // atomics). Sequential simulation makes the adds race-free; on real
-      // silicon these are atomicAdd, and that cost is what gets metered.
-      // Each chunk runs an edge-blocked traversal through the batched
-      // message kernel.
-      main_meter.parallel_region();
-      parallel::parallel_for_chunked(
-          pool, 0, edges.size(), opts.schedule, opts.chunk,
-          [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
-            thread_local EdgeBlockScratch scratch;
-            perf::Meter meter(sinks[w].counters);
-            for (std::uint64_t base = lo; base < hi;
-                 base += graph::kEdgeBlock) {
-              const std::size_t count = std::min<std::uint64_t>(
-                  graph::kEdgeBlock, hi - base);
-              for (std::size_t k = 0; k < count; ++k) {
-                const auto e = static_cast<EdgeId>(base + k);
-                const auto& ed = edges[e];
-                meter.seq_read(sizeof(ed));
-                const BeliefVec& src = r.beliefs[ed.src];
-                meter.seq_read(belief_bytes(src.size));
-                charge_joint_load(meter, joints, e);
-                scratch.srcs[k] = &src;
-                if (!joints.is_shared()) scratch.mats[k] = &joints.at(e);
-              }
-              meter.flop(compute_block(joints, scratch, count));
-              for (std::size_t k = 0; k < count; ++k) {
-                const auto& ed = edges[base + k];
-                const BeliefVec& msg = scratch.msgs[k];
-                float* a =
-                    acc.data() + static_cast<std::size_t>(ed.dst) * b;
-                for (std::uint32_t s = 0; s < msg.size; ++s) {
-                  a[s] += log_msg(msg.v[s]);
+    runtime::run_loop(
+        opts, r.stats, ctl, sched,
+        [&](std::uint32_t, runtime::IterationOutcome& out) {
+          // Region 1: reset accumulators to the multiplicative identity.
+          backend.for_range(
+              0, n,
+              [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
+                perf::Meter meter(sinks[w].counters);
+                for (std::uint64_t vi = lo; vi < hi; ++vi) {
+                  const auto v = static_cast<NodeId>(vi);
+                  const std::uint32_t arity = g.arity(v);
+                  float* a = acc.data() + static_cast<std::size_t>(v) * b;
+                  for (std::uint32_t s = 0; s < arity; ++s) a[s] = 0.0f;
+                  meter.seq_write(4ull * arity);
                 }
-                meter.flop(2ull * msg.size);
-                meter.atomic(msg.size, 0);
-                meter.near_write(4ull * msg.size);
-              }
-            }
-          });
-      r.stats.elements_processed += edges.size();
-      // Deepest conflict chain: the hottest destination receives
-      // max-in-degree combines per belief slot.
-      main_meter.atomic(0, md.max_in_degree);
+              });
 
-      // Region 3: marginalize + reduction.
-      main_meter.parallel_region();
-      const double sum = parallel::parallel_reduce_chunked(
-          pool, 0, n, opts.schedule, opts.chunk,
-          [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
-              double& partial) {
-            perf::Meter meter(sinks[w].counters);
-            for (std::uint64_t vi = lo; vi < hi; ++vi) {
-              const auto v = static_cast<NodeId>(vi);
-              if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
-              const std::uint32_t arity = g.arity(v);
-              BeliefVec nb;
-              meter.flop(softmax(
-                  acc.data() + static_cast<std::size_t>(v) * b, arity, nb));
-              meter.seq_read(4ull * arity);
-              meter.flop(apply_damping(nb, r.beliefs[v], opts.damping));
-              const float d = graph::l1_diff(r.beliefs[v], nb);
-              meter.flop(2ull * arity);
-              meter.seq_read(belief_bytes(arity));
-              graph::copy_belief(r.beliefs[v], nb);
-              meter.seq_write(belief_bytes(arity));
-              partial += d;
-            }
-          });
+          // Region 2: edge messages with atomic combines (§3.3's extra
+          // atomics). Sequential simulation makes the adds race-free; on
+          // real silicon these are atomicAdd, and that cost is what gets
+          // metered. Each chunk runs an edge-blocked traversal through the
+          // batched message kernel.
+          backend.for_range(
+              0, edges.size(),
+              [&](std::uint64_t lo, std::uint64_t hi, unsigned w) {
+                thread_local EdgeBlockScratch scratch;
+                perf::Meter meter(sinks[w].counters);
+                for (std::uint64_t base = lo; base < hi;
+                     base += graph::kEdgeBlock) {
+                  const std::size_t count = std::min<std::uint64_t>(
+                      graph::kEdgeBlock, hi - base);
+                  for (std::size_t k = 0; k < count; ++k) {
+                    const auto e = static_cast<EdgeId>(base + k);
+                    const auto& ed = edges[e];
+                    meter.seq_read(sizeof(ed));
+                    const BeliefVec& src = r.beliefs[ed.src];
+                    meter.seq_read(belief_bytes(src.size));
+                    charge_joint_load(meter, joints, e);
+                    scratch.srcs[k] = &src;
+                    if (!joints.is_shared()) {
+                      scratch.mats[k] = &joints.at(e);
+                    }
+                  }
+                  meter.flop(compute_block(joints, scratch, count));
+                  for (std::size_t k = 0; k < count; ++k) {
+                    const auto& ed = edges[base + k];
+                    const BeliefVec& msg = scratch.msgs[k];
+                    float* a =
+                        acc.data() + static_cast<std::size_t>(ed.dst) * b;
+                    for (std::uint32_t s = 0; s < msg.size; ++s) {
+                      a[s] += log_msg(msg.v[s]);
+                    }
+                    meter.flop(2ull * msg.size);
+                    meter.atomic(msg.size, 0);
+                    meter.near_write(4ull * msg.size);
+                  }
+                }
+              });
+          out.processed = edges.size();
+          // Deepest conflict chain: the hottest destination receives
+          // max-in-degree combines per belief slot.
+          main_meter.atomic(0, md.max_in_degree);
 
-      r.stats.final_delta = sum;
-      if (sum < opts.convergence_threshold) {
-        r.stats.converged = true;
-        break;
-      }
-    }
+          // Region 3: marginalize + reduction.
+          out.delta = backend.reduce_range(
+              0, n,
+              [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
+                  double& partial) {
+                perf::Meter meter(sinks[w].counters);
+                for (std::uint64_t vi = lo; vi < hi; ++vi) {
+                  const auto v = static_cast<NodeId>(vi);
+                  if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
+                  const std::uint32_t arity = g.arity(v);
+                  BeliefVec nb;
+                  meter.flop(softmax(
+                      acc.data() + static_cast<std::size_t>(v) * b, arity,
+                      nb));
+                  meter.seq_read(4ull * arity);
+                  meter.flop(ctl.damp(nb, r.beliefs[v]));
+                  const float d = graph::l1_diff(r.beliefs[v], nb);
+                  meter.flop(2ull * arity);
+                  meter.seq_read(belief_bytes(arity));
+                  graph::copy_belief(r.beliefs[v], nb);
+                  meter.seq_write(belief_bytes(arity));
+                  partial += d;
+                }
+              });
+        },
+        [] { return 0.0; },
+        [&] { return snapshot_time(r, sinks, prof); });
     finish(r, timer, prof, sinks);
     return r;
   }

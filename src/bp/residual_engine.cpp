@@ -8,10 +8,17 @@
 // one node update, so iteration counts are not comparable with the sweep
 // engines — compare elements_processed instead (the residual scheduler's
 // selling point is doing far fewer updates to reach the same fixed point).
-#include <queue>
+//
+// Composition over the runtime layer (DESIGN.md §5b): the ResidualSchedule
+// owns the lazy-deletion max-heap and reprioritization walk, the controller
+// owns the per-element threshold and damping, and run_priority_loop owns
+// the update budget and telemetry epochs.
 #include <vector>
 
 #include "bp/engines_internal.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/driver.h"
+#include "bp/runtime/schedule.h"
 #include "graph/metadata.h"
 #include "perf/cost_model.h"
 #include "util/error.h"
@@ -41,81 +48,44 @@ class ResidualEngine final : public Engine {
     return profile_;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     const util::Timer timer;
     BpResult r;
     r.beliefs = g.initial_beliefs();
     perf::Meter meter(r.stats.counters);
 
     const auto& in = g.in_csr();
-    const auto& out = g.out_csr();
     const auto& joints = g.joints();
     const NodeId n = g.num_nodes();
 
-    // Priority queue of (residual, node). Stale entries are skipped by
-    // comparing against the residual table (lazy deletion).
-    std::vector<float> residual(n, 0.0f);
-    using Entry = std::pair<float, NodeId>;
-    std::priority_queue<Entry> pq;
-    for (NodeId v = 0; v < n; ++v) {
-      if (!g.observed(v) && in.degree(v) > 0) {
-        residual[v] = std::numeric_limits<float>::max();
-        pq.push({residual[v], v});
-      }
-    }
+    const runtime::ConvergenceController ctl(
+        opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+    runtime::ResidualSchedule sched(g, ctl, meter);
 
-    // Update budget equivalent to the sweep engines' iteration cap.
-    const std::uint64_t max_updates =
-        static_cast<std::uint64_t>(opts.max_iterations) * n;
-    std::uint64_t updates = 0;
     EdgeBlockScratch scratch;
     BeliefVec prev;
-    while (!pq.empty() && updates < max_updates) {
-      const auto [prio, v] = pq.top();
-      pq.pop();
-      meter.near_read(sizeof(Entry));
-      if (prio != residual[v] || residual[v] <= opts.queue_threshold) {
-        continue;  // stale or converged entry
-      }
-      ++updates;
-      ++r.stats.elements_processed;
+    runtime::run_priority_loop(
+        opts, n, r.stats, sched,
+        [&](NodeId v) -> float {
+          graph::copy_belief(prev, r.beliefs[v]);
+          meter.rand_read(belief_bytes(prev.size));
+          BeliefVec acc = BeliefVec::ones(g.arity(v));
+          meter.seq_read(sizeof(std::uint64_t));
+          pull_parents_blocked(in.neighbors(v), r.beliefs, joints, meter,
+                               scratch, acc);
+          graph::normalize(acc);
+          meter.flop(2ull * acc.size);
+          meter.flop(ctl.damp(acc, prev));
+          graph::copy_belief(r.beliefs[v], acc);
+          meter.rand_write(belief_bytes(acc.size));
+          const float d = graph::l1_diff(prev, acc);
+          meter.flop(2ull * acc.size);
+          return d;
+        },
+        [&] { return perf::model_time(r.stats.counters, profile_); });
 
-      graph::copy_belief(prev, r.beliefs[v]);
-      meter.rand_read(belief_bytes(prev.size));
-      BeliefVec acc = BeliefVec::ones(g.arity(v));
-      meter.seq_read(sizeof(std::uint64_t));
-      pull_parents_blocked(in.neighbors(v), r.beliefs, joints, meter,
-                           scratch, acc);
-      graph::normalize(acc);
-      meter.flop(2ull * acc.size);
-      meter.flop(apply_damping(acc, prev, opts.damping));
-      graph::copy_belief(r.beliefs[v], acc);
-      meter.rand_write(belief_bytes(acc.size));
-      const float d = graph::l1_diff(prev, acc);
-      meter.flop(2ull * acc.size);
-
-      residual[v] = 0.0f;
-      if (d > opts.queue_threshold) {
-        // The change flows to this node's children: raise their priority.
-        for (const auto& entry : out.neighbors(v)) {
-          meter.seq_read(sizeof(entry));
-          const NodeId c = entry.node;
-          if (g.observed(c) || in.degree(c) == 0) continue;
-          if (d > residual[c]) {
-            residual[c] = d;
-            pq.push({d, c});
-            meter.near_write(sizeof(Entry));
-          }
-        }
-      }
-      r.stats.final_delta = d;
-    }
-
-    r.stats.iterations =
-        static_cast<std::uint32_t>(std::min<std::uint64_t>(
-            updates / std::max<NodeId>(1, n) + 1, opts.max_iterations));
-    r.stats.converged = pq.empty() || updates < max_updates;
     r.stats.time = perf::model_time(r.stats.counters, profile_);
     r.stats.host_seconds = timer.seconds();
     return r;

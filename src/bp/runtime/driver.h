@@ -1,0 +1,125 @@
+// The shared iteration drivers (DESIGN.md §5b).
+//
+// Every sweep engine — sequential, thread-pool or device — runs the same
+// outer loop: ask the schedule what to process, run the paradigm's body,
+// advance the schedule (queue swap / cursor readback), then consult the
+// convergence controller. `run_loop` is that loop, written once; the
+// engines contribute only the body (the kernel math and its metering,
+// which stay engine-specific so modelled costs are untouched by this
+// layer). `run_priority_loop` is the analogous driver for the residual
+// engine, whose unit of progress is one node update rather than a sweep.
+//
+// Ordering note: the schedule advances *before* the global check. For CPU
+// engines the advance is unmetered, and for device frontiers the cursor
+// readback precedes the batched check in the original formulation too, so
+// both stats and metered totals are preserved exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bp/options.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/telemetry.h"
+#include "graph/factor_graph.h"
+
+namespace credo::bp::runtime {
+
+/// What one sweep produced, filled in by the engine body.
+struct IterationOutcome {
+  /// Global L1 sum for this sweep. Engines with deferred checks (device
+  /// reductions) leave it unset and clear `delta_valid`; the driver then
+  /// obtains the sum from `deferred_delta` only on check iterations.
+  double delta = 0.0;
+  bool delta_valid = true;
+
+  /// Elements actually processed (feeds BpStats::elements_processed).
+  std::uint64_t processed = 0;
+};
+
+/// Runs the sweep loop: `body(iter, out)` once per iteration, schedule
+/// advance, convergence check, optional telemetry.
+///
+/// Schedule must provide `begin_iteration(iter) -> frontier size` and
+/// `advance(iter) -> bool` (false = work drained, i.e. every element
+/// individually converged). `deferred_delta()` is called only when the body
+/// left `delta_valid` false and the cadence demands a check; `time_fn()`
+/// only when tracing.
+template <typename Schedule, typename Body, typename DeferredDelta,
+          typename TimeFn>
+void run_loop(const BpOptions& opts, BpStats& stats,
+              const ConvergenceController& ctl, Schedule& sched, Body&& body,
+              DeferredDelta&& deferred_delta, TimeFn&& time_fn) {
+  for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
+    stats.iterations = iter + 1;
+    const std::uint64_t frontier = sched.begin_iteration(iter);
+
+    IterationOutcome out;
+    body(iter, out);
+    stats.elements_processed += out.processed;
+
+    bool checked = out.delta_valid;
+    double delta = out.delta;
+    if (out.delta_valid) stats.final_delta = delta;
+
+    bool stop = false;
+    if (!sched.advance(iter)) {
+      // Queue drained: every remaining element individually converged.
+      stats.converged = true;
+      stop = true;
+    }
+    if (!stop && ctl.should_check(iter)) {
+      if (!out.delta_valid) {
+        delta = deferred_delta();
+        stats.final_delta = delta;
+        checked = true;
+      }
+      if (ctl.global_converged(delta)) {
+        stats.converged = true;
+        stop = true;
+      }
+    }
+    if (opts.collect_trace) {
+      stats.trace.push_back(IterationRecord{stats.iterations,
+                                            checked ? delta : 0.0, checked,
+                                            frontier, out.processed,
+                                            time_fn()});
+    }
+    if (stop) break;
+  }
+}
+
+/// Runs the residual-priority loop: one `body(v) -> delta` call per popped
+/// node, budgeted at `max_iterations * num_nodes` updates so the cap is
+/// comparable with the sweep engines'. The schedule must provide
+/// `pop(v) -> bool`, `record(v, delta)`, `empty()` and `pending()`.
+///
+/// When tracing, one IterationRecord is emitted per `num_nodes` updates (a
+/// sweep-equivalent epoch) so residual traces line up with sweep traces.
+template <typename Schedule, typename Body, typename TimeFn>
+void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
+                       BpStats& stats, Schedule& sched, Body&& body,
+                       TimeFn&& time_fn) {
+  const std::uint64_t max_updates =
+      static_cast<std::uint64_t>(opts.max_iterations) * num_nodes;
+  std::uint64_t updates = 0;
+  graph::NodeId v = 0;
+  while (updates < max_updates && sched.pop(v)) {
+    ++updates;
+    ++stats.elements_processed;
+    const float d = body(v);
+    sched.record(v, d);
+    stats.final_delta = d;
+    if (opts.collect_trace && num_nodes > 0 && updates % num_nodes == 0) {
+      stats.trace.push_back(IterationRecord{
+          static_cast<std::uint32_t>(updates / num_nodes), d, true,
+          sched.pending(), num_nodes, time_fn()});
+    }
+  }
+  stats.iterations = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      updates / std::max<std::uint64_t>(1, num_nodes) + 1,
+      opts.max_iterations));
+  stats.converged = sched.empty() || updates < max_updates;
+}
+
+}  // namespace credo::bp::runtime

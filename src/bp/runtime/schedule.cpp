@@ -1,0 +1,136 @@
+#include "bp/runtime/schedule.h"
+
+#include <limits>
+
+namespace credo::bp::runtime {
+
+namespace {
+constexpr std::uint32_t kNoLevel = ~0u;
+}  // namespace
+
+NodeFrontier::NodeFrontier(const graph::FactorGraph& g, bool use_queue)
+    : use_queue_(use_queue), n_(g.num_nodes()) {
+  if (!use_queue_) return;
+  queue_.reserve(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.observed(v)) queue_.push_back(v);
+  }
+}
+
+FragmentedNodeFrontier::FragmentedNodeFrontier(const graph::FactorGraph& g,
+                                               bool use_queue,
+                                               unsigned workers)
+    : use_queue_(use_queue), n_(g.num_nodes()), frags_(workers) {
+  if (!use_queue_) return;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.observed(v)) queue_.push_back(v);
+  }
+}
+
+EdgeFrontier::EdgeFrontier(const graph::FactorGraph& g) {
+  const auto& edges = g.edges();
+  queue_.reserve(edges.size());
+  for (graph::EdgeId e = 0; e < edges.size(); ++e) {
+    if (!g.observed(edges[e].dst)) queue_.push_back(e);
+  }
+}
+
+ResidualSchedule::ResidualSchedule(const graph::FactorGraph& g,
+                                   const ConvergenceController& ctl,
+                                   perf::Meter& meter)
+    : g_(g), ctl_(ctl), meter_(meter), residual_(g.num_nodes(), 0.0f) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.observed(v) && g.in_csr().degree(v) > 0) {
+      residual_[v] = std::numeric_limits<float>::max();
+      pq_.push({residual_[v], v});
+    }
+  }
+}
+
+bool ResidualSchedule::pop(graph::NodeId& v) {
+  while (!pq_.empty()) {
+    const auto [prio, u] = pq_.top();
+    pq_.pop();
+    meter_.near_read(sizeof(Entry));
+    if (prio != residual_[u] || !ctl_.element_active(residual_[u])) {
+      continue;  // stale or converged entry
+    }
+    v = u;
+    return true;
+  }
+  return false;
+}
+
+void ResidualSchedule::record(graph::NodeId v, float delta) {
+  residual_[v] = 0.0f;
+  if (!ctl_.element_active(delta)) return;
+  // The change flows to this node's children: raise their priority.
+  for (const auto& entry : g_.out_csr().neighbors(v)) {
+    meter_.seq_read(sizeof(entry));
+    const graph::NodeId c = entry.node;
+    if (g_.observed(c) || g_.in_csr().degree(c) == 0) continue;
+    if (delta > residual_[c]) {
+      residual_[c] = delta;
+      pq_.push({delta, c});
+      meter_.near_write(sizeof(Entry));
+    }
+  }
+}
+
+TreeLevels::TreeLevels(const graph::FactorGraph& g, bool naive,
+                       perf::Meter& meter)
+    : naive_(naive), level_(g.num_nodes(), kNoLevel) {
+  const graph::NodeId n = g.num_nodes();
+  const auto& edges = g.edges();
+  if (naive_) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      meter.seq_read(sizeof(std::uint32_t));
+      if (level_[v] != kNoLevel) continue;
+      level_[v] = 0;
+      // Relax over the whole edge list until the component stabilizes.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        meter.seq_read(edges.size() * sizeof(graph::DirectedEdge));
+        meter.near_read(sizeof(std::uint32_t), 2 * edges.size());
+        for (const auto& e : edges) {
+          if (level_[e.src] != kNoLevel && level_[e.dst] > level_[e.src] + 1) {
+            level_[e.dst] = level_[e.src] + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+  } else {
+    std::vector<graph::NodeId> frontier;
+    for (graph::NodeId root = 0; root < n; ++root) {
+      if (level_[root] != kNoLevel) continue;
+      level_[root] = 0;
+      frontier.assign(1, root);
+      std::uint32_t l = 0;
+      while (!frontier.empty()) {
+        std::vector<graph::NodeId> next;
+        for (const graph::NodeId v : frontier) {
+          meter.seq_read(sizeof(std::uint64_t));
+          for (const auto& entry : g.out_csr().neighbors(v)) {
+            meter.seq_read(sizeof(entry));
+            meter.rand_read(sizeof(std::uint32_t));
+            if (level_[entry.node] == kNoLevel) {
+              level_[entry.node] = l + 1;
+              next.push_back(entry.node);
+            }
+          }
+        }
+        frontier.swap(next);
+        ++l;
+      }
+    }
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (level_[v] > max_level_ && level_[v] != kNoLevel) {
+      max_level_ = level_[v];
+    }
+  }
+}
+
+}  // namespace credo::bp::runtime

@@ -1,0 +1,265 @@
+// Host-side schedule policies (DESIGN.md §5b).
+//
+// A schedule owns *which* node/edge indices run each round; the engines own
+// what happens to each index. Three families reproduce the paper's
+// schedules plus the residual extension:
+//  * DenseSweep           — every element, every iteration (Algorithm 1);
+//  * NodeFrontier /       — §3.5 work queues: elements whose delta stayed
+//    FragmentedNodeFrontier / EdgeFrontier
+//                           above the per-element threshold re-enqueue for
+//                           the next round, everything else freezes;
+//  * ResidualSchedule     — residual-prioritized selection (cf. §5.1,
+//                           Gonzalez et al.): the node that moved most
+//                           runs next.
+//
+// Queue traffic is metered here (entry reads on fetch, entry writes on
+// re-enqueue, the shared-cursor atomic for the fragmented form) exactly as
+// the engines metered it before the refactor, so modelled costs are
+// unchanged. TreeLevels is the schedule of the non-loopy §2.1.1 baseline:
+// a by-level edge ordering for the two Pearl sweeps.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "bp/runtime/convergence.h"
+#include "graph/csr.h"
+#include "graph/factor_graph.h"
+#include "perf/counters.h"
+
+namespace credo::bp::runtime {
+
+/// Dense sweep over a fixed element count — Algorithm 1 with no queue.
+class DenseSweep {
+ public:
+  explicit DenseSweep(std::uint64_t count) noexcept : count_(count) {}
+
+  std::uint64_t begin_iteration(std::uint32_t /*iter*/) const noexcept {
+    return count_;
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+  bool advance(std::uint32_t /*iter*/) const noexcept { return true; }
+
+ private:
+  std::uint64_t count_;
+};
+
+/// §3.5 node work queue (sequential form): a double-buffered index list.
+/// With `use_queue` false it degrades to a dense [0, n) sweep so one engine
+/// body serves both modes.
+class NodeFrontier {
+ public:
+  NodeFrontier(const graph::FactorGraph& g, bool use_queue);
+
+  [[nodiscard]] bool queued() const noexcept { return use_queue_; }
+
+  std::uint64_t begin_iteration(std::uint32_t /*iter*/) {
+    if (use_queue_) next_.clear();
+    return size();
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return use_queue_ ? queue_.size() : n_;
+  }
+
+  /// Fetches the qi-th scheduled node. Queue mode meters the entry read;
+  /// dense mode is the loop index itself.
+  graph::NodeId at(perf::Meter& meter, std::uint64_t qi) const {
+    if (!use_queue_) return static_cast<graph::NodeId>(qi);
+    meter.seq_read(sizeof(graph::NodeId));
+    return queue_[qi];
+  }
+
+  /// Re-enqueues a still-active node for the next round.
+  void keep(perf::Meter& meter, graph::NodeId v) {
+    next_.push_back(v);
+    meter.seq_write(sizeof(graph::NodeId));
+  }
+
+  /// Swaps in the next frontier; false when it is empty (all remaining
+  /// elements individually converged).
+  bool advance(std::uint32_t /*iter*/) {
+    if (!use_queue_) return true;
+    queue_.swap(next_);
+    return !queue_.empty();
+  }
+
+ private:
+  bool use_queue_;
+  std::uint64_t n_;
+  std::vector<graph::NodeId> queue_;
+  std::vector<graph::NodeId> next_;
+};
+
+/// §3.5 node work queue, thread-team form: appends go to per-worker
+/// fragments (the real implementation appends through one shared cursor,
+/// hence the atomic charge per keep), merged into one frontier at advance.
+class FragmentedNodeFrontier {
+ public:
+  FragmentedNodeFrontier(const graph::FactorGraph& g, bool use_queue,
+                         unsigned workers);
+
+  [[nodiscard]] bool queued() const noexcept { return use_queue_; }
+
+  std::uint64_t begin_iteration(std::uint32_t /*iter*/) const noexcept {
+    return size();
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return use_queue_ ? queue_.size() : n_;
+  }
+
+  graph::NodeId at(perf::Meter& meter, std::uint64_t qi) const {
+    if (!use_queue_) return static_cast<graph::NodeId>(qi);
+    meter.seq_read(sizeof(graph::NodeId));
+    return queue_[qi];
+  }
+
+  /// Worker-local re-enqueue; the metered atomic is the shared cursor
+  /// bump a real lock-free append would pay.
+  void keep(perf::Meter& meter, unsigned worker, graph::NodeId v) {
+    frags_[worker].push_back(v);
+    meter.atomic(1, 1);
+    meter.seq_write(sizeof(graph::NodeId));
+  }
+
+  bool advance(std::uint32_t /*iter*/) {
+    if (!use_queue_) return true;
+    queue_.clear();
+    for (auto& f : frags_) {
+      queue_.insert(queue_.end(), f.begin(), f.end());
+      f.clear();
+    }
+    return !queue_.empty();
+  }
+
+ private:
+  bool use_queue_;
+  std::uint64_t n_;
+  std::vector<graph::NodeId> queue_;
+  std::vector<std::vector<graph::NodeId>> frags_;
+};
+
+/// §3.5 edge work queue: starts with every edge into an unobserved
+/// destination; the engine re-enqueues the out-edges of nodes that moved.
+class EdgeFrontier {
+ public:
+  explicit EdgeFrontier(const graph::FactorGraph& g);
+
+  std::uint64_t begin_iteration(std::uint32_t /*iter*/) {
+    next_.clear();
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return queue_.size(); }
+
+  graph::EdgeId at(perf::Meter& meter, std::uint64_t qi) const {
+    meter.seq_read(sizeof(graph::EdgeId));
+    return queue_[qi];
+  }
+
+  /// Unmetered re-read of an entry already fetched this iteration (the
+  /// second access hits the same cache line the metered `at` paid for).
+  [[nodiscard]] graph::EdgeId peek(std::uint64_t qi) const noexcept {
+    return queue_[qi];
+  }
+
+  void keep(perf::Meter& meter, graph::EdgeId e) {
+    next_.push_back(e);
+    meter.seq_write(sizeof(graph::EdgeId));
+  }
+
+  bool advance(std::uint32_t /*iter*/) {
+    queue_.swap(next_);
+    return !queue_.empty();
+  }
+
+ private:
+  std::vector<graph::EdgeId> queue_;
+  std::vector<graph::EdgeId> next_;
+};
+
+/// Residual-prioritized schedule: a max-heap of (residual, node) with lazy
+/// deletion — stale entries are skipped by comparing against the residual
+/// table. Heap traffic (near reads per pop, near writes per push, the CSR
+/// walk of reprioritization) is metered through the meter bound at
+/// construction.
+class ResidualSchedule {
+ public:
+  using Entry = std::pair<float, graph::NodeId>;
+
+  ResidualSchedule(const graph::FactorGraph& g,
+                   const ConvergenceController& ctl, perf::Meter& meter);
+
+  /// Pops the highest-residual unconverged node. False when drained.
+  bool pop(graph::NodeId& v);
+
+  /// Records an update of `v` with belief change `delta`: clears v's
+  /// residual and raises its children's priorities.
+  void record(graph::NodeId v, float delta);
+
+  [[nodiscard]] bool empty() const noexcept { return pq_.empty(); }
+  [[nodiscard]] std::uint64_t pending() const noexcept { return pq_.size(); }
+
+ private:
+  const graph::FactorGraph& g_;
+  const ConvergenceController& ctl_;
+  perf::Meter& meter_;
+  std::vector<float> residual_;
+  std::priority_queue<Entry> pq_;
+};
+
+/// By-level schedule of the non-loopy §2.1.1 baseline: BFS levels rooted at
+/// each component's smallest node id, computed either by the paper's
+/// data-structure-free edge-list relaxation (`naive`, the "enormous
+/// overhead" mode) or by an indexed BFS over the CSR.
+class TreeLevels {
+ public:
+  TreeLevels(const graph::FactorGraph& g, bool naive, perf::Meter& meter);
+
+  [[nodiscard]] std::uint32_t max_level() const noexcept {
+    return max_level_;
+  }
+
+  /// Applies `fn` to every edge from `from_level` to `to_level`, in the
+  /// cost regime the mode implies (full edge-list scans per member when
+  /// naive, CSR walks when indexed).
+  template <typename Fn>
+  void for_edges(const graph::FactorGraph& g, std::uint32_t from_level,
+                 std::uint32_t to_level, perf::Meter& meter, Fn&& fn) const {
+    const auto& edges = g.edges();
+    const graph::NodeId n = g.num_nodes();
+    if (naive_) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        meter.seq_read(sizeof(std::uint32_t));  // level-array scan
+        if (level_[v] != from_level) continue;
+        // Full edge-list scan to find v's outgoing edges; each candidate
+        // costs the struct read plus the level lookups of both endpoints.
+        meter.seq_read(edges.size() * sizeof(graph::DirectedEdge));
+        meter.near_read(sizeof(std::uint32_t), 2 * edges.size());
+        for (graph::EdgeId e = 0; e < edges.size(); ++e) {
+          if (edges[e].src == v && level_[edges[e].dst] == to_level) {
+            fn(e);
+          }
+        }
+      }
+    } else {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        meter.seq_read(sizeof(std::uint32_t));
+        if (level_[v] != from_level) continue;
+        meter.seq_read(sizeof(std::uint64_t));
+        for (const auto& entry : g.out_csr().neighbors(v)) {
+          meter.seq_read(sizeof(entry));
+          meter.rand_read(sizeof(std::uint32_t));  // level[dst]
+          if (level_[entry.node] == to_level) fn(entry.edge);
+        }
+      }
+    }
+  }
+
+ private:
+  bool naive_;
+  std::vector<std::uint32_t> level_;
+  std::uint32_t max_level_ = 0;
+};
+
+}  // namespace credo::bp::runtime

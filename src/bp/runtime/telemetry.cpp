@@ -1,0 +1,21 @@
+#include "bp/runtime/telemetry.h"
+
+#include <ostream>
+
+namespace credo::bp::runtime {
+
+void write_trace_csv(std::ostream& os,
+                     const std::vector<IterationRecord>& trace) {
+  os << "iteration,delta,checked,frontier,processed,compute_s,memory_s,"
+        "atomic_s,critical_s,overhead_s,transfer_s,alloc_s,total_s\n";
+  for (const auto& rec : trace) {
+    os << rec.iteration << ',' << rec.delta << ',' << (rec.checked ? 1 : 0)
+       << ',' << rec.frontier << ',' << rec.processed << ','
+       << rec.time.compute_s << ',' << rec.time.memory_s << ','
+       << rec.time.atomic_s << ',' << rec.time.critical_s << ','
+       << rec.time.overhead_s << ',' << rec.time.transfer_s << ','
+       << rec.time.alloc_s << ',' << rec.time.total() << '\n';
+  }
+}
+
+}  // namespace credo::bp::runtime

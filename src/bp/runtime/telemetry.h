@@ -1,0 +1,48 @@
+// Per-iteration telemetry for the BP runtime (DESIGN.md §5b).
+//
+// Every engine's driver loop can append one IterationRecord per round, so
+// schedule behaviour — frontier shrink, batched-check cadence, where the
+// modelled time goes — becomes observable instead of inferred from final
+// stats. Collection is off by default (BpOptions::collect_trace) and the
+// records live in BpStats::trace; `credo_cli run --trace out.csv` dumps
+// them for any engine/graph.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "perf/cost_model.h"
+
+namespace credo::bp::runtime {
+
+/// One row of the per-iteration trace.
+struct IterationRecord {
+  /// 1-based iteration number (matches BpStats::iterations).
+  std::uint32_t iteration = 0;
+
+  /// Global L1 belief-change sum for this iteration. Only meaningful when
+  /// `checked` is set: engines with deferred (batched, §3.6) convergence
+  /// checks do not know the delta on intermediate iterations.
+  double delta = 0.0;
+
+  /// Whether the convergence sum was actually evaluated this iteration.
+  bool checked = false;
+
+  /// Elements the schedule offered this round (queue length, or the full
+  /// node/edge count for dense sweeps).
+  std::uint64_t frontier = 0;
+
+  /// Elements actually processed (frontier minus skips such as observed or
+  /// parentless nodes).
+  std::uint64_t processed = 0;
+
+  /// Cumulative modelled time at the end of this iteration.
+  perf::TimeBreakdown time;
+};
+
+/// Writes the trace as CSV (header + one row per record).
+void write_trace_csv(std::ostream& os,
+                     const std::vector<IterationRecord>& trace);
+
+}  // namespace credo::bp::runtime

@@ -9,17 +9,19 @@
 // tree edges carry messages (the two-sweep approximation — the reason the
 // paper moves to loopy BP for general graphs).
 //
-// Two implementations are provided, selected by BpOptions::tree_naive:
-//  * naive  — the paper's baseline: no adjacency index; every level's
-//    members are found by scanning the level array, and each member's
-//    edges by scanning the entire edge list. The O(n·m) work this causes is
-//    the "enormous overhead ... processing the graph by-level" of §2.1.1.
-//  * indexed — same mathematics driven by the CSR index, O(n + m).
+// The by-level ordering — including the baseline's "enormous overhead" of
+// finding each level's members without an adjacency index
+// (BpOptions::tree_naive) versus the CSR-indexed walk — lives in
+// runtime::TreeLevels (DESIGN.md §5b); this file keeps only Pearl's
+// message mathematics. There is no convergence loop: the two sweeps are
+// the whole schedule, so the stats report two fixed "iterations" (and two
+// trace records when tracing).
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "bp/engines_internal.h"
+#include "bp/runtime/schedule.h"
 #include "perf/cost_model.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -32,8 +34,6 @@ using graph::DirectedEdge;
 using graph::EdgeId;
 using graph::FactorGraph;
 using graph::NodeId;
-
-constexpr std::uint32_t kNoLevel = ~0u;
 
 class TreeEngine final : public Engine {
  public:
@@ -52,70 +52,20 @@ class TreeEngine final : public Engine {
     return profile_;
   }
 
-  [[nodiscard]] BpResult run(const FactorGraph& g,
-                             const BpOptions& opts) const override {
+ protected:
+  [[nodiscard]] BpResult do_run(const FactorGraph& g,
+                                const BpOptions& opts) const override {
     const util::Timer timer;
     BpResult r;
     perf::Meter meter(r.stats.counters);
     const NodeId n = g.num_nodes();
     const auto& edges = g.edges();
 
-    // ---- Level determination ----
-    // Naive mode models the baseline's repeated full-edge relaxation; the
-    // indexed mode runs a BFS over the CSR. Both produce BFS levels rooted
-    // at the smallest node id of each component.
-    std::vector<std::uint32_t> level(n, kNoLevel);
-    std::uint32_t max_level = 0;
-    if (opts.tree_naive) {
-      for (NodeId v = 0; v < n; ++v) {
-        meter.seq_read(sizeof(std::uint32_t));
-        if (level[v] != kNoLevel) continue;
-        level[v] = 0;
-        // Relax over the whole edge list until the component stabilizes.
-        bool changed = true;
-        while (changed) {
-          changed = false;
-          meter.seq_read(edges.size() * sizeof(DirectedEdge));
-          meter.near_read(sizeof(std::uint32_t), 2 * edges.size());
-          for (const auto& e : edges) {
-            if (level[e.src] != kNoLevel &&
-                level[e.dst] > level[e.src] + 1) {
-              level[e.dst] = level[e.src] + 1;
-              changed = true;
-            }
-          }
-        }
-      }
-    } else {
-      std::vector<NodeId> frontier;
-      for (NodeId root = 0; root < n; ++root) {
-        if (level[root] != kNoLevel) continue;
-        level[root] = 0;
-        frontier.assign(1, root);
-        std::uint32_t l = 0;
-        while (!frontier.empty()) {
-          std::vector<NodeId> next;
-          for (const NodeId v : frontier) {
-            meter.seq_read(sizeof(std::uint64_t));
-            for (const auto& entry : g.out_csr().neighbors(v)) {
-              meter.seq_read(sizeof(entry));
-              meter.rand_read(sizeof(std::uint32_t));
-              if (level[entry.node] == kNoLevel) {
-                level[entry.node] = l + 1;
-                next.push_back(entry.node);
-              }
-            }
-          }
-          frontier.swap(next);
-          ++l;
-        }
-      }
-    }
-    for (NodeId v = 0; v < n; ++v) {
-      if (level[v] > max_level && level[v] != kNoLevel) {
-        max_level = level[v];
-      }
-    }
+    // By-level schedule: BFS levels rooted at each component's smallest
+    // node id, computed in the mode's cost regime (naive relaxation vs
+    // indexed BFS).
+    const runtime::TreeLevels levels(g, opts.tree_naive, meter);
+    const std::uint32_t max_level = levels.max_level();
 
     // Reverse-edge lookup for message exclusion (u,v) -> edge id.
     std::unordered_map<std::uint64_t, EdgeId> reverse;
@@ -144,9 +94,16 @@ class TreeEngine final : public Engine {
       meter.rand_write(belief_bytes(msg.size));
     };
     for (std::uint32_t l = max_level; l >= 1; --l) {
-      for_level_edges(g, level, l, l - 1, opts.tree_naive, meter,
-                      process_up_edge);
+      levels.for_edges(g, l, l - 1, meter, process_up_edge);
       if (l == 1) break;
+    }
+    const std::uint64_t pass1_edges = r.stats.elements_processed;
+    if (opts.collect_trace) {
+      // The sweeps carry no convergence delta (the result is exact on
+      // trees), so the records report structure only.
+      r.stats.trace.push_back(runtime::IterationRecord{
+          1, 0.0, false, pass1_edges, pass1_edges,
+          perf::model_time(r.stats.counters, profile_)});
     }
 
     // ---- Pass 2 (φ / distribute): roots -> deepest level ----
@@ -183,8 +140,14 @@ class TreeEngine final : public Engine {
       meter.rand_write(belief_bytes(msg.size));
     };
     for (std::uint32_t l = 0; l < max_level; ++l) {
-      for_level_edges(g, level, l, l + 1, opts.tree_naive, meter,
-                      process_down_edge);
+      levels.for_edges(g, l, l + 1, meter, process_down_edge);
+    }
+    if (opts.collect_trace) {
+      const std::uint64_t pass2_edges =
+          r.stats.elements_processed - pass1_edges;
+      r.stats.trace.push_back(runtime::IterationRecord{
+          2, 0.0, false, pass2_edges, pass2_edges,
+          perf::model_time(r.stats.counters, profile_)});
     }
 
     // ---- Marginalize ----
@@ -210,48 +173,6 @@ class TreeEngine final : public Engine {
   }
 
  private:
-  /// Applies `fn` to every edge from `from_level` to `to_level`.
-  ///
-  /// Naive mode reproduces the baseline's data-structure-free walk: the
-  /// level array is scanned for members, and each member's edges are found
-  /// by scanning the entire edge list (§2.1.1's overhead). Indexed mode
-  /// walks the member's CSR entries.
-  template <typename Fn>
-  static void for_level_edges(const FactorGraph& g,
-                              const std::vector<std::uint32_t>& level,
-                              std::uint32_t from_level,
-                              std::uint32_t to_level, bool naive,
-                              perf::Meter& meter, Fn&& fn) {
-    const auto& edges = g.edges();
-    const NodeId n = g.num_nodes();
-    if (naive) {
-      for (NodeId v = 0; v < n; ++v) {
-        meter.seq_read(sizeof(std::uint32_t));  // level-array scan
-        if (level[v] != from_level) continue;
-        // Full edge-list scan to find v's outgoing edges; each candidate
-        // costs the struct read plus the level lookups of both endpoints.
-        meter.seq_read(edges.size() * sizeof(DirectedEdge));
-        meter.near_read(sizeof(std::uint32_t), 2 * edges.size());
-        for (EdgeId e = 0; e < edges.size(); ++e) {
-          if (edges[e].src == v && level[edges[e].dst] == to_level) {
-            fn(e);
-          }
-        }
-      }
-    } else {
-      for (NodeId v = 0; v < n; ++v) {
-        meter.seq_read(sizeof(std::uint32_t));
-        if (level[v] != from_level) continue;
-        meter.seq_read(sizeof(std::uint64_t));
-        for (const auto& entry : g.out_csr().neighbors(v)) {
-          meter.seq_read(sizeof(entry));
-          meter.rand_read(sizeof(std::uint32_t));  // level[dst]
-          if (level[entry.node] == to_level) fn(entry.edge);
-        }
-      }
-    }
-  }
-
   perf::HardwareProfile profile_;
 };
 

@@ -10,6 +10,7 @@
 #include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/metadata.h"
+#include "util/error.h"
 #include "util/prng.h"
 
 namespace credo {
@@ -292,18 +293,18 @@ TEST(BpEngines, SharedAndPerEdgeJointsAgreeWhenMatricesMatch) {
   }
 }
 
-TEST(BpEngines, ZeroIterationBudgetReturnsInitialBeliefs) {
+TEST(BpEngines, ZeroIterationBudgetIsRejected) {
+  // A zero iteration budget can never make progress; BpOptions::validate
+  // (called by Engine::run for every engine) rejects it up front instead
+  // of silently returning unconverged priors.
   const auto g = small_graph(2, 37);
   auto opts = default_opts();
   opts.max_iterations = 0;
   for (const auto kind : {EngineKind::kCpuNode, EngineKind::kCpuEdge,
                           EngineKind::kCudaNode}) {
-    const auto r = bp::make_default_engine(kind)->run(g, opts);
-    ASSERT_EQ(r.beliefs.size(), g.num_nodes());
-    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-      EXPECT_LT(graph::l1_diff(r.beliefs[v], g.prior(v)), 1e-6f);
-    }
-    EXPECT_FALSE(r.stats.converged);
+    EXPECT_THROW((void)bp::make_default_engine(kind)->run(g, opts),
+                 util::InvalidArgument)
+        << bp::engine_name(kind);
   }
 }
 

@@ -1,0 +1,393 @@
+// Unit tests for the shared BP runtime layer (DESIGN.md §5b): schedule
+// policies, the convergence controller, and per-iteration telemetry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bp/engine.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/schedule.h"
+#include "bp/runtime/telemetry.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/error.h"
+
+namespace credo::bp::runtime {
+namespace {
+
+using graph::BeliefVec;
+using graph::EdgeId;
+using graph::FactorGraph;
+using graph::GraphBuilder;
+using graph::JointMatrix;
+using graph::NodeId;
+
+// A 4-node chain 0 -> 1 -> 2 -> 3 with node 2 observed. Undirected edges,
+// so each adjacent pair contributes two directed edges.
+FactorGraph chain_graph() {
+  GraphBuilder b;
+  const auto j = JointMatrix::diffusion(2, 0.8f);
+  for (int i = 0; i < 4; ++i) b.add_node(BeliefVec::uniform(2));
+  b.observe(2, 1);
+  b.add_undirected(0, 1, j);
+  b.add_undirected(1, 2, j);
+  b.add_undirected(2, 3, j);
+  return b.finalize();
+}
+
+BpOptions base_opts() {
+  BpOptions o;
+  o.convergence_threshold = 1e-4f;
+  o.queue_threshold = 1e-5f;
+  o.max_iterations = 50;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// ConvergenceController
+// ---------------------------------------------------------------------------
+
+TEST(ConvergenceController, EveryIterationCadenceChecksAlways) {
+  const ConvergenceController ctl(base_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_TRUE(ctl.should_check(i));
+}
+
+TEST(ConvergenceController, BatchedCadenceChecksOnBatchAndFinalIteration) {
+  auto opts = base_opts();
+  opts.convergence_batch = 4;
+  opts.max_iterations = 10;
+  const ConvergenceController ctl(opts,
+                                  ConvergenceController::Cadence::kBatched);
+  // 0-based iterations: checks fall after iterations 3 and 7 ((i+1)%4==0)
+  // plus the budget cap at iteration 9.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const bool expect = (i == 3 || i == 7 || i == 9);
+    EXPECT_EQ(ctl.should_check(i), expect) << "iteration " << i;
+  }
+}
+
+TEST(ConvergenceController, GlobalAndElementThresholdsAreStrict) {
+  auto opts = base_opts();
+  opts.convergence_threshold = 0.5f;
+  opts.queue_threshold = 0.25f;
+  const ConvergenceController ctl(opts,
+                                  ConvergenceController::Cadence::kEveryIteration);
+  EXPECT_TRUE(ctl.global_converged(0.49));
+  EXPECT_FALSE(ctl.global_converged(0.5));   // sum < threshold, not <=
+  EXPECT_FALSE(ctl.global_converged(0.51));
+  EXPECT_FALSE(ctl.element_active(0.25f));   // delta > threshold, not >=
+  EXPECT_TRUE(ctl.element_active(0.2500001f));
+}
+
+TEST(ConvergenceController, DampIsIdentityAtZeroAndBlendsOtherwise) {
+  const float bv[] = {0.9f, 0.1f};
+  const float pv[] = {0.1f, 0.9f};
+  BeliefVec b{std::span<const float>(bv)};
+  const BeliefVec prev{std::span<const float>(pv)};
+
+  auto opts = base_opts();
+  opts.damping = 0.0f;
+  const ConvergenceController off(opts,
+                                  ConvergenceController::Cadence::kEveryIteration);
+  EXPECT_EQ(off.damp(b, prev), 0u);
+  EXPECT_FLOAT_EQ(b.v[0], 0.9f);
+
+  opts.damping = 0.5f;
+  const ConvergenceController half(opts,
+                                   ConvergenceController::Cadence::kEveryIteration);
+  EXPECT_EQ(half.damp(b, prev), 5u * b.size);
+  // 0.5*0.9 + 0.5*0.1 = 0.5 each way; normalized stays 0.5/0.5.
+  EXPECT_NEAR(b.v[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(b.v[1], 0.5f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule policies
+// ---------------------------------------------------------------------------
+
+TEST(Schedules, DenseSweepNeverDrains) {
+  const DenseSweep s(7);
+  EXPECT_EQ(s.begin_iteration(0), 7u);
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_TRUE(s.advance(0));
+  EXPECT_TRUE(s.advance(1));
+}
+
+TEST(Schedules, NodeFrontierDenseModeCoversAllNodes) {
+  const auto g = chain_graph();
+  perf::Counters c;
+  perf::Meter meter(c);
+  NodeFrontier s(g, /*use_queue=*/false);
+  EXPECT_FALSE(s.queued());
+  EXPECT_EQ(s.size(), g.num_nodes());
+  EXPECT_EQ(s.at(meter, 3), 3u);
+  EXPECT_EQ(c.seq_read_bytes, 0u);  // dense fetch is the loop index
+  EXPECT_TRUE(s.advance(0));        // dense sweeps never drain
+}
+
+TEST(Schedules, NodeFrontierQueueShrinksAndDrains) {
+  const auto g = chain_graph();  // node 2 observed -> 3 initial entries
+  perf::Counters c;
+  perf::Meter meter(c);
+  NodeFrontier s(g, /*use_queue=*/true);
+  EXPECT_TRUE(s.queued());
+  ASSERT_EQ(s.begin_iteration(0), 3u);
+  std::vector<NodeId> seen;
+  for (std::uint64_t i = 0; i < s.size(); ++i) seen.push_back(s.at(meter, i));
+  EXPECT_EQ(seen, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(c.seq_read_bytes, 3 * sizeof(NodeId));
+
+  s.keep(meter, 1);  // only node 1 stays active
+  ASSERT_TRUE(s.advance(0));
+  ASSERT_EQ(s.begin_iteration(1), 1u);
+  EXPECT_EQ(s.at(meter, 0), 1u);
+  EXPECT_FALSE(s.advance(1));  // nothing kept -> frontier drained
+}
+
+TEST(Schedules, FragmentedNodeFrontierMergesWorkerFragments) {
+  const auto g = chain_graph();
+  perf::Counters c;
+  perf::Meter meter(c);
+  FragmentedNodeFrontier s(g, /*use_queue=*/true, /*workers=*/3);
+  ASSERT_EQ(s.size(), 3u);
+  s.keep(meter, 2, 3);
+  s.keep(meter, 0, 0);
+  EXPECT_EQ(c.atomic_ops, 2u);  // one shared-cursor bump per keep
+  ASSERT_TRUE(s.advance(0));
+  ASSERT_EQ(s.size(), 2u);
+  // Fragments merge in worker order.
+  EXPECT_EQ(s.at(meter, 0), 0u);
+  EXPECT_EQ(s.at(meter, 1), 3u);
+  EXPECT_FALSE(s.advance(1));
+}
+
+TEST(Schedules, EdgeFrontierSkipsObservedDestinations) {
+  const auto g = chain_graph();
+  perf::Counters c;
+  perf::Meter meter(c);
+  EdgeFrontier s(g);
+  // 6 directed edges; 1->2 and 3->2 point at the observed node.
+  ASSERT_EQ(s.size(), 4u);
+  for (std::uint64_t i = 0; i < s.size(); ++i) {
+    const EdgeId e = s.at(meter, i);
+    EXPECT_FALSE(g.observed(g.edge(e).dst));
+    EXPECT_EQ(s.peek(i), e);  // unmetered re-read returns the same entry
+  }
+  const auto reads = c.seq_read_bytes;
+  (void)s.peek(0);
+  EXPECT_EQ(c.seq_read_bytes, reads);  // peek charges nothing
+
+  s.keep(meter, s.peek(1));
+  ASSERT_TRUE(s.advance(0));
+  EXPECT_EQ(s.begin_iteration(1), 1u);
+  EXPECT_FALSE(s.advance(1));
+}
+
+TEST(Schedules, ResidualSchedulePrioritizesLargestResidual) {
+  const auto g = chain_graph();
+  auto opts = base_opts();
+  opts.queue_threshold = 0.01f;
+  const ConvergenceController ctl(opts,
+                                  ConvergenceController::Cadence::kEveryIteration);
+  perf::Counters c;
+  perf::Meter meter(c);
+  ResidualSchedule s(g, ctl, meter);
+  // All unobserved nodes have parents in the undirected chain, so all three
+  // start at FLT_MAX. Drain the initial sweep with sub-threshold deltas.
+  NodeId v = 0;
+  std::vector<NodeId> initial;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.pop(v));
+    s.record(v, 0.0f);  // below queue_threshold: no reprioritization
+    initial.push_back(v);
+  }
+  EXPECT_FALSE(s.pop(v));
+  EXPECT_TRUE(s.empty());
+  ASSERT_EQ(initial.size(), 3u);
+
+  // Recording an active delta raises only the unconverged children.
+  s.record(1, 0.5f);  // children of 1: nodes 0 and 2 (2 observed -> skipped)
+  ASSERT_TRUE(s.pop(v));
+  EXPECT_EQ(v, 0u);
+  s.record(0, 0.2f);  // raises 1 (its only unobserved child)
+  ASSERT_TRUE(s.pop(v));
+  EXPECT_EQ(v, 1u);
+  s.record(1, 0.0f);
+  EXPECT_FALSE(s.pop(v));
+}
+
+TEST(Schedules, ResidualSchedulePopSkipsStaleEntries) {
+  const auto g = chain_graph();
+  const ConvergenceController ctl(base_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  perf::Counters c;
+  perf::Meter meter(c);
+  ResidualSchedule s(g, ctl, meter);
+  // record(1, ...) clears node 1's residual, so its initial FLT_MAX heap
+  // entry no longer matches the residual table and must be skipped.
+  s.record(1, 0.3f);
+  NodeId v = 0;
+  std::uint64_t pops = 0;
+  while (s.pop(v)) {
+    ++pops;
+    EXPECT_NE(v, 1u);
+    s.record(v, 0.0f);
+  }
+  EXPECT_EQ(pops, 2u);  // only nodes 0 and 3 remain fresh
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Schedules, TreeLevelsNaiveAndIndexedAgree) {
+  graph::BeliefConfig cfg;
+  cfg.beliefs = 2;
+  cfg.seed = 11;
+  const auto g = graph::random_tree(40, cfg);
+  perf::Counters c1, c2;
+  perf::Meter m1(c1), m2(c2);
+  const TreeLevels naive(g, /*naive=*/true, m1);
+  const TreeLevels indexed(g, /*naive=*/false, m2);
+  EXPECT_EQ(naive.max_level(), indexed.max_level());
+  // The naive mode's full edge-list scans are the §2.1.1 "enormous
+  // overhead": strictly more modelled traffic than the indexed walk.
+  EXPECT_GT(c1.seq_read_bytes, c2.seq_read_bytes);
+  // Identical edge visitation in both cost regimes.
+  for (std::uint32_t l = 1; l <= naive.max_level(); ++l) {
+    std::vector<EdgeId> e1, e2;
+    naive.for_edges(g, l, l - 1, m1, [&](EdgeId e) { e1.push_back(e); });
+    indexed.for_edges(g, l, l - 1, m2, [&](EdgeId e) { e2.push_back(e); });
+    EXPECT_EQ(e1, e2) << "level " << l;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BpOptions::validate
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsEachBadField) {
+  const auto reject = [](auto&& mutate) {
+    auto o = base_opts();
+    mutate(o);
+    EXPECT_THROW(o.validate(), util::InvalidArgument);
+  };
+  reject([](BpOptions& o) { o.convergence_threshold = 0.0f; });
+  reject([](BpOptions& o) { o.convergence_threshold = -1.0f; });
+  reject([](BpOptions& o) { o.convergence_threshold = NAN; });
+  reject([](BpOptions& o) { o.queue_threshold = 0.0f; });
+  reject([](BpOptions& o) { o.max_iterations = 0; });
+  reject([](BpOptions& o) { o.damping = -0.1f; });
+  reject([](BpOptions& o) { o.damping = 1.0f; });
+  reject([](BpOptions& o) { o.damping = NAN; });
+  reject([](BpOptions& o) { o.threads = 0; });
+  reject([](BpOptions& o) { o.block_threads = 0; });
+  reject([](BpOptions& o) { o.convergence_batch = 0; });
+  EXPECT_NO_THROW(base_opts().validate());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+FactorGraph trace_graph() {
+  graph::BeliefConfig cfg;
+  cfg.beliefs = 3;
+  cfg.seed = 23;
+  cfg.observed_fraction = 0.1;
+  return graph::grid(8, 8, cfg);
+}
+
+TEST(Telemetry, TraceOffByDefault) {
+  const auto r =
+      make_default_engine(EngineKind::kCpuNode)->run(trace_graph(), base_opts());
+  EXPECT_TRUE(r.stats.trace.empty());
+}
+
+TEST(Telemetry, CpuTraceMatchesFinalStats) {
+  for (const auto kind : {EngineKind::kCpuNode, EngineKind::kCpuEdge}) {
+    auto opts = base_opts();
+    opts.collect_trace = true;
+    opts.work_queue = true;
+    const auto r = make_default_engine(kind)->run(trace_graph(), opts);
+    ASSERT_EQ(r.stats.trace.size(), r.stats.iterations) << engine_name(kind);
+    std::uint64_t processed = 0;
+    for (std::size_t i = 0; i < r.stats.trace.size(); ++i) {
+      const auto& rec = r.stats.trace[i];
+      EXPECT_EQ(rec.iteration, i + 1);
+      EXPECT_TRUE(rec.checked);  // CPU engines check every iteration
+      EXPECT_GE(rec.frontier, rec.processed);
+      processed += rec.processed;
+      if (i > 0) {
+        EXPECT_GE(rec.time.total(), r.stats.trace[i - 1].time.total());
+      }
+    }
+    EXPECT_EQ(processed, r.stats.elements_processed) << engine_name(kind);
+    EXPECT_DOUBLE_EQ(r.stats.trace.back().delta, r.stats.final_delta)
+        << engine_name(kind);
+  }
+}
+
+TEST(Telemetry, GpuTraceFollowsBatchedCadence) {
+  auto opts = base_opts();
+  opts.collect_trace = true;
+  opts.convergence_batch = 4;
+  const auto r =
+      make_default_engine(EngineKind::kCudaNode)->run(trace_graph(), opts);
+  ASSERT_EQ(r.stats.trace.size(), r.stats.iterations);
+  for (std::size_t i = 0; i < r.stats.trace.size(); ++i) {
+    const auto& rec = r.stats.trace[i];
+    const bool batch_boundary =
+        (i + 1) % 4 == 0 || i + 1 == opts.max_iterations;
+    EXPECT_EQ(rec.checked, batch_boundary) << "iteration " << i + 1;
+    if (!rec.checked) EXPECT_EQ(rec.delta, 0.0);
+  }
+  EXPECT_TRUE(r.stats.trace.back().checked);
+  EXPECT_DOUBLE_EQ(r.stats.trace.back().delta, r.stats.final_delta);
+}
+
+TEST(Telemetry, TreeTraceHasOneRecordPerSweep) {
+  graph::BeliefConfig cfg;
+  cfg.beliefs = 2;
+  cfg.seed = 5;
+  const auto g = graph::random_tree(30, cfg);
+  auto opts = base_opts();
+  opts.collect_trace = true;
+  const auto r = make_default_engine(EngineKind::kTree)->run(g, opts);
+  ASSERT_EQ(r.stats.trace.size(), 2u);
+  EXPECT_EQ(r.stats.trace[0].iteration, 1u);
+  EXPECT_EQ(r.stats.trace[1].iteration, 2u);
+  EXPECT_FALSE(r.stats.trace[0].checked);  // no convergence sum on trees
+  EXPECT_EQ(r.stats.trace[0].processed + r.stats.trace[1].processed,
+            r.stats.elements_processed);
+}
+
+TEST(Telemetry, WriteTraceCsvEmitsHeaderAndRows) {
+  std::vector<IterationRecord> trace(2);
+  trace[0].iteration = 1;
+  trace[0].delta = 0.5;
+  trace[0].checked = true;
+  trace[0].frontier = 10;
+  trace[0].processed = 9;
+  trace[1].iteration = 2;
+  std::ostringstream os;
+  write_trace_csv(os, trace);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line,
+            "iteration,delta,checked,frontier,processed,compute_s,memory_s,"
+            "atomic_s,critical_s,overhead_s,transfer_s,alloc_s,total_s");
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line.substr(0, 2), "1,");
+  EXPECT_NE(line.find(",1,10,9,"), std::string::npos);
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line.substr(0, 2), "2,");
+  EXPECT_FALSE(std::getline(is, line));
+}
+
+}  // namespace
+}  // namespace credo::bp::runtime

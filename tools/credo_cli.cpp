@@ -4,7 +4,7 @@
 //   credo run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|c-edge|
 //                  omp-node|omp-edge|cuda-node|cuda-edge|acc-edge|tree|
 //                  residual] [--no-queue] [--iters N] [--threshold X]
-//                  [--out beliefs.txt]
+//                  [--out beliefs.txt] [--trace trace.csv]
 //   credo generate --family uniform|kron|social|tree|grid --nodes N
 //                  [--edges M] [--beliefs B] [--seed S] [--observed F]
 //                  --out PREFIX
@@ -139,6 +139,8 @@ int cmd_run(const Args& args) {
       static_cast<std::uint32_t>(args.number("iters", 200));
   opts.convergence_threshold =
       static_cast<float>(args.number("threshold", 1e-3));
+  const auto trace_path = args.get("trace");
+  opts.collect_trace = trace_path.has_value();
 
   const std::string engine_arg = args.get("engine").value_or("auto");
   bp::BpResult result;
@@ -181,6 +183,14 @@ int cmd_run(const Args& args) {
   std::printf("elements:        %llu\n",
               static_cast<unsigned long long>(
                   result.stats.elements_processed));
+
+  if (trace_path) {
+    std::ofstream f(*trace_path);
+    if (!f) throw util::IoError("cannot open " + *trace_path);
+    bp::runtime::write_trace_csv(f, result.stats.trace);
+    std::printf("trace written:   %s (%zu iterations)\n",
+                trace_path->c_str(), result.stats.trace.size());
+  }
 
   if (const auto out = args.get("out")) {
     std::ofstream f(*out);
@@ -289,8 +299,8 @@ int usage() {
       "usage: credo <info|run|generate|convert> [--flag value]...\n"
       "  info     --nodes N.mtx --edges E.mtx\n"
       "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
-      "           [--iters N] [--threshold X] [--out beliefs.txt]"
-      " [--no-queue]\n"
+      "           [--iters N] [--threshold X] [--out beliefs.txt]\n"
+      "           [--trace trace.csv] [--no-queue]\n"
       "  generate --family uniform|kron|social|tree|grid --nodes N\n"
       "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
       " --out PREFIX\n"
