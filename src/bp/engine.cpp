@@ -1,5 +1,8 @@
 #include "bp/engine.h"
 
+#include <cctype>
+#include <string>
+
 #include "bp/engines_internal.h"
 #include "util/error.h"
 
@@ -18,6 +21,52 @@ std::string_view engine_name(EngineKind kind) noexcept {
     case EngineKind::kResidual: return "Residual";
   }
   return "unknown";
+}
+
+std::string_view engine_slug(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kCpuNode: return "c-node";
+    case EngineKind::kCpuEdge: return "c-edge";
+    case EngineKind::kOmpNode: return "omp-node";
+    case EngineKind::kOmpEdge: return "omp-edge";
+    case EngineKind::kCudaNode: return "cuda-node";
+    case EngineKind::kCudaEdge: return "cuda-edge";
+    case EngineKind::kAccEdge: return "acc-edge";
+    case EngineKind::kTree: return "tree";
+    case EngineKind::kResidual: return "residual";
+  }
+  return "unknown";
+}
+
+std::optional<EngineKind> engine_from_name(std::string_view name) noexcept {
+  // Canonical form: lowercase, every run of spaces/underscores/hyphens
+  // collapsed to one hyphen, outer separators trimmed. "CUDA Edge",
+  // "cuda_edge" and "cuda-edge" all canonicalize to "cuda-edge".
+  std::string key;
+  key.reserve(name.size());
+  for (const char c : name) {
+    const bool sep = c == ' ' || c == '_' || c == '-' || c == '\t';
+    if (sep) {
+      if (!key.empty() && key.back() != '-') key.push_back('-');
+    } else {
+      key.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!key.empty() && key.back() == '-') key.pop_back();
+
+  if (key == "c-node") return EngineKind::kCpuNode;
+  if (key == "c-edge") return EngineKind::kCpuEdge;
+  if (key == "omp-node" || key == "openmp-node") return EngineKind::kOmpNode;
+  if (key == "omp-edge" || key == "openmp-edge") return EngineKind::kOmpEdge;
+  if (key == "cuda-node") return EngineKind::kCudaNode;
+  if (key == "cuda-edge") return EngineKind::kCudaEdge;
+  if (key == "acc-edge" || key == "openacc-edge") {
+    return EngineKind::kAccEdge;
+  }
+  if (key == "tree" || key == "tree-bp") return EngineKind::kTree;
+  if (key == "residual") return EngineKind::kResidual;
+  return std::nullopt;
 }
 
 std::unique_ptr<Engine> make_engine(EngineKind kind,

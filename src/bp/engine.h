@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -30,6 +31,19 @@ enum class EngineKind {
 
 /// Human-readable engine name ("C Node", "CUDA Edge", ...).
 [[nodiscard]] std::string_view engine_name(EngineKind kind) noexcept;
+
+/// CLI slug for an engine ("c-node", "cuda-edge", ...): lowercase,
+/// hyphen-separated, stable across releases.
+[[nodiscard]] std::string_view engine_slug(EngineKind kind) noexcept;
+
+/// The single engine-name parser (every front end routes through this: the
+/// CLI, the serve layer, tools). Accepts the paper names produced by
+/// engine_name ("CUDA Edge"), the CLI slugs ("cuda-edge") and common
+/// aliases ("openmp-node" for "omp-node", "openacc-edge" for "acc-edge",
+/// "tree-bp" for "tree"); matching is case-insensitive and treats spaces,
+/// underscores and hyphens alike. Returns nullopt for anything else.
+[[nodiscard]] std::optional<EngineKind> engine_from_name(
+    std::string_view name) noexcept;
 
 /// Result of a propagation: final beliefs plus run statistics.
 struct BpResult {

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "bp/runtime/stop.h"
 #include "bp/runtime/telemetry.h"
 #include "parallel/parallel_for.h"
 #include "perf/cost_model.h"
@@ -61,6 +63,98 @@ struct BpOptions {
   /// cheap but not free — one cost-model evaluation per iteration.
   bool collect_trace = false;
 
+  /// Cooperative cancellation (DESIGN.md §5c): the iteration drivers poll
+  /// this token once per iteration and end the run with
+  /// BpStats::stop_reason == kCancelled when it fires. Default-constructed
+  /// tokens never fire.
+  runtime::StopToken stop;
+
+  /// Wall-clock budget for the run loop in seconds; 0 = unlimited. Checked
+  /// at the convergence-check cadence; an over-budget run ends with
+  /// stop_reason == kDeadline.
+  double host_deadline_seconds = 0.0;
+
+  /// Modelled-time budget in seconds; 0 = unlimited. Each check evaluates
+  /// the cost model over the counters so far, so prefer the host budget
+  /// when either would do.
+  double modelled_deadline_seconds = 0.0;
+
+  /// When set and sized to the effective team, the CPU-parallel engines
+  /// dispatch fork/join regions on this pool instead of spawning their own
+  /// (the serve layer shares one pool across requests). The pool supports
+  /// one dispatcher at a time — callers serialize access. Not owned.
+  parallel::ThreadPool* shared_pool = nullptr;
+
+  // -------------------------------------------------------------------------
+  // Fluent setters: `BpOptions{}.with_threads(4).with_damping(0.1f)` reads
+  // as a request instead of a positional mutation. Each returns *this so
+  // chains compose; plain aggregate initialization keeps working.
+  // -------------------------------------------------------------------------
+  BpOptions& with_convergence_threshold(float v) noexcept {
+    convergence_threshold = v;
+    return *this;
+  }
+  BpOptions& with_max_iterations(std::uint32_t v) noexcept {
+    max_iterations = v;
+    return *this;
+  }
+  BpOptions& with_work_queue(bool v = true) noexcept {
+    work_queue = v;
+    return *this;
+  }
+  BpOptions& with_queue_threshold(float v) noexcept {
+    queue_threshold = v;
+    return *this;
+  }
+  BpOptions& with_convergence_batch(std::uint32_t v) noexcept {
+    convergence_batch = v;
+    return *this;
+  }
+  BpOptions& with_threads(unsigned v) noexcept {
+    threads = v;
+    return *this;
+  }
+  BpOptions& with_schedule(parallel::Schedule v) noexcept {
+    schedule = v;
+    return *this;
+  }
+  BpOptions& with_chunk(std::uint64_t v) noexcept {
+    chunk = v;
+    return *this;
+  }
+  BpOptions& with_block_threads(std::uint32_t v) noexcept {
+    block_threads = v;
+    return *this;
+  }
+  BpOptions& with_damping(float v) noexcept {
+    damping = v;
+    return *this;
+  }
+  BpOptions& with_tree_naive(bool v = true) noexcept {
+    tree_naive = v;
+    return *this;
+  }
+  BpOptions& with_collect_trace(bool v = true) noexcept {
+    collect_trace = v;
+    return *this;
+  }
+  BpOptions& with_stop(runtime::StopToken t) noexcept {
+    stop = std::move(t);
+    return *this;
+  }
+  BpOptions& with_host_deadline(double seconds) noexcept {
+    host_deadline_seconds = seconds;
+    return *this;
+  }
+  BpOptions& with_modelled_deadline(double seconds) noexcept {
+    modelled_deadline_seconds = seconds;
+    return *this;
+  }
+  BpOptions& with_shared_pool(parallel::ThreadPool* pool) noexcept {
+    shared_pool = pool;
+    return *this;
+  }
+
   /// Rejects settings that would loop forever, divide by zero or never
   /// converge. Called by Engine::run before dispatching; throws
   /// util::InvalidArgument. The comparisons are written so NaN fails too.
@@ -72,6 +166,17 @@ struct BpOptions {
     if (!(queue_threshold > 0.0f)) {
       throw util::InvalidArgument(
           "BpOptions: queue_threshold must be positive");
+    }
+    if (!(queue_threshold < convergence_threshold)) {
+      // The global threshold is an absolute sum over all nodes while the
+      // queue bar is per element: a bar at or above the global threshold
+      // lets the §3.5 work queue drop elements whose combined residual the
+      // global stopping rule still counts, so the run can neither drain
+      // nor converge.
+      throw util::InvalidArgument(
+          "BpOptions: queue_threshold must be below "
+          "convergence_threshold (the per-element bar must sit under the "
+          "global stopping rule)");
     }
     if (max_iterations == 0) {
       throw util::InvalidArgument(
@@ -91,6 +196,14 @@ struct BpOptions {
       throw util::InvalidArgument(
           "BpOptions: convergence_batch must be nonzero");
     }
+    if (!(host_deadline_seconds >= 0.0)) {
+      throw util::InvalidArgument(
+          "BpOptions: host_deadline_seconds must be >= 0");
+    }
+    if (!(modelled_deadline_seconds >= 0.0)) {
+      throw util::InvalidArgument(
+          "BpOptions: modelled_deadline_seconds must be >= 0");
+    }
   }
 };
 
@@ -106,6 +219,10 @@ struct BpStats {
   perf::Counters counters;
   perf::TimeBreakdown time;
   double host_seconds = 0.0;
+
+  /// Why the run ended early, if it did (cancellation or a deadline,
+  /// DESIGN.md §5c). kNone for runs that converged or hit the cap.
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
 
   /// Per-iteration telemetry; filled only when BpOptions::collect_trace.
   std::vector<runtime::IterationRecord> trace;

@@ -12,6 +12,7 @@
 // the fork/join dispatch (and its parallel_region charge), the
 // FragmentedNodeFrontier owns the §3.5 per-worker queue fragments, and the
 // every-iteration controller owns thresholds and damping.
+#include <optional>
 #include <vector>
 
 #include "bp/engines_internal.h"
@@ -54,6 +55,22 @@ class OmpEngineBase : public Engine {
   }
 
  protected:
+  /// Picks the team: the caller-provided shared pool (serve layer,
+  /// DESIGN.md §5c) when its size matches the effective team, else a
+  /// run-local pool. The shared pool supports one dispatcher at a time —
+  /// callers serialize access around run().
+  [[nodiscard]] static parallel::ThreadPool& select_pool(
+      const BpOptions& opts, const perf::HardwareProfile& prof,
+      std::optional<parallel::ThreadPool>& local) {
+    if (opts.shared_pool &&
+        opts.shared_pool->size() ==
+            static_cast<unsigned>(prof.parallel_units)) {
+      return *opts.shared_pool;
+    }
+    local.emplace(static_cast<unsigned>(prof.parallel_units));
+    return *local;
+  }
+
   /// Honors opts.threads when it differs from the profile's team size
   /// (the §2.4 sweep runs 2/4/8 threads).
   [[nodiscard]] perf::HardwareProfile effective_profile(
@@ -103,7 +120,8 @@ class OmpNodeEngine final : public OmpEngineBase {
                                 const BpOptions& opts) const override {
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
-    ThreadPool pool(static_cast<unsigned>(prof.parallel_units));
+    std::optional<ThreadPool> local_pool;
+    ThreadPool& pool = select_pool(opts, prof, local_pool);
     std::vector<WorkerSink> sinks(pool.size());
 
     BpResult r;
@@ -186,7 +204,8 @@ class OmpEdgeEngine final : public OmpEngineBase {
                                 const BpOptions& opts) const override {
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
-    ThreadPool pool(static_cast<unsigned>(prof.parallel_units));
+    std::optional<ThreadPool> local_pool;
+    ThreadPool& pool = select_pool(opts, prof, local_pool);
     std::vector<WorkerSink> sinks(pool.size());
 
     BpResult r;

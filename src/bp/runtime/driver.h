@@ -20,6 +20,7 @@
 
 #include "bp/options.h"
 #include "bp/runtime/convergence.h"
+#include "bp/runtime/stop.h"
 #include "bp/runtime/telemetry.h"
 #include "graph/factor_graph.h"
 
@@ -50,6 +51,8 @@ template <typename Schedule, typename Body, typename DeferredDelta,
 void run_loop(const BpOptions& opts, BpStats& stats,
               const ConvergenceController& ctl, Schedule& sched, Body&& body,
               DeferredDelta&& deferred_delta, TimeFn&& time_fn) {
+  const DeadlineGuard guard(opts.stop, opts.host_deadline_seconds,
+                            opts.modelled_deadline_seconds);
   for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
     stats.iterations = iter + 1;
     const std::uint64_t frontier = sched.begin_iteration(iter);
@@ -79,6 +82,17 @@ void run_loop(const BpOptions& opts, BpStats& stats,
         stop = true;
       }
     }
+    // §5c cooperative stop: cancellation polls every iteration, the
+    // deadline budgets at the check cadence. A run that converged this very
+    // iteration keeps its convergence; the guard only ends unfinished runs.
+    if (!stop && guard.active()) {
+      const StopReason why = guard.poll(
+          ctl.should_check(iter), [&] { return time_fn().total(); });
+      if (why != StopReason::kNone) {
+        stats.stop_reason = why;
+        stop = true;
+      }
+    }
     if (opts.collect_trace) {
       stats.trace.push_back(IterationRecord{stats.iterations,
                                             checked ? delta : 0.0, checked,
@@ -100,9 +114,13 @@ template <typename Schedule, typename Body, typename TimeFn>
 void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
                        BpStats& stats, Schedule& sched, Body&& body,
                        TimeFn&& time_fn) {
+  const DeadlineGuard guard(opts.stop, opts.host_deadline_seconds,
+                            opts.modelled_deadline_seconds);
   const std::uint64_t max_updates =
       static_cast<std::uint64_t>(opts.max_iterations) * num_nodes;
+  const std::uint64_t epoch = std::max<std::uint64_t>(1, num_nodes);
   std::uint64_t updates = 0;
+  bool stopped = false;
   graph::NodeId v = 0;
   while (updates < max_updates && sched.pop(v)) {
     ++updates;
@@ -115,11 +133,22 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
           static_cast<std::uint32_t>(updates / num_nodes), d, true,
           sched.pending(), num_nodes, time_fn()});
     }
+    // §5c stop policy: cancellation every update, budgets once per
+    // sweep-equivalent epoch (the residual loop's convergence cadence).
+    if (guard.active()) {
+      const StopReason why = guard.poll(updates % epoch == 0,
+                                        [&] { return time_fn().total(); });
+      if (why != StopReason::kNone) {
+        stats.stop_reason = why;
+        stopped = true;
+        break;
+      }
+    }
   }
   stats.iterations = static_cast<std::uint32_t>(std::min<std::uint64_t>(
       updates / std::max<std::uint64_t>(1, num_nodes) + 1,
       opts.max_iterations));
-  stats.converged = sched.empty() || updates < max_updates;
+  stats.converged = !stopped && (sched.empty() || updates < max_updates);
 }
 
 }  // namespace credo::bp::runtime

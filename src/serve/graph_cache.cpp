@@ -1,0 +1,88 @@
+#include "serve/graph_cache.h"
+
+#include <fstream>
+#include <utility>
+
+#include "io/mtx_belief.h"
+#include "util/error.h"
+
+namespace credo::serve {
+namespace {
+
+/// Streaming FNV-1a over a file's raw bytes — one sequential read, no
+/// parsing. Orders of magnitude cheaper than the MTX parse it gates.
+std::uint64_t hash_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open for hashing: " + path);
+  std::uint64_t h = 14695981039346656037ull;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 1099511628211ull;
+    }
+    if (!in) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+GraphCache::GraphCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
+                                      const std::string& edges_path) {
+  // Content hash outside the lock: file I/O must not serialize the cache.
+  const std::uint64_t h = hash_file(nodes_path) ^
+                          (hash_file(edges_path) * 1099511628211ull);
+  const std::string key = nodes_path + '|' + edges_path + '|' +
+                          std::to_string(h);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+      ++stats_.hits;
+      return {it->second->value, true};
+    }
+  }
+
+  // Miss: parse outside the lock so loads of distinct graphs overlap.
+  auto loaded = std::make_shared<CachedGraph>();
+  loaded->graph = io::read_mtx_belief(nodes_path, edges_path);
+  loaded->metadata = graph::compute_metadata(loaded->graph);
+  loaded->content_hash = h;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent fetch inserted the same key first; reuse its entry (the
+    // two parses of identical bytes are interchangeable).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return {it->second->value, false};
+  }
+  lru_.push_front(Entry{key, std::move(loaded)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();  // shared_ptr keeps in-flight users safe
+    ++stats_.evictions;
+  }
+  return {lru_.front().value, false};
+}
+
+CacheStats GraphCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t GraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace credo::serve

@@ -1,0 +1,80 @@
+// LRU cache of parsed factor graphs (DESIGN.md §5c).
+//
+// The §3.2 study made MTX parsing cheap, but it is still the dominant cost
+// of a small inference request — and a serving workload hits the same
+// handful of graphs over and over. The cache keys each entry by the file
+// pair's paths *and* a content hash (FNV-1a over the raw bytes), so a
+// changed file re-parses under a new key while repeat requests reuse the
+// parsed FactorGraph and its precomputed GraphMetadata. Hashing streams the
+// files once without parsing; entries are handed out as shared_ptrs so an
+// eviction never invalidates an in-flight run.
+//
+// Thread-safe. Concurrent first fetches of the same key may parse twice
+// (both count as misses, one insert wins); correctness is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/factor_graph.h"
+#include "graph/metadata.h"
+
+namespace credo::serve {
+
+/// One parsed graph plus everything a request needs alongside it.
+struct CachedGraph {
+  graph::FactorGraph graph;
+  graph::GraphMetadata metadata;
+  std::uint64_t content_hash = 0;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class GraphCache {
+ public:
+  /// Holds at most `capacity` parsed graphs (>= 1).
+  explicit GraphCache(std::size_t capacity);
+
+  struct Fetched {
+    std::shared_ptr<const CachedGraph> entry;
+    bool hit = false;
+  };
+
+  /// Returns the parsed graph for the file pair, loading it on a miss.
+  /// Throws util::IoError / util::ParseError like io::read_mtx_belief.
+  [[nodiscard]] Fetched fetch(const std::string& nodes_path,
+                              const std::string& edges_path);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedGraph> value;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace credo::serve

@@ -1,0 +1,113 @@
+// The serve layer's public request/response vocabulary (DESIGN.md §5c).
+//
+// A Request names a graph (by file pair, resolved through the server's
+// graph cache, or as a pre-loaded in-memory graph), the BpOptions to run
+// with, an optional engine override (absent = the server's default
+// selection, normally the §3.7 dispatcher), a deadline budget and an
+// optional cancellation token. A Response reports what happened: the
+// terminal status, the engine that ran, the BP result, and the queue/run
+// timings the metrics layer aggregates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bp/engine.h"
+#include "bp/runtime/stop.h"
+#include "graph/factor_graph.h"
+
+namespace credo::serve {
+
+/// Which graph a request runs on. Exactly one of the two forms is used:
+///  * `nodes_path`/`edges_path` — an MTX-belief file pair, loaded through
+///    the server's GraphCache (repeat requests skip MTX parsing);
+///  * `graph` — a pre-loaded in-memory graph, bypassing the cache.
+struct GraphRef {
+  std::string nodes_path;
+  std::string edges_path;
+  std::shared_ptr<const graph::FactorGraph> graph;
+
+  [[nodiscard]] bool inline_graph() const noexcept {
+    return graph != nullptr;
+  }
+
+  static GraphRef files(std::string nodes, std::string edges) {
+    GraphRef r;
+    r.nodes_path = std::move(nodes);
+    r.edges_path = std::move(edges);
+    return r;
+  }
+  static GraphRef preloaded(std::shared_ptr<const graph::FactorGraph> g) {
+    GraphRef r;
+    r.graph = std::move(g);
+    return r;
+  }
+};
+
+/// Per-request budgets; 0 = unlimited. Both are enforced cooperatively at
+/// the runtime's convergence-check cadence (bp/runtime/stop.h).
+struct Deadline {
+  double host_seconds = 0.0;      // wall-clock budget for the engine run
+  double modelled_seconds = 0.0;  // modelled-time budget (deterministic)
+};
+
+/// One unit of work submitted to a Server / Session.
+struct Request {
+  GraphRef graph;
+  bp::BpOptions options;
+
+  /// Engine override; nullopt = server default (dispatcher when enabled).
+  std::optional<bp::EngineKind> engine;
+
+  Deadline deadline;
+
+  /// Client cancellation token (from bp::runtime::StopSource). Composed
+  /// with the deadline budgets; default tokens never fire.
+  bp::runtime::StopToken cancel;
+
+  /// Opaque client label echoed back in the Response.
+  std::string tag;
+};
+
+/// Terminal status of a request.
+enum class Status : std::uint8_t {
+  kOk = 0,                // ran to convergence or the iteration cap
+  kRejected = 1,          // admission refused (queue full / server stopped)
+  kCancelled = 2,         // client token fired (queued or mid-run)
+  kDeadlineExceeded = 3,  // a deadline budget expired mid-run
+  kError = 4,             // load/validate/run threw; see `error`
+};
+
+[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kCancelled: return "cancelled";
+    case Status::kDeadlineExceeded: return "deadline";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+/// What came back. `result` is populated for kOk (and holds the partial
+/// state reached for kDeadlineExceeded / mid-run kCancelled).
+struct Response {
+  Status status = Status::kError;
+  bp::EngineKind engine = bp::EngineKind::kCpuNode;
+  std::string engine_name;  // human-readable form of `engine`
+  bp::BpResult result;
+  bool cache_hit = false;
+
+  /// Reason text for kRejected / kError.
+  std::string error;
+
+  double queue_seconds = 0.0;    // admission to dequeue
+  double service_seconds = 0.0;  // dequeue to completion (host time)
+  std::string tag;
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+}  // namespace credo::serve

@@ -1,0 +1,223 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "credo/suite.h"
+#include "credo/trainer.h"
+#include "graph/metadata.h"
+#include "util/timer.h"
+
+namespace credo::serve {
+namespace {
+
+Response make_rejection(const Request& req, std::string reason) {
+  Response r;
+  r.status = Status::kRejected;
+  r.error = std::move(reason);
+  r.tag = req.tag;
+  return r;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      pool_(options_.pool_threads == 0 ? 1 : options_.pool_threads) {
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Response> Server::submit(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.rejected;
+      promise.set_value(make_rejection(req, "server stopped"));
+      return fut;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      promise.set_value(make_rejection(
+          req, "admission queue full (capacity " +
+                   std::to_string(options_.queue_capacity) + ")"));
+      return fut;
+    }
+    queue_.push_back(Pending{std::move(req), std::move(promise),
+                             std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+Session Server::session() {
+  static std::atomic<unsigned> next_id{0};
+  return Session(*this, next_id.fetch_add(1, std::memory_order_relaxed));
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty() && queue_.empty()) return;
+    stopping_ = true;
+    if (workers_.empty()) {
+      // No one will drain: resolve every queued promise as rejected so the
+      // accounting identity holds.
+      while (!queue_.empty()) {
+        ++stats_.rejected;
+        queue_.front().promise.set_value(
+            make_rejection(queue_.front().request, "server stopped"));
+        queue_.pop_front();
+      }
+    }
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats s = stats_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+void Server::count(Status s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (s) {
+    case Status::kOk: ++stats_.completed; break;
+    case Status::kRejected: ++stats_.rejected; break;
+    case Status::kCancelled: ++stats_.cancelled; break;
+    case Status::kDeadlineExceeded: ++stats_.deadline_expired; break;
+    case Status::kError: ++stats_.failed; break;
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Response resp = execute(pending);
+    count(resp.status);
+    pending.promise.set_value(std::move(resp));
+  }
+}
+
+bp::EngineKind Server::choose_engine(const graph::FactorGraph& g,
+                                     const graph::GraphMetadata* md) {
+  if (!options_.use_dispatcher) return options_.default_engine;
+  std::call_once(dispatcher_once_, [&] {
+    if (!options_.dispatcher_model.empty()) {
+      dispatcher_ = std::make_unique<dispatch::Dispatcher>(
+          dispatch::Dispatcher::load(options_.dispatcher_model));
+      return;
+    }
+    // No pre-trained model: train on the bold benchmark subset, exactly as
+    // `credo run --engine auto` does. Expensive — done once per server.
+    dispatch::TrainerConfig tcfg;
+    const auto runs =
+        dispatch::benchmark_suite(suite::table1_bold(), {2u, 3u}, tcfg);
+    dispatcher_ = std::make_unique<dispatch::Dispatcher>(
+        dispatch::Dispatcher::train(runs));
+  });
+  if (md != nullptr) return dispatcher_->choose(*md);
+  return dispatcher_->choose(graph::compute_metadata(g));
+}
+
+Response Server::execute(Pending& pending) {
+  Request& req = pending.request;
+  Response resp;
+  resp.tag = req.tag;
+  resp.queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pending.enqueued)
+          .count();
+  const util::Timer service_timer;
+
+  // A request cancelled while queued never starts.
+  if (req.cancel.stop_requested()) {
+    resp.status = Status::kCancelled;
+    resp.service_seconds = service_timer.seconds();
+    return resp;
+  }
+
+  try {
+    // Resolve the graph: cache for file refs, as-is for preloaded graphs.
+    std::shared_ptr<const CachedGraph> cached;
+    const graph::FactorGraph* g = nullptr;
+    const graph::GraphMetadata* md = nullptr;
+    if (req.graph.inline_graph()) {
+      g = req.graph.graph.get();
+    } else {
+      auto fetched = cache_.fetch(req.graph.nodes_path, req.graph.edges_path);
+      cached = std::move(fetched.entry);
+      resp.cache_hit = fetched.hit;
+      g = &cached->graph;
+      md = &cached->metadata;
+    }
+
+    const bp::EngineKind kind =
+        req.engine ? *req.engine : choose_engine(*g, md);
+    resp.engine = kind;
+    resp.engine_name = std::string(bp::engine_name(kind));
+
+    bp::BpOptions opts = req.options;
+    opts.with_stop(req.cancel);
+    if (req.deadline.host_seconds > 0.0) {
+      opts.with_host_deadline(req.deadline.host_seconds);
+    }
+    if (req.deadline.modelled_seconds > 0.0) {
+      opts.with_modelled_deadline(req.deadline.modelled_seconds);
+    }
+
+    const auto engine = bp::make_default_engine(kind);
+    bp::BpResult result;
+    if (kind == bp::EngineKind::kOmpNode ||
+        kind == bp::EngineKind::kOmpEdge) {
+      // CPU-parallel engines share the server's one pool; the pool runs a
+      // single team at a time, so these requests serialize here.
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      opts.with_shared_pool(&pool_);
+      result = engine->run(*g, opts);
+    } else {
+      result = engine->run(*g, opts);
+    }
+
+    switch (result.stats.stop_reason) {
+      case bp::runtime::StopReason::kNone:
+        resp.status = Status::kOk;
+        break;
+      case bp::runtime::StopReason::kCancelled:
+        resp.status = Status::kCancelled;
+        break;
+      case bp::runtime::StopReason::kDeadline:
+        resp.status = Status::kDeadlineExceeded;
+        break;
+    }
+    resp.result = std::move(result);
+  } catch (const std::exception& e) {
+    resp.status = Status::kError;
+    resp.error = e.what();
+  }
+  resp.service_seconds = service_timer.seconds();
+  return resp;
+}
+
+}  // namespace credo::serve

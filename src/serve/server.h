@@ -1,0 +1,171 @@
+// Credo as a service (DESIGN.md §5c): a Server owns the shared resources a
+// concurrent inference workload needs — a worker team, one graph cache, one
+// parallel::ThreadPool for CPU-parallel engines, and the §3.7 dispatcher —
+// and exposes a future-based submit API with bounded-queue admission
+// control, per-request deadlines and cooperative cancellation.
+//
+// Lifecycle: construct, submit() from any thread, shutdown() (or destruct)
+// to stop admission, drain and join. Every submitted request is accounted
+// for exactly once: completed + rejected + cancelled + deadline_expired +
+// failed == submitted once the server has drained.
+//
+// Concurrency model: requests run on the server's worker threads; graphs
+// are immutable after parse, so any number of requests share one cached
+// FactorGraph. The shared ThreadPool supports one dispatcher at a time
+// (OpenMP's single-team model), so requests that select a CPU-parallel
+// engine serialize on it; everything else runs fully concurrently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bp/engine.h"
+#include "credo/dispatcher.h"
+#include "parallel/thread_pool.h"
+#include "serve/graph_cache.h"
+#include "serve/request.h"
+
+namespace credo::serve {
+
+class Session;
+
+struct ServerOptions {
+  /// Request worker threads. 0 is allowed: nothing drains until shutdown
+  /// (which then rejects the queue) — useful for deterministic admission
+  /// tests and manual draining.
+  unsigned workers = 2;
+
+  /// Admission queue bound; submits beyond it are rejected with a reason
+  /// (backpressure, never silent drops).
+  std::size_t queue_capacity = 32;
+
+  /// Parsed graphs kept by the LRU cache.
+  std::size_t cache_capacity = 4;
+
+  /// Team size of the shared parallel::ThreadPool used by CPU-parallel
+  /// engines (matches the paper's 8-thread profile by default).
+  unsigned pool_threads = 8;
+
+  /// Engine for requests without an override when the dispatcher is off
+  /// (or still unavailable).
+  bp::EngineKind default_engine = bp::EngineKind::kCpuNode;
+
+  /// Route override-free requests through the §3.7 random-forest
+  /// dispatcher. It is built lazily on the first such request: loaded from
+  /// `dispatcher_model` when set, otherwise trained on the bold benchmark
+  /// subset (expensive — prefer a pre-trained model in serving setups).
+  bool use_dispatcher = true;
+  std::string dispatcher_model;
+};
+
+/// Monotonic counters; identity after drain:
+/// submitted == completed + rejected + cancelled + deadline_expired + failed.
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;         // Status::kOk
+  std::uint64_t rejected = 0;          // Status::kRejected
+  std::uint64_t cancelled = 0;         // Status::kCancelled
+  std::uint64_t deadline_expired = 0;  // Status::kDeadlineExceeded
+  std::uint64_t failed = 0;            // Status::kError
+  CacheStats cache;
+
+  [[nodiscard]] std::uint64_t finished() const noexcept {
+    return completed + rejected + cancelled + deadline_expired + failed;
+  }
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits a request. Never blocks: over-capacity or post-shutdown
+  /// submissions resolve immediately to Status::kRejected with a reason.
+  [[nodiscard]] std::future<Response> submit(Request req);
+
+  /// Opens a lightweight client handle with its own submission counter.
+  /// Sessions borrow the server; the server must outlive them.
+  [[nodiscard]] Session session();
+
+  /// Stops admission, drains the queue (workers finish queued requests;
+  /// with zero workers the queue is rejected) and joins. Idempotent;
+  /// called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const GraphCache& cache() const noexcept { return cache_; }
+
+ private:
+  friend class Session;
+
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  [[nodiscard]] Response execute(Pending& pending);
+  [[nodiscard]] bp::EngineKind choose_engine(
+      const graph::FactorGraph& g, const graph::GraphMetadata* md);
+  void count(Status s);
+
+  ServerOptions options_;
+  GraphCache cache_;
+  parallel::ThreadPool pool_;
+  std::mutex pool_mu_;  // the pool supports one dispatcher at a time
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  ServerStats stats_;
+  std::vector<std::thread> workers_;
+
+  std::once_flag dispatcher_once_;
+  std::unique_ptr<dispatch::Dispatcher> dispatcher_;
+};
+
+/// A client handle onto a Server: same submit semantics, plus a per-session
+/// counter so callers can reason about their own traffic. Copyable; copies
+/// share the counter.
+class Session {
+ public:
+  [[nodiscard]] std::future<Response> submit(Request req) {
+    count_->fetch_add(1, std::memory_order_relaxed);
+    return server_->submit(std::move(req));
+  }
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept {
+    return count_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+
+ private:
+  friend class Server;
+  Session(Server& server, unsigned id)
+      : server_(&server),
+        id_(id),
+        count_(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
+
+  Server* server_;
+  unsigned id_;
+  std::shared_ptr<std::atomic<std::uint64_t>> count_;
+};
+
+}  // namespace credo::serve

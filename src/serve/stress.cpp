@@ -1,0 +1,125 @@
+#include "serve/stress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace credo::serve {
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+util::Table StressReport::table() const {
+  util::Table t({"metric", "value"});
+  t.add_row({"sessions", util::Table::num(sessions, 6)});
+  t.add_row({"requests", util::Table::num(
+                             static_cast<double>(requests), 9)});
+  t.add_row({"wall s", util::Table::num(wall_seconds, 4)});
+  t.add_row({"throughput req/s", util::Table::num(throughput_rps, 5)});
+  t.add_row({"completed", util::Table::num(
+                              static_cast<double>(server.completed), 9)});
+  t.add_row({"rejected", util::Table::num(
+                             static_cast<double>(server.rejected), 9)});
+  t.add_row({"cancelled", util::Table::num(
+                              static_cast<double>(server.cancelled), 9)});
+  t.add_row({"deadline expired",
+             util::Table::num(static_cast<double>(server.deadline_expired),
+                              9)});
+  t.add_row({"failed", util::Table::num(
+                           static_cast<double>(server.failed), 9)});
+  t.add_row({"cache hits", util::Table::num(
+                               static_cast<double>(server.cache.hits), 9)});
+  t.add_row({"cache misses",
+             util::Table::num(static_cast<double>(server.cache.misses), 9)});
+  t.add_row({"cache hit rate", util::Table::num(server.cache.hit_rate(), 4)});
+  t.add_row({"service p50 s", util::Table::num(service_p50, 4)});
+  t.add_row({"service p90 s", util::Table::num(service_p90, 4)});
+  t.add_row({"service p99 s", util::Table::num(service_p99, 4)});
+  t.add_row({"service max s", util::Table::num(service_max, 4)});
+  t.add_row({"queue p50 s", util::Table::num(queue_p50, 4)});
+  t.add_row({"queue max s", util::Table::num(queue_max, 4)});
+  return t;
+}
+
+StressReport run_stress(Server& server, const StressConfig& config) {
+  CREDO_CHECK_MSG(!config.graphs.empty(),
+                  "stress config needs at least one graph");
+  const unsigned sessions = std::max(1u, config.sessions);
+
+  std::mutex results_mu;
+  std::vector<double> service_times;
+  std::vector<double> queue_times;
+  service_times.reserve(config.requests);
+  queue_times.reserve(config.requests);
+
+  const util::Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (unsigned s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      Session session = server.session();
+      std::vector<std::future<Response>> futures;
+      // Session s takes requests s, s+sessions, s+2*sessions, ...
+      for (std::size_t i = s; i < config.requests; i += sessions) {
+        Request req;
+        const auto& gp = config.graphs[i % config.graphs.size()];
+        req.graph = GraphRef::files(gp.first, gp.second);
+        req.options = config.options;
+        if (!config.mix.empty()) {
+          req.engine = config.mix[i % config.mix.size()];
+        }
+        if (config.deadline_every > 0 &&
+            i % config.deadline_every == config.deadline_every - 1) {
+          req.deadline = config.deadline;
+        }
+        req.tag = "s" + std::to_string(s) + "r" + std::to_string(i);
+        futures.push_back(session.submit(std::move(req)));
+      }
+      std::vector<double> svc, que;
+      for (auto& f : futures) {
+        const Response resp = f.get();
+        svc.push_back(resp.service_seconds);
+        que.push_back(resp.queue_seconds);
+      }
+      std::lock_guard<std::mutex> lock(results_mu);
+      service_times.insert(service_times.end(), svc.begin(), svc.end());
+      queue_times.insert(queue_times.end(), que.begin(), que.end());
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  StressReport report;
+  report.wall_seconds = wall.seconds();
+  report.requests = config.requests;
+  report.sessions = sessions;
+  report.server = server.stats();
+  report.throughput_rps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.server.completed) /
+                report.wall_seconds
+          : 0.0;
+
+  std::sort(service_times.begin(), service_times.end());
+  std::sort(queue_times.begin(), queue_times.end());
+  report.service_p50 = percentile(service_times, 0.50);
+  report.service_p90 = percentile(service_times, 0.90);
+  report.service_p99 = percentile(service_times, 0.99);
+  report.service_max = service_times.empty() ? 0.0 : service_times.back();
+  report.queue_p50 = percentile(queue_times, 0.50);
+  report.queue_max = queue_times.empty() ? 0.0 : queue_times.back();
+  return report;
+}
+
+}  // namespace credo::serve

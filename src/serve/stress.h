@@ -1,0 +1,69 @@
+// Request-mix replay against a Server (DESIGN.md §5c) — the workload
+// behind `credo serve --stress N` and the CI concurrency smoke.
+//
+// `sessions` client threads each submit their share of `requests`,
+// round-robining over the configured graphs and engine mix; the report
+// aggregates throughput, latency percentiles, cache behaviour and the
+// admission accounting into one metrics table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bp/engine.h"
+#include "serve/server.h"
+#include "util/table.h"
+
+namespace credo::serve {
+
+struct StressConfig {
+  /// MTX-belief file pairs the mix cycles through (>= 1 required).
+  std::vector<std::pair<std::string, std::string>> graphs;
+
+  /// Total requests across all sessions.
+  std::size_t requests = 64;
+
+  /// Client threads submitting concurrently.
+  unsigned sessions = 4;
+
+  /// Engines cycled per request. Empty = every request asks for the
+  /// server's default selection (the dispatcher when enabled).
+  std::vector<bp::EngineKind> mix = {bp::EngineKind::kCpuNode,
+                                     bp::EngineKind::kCpuEdge,
+                                     bp::EngineKind::kResidual};
+
+  /// Deadline attached to every Nth request (0 = none).
+  std::size_t deadline_every = 0;
+  Deadline deadline;
+
+  /// Base BpOptions for every request.
+  bp::BpOptions options;
+};
+
+struct StressReport {
+  ServerStats server;
+  std::size_t requests = 0;
+  unsigned sessions = 0;
+  double wall_seconds = 0.0;
+
+  /// Requests finishing kOk per wall second.
+  double throughput_rps = 0.0;
+
+  /// Host-time service latency percentiles over finished requests
+  /// (seconds); queue wait reported separately.
+  double service_p50 = 0.0, service_p90 = 0.0, service_p99 = 0.0,
+         service_max = 0.0;
+  double queue_p50 = 0.0, queue_max = 0.0;
+
+  /// Renders the metrics table the CLI prints.
+  [[nodiscard]] util::Table table() const;
+};
+
+/// Runs the mix and waits for every future. The accounting identity
+/// (submitted == finished) holds on return.
+[[nodiscard]] StressReport run_stress(Server& server,
+                                      const StressConfig& config);
+
+}  // namespace credo::serve

@@ -293,6 +293,40 @@ TEST(BpEngines, SharedAndPerEdgeJointsAgreeWhenMatricesMatch) {
   }
 }
 
+TEST(BpEngines, EngineNamesRoundTripThroughTheOneParser) {
+  // bp::engine_from_name is the single parser for engine names: both the
+  // paper's display names and the CLI slugs must round-trip for all nine
+  // kinds, so new engines can't silently miss a spelling.
+  constexpr std::array<EngineKind, 9> kAll = {
+      EngineKind::kCpuNode,  EngineKind::kCpuEdge,  EngineKind::kOmpNode,
+      EngineKind::kOmpEdge,  EngineKind::kCudaNode, EngineKind::kCudaEdge,
+      EngineKind::kAccEdge,  EngineKind::kTree,     EngineKind::kResidual};
+  for (const auto kind : kAll) {
+    const auto from_display = bp::engine_from_name(bp::engine_name(kind));
+    ASSERT_TRUE(from_display.has_value()) << bp::engine_name(kind);
+    EXPECT_EQ(*from_display, kind) << bp::engine_name(kind);
+
+    const auto from_slug = bp::engine_from_name(bp::engine_slug(kind));
+    ASSERT_TRUE(from_slug.has_value()) << bp::engine_slug(kind);
+    EXPECT_EQ(*from_slug, kind) << bp::engine_slug(kind);
+  }
+}
+
+TEST(BpEngines, EngineFromNameNormalizesAndRejects) {
+  // Case, separators and the documented aliases all resolve...
+  EXPECT_EQ(bp::engine_from_name("CUDA Edge"), EngineKind::kCudaEdge);
+  EXPECT_EQ(bp::engine_from_name("cuda_edge"), EngineKind::kCudaEdge);
+  EXPECT_EQ(bp::engine_from_name("OpenMP-Node"), EngineKind::kOmpNode);
+  EXPECT_EQ(bp::engine_from_name("openmp edge"), EngineKind::kOmpEdge);
+  EXPECT_EQ(bp::engine_from_name("OpenACC Edge"), EngineKind::kAccEdge);
+  EXPECT_EQ(bp::engine_from_name("tree-bp"), EngineKind::kTree);
+  EXPECT_EQ(bp::engine_from_name("Residual"), EngineKind::kResidual);
+  // ...and garbage does not.
+  EXPECT_FALSE(bp::engine_from_name("").has_value());
+  EXPECT_FALSE(bp::engine_from_name("gpu").has_value());
+  EXPECT_FALSE(bp::engine_from_name("c-node-extra").has_value());
+}
+
 TEST(BpEngines, ZeroIterationBudgetIsRejected) {
   // A zero iteration budget can never make progress; BpOptions::validate
   // (called by Engine::run for every engine) rejects it up front instead

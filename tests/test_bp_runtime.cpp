@@ -286,7 +286,115 @@ TEST(Validate, RejectsEachBadField) {
   reject([](BpOptions& o) { o.threads = 0; });
   reject([](BpOptions& o) { o.block_threads = 0; });
   reject([](BpOptions& o) { o.convergence_batch = 0; });
+  reject([](BpOptions& o) { o.host_deadline_seconds = -1.0; });
+  reject([](BpOptions& o) { o.host_deadline_seconds = NAN; });
+  reject([](BpOptions& o) { o.modelled_deadline_seconds = -1.0; });
   EXPECT_NO_THROW(base_opts().validate());
+}
+
+// Regression: a queue bar at or above the global threshold lets the §3.5
+// work queue drop elements the global stopping rule still counts, so the
+// run can neither drain nor converge. validate() must refuse it.
+TEST(Validate, RejectsQueueThresholdAtOrAboveConvergenceThreshold) {
+  auto o = base_opts();
+  o.queue_threshold = o.convergence_threshold;  // equal is already wrong
+  EXPECT_THROW(o.validate(), util::InvalidArgument);
+  o.queue_threshold = o.convergence_threshold * 10.0f;
+  EXPECT_THROW(o.validate(), util::InvalidArgument);
+  o.queue_threshold = o.convergence_threshold * 0.5f;
+  EXPECT_NO_THROW(o.validate());
+}
+
+TEST(Validate, FluentSettersChainAndAggregateInitStillWorks) {
+  const BpOptions fluent = BpOptions{}
+                               .with_convergence_threshold(1e-4f)
+                               .with_queue_threshold(1e-5f)
+                               .with_max_iterations(50)
+                               .with_work_queue()
+                               .with_threads(4)
+                               .with_damping(0.25f)
+                               .with_collect_trace();
+  EXPECT_FLOAT_EQ(fluent.convergence_threshold, 1e-4f);
+  EXPECT_FLOAT_EQ(fluent.queue_threshold, 1e-5f);
+  EXPECT_EQ(fluent.max_iterations, 50u);
+  EXPECT_TRUE(fluent.work_queue);
+  EXPECT_EQ(fluent.threads, 4u);
+  EXPECT_FLOAT_EQ(fluent.damping, 0.25f);
+  EXPECT_TRUE(fluent.collect_trace);
+  EXPECT_NO_THROW(fluent.validate());
+
+  // Designated-initializer (aggregate) construction must keep compiling:
+  // the setters are plain member functions, not constructors.
+  const BpOptions aggregate{.convergence_threshold = 1e-4f,
+                            .max_iterations = 10};
+  EXPECT_EQ(aggregate.max_iterations, 10u);
+  EXPECT_FALSE(aggregate.work_queue);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative stop: tokens and deadlines through the drivers (§5c)
+// ---------------------------------------------------------------------------
+
+FactorGraph stop_graph() {
+  graph::BeliefConfig cfg;
+  cfg.beliefs = 2;
+  cfg.seed = 31;
+  cfg.observed_fraction = 0.05;
+  return graph::grid(10, 10, cfg);
+}
+
+TEST(Stop, DefaultTokenNeverFires) {
+  const StopToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kNone);
+}
+
+TEST(Stop, FirstRequestStopWinsAndSticks) {
+  StopSource source;
+  const StopToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_TRUE(source.request_stop(StopReason::kDeadline));
+  EXPECT_FALSE(source.request_stop(StopReason::kCancelled));  // too late
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kDeadline);
+}
+
+TEST(Stop, PreCancelledTokenStopsRunAtFirstIteration) {
+  StopSource source;
+  source.request_stop();
+  for (const auto kind : {EngineKind::kCpuNode, EngineKind::kCpuEdge,
+                          EngineKind::kResidual}) {
+    auto opts = base_opts();
+    opts.with_stop(source.token());
+    const auto r = make_default_engine(kind)->run(stop_graph(), opts);
+    EXPECT_EQ(r.stats.stop_reason, StopReason::kCancelled)
+        << engine_name(kind);
+    EXPECT_FALSE(r.stats.converged) << engine_name(kind);
+    EXPECT_LE(r.stats.iterations, 1u) << engine_name(kind);
+  }
+}
+
+TEST(Stop, ModelledDeadlineFiresAtConvergenceCheck) {
+  auto opts = base_opts();
+  opts.convergence_threshold = 1e-9f;  // keep iterating to the cap...
+  opts.queue_threshold = 1e-10f;
+  opts.max_iterations = 100;
+  opts.with_modelled_deadline(1e-12);  // ...but the budget fires first
+  const auto r =
+      make_default_engine(EngineKind::kCpuNode)->run(stop_graph(), opts);
+  EXPECT_EQ(r.stats.stop_reason, StopReason::kDeadline);
+  EXPECT_FALSE(r.stats.converged);
+  EXPECT_LT(r.stats.iterations, 100u);
+}
+
+TEST(Stop, UnconstrainedRunReportsNoStopReason) {
+  const auto r =
+      make_default_engine(EngineKind::kCpuNode)->run(stop_graph(),
+                                                     base_opts());
+  EXPECT_EQ(r.stats.stop_reason, StopReason::kNone);
+  EXPECT_TRUE(r.stats.converged);
 }
 
 // ---------------------------------------------------------------------------

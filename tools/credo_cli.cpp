@@ -10,14 +10,22 @@
 //                  --out PREFIX
 //   credo convert  --in file.{bif,xml} --out PREFIX
 //   credo train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]
+//   credo serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]
+//                  [--workers W] [--queue Q] [--cache C] [--pool P]
+//                  [--engine mix|auto|<name>] [--deadline-every K]
+//                  [--deadline-ms D] [--iters N] [--threshold X]
 //
 // `--engine auto` uses the §3.7 dispatcher: pass a pre-trained model with
 // --model model.txt (from `credo train`) or let it train on the bold
-// benchmark subset on the fly.
+// benchmark subset on the fly. Engine names go through
+// bp::engine_from_name, so paper names ("CUDA Edge") and CLI slugs
+// ("cuda-edge") both work everywhere.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
@@ -31,6 +39,8 @@
 #include "io/convert.h"
 #include "io/mtx_belief.h"
 #include "io/xmlbif.h"
+#include "serve/server.h"
+#include "serve/stress.h"
 #include "util/strings.h"
 #include <vector>
 
@@ -84,19 +94,22 @@ class Args {
   std::map<std::string, std::string> kv_;
 };
 
-const std::map<std::string, bp::EngineKind>& engine_names() {
-  static const std::map<std::string, bp::EngineKind> m = {
-      {"c-node", bp::EngineKind::kCpuNode},
-      {"c-edge", bp::EngineKind::kCpuEdge},
-      {"omp-node", bp::EngineKind::kOmpNode},
-      {"omp-edge", bp::EngineKind::kOmpEdge},
-      {"cuda-node", bp::EngineKind::kCudaNode},
-      {"cuda-edge", bp::EngineKind::kCudaEdge},
-      {"acc-edge", bp::EngineKind::kAccEdge},
-      {"tree", bp::EngineKind::kTree},
-      {"residual", bp::EngineKind::kResidual},
-  };
-  return m;
+/// Resolves an --engine value through the one shared parser
+/// (bp::engine_from_name); throws with the valid slugs on failure.
+bp::EngineKind parse_engine(const std::string& name) {
+  if (const auto kind = bp::engine_from_name(name)) return *kind;
+  std::string valid;
+  for (const auto k :
+       {bp::EngineKind::kCpuNode, bp::EngineKind::kCpuEdge,
+        bp::EngineKind::kOmpNode, bp::EngineKind::kOmpEdge,
+        bp::EngineKind::kCudaNode, bp::EngineKind::kCudaEdge,
+        bp::EngineKind::kAccEdge, bp::EngineKind::kTree,
+        bp::EngineKind::kResidual}) {
+    if (!valid.empty()) valid += '|';
+    valid += std::string(bp::engine_slug(k));
+  }
+  throw util::InvalidArgument("unknown engine: " + name + " (expected " +
+                              valid + ")");
 }
 
 graph::FactorGraph load(const Args& args) {
@@ -164,11 +177,7 @@ int cmd_run(const Args& args) {
     std::fprintf(stderr, "dispatcher picked: %s\n", engine_used.c_str());
     result = dispatcher.run(g, opts);
   } else {
-    const auto it = engine_names().find(engine_arg);
-    if (it == engine_names().end()) {
-      throw util::InvalidArgument("unknown engine: " + engine_arg);
-    }
-    const auto engine = bp::make_default_engine(it->second);
+    const auto engine = bp::make_default_engine(parse_engine(engine_arg));
     engine_used = std::string(engine->name());
     result = engine->run(g, opts);
   }
@@ -293,10 +302,99 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// `credo serve --stress N`: replay a request mix against an in-process
+/// Server and print the metrics table (throughput, latency percentiles,
+/// cache hit rate, admission accounting). Without --nodes/--edges, two
+/// small graphs are generated into the system temp directory so the cache
+/// sees both hits and multiple keys.
+int cmd_serve(const Args& args) {
+  const auto n_req = static_cast<std::size_t>(args.number("stress", 64));
+  if (n_req == 0) throw util::InvalidArgument("--stress must be nonzero");
+
+  serve::StressConfig stress;
+  stress.requests = n_req;
+  stress.sessions =
+      static_cast<unsigned>(args.number("sessions", 4));
+  stress.options.max_iterations =
+      static_cast<std::uint32_t>(args.number("iters", 50));
+  stress.options.convergence_threshold =
+      static_cast<float>(args.number("threshold", 1e-3));
+
+  serve::ServerOptions sopts;
+  sopts.workers = static_cast<unsigned>(args.number("workers", 3));
+  sopts.queue_capacity =
+      static_cast<std::size_t>(args.number("queue", 2 * n_req));
+  sopts.cache_capacity = static_cast<std::size_t>(args.number("cache", 4));
+  sopts.pool_threads = static_cast<unsigned>(args.number("pool", 8));
+
+  const std::string engine_arg = args.get("engine").value_or("mix");
+  if (engine_arg == "auto") {
+    stress.mix.clear();  // server default = the §3.7 dispatcher
+    sopts.use_dispatcher = true;
+    if (const auto model = args.get("model")) sopts.dispatcher_model = *model;
+  } else if (engine_arg == "mix") {
+    stress.mix = {bp::EngineKind::kCpuNode, bp::EngineKind::kCpuEdge,
+                  bp::EngineKind::kOmpNode, bp::EngineKind::kCudaNode,
+                  bp::EngineKind::kResidual};
+  } else {
+    stress.mix = {parse_engine(engine_arg)};
+  }
+
+  stress.deadline_every =
+      static_cast<std::size_t>(args.number("deadline-every", 0));
+  stress.deadline.host_seconds = args.number("deadline-ms", 0) / 1000.0;
+
+  if (args.get("nodes")) {
+    stress.graphs.emplace_back(args.require("nodes"), args.require("edges"));
+  } else {
+    // Self-contained smoke mode: generate two distinct small graphs.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "credo_serve_stress";
+    std::filesystem::create_directories(dir);
+    graph::BeliefConfig cfg;
+    cfg.beliefs = 2;
+    cfg.seed = 7;
+    cfg.observed_fraction = 0.05;
+    const auto g1 = graph::uniform_random(400, 1600, cfg);
+    cfg.seed = 8;
+    cfg.beliefs = 3;
+    const auto g2 = graph::grid(20, 20, cfg);
+    const std::string p1 = (dir / "u400").string();
+    const std::string p2 = (dir / "g20").string();
+    io::write_mtx_belief(g1, p1 + "_nodes.mtx", p1 + "_edges.mtx");
+    io::write_mtx_belief(g2, p2 + "_nodes.mtx", p2 + "_edges.mtx");
+    stress.graphs.emplace_back(p1 + "_nodes.mtx", p1 + "_edges.mtx");
+    stress.graphs.emplace_back(p2 + "_nodes.mtx", p2 + "_edges.mtx");
+    std::fprintf(stderr, "generated stress graphs under %s\n",
+                 dir.string().c_str());
+  }
+
+  serve::Server server(sopts);
+  const auto report = serve::run_stress(server, stress);
+  server.shutdown();
+  report.table().print(std::cout);
+
+  const auto stats = report.server;
+  if (stats.submitted != stats.finished()) {
+    std::fprintf(stderr,
+                 "accounting mismatch: submitted %llu != finished %llu\n",
+                 static_cast<unsigned long long>(stats.submitted),
+                 static_cast<unsigned long long>(stats.finished()));
+    return 4;
+  }
+  if (stats.failed > 0) {
+    std::fprintf(stderr, "%llu requests failed\n",
+                 static_cast<unsigned long long>(stats.failed));
+    return 5;
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: credo <info|run|generate|convert> [--flag value]...\n"
+      "usage: credo <info|run|generate|convert|train|serve>"
+      " [--flag value]...\n"
       "  info     --nodes N.mtx --edges E.mtx\n"
       "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
       "           [--iters N] [--threshold X] [--out beliefs.txt]\n"
@@ -305,7 +403,11 @@ int usage() {
       "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
       " --out PREFIX\n"
       "  convert  --in file.{bif,xml} --out PREFIX\n"
-      "  train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]\n");
+      "  train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]\n"
+      "  serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]\n"
+      "           [--workers W] [--queue Q] [--cache C] [--pool P]\n"
+      "           [--engine mix|auto|<name>] [--deadline-every K]\n"
+      "           [--deadline-ms D] [--iters N] [--threshold X]\n");
   return 2;
 }
 
@@ -321,6 +423,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "train") return cmd_train(args);
+    if (cmd == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
