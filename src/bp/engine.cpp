@@ -4,9 +4,23 @@
 #include <string>
 
 #include "bp/engines_internal.h"
+#include "graph/reorder.h"
 #include "util/error.h"
 
 namespace credo::bp {
+
+BpResult Engine::run(const graph::FactorGraph& g,
+                     const BpOptions& opts) const {
+  opts.validate();
+  BpResult result = do_run(g, opts);
+  // The locality pass renumbers nodes at build time; results leave the
+  // engine layer in the caller's original ids so the pass stays invisible
+  // above the graph layer.
+  if (const graph::Permutation* perm = g.permutation()) {
+    result.beliefs = perm->unapply(result.beliefs);
+  }
+  return result;
+}
 
 std::string_view engine_name(EngineKind kind) noexcept {
   switch (kind) {

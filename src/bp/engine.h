@@ -63,12 +63,11 @@ class Engine {
   /// Runs BP on `g` to convergence (or the iteration cap) and returns the
   /// marginal beliefs. Validates `opts` first (BpOptions::validate, which
   /// throws util::InvalidArgument on out-of-domain settings). The graph is
-  /// not modified; engines copy the mutable state they need.
+  /// not modified; engines copy the mutable state they need. When `g` was
+  /// built through the locality pass (graph/reorder.h), the returned
+  /// beliefs are un-permuted back to the caller's original node ids.
   [[nodiscard]] BpResult run(const graph::FactorGraph& g,
-                             const BpOptions& opts) const {
-    opts.validate();
-    return do_run(g, opts);
-  }
+                             const BpOptions& opts) const;
 
   [[nodiscard]] std::string_view name() const noexcept {
     return engine_name(kind());

@@ -30,6 +30,18 @@ namespace credo::graph {
 /// 2 KiB — comfortably L1-resident next to the (shared) joint matrix.
 inline constexpr std::size_t kEdgeBlock = 16;
 
+/// Dispatch cutoff for combine: at or below this arity the public kernel
+/// takes the live-lane scalar path instead of the padded-width vector loop.
+/// Measured (BENCH_kernels.json): touching kSimdLane lanes to update 2–8
+/// live ones cost 0.47–0.84x at arity <= 8, while the vector loop wins
+/// above (1.27x @16, 1.40x @32). Both paths are bit-identical.
+///
+/// l1_diff needs no cutoff: its sum feeds the convergence decision, so it
+/// keeps scalar accumulation order at every arity (an ordered float
+/// reduction cannot be vectorized without changing rounding) — its
+/// selected path is the scalar one across the whole arity range.
+inline constexpr std::uint32_t kCombineScalarMaxArity = kSimdLane;
+
 /// Arity-aware copy: moves only the padded live lanes (plus the dimension)
 /// instead of the full kMaxStates payload. The destination's lanes beyond
 /// padded_states(src.size) are left untouched — callers reusing a scratch

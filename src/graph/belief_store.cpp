@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "graph/factor_graph.h"
 #include "util/error.h"
 
 namespace credo::graph {
@@ -65,6 +66,46 @@ std::unique_ptr<BeliefStore> make_belief_store(BeliefLayout layout, NodeId n,
     return std::make_unique<AosBeliefStore>(n, arity);
   }
   return std::make_unique<SoaBeliefStore>(n, arity);
+}
+
+PackedAosBeliefStore::PackedAosBeliefStore(const FactorGraph& g) {
+  const NodeId n = g.num_nodes();
+  sizes_.resize(n);
+  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    sizes_[v] = g.arity(v);
+    offsets_[v + 1] = offsets_[v] + padded_states(sizes_[v]);
+  }
+  values_.assign(offsets_[n], 0.0f);
+  for (NodeId v = 0; v < n; ++v) {
+    const BeliefVec& p = g.prior(v);
+    float* base = values_.data() + offsets_[v];
+    for (std::uint32_t i = 0; i < p.size; ++i) base[i] = p.v[i];
+  }
+}
+
+void PackedAosBeliefStore::get(NodeId v, BeliefVec& out) const {
+  out = BeliefVec{};
+  out.size = sizes_[v];
+  const float* base = values_.data() + offsets_[v];
+  for (std::uint32_t i = 0; i < out.size; ++i) out.v[i] = base[i];
+}
+
+void PackedAosBeliefStore::set(NodeId v, const BeliefVec& b) {
+  CREDO_CHECK(b.size == sizes_[v]);
+  float* base = values_.data() + offsets_[v];
+  for (std::uint32_t i = 0; i < b.size; ++i) base[i] = b.v[i];
+}
+
+void PackedAosBeliefStore::access_ranges(
+    NodeId v, const std::function<void(MemRange)>& sink) const {
+  // One contiguous touch of the node's padded slice; neighboring nodes in
+  // the graph order occupy the adjacent bytes, which is what the reorder
+  // cachesim experiment measures.
+  sink({reinterpret_cast<std::uintptr_t>(values_.data() + offsets_[v]),
+        static_cast<std::uint32_t>(padded_states(sizes_[v]) *
+                                   sizeof(float))});
 }
 
 }  // namespace credo::graph

@@ -110,4 +110,49 @@ class SoaBeliefStore final : public BeliefStore {
 [[nodiscard]] std::unique_ptr<BeliefStore> make_belief_store(
     BeliefLayout layout, NodeId n, std::uint32_t arity);
 
+class FactorGraph;
+
+/// The locality pass's arena form of AoS (DESIGN.md §5d): all beliefs in
+/// one contiguous float buffer, each node occupying exactly
+/// padded_states(arity) lanes at a prefix-sum offset, in the graph's
+/// (possibly reordered) node order. Unlike AosBeliefStore — whose fixed
+/// sizeof(BeliefVec) slots spend 136 bytes per node regardless of arity —
+/// the arena packs an arity-4 node into 32 bytes, so a BFS/RCM ordering
+/// puts ~4x more neighborhoods on every cache line. The cachesim reorder
+/// experiment replays traversals against this layout; per-arity SIMD
+/// padding from the kernel layer is preserved, so kernels could run on the
+/// arena slices unchanged.
+class PackedAosBeliefStore final : public BeliefStore {
+ public:
+  /// Lays out one slot per node of `g`, in g's node order, initialized to
+  /// g's priors.
+  explicit PackedAosBeliefStore(const FactorGraph& g);
+
+  [[nodiscard]] BeliefLayout layout() const noexcept override {
+    return BeliefLayout::kAos;
+  }
+  [[nodiscard]] NodeId size() const noexcept override {
+    return static_cast<NodeId>(sizes_.size());
+  }
+  void get(NodeId v, BeliefVec& out) const override;
+  void set(NodeId v, const BeliefVec& b) override;
+  [[nodiscard]] std::uint64_t bytes() const noexcept override {
+    return values_.size() * sizeof(float) +
+           offsets_.size() * sizeof(std::uint64_t) +
+           sizes_.size() * sizeof(std::uint32_t);
+  }
+  void access_ranges(
+      NodeId v, const std::function<void(MemRange)>& sink) const override;
+
+  /// Offset (in floats) of node `v`'s slice inside the arena.
+  [[nodiscard]] std::uint64_t offset(NodeId v) const noexcept {
+    return offsets_[v];
+  }
+
+ private:
+  std::vector<float> values_;            // sum of padded_states(arity)
+  std::vector<std::uint64_t> offsets_;   // n + 1 prefix sums
+  std::vector<std::uint32_t> sizes_;
+};
+
 }  // namespace credo::graph

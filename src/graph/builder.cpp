@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/reorder.h"
 #include "util/error.h"
 
 namespace credo::graph {
@@ -139,6 +140,10 @@ FactorGraph GraphBuilder::finalize() {
   g.out_csr_ = Csr::by_source(g.num_nodes(), g.edges_);
   *this = GraphBuilder();
   return g;
+}
+
+FactorGraph GraphBuilder::finalize(ReorderMode mode) {
+  return reordered(finalize(), mode);
 }
 
 }  // namespace credo::graph

@@ -66,6 +66,11 @@ class GraphBuilder {
   /// edge matrices.
   FactorGraph finalize();
 
+  /// finalize() followed by the locality pass (graph/reorder.h): the result
+  /// is the reordered graph carrying its permutation. kNone is exactly
+  /// finalize().
+  FactorGraph finalize(ReorderMode mode);
+
  private:
   std::vector<BeliefVec> priors_;
   std::vector<std::uint8_t> observed_;

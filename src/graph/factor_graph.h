@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,18 @@
 #include "util/error.h"
 
 namespace credo::graph {
+
+/// Vertex orderings of the locality pass (graph/reorder.h, DESIGN.md §5d).
+/// The enum lives here because FactorGraph records which ordering it was
+/// built under; the algorithms live in reorder.{h,cpp}.
+enum class ReorderMode : std::uint8_t {
+  kNone = 0,    // parse/build order, edges sorted by source (the seed form)
+  kBfs = 1,     // breadth-first per component
+  kRcm = 2,     // reverse Cuthill-McKee
+  kDegree = 3,  // descending-degree pack (fallback for disconnected hubs)
+};
+
+class Permutation;  // graph/reorder.h
 
 /// Storage for edge conditional-probability matrices. Either one matrix per
 /// directed edge, or a single matrix shared by every edge (§2.2); the shared
@@ -140,8 +153,22 @@ class FactorGraph {
   /// reported by the memory-footprint benches.
   [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
 
+  /// Which locality ordering this graph was built under (kNone unless it
+  /// went through graph::reordered).
+  [[nodiscard]] ReorderMode reorder_mode() const noexcept {
+    return reorder_;
+  }
+
+  /// The recorded original-id -> internal-id permutation, or nullptr when
+  /// node ids are the caller's own (kNone). Engine::run uses this to map
+  /// result beliefs back to original ids.
+  [[nodiscard]] const Permutation* permutation() const noexcept {
+    return perm_.get();
+  }
+
  private:
   friend class GraphBuilder;
+  friend class ReorderAccess;  // graph/reorder.cpp
 
   std::vector<BeliefVec> priors_;
   std::vector<std::uint8_t> observed_;
@@ -150,6 +177,8 @@ class FactorGraph {
   JointStore joints_ = JointStore::per_edge();
   Csr in_csr_;
   Csr out_csr_;
+  ReorderMode reorder_ = ReorderMode::kNone;
+  std::shared_ptr<const Permutation> perm_;
 };
 
 }  // namespace credo::graph

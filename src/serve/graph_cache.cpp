@@ -3,6 +3,7 @@
 #include <fstream>
 #include <utility>
 
+#include "graph/reorder.h"
 #include "io/mtx_belief.h"
 #include "util/error.h"
 
@@ -33,12 +34,14 @@ GraphCache::GraphCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
-                                      const std::string& edges_path) {
+                                      const std::string& edges_path,
+                                      graph::ReorderMode mode) {
   // Content hash outside the lock: file I/O must not serialize the cache.
   const std::uint64_t h = hash_file(nodes_path) ^
                           (hash_file(edges_path) * 1099511628211ull);
   const std::string key = nodes_path + '|' + edges_path + '|' +
-                          std::to_string(h);
+                          std::to_string(h) + '|' +
+                          std::string(graph::reorder_mode_name(mode));
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -52,9 +55,12 @@ GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
 
   // Miss: parse outside the lock so loads of distinct graphs overlap.
   auto loaded = std::make_shared<CachedGraph>();
-  loaded->graph = io::read_mtx_belief(nodes_path, edges_path);
+  loaded->graph = graph::reordered(io::read_mtx_belief(nodes_path,
+                                                       edges_path),
+                                   mode);
   loaded->metadata = graph::compute_metadata(loaded->graph);
   loaded->content_hash = h;
+  loaded->reorder = mode;
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;

@@ -25,11 +25,16 @@
 
 namespace credo::serve {
 
-/// One parsed graph plus everything a request needs alongside it.
+/// One parsed graph plus everything a request needs alongside it. When
+/// `reorder` is not kNone the graph went through the locality pass at load
+/// time (graph/reorder.h) and carries its permutation; engines un-permute
+/// result beliefs, so responses are in the file's original node ids either
+/// way.
 struct CachedGraph {
   graph::FactorGraph graph;
   graph::GraphMetadata metadata;
   std::uint64_t content_hash = 0;
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
 };
 
 struct CacheStats {
@@ -55,10 +60,14 @@ class GraphCache {
     bool hit = false;
   };
 
-  /// Returns the parsed graph for the file pair, loading it on a miss.
+  /// Returns the parsed graph for the file pair, loading (and, when `mode`
+  /// is not kNone, reordering) it on a miss. The reorder mode is part of
+  /// the cache key: the same files fetched under different modes are
+  /// distinct entries, since their in-memory layouts differ.
   /// Throws util::IoError / util::ParseError like io::read_mtx_belief.
-  [[nodiscard]] Fetched fetch(const std::string& nodes_path,
-                              const std::string& edges_path);
+  [[nodiscard]] Fetched fetch(
+      const std::string& nodes_path, const std::string& edges_path,
+      graph::ReorderMode mode = graph::ReorderMode::kNone);
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;

@@ -61,6 +61,14 @@ struct Request {
   /// Engine override; nullopt = server default (dispatcher when enabled).
   std::optional<bp::EngineKind> engine;
 
+  /// Locality ordering applied when the graph is loaded (graph/reorder.h);
+  /// part of the GraphCache key, so the same files under different modes
+  /// are distinct cached entries. Response beliefs are always in the
+  /// file's original node ids. For inline graphs the reorder happens
+  /// per-request (no cache), so preloaded callers should reorder once
+  /// themselves and leave this at kNone.
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
+
   Deadline deadline;
 
   /// Client cancellation token (from bp::runtime::StopSource). Composed

@@ -6,6 +6,7 @@
 #include "credo/suite.h"
 #include "credo/trainer.h"
 #include "graph/metadata.h"
+#include "graph/reorder.h"
 #include "util/timer.h"
 
 namespace credo::serve {
@@ -159,14 +160,22 @@ Response Server::execute(Pending& pending) {
   }
 
   try {
-    // Resolve the graph: cache for file refs, as-is for preloaded graphs.
+    // Resolve the graph: cache for file refs, as-is for preloaded graphs
+    // (reordered per-request when a mode is set — no cache to amortize the
+    // pass, so preloaded callers are better off reordering once upfront).
     std::shared_ptr<const CachedGraph> cached;
+    graph::FactorGraph reordered_inline;
     const graph::FactorGraph* g = nullptr;
     const graph::GraphMetadata* md = nullptr;
     if (req.graph.inline_graph()) {
       g = req.graph.graph.get();
+      if (req.reorder != graph::ReorderMode::kNone) {
+        reordered_inline = graph::reordered(*g, req.reorder);
+        g = &reordered_inline;
+      }
     } else {
-      auto fetched = cache_.fetch(req.graph.nodes_path, req.graph.edges_path);
+      auto fetched = cache_.fetch(req.graph.nodes_path, req.graph.edges_path,
+                                  req.reorder);
       cached = std::move(fetched.entry);
       resp.cache_hit = fetched.hit;
       g = &cached->graph;

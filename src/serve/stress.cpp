@@ -77,6 +77,7 @@ StressReport run_stress(Server& server, const StressConfig& config) {
         const auto& gp = config.graphs[i % config.graphs.size()];
         req.graph = GraphRef::files(gp.first, gp.second);
         req.options = config.options;
+        req.reorder = config.reorder;
         if (!config.mix.empty()) {
           req.engine = config.mix[i % config.mix.size()];
         }

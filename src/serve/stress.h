@@ -38,6 +38,9 @@ struct StressConfig {
   std::size_t deadline_every = 0;
   Deadline deadline;
 
+  /// Locality ordering requested with every request (Request::reorder).
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
+
   /// Base BpOptions for every request.
   bp::BpOptions options;
 };

@@ -3,8 +3,9 @@
 //   credo info     --nodes N.mtx --edges E.mtx
 //   credo run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|c-edge|
 //                  omp-node|omp-edge|cuda-node|cuda-edge|acc-edge|tree|
-//                  residual] [--no-queue] [--iters N] [--threshold X]
-//                  [--out beliefs.txt] [--trace trace.csv]
+//                  residual] [--reorder none|bfs|rcm|degree] [--no-queue]
+//                  [--iters N] [--threshold X] [--out beliefs.txt]
+//                  [--trace trace.csv]
 //   credo generate --family uniform|kron|social|tree|grid --nodes N
 //                  [--edges M] [--beliefs B] [--seed S] [--observed F]
 //                  --out PREFIX
@@ -12,8 +13,9 @@
 //   credo train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]
 //   credo serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]
 //                  [--workers W] [--queue Q] [--cache C] [--pool P]
-//                  [--engine mix|auto|<name>] [--deadline-every K]
-//                  [--deadline-ms D] [--iters N] [--threshold X]
+//                  [--engine mix|auto|<name>] [--reorder none|bfs|rcm|degree]
+//                  [--deadline-every K] [--deadline-ms D] [--iters N]
+//                  [--threshold X]
 //
 // `--engine auto` uses the §3.7 dispatcher: pass a pre-trained model with
 // --model model.txt (from `credo train`) or let it train on the bold
@@ -35,6 +37,7 @@
 #include "credo/suite.h"
 #include "graph/generators.h"
 #include "graph/metadata.h"
+#include "graph/reorder.h"
 #include "io/bif.h"
 #include "io/convert.h"
 #include "io/mtx_belief.h"
@@ -114,12 +117,23 @@ bp::EngineKind parse_engine(const std::string& name) {
 
 graph::FactorGraph load(const Args& args) {
   io::ParseStats stats;
-  const auto g = io::read_mtx_belief(args.require("nodes"),
-                                     args.require("edges"), &stats);
+  auto g = io::read_mtx_belief(args.require("nodes"),
+                               args.require("edges"), &stats);
   std::fprintf(stderr, "loaded %u nodes, %llu directed edges (%llu lines)\n",
                g.num_nodes(),
                static_cast<unsigned long long>(g.num_edges()),
                static_cast<unsigned long long>(stats.lines));
+  // Locality pass (DESIGN.md §5d). parse_reorder_mode rejects unknown
+  // values with the valid list — never a silent fallback to none.
+  const auto mode =
+      graph::parse_reorder_mode(args.get("reorder").value_or("none"));
+  if (mode != graph::ReorderMode::kNone) {
+    const double span_before = graph::mean_edge_span(g);
+    g = graph::reordered(g, mode);
+    std::fprintf(stderr, "reordered (%s): mean edge span %.1f -> %.1f\n",
+                 std::string(graph::reorder_mode_name(mode)).c_str(),
+                 span_before, graph::mean_edge_span(g));
+  }
   return g;
 }
 
@@ -139,6 +153,10 @@ int cmd_info(const Args& args) {
   std::printf("skew:              %.5f\n", md.skew());
   std::printf("shared joint:      %s\n",
               g.joints().is_shared() ? "yes" : "no");
+  std::printf("reorder:           %s\n",
+              std::string(graph::reorder_mode_name(g.reorder_mode()))
+                  .c_str());
+  std::printf("mean edge span:    %.1f\n", graph::mean_edge_span(g));
   std::printf("memory:            %.2f MiB\n",
               static_cast<double>(g.memory_bytes()) / (1 << 20));
   return 0;
@@ -204,9 +222,12 @@ int cmd_run(const Args& args) {
   if (const auto out = args.get("out")) {
     std::ofstream f(*out);
     if (!f) throw util::IoError("cannot open " + *out);
+    // result.beliefs is indexed by *original* node ids (engines un-permute
+    // under --reorder), so the width comes from the belief, not from the
+    // possibly-reordered graph.
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       f << (v + 1);
-      for (std::uint32_t s = 0; s < g.arity(v); ++s) {
+      for (std::uint32_t s = 0; s < result.beliefs[v].size; ++s) {
         f << ' ' << result.beliefs[v][s];
       }
       f << '\n';
@@ -340,6 +361,8 @@ int cmd_serve(const Args& args) {
     stress.mix = {parse_engine(engine_arg)};
   }
 
+  stress.reorder =
+      graph::parse_reorder_mode(args.get("reorder").value_or("none"));
   stress.deadline_every =
       static_cast<std::size_t>(args.number("deadline-every", 0));
   stress.deadline.host_seconds = args.number("deadline-ms", 0) / 1000.0;
@@ -397,7 +420,8 @@ int usage() {
       " [--flag value]...\n"
       "  info     --nodes N.mtx --edges E.mtx\n"
       "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
-      "           [--iters N] [--threshold X] [--out beliefs.txt]\n"
+      "           [--reorder none|bfs|rcm|degree] [--iters N]\n"
+      "           [--threshold X] [--out beliefs.txt]\n"
       "           [--trace trace.csv] [--no-queue]\n"
       "  generate --family uniform|kron|social|tree|grid --nodes N\n"
       "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
@@ -406,8 +430,9 @@ int usage() {
       "  train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]\n"
       "  serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]\n"
       "           [--workers W] [--queue Q] [--cache C] [--pool P]\n"
-      "           [--engine mix|auto|<name>] [--deadline-every K]\n"
-      "           [--deadline-ms D] [--iters N] [--threshold X]\n");
+      "           [--engine mix|auto|<name>] [--reorder MODE]\n"
+      "           [--deadline-every K] [--deadline-ms D] [--iters N]\n"
+      "           [--threshold X]\n");
   return 2;
 }
 
