@@ -6,6 +6,7 @@
 #include "bp/engines_internal.h"
 #include "graph/reorder.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace credo::bp {
 
@@ -15,9 +16,11 @@ BpResult Engine::run(const graph::FactorGraph& g,
   BpResult result = do_run(g, opts);
   // The locality pass renumbers nodes at build time; results leave the
   // engine layer in the caller's original ids so the pass stays invisible
-  // above the graph layer.
+  // above the graph layer. Timed so request spans can report the phase.
   if (const graph::Permutation* perm = g.permutation()) {
+    const util::Timer unpermute_timer;
     result.beliefs = perm->unapply(result.beliefs);
+    result.stats.unpermute_seconds = unpermute_timer.seconds();
   }
   return result;
 }

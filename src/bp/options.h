@@ -156,16 +156,17 @@ struct BpOptions {
   }
 
   /// Rejects settings that would loop forever, divide by zero or never
-  /// converge. Called by Engine::run before dispatching; throws
-  /// util::InvalidArgument. The comparisons are written so NaN fails too.
-  void validate() const {
+  /// converge, reported through the shared status vocabulary (DESIGN.md
+  /// §5e). The comparisons are written so NaN fails too.
+  [[nodiscard]] util::Status validate_status() const noexcept {
+    const auto invalid = [](const char* msg) {
+      return util::Status(util::StatusCode::kInvalidArgument, msg);
+    };
     if (!(convergence_threshold > 0.0f)) {
-      throw util::InvalidArgument(
-          "BpOptions: convergence_threshold must be positive");
+      return invalid("BpOptions: convergence_threshold must be positive");
     }
     if (!(queue_threshold > 0.0f)) {
-      throw util::InvalidArgument(
-          "BpOptions: queue_threshold must be positive");
+      return invalid("BpOptions: queue_threshold must be positive");
     }
     if (!(queue_threshold < convergence_threshold)) {
       // The global threshold is an absolute sum over all nodes while the
@@ -173,36 +174,41 @@ struct BpOptions {
       // lets the §3.5 work queue drop elements whose combined residual the
       // global stopping rule still counts, so the run can neither drain
       // nor converge.
-      throw util::InvalidArgument(
+      return invalid(
           "BpOptions: queue_threshold must be below "
           "convergence_threshold (the per-element bar must sit under the "
           "global stopping rule)");
     }
     if (max_iterations == 0) {
-      throw util::InvalidArgument(
-          "BpOptions: max_iterations must be nonzero");
+      return invalid("BpOptions: max_iterations must be nonzero");
     }
     if (!(damping >= 0.0f && damping < 1.0f)) {
-      throw util::InvalidArgument("BpOptions: damping must be in [0, 1)");
+      return invalid("BpOptions: damping must be in [0, 1)");
     }
     if (threads == 0) {
-      throw util::InvalidArgument("BpOptions: threads must be nonzero");
+      return invalid("BpOptions: threads must be nonzero");
     }
     if (block_threads == 0) {
-      throw util::InvalidArgument(
-          "BpOptions: block_threads must be nonzero");
+      return invalid("BpOptions: block_threads must be nonzero");
     }
     if (convergence_batch == 0) {
-      throw util::InvalidArgument(
-          "BpOptions: convergence_batch must be nonzero");
+      return invalid("BpOptions: convergence_batch must be nonzero");
     }
     if (!(host_deadline_seconds >= 0.0)) {
-      throw util::InvalidArgument(
-          "BpOptions: host_deadline_seconds must be >= 0");
+      return invalid("BpOptions: host_deadline_seconds must be >= 0");
     }
     if (!(modelled_deadline_seconds >= 0.0)) {
-      throw util::InvalidArgument(
-          "BpOptions: modelled_deadline_seconds must be >= 0");
+      return invalid("BpOptions: modelled_deadline_seconds must be >= 0");
+    }
+    return util::Status::ok();
+  }
+
+  /// Throwing form retained as a thin alias for one release (callers that
+  /// want a status should move to validate_status()). Engine::run calls
+  /// this before dispatching; throws util::InvalidArgument.
+  void validate() const {
+    if (const auto s = validate_status(); !s.is_ok()) {
+      throw util::InvalidArgument(s.message());
     }
   }
 };
@@ -219,6 +225,11 @@ struct BpStats {
   perf::Counters counters;
   perf::TimeBreakdown time;
   double host_seconds = 0.0;
+
+  /// Host time Engine::run spent un-permuting beliefs back to the caller's
+  /// original node ids (0 when the graph carried no permutation). Reported
+  /// so request spans can attribute the phase (DESIGN.md §5e).
+  double unpermute_seconds = 0.0;
 
   /// Why the run ended early, if it did (cancellation or a deadline,
   /// DESIGN.md §5c). kNone for runs that converged or hit the cap.

@@ -20,6 +20,7 @@
 
 #include "bp/options.h"
 #include "bp/runtime/convergence.h"
+#include "bp/runtime/observe.h"
 #include "bp/runtime/stop.h"
 #include "bp/runtime/telemetry.h"
 #include "graph/factor_graph.h"
@@ -93,6 +94,9 @@ void run_loop(const BpOptions& opts, BpStats& stats,
         stop = true;
       }
     }
+    // Always-on aggregates (§5e): the same sampling points as the trace,
+    // but into sharded registry cells — no allocation, no opt-in.
+    observe_iteration(frontier, checked);
     if (opts.collect_trace) {
       stats.trace.push_back(IterationRecord{stats.iterations,
                                             checked ? delta : 0.0, checked,
@@ -101,6 +105,7 @@ void run_loop(const BpOptions& opts, BpStats& stats,
     }
     if (stop) break;
   }
+  observe_run(stats.iterations, stats.converged);
 }
 
 /// Runs the residual-priority loop: one `body(v) -> delta` call per popped
@@ -128,6 +133,10 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
     const float d = body(v);
     sched.record(v, d);
     stats.final_delta = d;
+    if (updates % epoch == 0) {
+      // One sweep-equivalent epoch: sample the queue as the frontier (§5e).
+      observe_iteration(sched.pending(), /*checked=*/true);
+    }
     if (opts.collect_trace && num_nodes > 0 && updates % num_nodes == 0) {
       stats.trace.push_back(IterationRecord{
           static_cast<std::uint32_t>(updates / num_nodes), d, true,
@@ -149,6 +158,7 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
       updates / std::max<std::uint64_t>(1, num_nodes) + 1,
       opts.max_iterations));
   stats.converged = !stopped && (sched.empty() || updates < max_updates);
+  observe_run(stats.iterations, stats.converged);
 }
 
 }  // namespace credo::bp::runtime

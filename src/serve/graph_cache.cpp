@@ -30,8 +30,21 @@ std::uint64_t hash_file(const std::string& path) {
 
 }  // namespace
 
-GraphCache::GraphCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+GraphCache::GraphCache(std::size_t capacity,
+                       obs::MetricsRegistry* registry)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      hits_((registry != nullptr ? *registry
+                                 : obs::MetricsRegistry::global())
+                .counter("credo_graph_cache_hits_total",
+                         "Graph cache fetches served without parsing")),
+      misses_((registry != nullptr ? *registry
+                                   : obs::MetricsRegistry::global())
+                  .counter("credo_graph_cache_misses_total",
+                           "Graph cache fetches that parsed the files")),
+      evictions_((registry != nullptr ? *registry
+                                      : obs::MetricsRegistry::global())
+                     .counter("credo_graph_cache_evictions_total",
+                              "Graph cache LRU evictions")) {}
 
 GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
                                       const std::string& edges_path,
@@ -49,6 +62,7 @@ GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
       ++stats_.hits;
+      hits_.inc();
       return {it->second->value, true};
     }
   }
@@ -64,6 +78,7 @@ GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;
+  misses_.inc();
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // A concurrent fetch inserted the same key first; reuse its entry (the
@@ -77,6 +92,7 @@ GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
     index_.erase(lru_.back().key);
     lru_.pop_back();  // shared_ptr keeps in-flight users safe
     ++stats_.evictions;
+    evictions_.inc();
   }
   return {lru_.front().value, false};
 }

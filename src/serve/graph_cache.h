@@ -22,6 +22,7 @@
 
 #include "graph/factor_graph.h"
 #include "graph/metadata.h"
+#include "obs/metrics.h"
 
 namespace credo::serve {
 
@@ -52,8 +53,13 @@ struct CacheStats {
 
 class GraphCache {
  public:
-  /// Holds at most `capacity` parsed graphs (>= 1).
-  explicit GraphCache(std::size_t capacity);
+  /// Holds at most `capacity` parsed graphs (>= 1). Hit/miss/eviction
+  /// counters are mirrored into `registry` (the process-wide
+  /// obs::MetricsRegistry::global() when null) as
+  /// credo_graph_cache_{hits,misses,evictions}_total, so a live scrape
+  /// sees cache behaviour without polling CacheStats.
+  explicit GraphCache(std::size_t capacity,
+                      obs::MetricsRegistry* registry = nullptr);
 
   struct Fetched {
     std::shared_ptr<const CachedGraph> entry;
@@ -80,6 +86,9 @@ class GraphCache {
   };
 
   std::size_t capacity_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;

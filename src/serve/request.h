@@ -1,26 +1,32 @@
-// The serve layer's public request/response vocabulary (DESIGN.md §5c).
+// The serve layer's public request/response vocabulary (DESIGN.md §5c/§5e).
 //
 // A Request names a graph (by file pair, resolved through the server's
 // graph cache, or as a pre-loaded in-memory graph), the BpOptions to run
 // with, an optional engine override (absent = the server's default
 // selection, normally the §3.7 dispatcher), a deadline budget and an
 // optional cancellation token. A Response reports what happened: the
-// terminal status, the engine that ran, the BP result, and the queue/run
-// timings the metrics layer aggregates.
+// terminal status (the shared util::StatusCode vocabulary), the engine
+// that ran, the BP result, and the queue/run timings the metrics layer
+// aggregates. Requests compose with fluent with_* builders mirroring
+// BpOptions; plain aggregate initialization keeps working.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "bp/engine.h"
 #include "bp/runtime/stop.h"
 #include "graph/factor_graph.h"
+#include "graph/reorder.h"
+#include "util/error.h"
 
 namespace credo::serve {
 
-/// Which graph a request runs on. Exactly one of the two forms is used:
+/// Which graph a request runs on. Exactly one of the two documented forms
+/// is used (validate() enforces the invariant):
 ///  * `nodes_path`/`edges_path` — an MTX-belief file pair, loaded through
 ///    the server's GraphCache (repeat requests skip MTX parsing);
 ///  * `graph` — a pre-loaded in-memory graph, bypassing the cache.
@@ -44,6 +50,47 @@ struct GraphRef {
     r.graph = std::move(g);
     return r;
   }
+
+  GraphRef& with_files(std::string nodes, std::string edges) {
+    nodes_path = std::move(nodes);
+    edges_path = std::move(edges);
+    return *this;
+  }
+  GraphRef& with_preloaded(
+      std::shared_ptr<const graph::FactorGraph> g) noexcept {
+    graph = std::move(g);
+    return *this;
+  }
+
+  /// Enforces the two-form invariant: either both file paths (and no
+  /// inline graph), or an inline graph (and no paths). Mixed or empty
+  /// forms are invalid-argument, never silently resolved.
+  [[nodiscard]] util::Status validate() const {
+    const bool has_paths = !nodes_path.empty() || !edges_path.empty();
+    if (inline_graph() && has_paths) {
+      return util::Status::invalid_argument(
+          "GraphRef: an inline graph and file paths are mutually "
+          "exclusive — use exactly one form");
+    }
+    if (!inline_graph()) {
+      if (nodes_path.empty() && edges_path.empty()) {
+        return util::Status::invalid_argument(
+            "GraphRef: names no graph (set nodes/edges paths or an inline "
+            "graph)");
+      }
+      if (nodes_path.empty() || edges_path.empty()) {
+        return util::Status::invalid_argument(
+            "GraphRef: the file form needs both nodes_path and edges_path");
+      }
+    }
+    return util::Status::ok();
+  }
+
+  /// Span/debug label: "nodes|edges" or "inline".
+  [[nodiscard]] std::string describe() const {
+    return inline_graph() ? std::string("inline")
+                          : nodes_path + '|' + edges_path;
+  }
 };
 
 /// Per-request budgets; 0 = unlimited. Both are enforced cooperatively at
@@ -51,6 +98,19 @@ struct GraphRef {
 struct Deadline {
   double host_seconds = 0.0;      // wall-clock budget for the engine run
   double modelled_seconds = 0.0;  // modelled-time budget (deterministic)
+
+  Deadline& with_host_seconds(double v) noexcept {
+    host_seconds = v;
+    return *this;
+  }
+  Deadline& with_modelled_seconds(double v) noexcept {
+    modelled_seconds = v;
+    return *this;
+  }
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return host_seconds == 0.0 && modelled_seconds == 0.0;
+  }
 };
 
 /// One unit of work submitted to a Server / Session.
@@ -77,26 +137,98 @@ struct Request {
 
   /// Opaque client label echoed back in the Response.
   std::string tag;
-};
 
-/// Terminal status of a request.
-enum class Status : std::uint8_t {
-  kOk = 0,                // ran to convergence or the iteration cap
-  kRejected = 1,          // admission refused (queue full / server stopped)
-  kCancelled = 2,         // client token fired (queued or mid-run)
-  kDeadlineExceeded = 3,  // a deadline budget expired mid-run
-  kError = 4,             // load/validate/run threw; see `error`
-};
-
-[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
-  switch (s) {
-    case Status::kOk: return "ok";
-    case Status::kRejected: return "rejected";
-    case Status::kCancelled: return "cancelled";
-    case Status::kDeadlineExceeded: return "deadline";
-    case Status::kError: return "error";
+  // -------------------------------------------------------------------------
+  // Fluent builders, mirroring BpOptions::with_* (DESIGN.md §5c):
+  //   Request{}.with_files("n.mtx", "e.mtx").with_engine(kCpuNode)
+  //            .with_deadline(Deadline{}.with_host_seconds(0.5))
+  // -------------------------------------------------------------------------
+  Request& with_graph(GraphRef g) {
+    graph = std::move(g);
+    return *this;
   }
-  return "unknown";
+  Request& with_files(std::string nodes, std::string edges) {
+    graph = GraphRef::files(std::move(nodes), std::move(edges));
+    return *this;
+  }
+  Request& with_preloaded(std::shared_ptr<const graph::FactorGraph> g) {
+    graph = GraphRef::preloaded(std::move(g));
+    return *this;
+  }
+  Request& with_options(bp::BpOptions o) noexcept {
+    options = std::move(o);
+    return *this;
+  }
+  Request& with_engine(bp::EngineKind kind) noexcept {
+    engine = kind;
+    return *this;
+  }
+  Request& with_reorder(graph::ReorderMode mode) noexcept {
+    reorder = mode;
+    return *this;
+  }
+  Request& with_deadline(Deadline d) noexcept {
+    deadline = d;
+    return *this;
+  }
+  Request& with_cancel(bp::runtime::StopToken token) noexcept {
+    cancel = std::move(token);
+    return *this;
+  }
+  Request& with_tag(std::string t) {
+    tag = std::move(t);
+    return *this;
+  }
+
+  /// Checks everything the server would reject before running: the graph
+  /// form invariant, the BP options and the deadline budgets. Called by
+  /// Server::submit — an invalid request resolves immediately with this
+  /// status instead of failing mid-worker.
+  [[nodiscard]] util::Status validate() const {
+    if (auto s = graph.validate(); !s.is_ok()) return s;
+    if (auto s = options.validate_status(); !s.is_ok()) return s;
+    if (!(deadline.host_seconds >= 0.0) ||
+        !(deadline.modelled_seconds >= 0.0)) {
+      return util::Status::invalid_argument(
+          "Request: deadline budgets must be >= 0");
+    }
+    return util::Status::ok();
+  }
+};
+
+/// Terminal status of a request — the shared vocabulary of
+/// util::StatusCode (DESIGN.md §5e). Retained name: `serve::Status` is a
+/// thin alias for one release; new code should spell util::StatusCode.
+/// The serve-specific meanings:
+///   kOk               ran to convergence or the iteration cap
+///   kRejected         admission refused (queue full / server stopped)
+///   kCancelled        client token fired (queued or mid-run)
+///   kDeadlineExceeded a deadline budget expired mid-run
+///   kInvalidArgument  request failed validation (mixed graph forms, ...)
+///   kIo / kParse      the graph could not be loaded
+///   kError            anything else that threw; see `error`
+using Status = util::StatusCode;
+
+/// Deprecated alias for util::status_code_name (one release).
+[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
+  return util::status_code_name(s);
+}
+
+/// Collapses detailed error codes onto the five terminal accounting
+/// categories (kOk/kRejected/kCancelled/kDeadlineExceeded/kError): the
+/// identity `submitted == completed + rejected + cancelled +
+/// deadline_expired + failed` counts every io/parse/invalid-argument
+/// failure under `failed`.
+[[nodiscard]] constexpr Status terminal_category(Status s) noexcept {
+  switch (s) {
+    case Status::kOk:
+    case Status::kRejected:
+    case Status::kCancelled:
+    case Status::kDeadlineExceeded:
+      return s;
+    default:
+      return Status::kError;
+  }
 }
 
 /// What came back. `result` is populated for kOk (and holds the partial
@@ -108,14 +240,24 @@ struct Response {
   bp::BpResult result;
   bool cache_hit = false;
 
-  /// Reason text for kRejected / kError.
+  /// Reason text for kRejected and the error codes.
   std::string error;
 
   double queue_seconds = 0.0;    // admission to dequeue
   double service_seconds = 0.0;  // dequeue to completion (host time)
+
+  /// Span id of this request's trace record (obs/span.h); 0 when the
+  /// server has no span log attached.
+  std::uint64_t span_id = 0;
+
   std::string tag;
 
   [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+
+  /// The status + message as one util::Status value.
+  [[nodiscard]] util::Status to_status() const {
+    return {status, error};
+  }
 };
 
 }  // namespace credo::serve

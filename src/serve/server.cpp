@@ -12,20 +12,47 @@
 namespace credo::serve {
 namespace {
 
-Response make_rejection(const Request& req, std::string reason) {
-  Response r;
-  r.status = Status::kRejected;
-  r.error = std::move(reason);
-  r.tag = req.tag;
-  return r;
+obs::MetricsRegistry& resolve_registry(const ServerOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::global();
 }
+
+constexpr const char* kRequestsTotal = "credo_requests_total";
+constexpr const char* kRequestsTotalHelp =
+    "Requests finished, by terminal status (submitted == sum over statuses "
+    "after drain)";
 
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity),
-      pool_(options_.pool_threads == 0 ? 1 : options_.pool_threads) {
+      metrics_(resolve_registry(options_)),
+      cache_(options_.cache_capacity, &metrics_),
+      pool_(options_.pool_threads == 0 ? 1 : options_.pool_threads),
+      m_submitted_(metrics_.counter("credo_requests_submitted_total",
+                                    "Requests accepted for accounting "
+                                    "(every submit counts exactly once)")),
+      m_queue_seconds_(metrics_.histogram(
+          "credo_request_queue_seconds",
+          "Admission-to-dequeue wait of executed requests (queue wait "
+          "only, no run time)",
+          obs::default_latency_buckets())),
+      m_run_seconds_(metrics_.histogram(
+          "credo_request_run_seconds",
+          "Dequeue-to-completion time of executed requests (parse + "
+          "engine run, no queue wait)",
+          obs::default_latency_buckets())),
+      m_queue_depth_(metrics_.gauge("credo_queue_depth",
+                                    "Requests waiting in the admission "
+                                    "queue")) {
+  const Status categories[5] = {Status::kOk, Status::kRejected,
+                                Status::kCancelled,
+                                Status::kDeadlineExceeded, Status::kError};
+  for (const Status s : categories) {
+    m_finished_[static_cast<std::size_t>(s)] = &metrics_.counter(
+        kRequestsTotal, kRequestsTotalHelp,
+        {{"status", util::status_code_name(s)}});
+  }
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -34,26 +61,63 @@ Server::Server(ServerOptions options)
 
 Server::~Server() { shutdown(); }
 
+Response Server::finish_unrun(const Request& req, Status status,
+                              std::string reason) {
+  Response r;
+  r.status = status;
+  r.error = std::move(reason);
+  r.tag = req.tag;
+  if (options_.spans != nullptr) {
+    obs::Span span;
+    span.id = obs::next_span_id();
+    r.span_id = span.id;
+    span.tag = req.tag;
+    span.graph = req.graph.describe();
+    span.status = util::status_code_name(status);
+    span.error = r.error;
+    options_.spans->record(std::move(span));
+  }
+  return r;
+}
+
 std::future<Response> Server::submit(Request req) {
   std::promise<Response> promise;
   std::future<Response> fut = promise.get_future();
+
+  // Validation failures resolve immediately with the shared status
+  // vocabulary — they never consume queue capacity or a worker.
+  if (const util::Status valid = req.validate(); !valid.is_ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+    }
+    m_submitted_.inc();
+    count(valid.code());
+    promise.set_value(finish_unrun(req, valid.code(), valid.message()));
+    return fut;
+  }
+
+  std::string reject_reason;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
     if (stopping_) {
-      ++stats_.rejected;
-      promise.set_value(make_rejection(req, "server stopped"));
-      return fut;
+      reject_reason = "server stopped";
+    } else if (queue_.size() >= options_.queue_capacity) {
+      reject_reason = "admission queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")";
+    } else {
+      queue_.push_back(Pending{std::move(req), std::move(promise),
+                               std::chrono::steady_clock::now()});
+      m_queue_depth_.set(static_cast<double>(queue_.size()));
     }
-    if (queue_.size() >= options_.queue_capacity) {
-      ++stats_.rejected;
-      promise.set_value(make_rejection(
-          req, "admission queue full (capacity " +
-                   std::to_string(options_.queue_capacity) + ")"));
-      return fut;
-    }
-    queue_.push_back(Pending{std::move(req), std::move(promise),
-                             std::chrono::steady_clock::now()});
+  }
+  m_submitted_.inc();
+  if (!reject_reason.empty()) {
+    count(Status::kRejected);
+    promise.set_value(
+        finish_unrun(req, Status::kRejected, std::move(reject_reason)));
+    return fut;
   }
   cv_.notify_one();
   return fut;
@@ -65,20 +129,22 @@ Session Server::session() {
 }
 
 void Server::shutdown() {
+  std::deque<Pending> orphaned;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ && workers_.empty() && queue_.empty()) return;
     stopping_ = true;
     if (workers_.empty()) {
       // No one will drain: resolve every queued promise as rejected so the
-      // accounting identity holds.
-      while (!queue_.empty()) {
-        ++stats_.rejected;
-        queue_.front().promise.set_value(
-            make_rejection(queue_.front().request, "server stopped"));
-        queue_.pop_front();
-      }
+      // accounting identity holds. Resolved outside the lock.
+      orphaned.swap(queue_);
+      m_queue_depth_.set(0.0);
     }
+  }
+  for (auto& pending : orphaned) {
+    count(Status::kRejected);
+    pending.promise.set_value(
+        finish_unrun(pending.request, Status::kRejected, "server stopped"));
   }
   cv_.notify_all();
   for (auto& w : workers_) {
@@ -95,14 +161,18 @@ ServerStats Server::stats() const {
 }
 
 void Server::count(Status s) {
-  std::lock_guard<std::mutex> lock(mu_);
-  switch (s) {
-    case Status::kOk: ++stats_.completed; break;
-    case Status::kRejected: ++stats_.rejected; break;
-    case Status::kCancelled: ++stats_.cancelled; break;
-    case Status::kDeadlineExceeded: ++stats_.deadline_expired; break;
-    case Status::kError: ++stats_.failed; break;
+  const Status category = terminal_category(s);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (category) {
+      case Status::kOk: ++stats_.completed; break;
+      case Status::kRejected: ++stats_.rejected; break;
+      case Status::kCancelled: ++stats_.cancelled; break;
+      case Status::kDeadlineExceeded: ++stats_.deadline_expired; break;
+      default: ++stats_.failed; break;
+    }
   }
+  m_finished_[static_cast<std::size_t>(category)]->inc();
 }
 
 void Server::worker_loop() {
@@ -114,6 +184,7 @@ void Server::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       pending = std::move(queue_.front());
       queue_.pop_front();
+      m_queue_depth_.set(static_cast<double>(queue_.size()));
     }
     Response resp = execute(pending);
     count(resp.status);
@@ -150,12 +221,27 @@ Response Server::execute(Pending& pending) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     pending.enqueued)
           .count();
+  m_queue_seconds_.observe(resp.queue_seconds);
   const util::Timer service_timer;
+
+  obs::Span span;
+  if (options_.spans != nullptr) {
+    span.id = obs::next_span_id();
+    resp.span_id = span.id;
+  }
+  span.tag = req.tag;
+  span.graph = req.graph.describe();
+  span.queue_s = resp.queue_seconds;
 
   // A request cancelled while queued never starts.
   if (req.cancel.stop_requested()) {
     resp.status = Status::kCancelled;
     resp.service_seconds = service_timer.seconds();
+    m_run_seconds_.observe(resp.service_seconds);
+    if (options_.spans != nullptr) {
+      span.status = util::status_code_name(resp.status);
+      options_.spans->record(std::move(span));
+    }
     return resp;
   }
 
@@ -163,6 +249,7 @@ Response Server::execute(Pending& pending) {
     // Resolve the graph: cache for file refs, as-is for preloaded graphs
     // (reordered per-request when a mode is set — no cache to amortize the
     // pass, so preloaded callers are better off reordering once upfront).
+    const util::Timer parse_timer;
     std::shared_ptr<const CachedGraph> cached;
     graph::FactorGraph reordered_inline;
     const graph::FactorGraph* g = nullptr;
@@ -181,11 +268,14 @@ Response Server::execute(Pending& pending) {
       g = &cached->graph;
       md = &cached->metadata;
     }
+    span.parse_s = parse_timer.seconds();
+    span.cache_hit = resp.cache_hit;
 
     const bp::EngineKind kind =
         req.engine ? *req.engine : choose_engine(*g, md);
     resp.engine = kind;
     resp.engine_name = std::string(bp::engine_name(kind));
+    span.engine = resp.engine_name;
 
     bp::BpOptions opts = req.options;
     opts.with_stop(req.cancel);
@@ -196,6 +286,7 @@ Response Server::execute(Pending& pending) {
       opts.with_modelled_deadline(req.deadline.modelled_seconds);
     }
 
+    const util::Timer run_timer;
     const auto engine = bp::make_default_engine(kind);
     bp::BpResult result;
     if (kind == bp::EngineKind::kOmpNode ||
@@ -208,6 +299,10 @@ Response Server::execute(Pending& pending) {
     } else {
       result = engine->run(*g, opts);
     }
+    span.unpermute_s = result.stats.unpermute_seconds;
+    span.run_s = run_timer.seconds() - span.unpermute_s;
+    span.run_modelled_s = result.stats.modelled_seconds();
+    span.iterations = result.stats.iterations;
 
     switch (result.stats.stop_reason) {
       case bp::runtime::StopReason::kNone:
@@ -222,10 +317,19 @@ Response Server::execute(Pending& pending) {
     }
     resp.result = std::move(result);
   } catch (const std::exception& e) {
-    resp.status = Status::kError;
-    resp.error = e.what();
+    // Map through the shared vocabulary: parse/io/invalid-argument keep
+    // their codes (all counted under `failed`), anything else is kError.
+    const util::Status st = util::status_from_exception(e);
+    resp.status = st.code();
+    resp.error = st.message();
+    span.error = resp.error;
   }
   resp.service_seconds = service_timer.seconds();
+  m_run_seconds_.observe(resp.service_seconds);
+  if (options_.spans != nullptr) {
+    span.status = util::status_code_name(resp.status);
+    options_.spans->record(std::move(span));
+  }
   return resp;
 }
 

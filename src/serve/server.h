@@ -9,6 +9,14 @@
 // for exactly once: completed + rejected + cancelled + deadline_expired +
 // failed == submitted once the server has drained.
 //
+// Observability (DESIGN.md §5e): every request increments
+// credo_requests_submitted_total and exactly one
+// credo_requests_total{status=...} series in the attached
+// obs::MetricsRegistry (the process-wide one by default); queue wait and
+// run time feed separate histograms, the cache reports hits/misses/
+// evictions, and — when a SpanLog is attached — each request leaves one
+// Span tracing its queue/parse/run/unpermute phases and terminal status.
+//
 // Concurrency model: requests run on the server's worker threads; graphs
 // are immutable after parse, so any number of requests share one cached
 // FactorGraph. The shared ThreadPool supports one dispatcher at a time
@@ -29,6 +37,8 @@
 
 #include "bp/engine.h"
 #include "credo/dispatcher.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "parallel/thread_pool.h"
 #include "serve/graph_cache.h"
 #include "serve/request.h"
@@ -64,17 +74,29 @@ struct ServerOptions {
   /// subset (expensive — prefer a pre-trained model in serving setups).
   bool use_dispatcher = true;
   std::string dispatcher_model;
+
+  /// Metrics registry the server (and its GraphCache) report into. Null =
+  /// obs::MetricsRegistry::global(). Not owned; must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Span log for per-request traces. Null = spans are not recorded
+  /// (counters and histograms still are). Not owned; must outlive the
+  /// server.
+  obs::SpanLog* spans = nullptr;
 };
 
 /// Monotonic counters; identity after drain:
 /// submitted == completed + rejected + cancelled + deadline_expired + failed.
+/// Mirrored series-for-series in the metrics registry
+/// (credo_requests_total{status=...}) — the registry is the scrapeable
+/// source of truth; this struct remains as the in-process convenience view.
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;         // Status::kOk
   std::uint64_t rejected = 0;          // Status::kRejected
   std::uint64_t cancelled = 0;         // Status::kCancelled
   std::uint64_t deadline_expired = 0;  // Status::kDeadlineExceeded
-  std::uint64_t failed = 0;            // Status::kError
+  std::uint64_t failed = 0;            // any error code (io/parse/...)
   CacheStats cache;
 
   [[nodiscard]] std::uint64_t finished() const noexcept {
@@ -90,8 +112,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Submits a request. Never blocks: over-capacity or post-shutdown
-  /// submissions resolve immediately to Status::kRejected with a reason.
+  /// Submits a request. Never blocks: invalid requests (Request::validate)
+  /// resolve immediately with the validation status, over-capacity or
+  /// post-shutdown submissions with Status::kRejected and a reason.
   [[nodiscard]] std::future<Response> submit(Request req);
 
   /// Opens a lightweight client handle with its own submission counter.
@@ -109,6 +132,12 @@ class Server {
   }
   [[nodiscard]] const GraphCache& cache() const noexcept { return cache_; }
 
+  /// The registry this server reports into (options().metrics or the
+  /// process-wide one).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   friend class Session;
 
@@ -124,10 +153,24 @@ class Server {
       const graph::FactorGraph& g, const graph::GraphMetadata* md);
   void count(Status s);
 
+  /// Builds (and spans/counts) a response for a request that never ran:
+  /// rejections and validation failures.
+  [[nodiscard]] Response finish_unrun(const Request& req, Status status,
+                                      std::string reason);
+
   ServerOptions options_;
+  obs::MetricsRegistry& metrics_;
   GraphCache cache_;
   parallel::ThreadPool pool_;
   std::mutex pool_mu_;  // the pool supports one dispatcher at a time
+
+  // Registry handles, resolved once at construction (sharded cells make
+  // the per-request increments contention-free).
+  obs::Counter& m_submitted_;
+  obs::Counter* m_finished_[5];  // indexed by terminal_category value
+  obs::Histogram& m_queue_seconds_;
+  obs::Histogram& m_run_seconds_;
+  obs::Gauge& m_queue_depth_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,54 +1,60 @@
 #include "serve/stress.h"
 
 #include <algorithm>
-#include <cmath>
 #include <future>
-#include <mutex>
 #include <thread>
 
+#include "bp/runtime/stop.h"
 #include "util/error.h"
 #include "util/timer.h"
 
 namespace credo::serve {
 namespace {
 
-double percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[rank == 0 ? 0 : rank - 1];
+/// Series key of one credo_requests_total terminal-status counter.
+std::string status_series(const char* status) {
+  return std::string("credo_requests_total{status=\"") + status + "\"}";
 }
 
 }  // namespace
 
 util::Table StressReport::table() const {
+  // Every count below is read from the registry delta — the table and a
+  // Prometheus scrape of the same window reconcile by construction.
+  const auto counter = [&](const std::string& series) {
+    return static_cast<double>(metrics.counter(series));
+  };
+  const double hits = counter("credo_graph_cache_hits_total");
+  const double misses = counter("credo_graph_cache_misses_total");
+  const double fetches = hits + misses;
+
   util::Table t({"metric", "value"});
   t.add_row({"sessions", util::Table::num(sessions, 6)});
   t.add_row({"requests", util::Table::num(
                              static_cast<double>(requests), 9)});
   t.add_row({"wall s", util::Table::num(wall_seconds, 4)});
   t.add_row({"throughput req/s", util::Table::num(throughput_rps, 5)});
-  t.add_row({"completed", util::Table::num(
-                              static_cast<double>(server.completed), 9)});
-  t.add_row({"rejected", util::Table::num(
-                             static_cast<double>(server.rejected), 9)});
-  t.add_row({"cancelled", util::Table::num(
-                              static_cast<double>(server.cancelled), 9)});
+  t.add_row({"submitted",
+             util::Table::num(counter("credo_requests_submitted_total"), 9)});
+  t.add_row({"completed", util::Table::num(counter(status_series("ok")), 9)});
+  t.add_row({"rejected",
+             util::Table::num(counter(status_series("rejected")), 9)});
+  t.add_row({"cancelled",
+             util::Table::num(counter(status_series("cancelled")), 9)});
   t.add_row({"deadline expired",
-             util::Table::num(static_cast<double>(server.deadline_expired),
-                              9)});
-  t.add_row({"failed", util::Table::num(
-                           static_cast<double>(server.failed), 9)});
-  t.add_row({"cache hits", util::Table::num(
-                               static_cast<double>(server.cache.hits), 9)});
-  t.add_row({"cache misses",
-             util::Table::num(static_cast<double>(server.cache.misses), 9)});
-  t.add_row({"cache hit rate", util::Table::num(server.cache.hit_rate(), 4)});
-  t.add_row({"service p50 s", util::Table::num(service_p50, 4)});
-  t.add_row({"service p90 s", util::Table::num(service_p90, 4)});
-  t.add_row({"service p99 s", util::Table::num(service_p99, 4)});
-  t.add_row({"service max s", util::Table::num(service_max, 4)});
+             util::Table::num(counter(status_series("deadline")), 9)});
+  t.add_row({"failed", util::Table::num(counter(status_series("error")), 9)});
+  t.add_row({"cache hits", util::Table::num(hits, 9)});
+  t.add_row({"cache misses", util::Table::num(misses, 9)});
+  t.add_row({"cache hit rate",
+             util::Table::num(fetches > 0.0 ? hits / fetches : 0.0, 4)});
+  t.add_row({"run p50 s", util::Table::num(service_p50, 4)});
+  t.add_row({"run p90 s", util::Table::num(service_p90, 4)});
+  t.add_row({"run p99 s", util::Table::num(service_p99, 4)});
+  t.add_row({"run max s", util::Table::num(service_max, 4)});
   t.add_row({"queue p50 s", util::Table::num(queue_p50, 4)});
+  t.add_row({"queue p90 s", util::Table::num(queue_p90, 4)});
+  t.add_row({"queue p99 s", util::Table::num(queue_p99, 4)});
   t.add_row({"queue max s", util::Table::num(queue_max, 4)});
   return t;
 }
@@ -58,11 +64,13 @@ StressReport run_stress(Server& server, const StressConfig& config) {
                   "stress config needs at least one graph");
   const unsigned sessions = std::max(1u, config.sessions);
 
-  std::mutex results_mu;
-  std::vector<double> service_times;
-  std::vector<double> queue_times;
-  service_times.reserve(config.requests);
-  queue_times.reserve(config.requests);
+  // The registry may be process-wide and shared with other servers or
+  // earlier runs; differencing two snapshots isolates this replay.
+  const obs::MetricsSnapshot before = server.metrics().snapshot();
+
+  // One pre-fired token shared by every cancel_every-th request.
+  bp::runtime::StopSource cancelled_source;
+  cancelled_source.request_stop();
 
   const util::Timer wall;
   std::vector<std::thread> clients;
@@ -73,30 +81,27 @@ StressReport run_stress(Server& server, const StressConfig& config) {
       std::vector<std::future<Response>> futures;
       // Session s takes requests s, s+sessions, s+2*sessions, ...
       for (std::size_t i = s; i < config.requests; i += sessions) {
-        Request req;
         const auto& gp = config.graphs[i % config.graphs.size()];
-        req.graph = GraphRef::files(gp.first, gp.second);
-        req.options = config.options;
-        req.reorder = config.reorder;
+        Request req = Request{}
+                          .with_files(gp.first, gp.second)
+                          .with_options(config.options)
+                          .with_reorder(config.reorder)
+                          .with_tag("s" + std::to_string(s) + "r" +
+                                    std::to_string(i));
         if (!config.mix.empty()) {
-          req.engine = config.mix[i % config.mix.size()];
+          req.with_engine(config.mix[i % config.mix.size()]);
         }
         if (config.deadline_every > 0 &&
             i % config.deadline_every == config.deadline_every - 1) {
-          req.deadline = config.deadline;
+          req.with_deadline(config.deadline);
         }
-        req.tag = "s" + std::to_string(s) + "r" + std::to_string(i);
+        if (config.cancel_every > 0 &&
+            i % config.cancel_every == config.cancel_every - 1) {
+          req.with_cancel(cancelled_source.token());
+        }
         futures.push_back(session.submit(std::move(req)));
       }
-      std::vector<double> svc, que;
-      for (auto& f : futures) {
-        const Response resp = f.get();
-        svc.push_back(resp.service_seconds);
-        que.push_back(resp.queue_seconds);
-      }
-      std::lock_guard<std::mutex> lock(results_mu);
-      service_times.insert(service_times.end(), svc.begin(), svc.end());
-      queue_times.insert(queue_times.end(), que.begin(), que.end());
+      for (auto& f : futures) f.get();
     });
   }
   for (auto& c : clients) c.join();
@@ -106,20 +111,28 @@ StressReport run_stress(Server& server, const StressConfig& config) {
   report.requests = config.requests;
   report.sessions = sessions;
   report.server = server.stats();
+  report.metrics = server.metrics().snapshot().since(before);
   report.throughput_rps =
       report.wall_seconds > 0.0
-          ? static_cast<double>(report.server.completed) /
+          ? static_cast<double>(
+                report.metrics.counter(status_series("ok"))) /
                 report.wall_seconds
           : 0.0;
 
-  std::sort(service_times.begin(), service_times.end());
-  std::sort(queue_times.begin(), queue_times.end());
-  report.service_p50 = percentile(service_times, 0.50);
-  report.service_p90 = percentile(service_times, 0.90);
-  report.service_p99 = percentile(service_times, 0.99);
-  report.service_max = service_times.empty() ? 0.0 : service_times.back();
-  report.queue_p50 = percentile(queue_times, 0.50);
-  report.queue_max = queue_times.empty() ? 0.0 : queue_times.back();
+  // Percentiles from the registry's two latency histograms — run time and
+  // queue wait are separate series, so the table reports them separately.
+  const obs::HistogramSnapshot run =
+      report.metrics.histogram("credo_request_run_seconds");
+  const obs::HistogramSnapshot queue =
+      report.metrics.histogram("credo_request_queue_seconds");
+  report.service_p50 = run.quantile(0.50);
+  report.service_p90 = run.quantile(0.90);
+  report.service_p99 = run.quantile(0.99);
+  report.service_max = run.max;
+  report.queue_p50 = queue.quantile(0.50);
+  report.queue_p90 = queue.quantile(0.90);
+  report.queue_p99 = queue.quantile(0.99);
+  report.queue_max = queue.max;
   return report;
 }
 

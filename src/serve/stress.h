@@ -1,10 +1,14 @@
-// Request-mix replay against a Server (DESIGN.md §5c) — the workload
+// Request-mix replay against a Server (DESIGN.md §5c/§5e) — the workload
 // behind `credo serve --stress N` and the CI concurrency smoke.
 //
 // `sessions` client threads each submit their share of `requests`,
-// round-robining over the configured graphs and engine mix; the report
-// aggregates throughput, latency percentiles, cache behaviour and the
-// admission accounting into one metrics table.
+// round-robining over the configured graphs and engine mix. The report is
+// registry-backed: run_stress snapshots the server's MetricsRegistry
+// before and after the replay, and the table renders that delta — the
+// same counters and histograms a Prometheus scrape exposes, so the table
+// and the scrape reconcile by construction (one source of truth). Queue
+// wait and run time are separate histograms and reported as separate
+// percentile rows (run time excludes queue wait).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "bp/engine.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 #include "util/table.h"
 
@@ -38,6 +43,11 @@ struct StressConfig {
   std::size_t deadline_every = 0;
   Deadline deadline;
 
+  /// Every Nth request is submitted with an already-fired cancellation
+  /// token (0 = none) — it terminates kCancelled without running, so the
+  /// cancelled path shows up in spans and counters under load.
+  std::size_t cancel_every = 0;
+
   /// Locality ordering requested with every request (Request::reorder).
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
 
@@ -46,7 +56,14 @@ struct StressConfig {
 };
 
 struct StressReport {
+  /// In-process convenience view (post-drain); the registry delta below is
+  /// the authoritative source the table renders.
   ServerStats server;
+
+  /// Registry delta over the replay window (counters and histograms of
+  /// the server's MetricsRegistry, differenced before/after).
+  obs::MetricsSnapshot metrics;
+
   std::size_t requests = 0;
   unsigned sessions = 0;
   double wall_seconds = 0.0;
@@ -54,13 +71,17 @@ struct StressReport {
   /// Requests finishing kOk per wall second.
   double throughput_rps = 0.0;
 
-  /// Host-time service latency percentiles over finished requests
-  /// (seconds); queue wait reported separately.
+  /// Run-time (dequeue to completion, queue wait excluded) percentiles in
+  /// seconds, interpolated from the credo_request_run_seconds histogram.
   double service_p50 = 0.0, service_p90 = 0.0, service_p99 = 0.0,
          service_max = 0.0;
-  double queue_p50 = 0.0, queue_max = 0.0;
 
-  /// Renders the metrics table the CLI prints.
+  /// Queue-wait percentiles from credo_request_queue_seconds.
+  double queue_p50 = 0.0, queue_p90 = 0.0, queue_p99 = 0.0,
+         queue_max = 0.0;
+
+  /// Renders the metrics table the CLI prints — every count read from the
+  /// registry delta.
   [[nodiscard]] util::Table table() const;
 };
 

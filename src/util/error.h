@@ -1,17 +1,132 @@
 // Error-handling vocabulary for the library.
 //
-// Parsers and other operations that fail on bad *input* report through
-// ParseError / IoError (exceptions carrying position information); violations
-// of library invariants use CREDO_CHECK, which is active in all build types
-// (the cost is negligible next to the work the checks guard).
+// Two complementary forms, one enum:
+//  * StatusCode/Status/StatusOr<T> — the value-based vocabulary. Every
+//    layer that reports outcomes (the serve layer's terminal request
+//    status, BpOptions validation, parser front ends) uses the same enum
+//    plus a message, so statuses compose across layers instead of each one
+//    inventing its own.
+//  * ParseError / IoError / InvalidArgument — the throwing form for deep
+//    call stacks (parsers, option validation inside Engine::run). Each
+//    carries the StatusCode it maps to; status_from_exception() converts
+//    at the boundary where exceptions become statuses (e.g. the server's
+//    per-request catch).
+// Violations of library invariants use CREDO_CHECK, which is active in all
+// build types (the cost is negligible next to the work the checks guard).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace credo::util {
+
+/// The one status enum (DESIGN.md §5e). The first five values are the
+/// serve layer's terminal request statuses and keep their historical
+/// numbering; the rest classify errors by origin. Codes >= kError all
+/// count as failures (Status::ok() is false).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,                // success
+  kRejected = 1,          // admission refused (queue full / stopped)
+  kCancelled = 2,         // cancellation token fired
+  kDeadlineExceeded = 3,  // a deadline budget expired
+  kError = 4,             // unclassified failure
+  kInvalidArgument = 5,   // caller violated an API precondition
+  kIo = 6,                // file could not be opened/read/written
+  kParse = 7,             // input file violates its format
+  kNotFound = 8,          // named resource does not exist
+};
+
+/// Stable lowercase name for a code ("ok", "rejected", "deadline", ...).
+[[nodiscard]] constexpr const char* status_code_name(
+    StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kRejected: return "rejected";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline";
+    case StatusCode::kError: return "error";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kIo: return "io-error";
+    case StatusCode::kParse: return "parse-error";
+    case StatusCode::kNotFound: return "not-found";
+  }
+  return "unknown";
+}
+
+/// A code plus a human-readable message. Cheap to copy when ok (empty
+/// message), explicit about failure otherwise.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return code_ == StatusCode::kOk;
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  [[nodiscard]] const char* code_name() const noexcept {
+    return status_code_name(code_);
+  }
+
+  /// "ok" or "invalid-argument: <message>".
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string out = code_name();
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence (never both). The minimal
+/// subset of the absl idiom the codebase needs.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.is_ok()) {
+      status_ = Status(StatusCode::kError,
+                       "StatusOr constructed from an ok Status");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // ok iff value_ present
+};
 
 /// Raised when an input file violates its format.
 class ParseError : public std::runtime_error {
@@ -28,6 +143,9 @@ class ParseError : public std::runtime_error {
   [[nodiscard]] const std::string& message() const noexcept {
     return message_;
   }
+  [[nodiscard]] static constexpr StatusCode code() noexcept {
+    return StatusCode::kParse;
+  }
 
  private:
   std::string file_;
@@ -37,13 +155,38 @@ class ParseError : public std::runtime_error {
 
 /// Raised when a file cannot be opened/read/written.
 class IoError : public std::runtime_error {
+ public:
   using std::runtime_error::runtime_error;
+  [[nodiscard]] static constexpr StatusCode code() noexcept {
+    return StatusCode::kIo;
+  }
 };
 
 /// Raised when a caller violates an API precondition.
 class InvalidArgument : public std::invalid_argument {
+ public:
   using std::invalid_argument::invalid_argument;
+  [[nodiscard]] static constexpr StatusCode code() noexcept {
+    return StatusCode::kInvalidArgument;
+  }
 };
+
+/// Classifies a caught exception into the shared vocabulary: the library's
+/// typed exceptions map to their codes, anything else to kError. Used at
+/// the boundaries where exceptions become statuses (the serve layer's
+/// per-request catch, CLI error reporting).
+[[nodiscard]] inline Status status_from_exception(
+    const std::exception& e) noexcept {
+  StatusCode code = StatusCode::kError;
+  if (dynamic_cast<const ParseError*>(&e) != nullptr) {
+    code = StatusCode::kParse;
+  } else if (dynamic_cast<const IoError*>(&e) != nullptr) {
+    code = StatusCode::kIo;
+  } else if (dynamic_cast<const InvalidArgument*>(&e) != nullptr) {
+    code = StatusCode::kInvalidArgument;
+  }
+  return {code, e.what()};
+}
 
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,

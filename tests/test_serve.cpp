@@ -227,11 +227,85 @@ TEST(Server, BadGraphPathReportsError) {
   req.engine = bp::EngineKind::kCpuNode;
   auto fut = server.submit(std::move(req));
   const Response resp = fut.get();
-  EXPECT_EQ(resp.status, Status::kError);
+  // The shared vocabulary keeps the precise code (an unreadable file is an
+  // I/O error); accounting still collapses it onto the `failed` category.
+  EXPECT_EQ(resp.status, Status::kIo);
+  EXPECT_EQ(terminal_category(resp.status), Status::kError);
   EXPECT_FALSE(resp.error.empty());
   server.shutdown();
   EXPECT_EQ(server.stats().failed, 1u);
   EXPECT_EQ(server.stats().submitted, server.stats().finished());
+}
+
+// ---------------------------------------------------------------------------
+// Request vocabulary: the GraphRef two-form invariant and fluent builders
+// ---------------------------------------------------------------------------
+
+TEST(RequestVocabulary, GraphRefRejectsMixedAndPartialForms) {
+  // Regression: a GraphRef naming both an inline graph and file paths used
+  // to silently prefer the inline graph; now it is invalid-argument.
+  const auto shared = std::make_shared<const FactorGraph>(small_grid());
+  GraphRef mixed;
+  mixed.graph = shared;
+  mixed.nodes_path = "a.mtx";
+  mixed.edges_path = "b.mtx";
+  const auto mixed_status = mixed.validate();
+  EXPECT_EQ(mixed_status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(mixed_status.message().find("mutually exclusive"),
+            std::string::npos);
+
+  EXPECT_EQ(GraphRef{}.validate().code(),
+            util::StatusCode::kInvalidArgument);  // names no graph
+  GraphRef half;
+  half.nodes_path = "a.mtx";  // file form needs both paths
+  EXPECT_EQ(half.validate().code(), util::StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(GraphRef::files("a.mtx", "b.mtx").validate().is_ok());
+  EXPECT_TRUE(GraphRef::preloaded(shared).validate().is_ok());
+}
+
+TEST(RequestVocabulary, InvalidRequestResolvesWithoutRunning) {
+  const auto shared = std::make_shared<const FactorGraph>(small_grid());
+  Server server(plain_server(1));
+  Request req = Request{}
+                    .with_preloaded(shared)
+                    .with_options(test_options())
+                    .with_engine(bp::EngineKind::kCpuNode);
+  req.graph.nodes_path = "also/a/path.mtx";  // mixed form
+  auto fut = server.submit(std::move(req));
+  const Response resp = fut.get();
+  EXPECT_EQ(resp.status, Status::kInvalidArgument);
+  EXPECT_FALSE(resp.error.empty());
+  EXPECT_EQ(resp.result.stats.iterations, 0u);
+  server.shutdown();
+  EXPECT_EQ(server.stats().failed, 1u);
+  EXPECT_EQ(server.stats().submitted, server.stats().finished());
+}
+
+TEST(RequestVocabulary, FluentBuildersMatchFieldAssignment) {
+  bp::runtime::StopSource source;
+  const Request built =
+      Request{}
+          .with_files("n.mtx", "e.mtx")
+          .with_options(test_options())
+          .with_engine(bp::EngineKind::kResidual)
+          .with_reorder(graph::ReorderMode::kBfs)
+          .with_deadline(
+              Deadline{}.with_host_seconds(0.5).with_modelled_seconds(2.0))
+          .with_cancel(source.token())
+          .with_tag("built");
+  EXPECT_EQ(built.graph.nodes_path, "n.mtx");
+  EXPECT_EQ(built.graph.edges_path, "e.mtx");
+  EXPECT_FALSE(built.graph.inline_graph());
+  ASSERT_TRUE(built.engine.has_value());
+  EXPECT_EQ(*built.engine, bp::EngineKind::kResidual);
+  EXPECT_EQ(built.reorder, graph::ReorderMode::kBfs);
+  EXPECT_DOUBLE_EQ(built.deadline.host_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(built.deadline.modelled_seconds, 2.0);
+  EXPECT_FALSE(built.deadline.unlimited());
+  EXPECT_TRUE(built.cancel.valid());
+  EXPECT_EQ(built.tag, "built");
+  EXPECT_TRUE(built.validate().is_ok());
 }
 
 // ---------------------------------------------------------------------------

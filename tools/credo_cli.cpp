@@ -14,14 +14,23 @@
 //   credo serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]
 //                  [--workers W] [--queue Q] [--cache C] [--pool P]
 //                  [--engine mix|auto|<name>] [--reorder none|bfs|rcm|degree]
-//                  [--deadline-every K] [--deadline-ms D] [--iters N]
-//                  [--threshold X]
+//                  [--deadline-every K] [--deadline-ms D] [--cancel-every K]
+//                  [--iters N] [--threshold X]
+//                  [--metrics out.prom|out.json|-] [--spans out.jsonl|-]
 //
 // `--engine auto` uses the §3.7 dispatcher: pass a pre-trained model with
 // --model model.txt (from `credo train`) or let it train on the bold
 // benchmark subset on the fly. Engine names go through
 // bp::engine_from_name, so paper names ("CUDA Edge") and CLI slugs
 // ("cuda-edge") both work everywhere.
+//
+// `--metrics` scrapes the server's obs::MetricsRegistry: a file path is
+// rewritten every ~500ms while the stress mix runs (plus a final scrape),
+// `-` prints one final scrape to stdout; a `.json` extension selects the
+// JSON dump instead of Prometheus text. `--spans` writes one JSON line per
+// finished request (obs::SpanLog).
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -31,21 +40,16 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "bp/engine.h"
-#include "credo/dispatcher.h"
+#include "credo/api.h"
 #include "credo/suite.h"
 #include "graph/generators.h"
-#include "graph/metadata.h"
-#include "graph/reorder.h"
 #include "io/bif.h"
 #include "io/convert.h"
-#include "io/mtx_belief.h"
 #include "io/xmlbif.h"
-#include "serve/server.h"
-#include "serve/stress.h"
 #include "util/strings.h"
-#include <vector>
 
 using namespace credo;
 
@@ -323,11 +327,32 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// Scrapes `registry` to `path`: truncate-and-rewrite for files (so the
+/// file always holds one complete exposition), stdout for "-". A `.json`
+/// extension selects the JSON dump over Prometheus text.
+void scrape_metrics(const obs::MetricsRegistry& registry,
+                    const std::string& path) {
+  const bool json =
+      path.size() > 5 && path.substr(path.size() - 5) == ".json";
+  if (path == "-") {
+    registry.write_prometheus(std::cout);
+    return;
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw util::IoError("cannot open " + path);
+  if (json) {
+    registry.write_json(f);
+  } else {
+    registry.write_prometheus(f);
+  }
+}
+
 /// `credo serve --stress N`: replay a request mix against an in-process
 /// Server and print the metrics table (throughput, latency percentiles,
-/// cache hit rate, admission accounting). Without --nodes/--edges, two
-/// small graphs are generated into the system temp directory so the cache
-/// sees both hits and multiple keys.
+/// cache hit rate, admission accounting), every count read from the
+/// server's metrics registry. Without --nodes/--edges, two small graphs
+/// are generated into the system temp directory so the cache sees both
+/// hits and multiple keys.
 int cmd_serve(const Args& args) {
   const auto n_req = static_cast<std::size_t>(args.number("stress", 64));
   if (n_req == 0) throw util::InvalidArgument("--stress must be nonzero");
@@ -366,6 +391,8 @@ int cmd_serve(const Args& args) {
   stress.deadline_every =
       static_cast<std::size_t>(args.number("deadline-every", 0));
   stress.deadline.host_seconds = args.number("deadline-ms", 0) / 1000.0;
+  stress.cancel_every =
+      static_cast<std::size_t>(args.number("cancel-every", 0));
 
   if (args.get("nodes")) {
     stress.graphs.emplace_back(args.require("nodes"), args.require("edges"));
@@ -392,9 +419,43 @@ int cmd_serve(const Args& args) {
                  dir.string().c_str());
   }
 
+  const auto metrics_path = args.get("metrics");
+  const auto spans_path = args.get("spans");
+  obs::SpanLog span_log(std::max<std::size_t>(1024, 2 * n_req));
+  if (spans_path) sopts.spans = &span_log;
+
   serve::Server server(sopts);
+
+  // Periodic scrape while the mix runs: the metrics file is live, not just
+  // a post-mortem (stdout gets one final scrape only).
+  std::atomic<bool> scraping{metrics_path.has_value() &&
+                             *metrics_path != "-"};
+  std::thread scraper;
+  if (scraping.load()) {
+    scraper = std::thread([&] {
+      while (scraping.load(std::memory_order_relaxed)) {
+        scrape_metrics(server.metrics(), *metrics_path);
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      }
+    });
+  }
+
   const auto report = serve::run_stress(server, stress);
   server.shutdown();
+
+  scraping.store(false);
+  if (scraper.joinable()) scraper.join();
+  if (metrics_path) scrape_metrics(server.metrics(), *metrics_path);
+  if (spans_path) {
+    if (*spans_path == "-") {
+      span_log.write_jsonl(std::cout);
+    } else {
+      std::ofstream f(*spans_path, std::ios::trunc);
+      if (!f) throw util::IoError("cannot open " + *spans_path);
+      span_log.write_jsonl(f);
+    }
+  }
+
   report.table().print(std::cout);
 
   const auto stats = report.server;
@@ -403,6 +464,13 @@ int cmd_serve(const Args& args) {
                  "accounting mismatch: submitted %llu != finished %llu\n",
                  static_cast<unsigned long long>(stats.submitted),
                  static_cast<unsigned long long>(stats.finished()));
+    return 4;
+  }
+  // The registry must tell the same story as the in-process stats — it is
+  // the scrapeable source of truth the table was rendered from.
+  if (report.metrics.counter("credo_requests_submitted_total") !=
+      stats.submitted) {
+    std::fprintf(stderr, "registry/stats submitted mismatch\n");
     return 4;
   }
   if (stats.failed > 0) {
@@ -431,8 +499,9 @@ int usage() {
       "  serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]\n"
       "           [--workers W] [--queue Q] [--cache C] [--pool P]\n"
       "           [--engine mix|auto|<name>] [--reorder MODE]\n"
-      "           [--deadline-every K] [--deadline-ms D] [--iters N]\n"
-      "           [--threshold X]\n");
+      "           [--deadline-every K] [--deadline-ms D]\n"
+      "           [--cancel-every K] [--iters N] [--threshold X]\n"
+      "           [--metrics out.prom|out.json|-] [--spans out.jsonl|-]\n");
   return 2;
 }
 
