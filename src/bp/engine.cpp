@@ -13,6 +13,23 @@ namespace credo::bp {
 BpResult Engine::run(const graph::FactorGraph& g,
                      const BpOptions& opts) const {
   opts.validate();
+  // The relaxed-scheduler knobs have no effect anywhere else; accepting
+  // them silently on other engines would let a typoed engine name absorb a
+  // carefully tuned configuration.
+  const bool relaxed_priority = kind() == EngineKind::kResidualMq ||
+                                kind() == EngineKind::kSplash;
+  if (!relaxed_priority) {
+    if (opts.sched_queues_per_thread != kDefaultSchedQueuesPerThread) {
+      throw util::InvalidArgument(
+          "BpOptions: sched_queues_per_thread applies only to the relaxed "
+          "priority engines (residual-mq, splash)");
+    }
+    if (opts.splash_max_size != kDefaultSplashMaxSize) {
+      throw util::InvalidArgument(
+          "BpOptions: splash_max_size applies only to the relaxed "
+          "priority engines (residual-mq, splash)");
+    }
+  }
   BpResult result = do_run(g, opts);
   // The locality pass renumbers nodes at build time; results leave the
   // engine layer in the caller's original ids so the pass stays invisible
@@ -36,6 +53,9 @@ std::string_view engine_name(EngineKind kind) noexcept {
     case EngineKind::kAccEdge: return "OpenACC Edge";
     case EngineKind::kTree: return "Tree BP";
     case EngineKind::kResidual: return "Residual";
+    case EngineKind::kResidualLocked: return "Residual Locked";
+    case EngineKind::kResidualMq: return "Residual MQ";
+    case EngineKind::kSplash: return "Splash";
   }
   return "unknown";
 }
@@ -51,6 +71,9 @@ std::string_view engine_slug(EngineKind kind) noexcept {
     case EngineKind::kAccEdge: return "acc-edge";
     case EngineKind::kTree: return "tree";
     case EngineKind::kResidual: return "residual";
+    case EngineKind::kResidualLocked: return "residual-locked";
+    case EngineKind::kResidualMq: return "residual-mq";
+    case EngineKind::kSplash: return "splash";
   }
   return "unknown";
 }
@@ -83,6 +106,16 @@ std::optional<EngineKind> engine_from_name(std::string_view name) noexcept {
   }
   if (key == "tree" || key == "tree-bp") return EngineKind::kTree;
   if (key == "residual") return EngineKind::kResidual;
+  if (key == "residual-locked" || key == "locked") {
+    return EngineKind::kResidualLocked;
+  }
+  if (key == "residual-mq" || key == "residual-multiqueue" ||
+      key == "multiqueue" || key == "mq") {
+    return EngineKind::kResidualMq;
+  }
+  if (key == "splash" || key == "residual-splash") {
+    return EngineKind::kSplash;
+  }
   return std::nullopt;
 }
 
@@ -98,6 +131,11 @@ std::unique_ptr<Engine> make_engine(EngineKind kind,
     case EngineKind::kAccEdge: return internal::make_acc_edge(profile);
     case EngineKind::kTree: return internal::make_tree(profile);
     case EngineKind::kResidual: return internal::make_residual(profile);
+    case EngineKind::kResidualLocked:
+      return internal::make_residual_locked(profile);
+    case EngineKind::kResidualMq:
+      return internal::make_residual_mq(profile);
+    case EngineKind::kSplash: return internal::make_splash(profile);
   }
   throw util::InvalidArgument("unknown engine kind");
 }
@@ -111,6 +149,9 @@ std::unique_ptr<Engine> make_default_engine(EngineKind kind) {
       return make_engine(kind, perf::cpu_i7_7700hq_serial());
     case EngineKind::kOmpNode:
     case EngineKind::kOmpEdge:
+    case EngineKind::kResidualLocked:
+    case EngineKind::kResidualMq:
+    case EngineKind::kSplash:
       return make_engine(kind, perf::cpu_i7_7700hq_parallel(8));
     case EngineKind::kCudaNode:
     case EngineKind::kCudaEdge:

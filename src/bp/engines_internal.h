@@ -26,6 +26,9 @@ std::unique_ptr<Engine> make_cuda_edge(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_acc_edge(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_tree(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_residual(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_residual_locked(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_residual_mq(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_splash(const perf::HardwareProfile& p);
 
 /// Messages are clamped away from zero before entering log space so a
 /// contradicting observation cannot produce -inf accumulators.
@@ -109,12 +112,16 @@ inline std::uint64_t compute_block(const graph::JointStore& joints,
 /// Node-paradigm pull: walks v's in-edges in kEdgeBlock blocks through the
 /// batched message kernel and combines in CSR order — bit-identical to the
 /// per-edge path, with the joint-matrix loads amortized per block. Metering
-/// matches the per-edge form event for event.
+/// matches the per-edge form event for event, except that parents for which
+/// `near_pred(node)` holds are charged as near (cache-resident) reads — the
+/// splash engine passes the just-pulled subtree so its sweeps pay DRAM once
+/// per node, not once per visit.
+template <typename NearPred>
 inline void pull_parents_blocked(std::span<const graph::Csr::Entry> nbrs,
                                  const std::vector<graph::BeliefVec>& beliefs,
                                  const graph::JointStore& joints,
                                  perf::Meter& meter, EdgeBlockScratch& s,
-                                 graph::BeliefVec& acc) {
+                                 graph::BeliefVec& acc, NearPred near_pred) {
   const bool shared = joints.is_shared();
   for (std::size_t base = 0; base < nbrs.size();
        base += graph::kEdgeBlock) {
@@ -124,7 +131,11 @@ inline void pull_parents_blocked(std::span<const graph::Csr::Entry> nbrs,
       const auto& entry = nbrs[base + k];
       meter.seq_read(sizeof(entry));  // adjacency index walk
       const graph::BeliefVec& parent = beliefs[entry.node];
-      meter.rand_read(belief_bytes(parent.size));
+      if (near_pred(entry.node)) {
+        meter.near_read(belief_bytes(parent.size));
+      } else {
+        meter.rand_read(belief_bytes(parent.size));
+      }
       charge_joint_load(meter, joints, entry.edge);
       s.srcs[k] = &parent;
       if (!shared) s.mats[k] = &joints.at(entry.edge);
@@ -134,6 +145,15 @@ inline void pull_parents_blocked(std::span<const graph::Csr::Entry> nbrs,
       meter.flop(graph::combine(acc, s.msgs[k]));
     }
   }
+}
+
+inline void pull_parents_blocked(std::span<const graph::Csr::Entry> nbrs,
+                                 const std::vector<graph::BeliefVec>& beliefs,
+                                 const graph::JointStore& joints,
+                                 perf::Meter& meter, EdgeBlockScratch& s,
+                                 graph::BeliefVec& acc) {
+  pull_parents_blocked(nbrs, beliefs, joints, meter, s, acc,
+                       [](graph::NodeId) noexcept { return false; });
 }
 
 }  // namespace credo::bp::internal

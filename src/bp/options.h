@@ -14,6 +14,14 @@
 
 namespace credo::bp {
 
+/// Default heaps-per-worker for the relaxed priority engines. Named so
+/// Engine::run can tell "left at default" from "explicitly configured"
+/// when rejecting the knob on engines it does not apply to.
+inline constexpr unsigned kDefaultSchedQueuesPerThread = 2;
+
+/// Default splash subtree bound, same convention.
+inline constexpr std::uint32_t kDefaultSplashMaxSize = 32;
+
 /// Knobs for a propagation run. Defaults follow the paper's evaluation
 /// setup: convergence within 0.001, cut off at 200 iterations, 1024-thread
 /// blocks on the GPU.
@@ -85,6 +93,17 @@ struct BpOptions {
   /// one dispatcher at a time — callers serialize access. Not owned.
   parallel::ThreadPool* shared_pool = nullptr;
 
+  /// Relaxed priority engines (residual-mq, splash): shard heaps per
+  /// worker. k = sched_queues_per_thread * threads total heaps; 2–4 is the
+  /// MultiQueue literature's sweet spot (DESIGN.md §5f). Rejected by
+  /// Engine::run when set on any other engine.
+  unsigned sched_queues_per_thread = kDefaultSchedQueuesPerThread;
+
+  /// Splash engine: max nodes per BFS subtree swept as one batch. 1
+  /// degenerates to plain relaxed residual scheduling. Rejected by
+  /// Engine::run when set on a non-priority engine.
+  std::uint32_t splash_max_size = kDefaultSplashMaxSize;
+
   // -------------------------------------------------------------------------
   // Fluent setters: `BpOptions{}.with_threads(4).with_damping(0.1f)` reads
   // as a request instead of a positional mutation. Each returns *this so
@@ -154,6 +173,14 @@ struct BpOptions {
     shared_pool = pool;
     return *this;
   }
+  BpOptions& with_sched_queues_per_thread(unsigned v) noexcept {
+    sched_queues_per_thread = v;
+    return *this;
+  }
+  BpOptions& with_splash_max_size(std::uint32_t v) noexcept {
+    splash_max_size = v;
+    return *this;
+  }
 
   /// Rejects settings that would loop forever, divide by zero or never
   /// converge, reported through the shared status vocabulary (DESIGN.md
@@ -196,6 +223,12 @@ struct BpOptions {
     }
     if (!(host_deadline_seconds >= 0.0)) {
       return invalid("BpOptions: host_deadline_seconds must be >= 0");
+    }
+    if (sched_queues_per_thread == 0) {
+      return invalid("BpOptions: sched_queues_per_thread must be >= 1");
+    }
+    if (splash_max_size == 0) {
+      return invalid("BpOptions: splash_max_size must be >= 1");
     }
     if (!(modelled_deadline_seconds >= 0.0)) {
       return invalid("BpOptions: modelled_deadline_seconds must be >= 0");

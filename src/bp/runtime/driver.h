@@ -16,7 +16,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 
 #include "bp/options.h"
 #include "bp/runtime/convergence.h"
@@ -24,6 +27,7 @@
 #include "bp/runtime/stop.h"
 #include "bp/runtime/telemetry.h"
 #include "graph/factor_graph.h"
+#include "parallel/thread_pool.h"
 
 namespace credo::bp::runtime {
 
@@ -158,6 +162,84 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
       updates / std::max<std::uint64_t>(1, num_nodes) + 1,
       opts.max_iterations));
   stats.converged = !stopped && (sched.empty() || updates < max_updates);
+  observe_run(stats.iterations, stats.converged);
+}
+
+/// Concurrent analogue of run_priority_loop for the relaxed schedulers
+/// (DESIGN.md §5f): the whole drain runs as ONE fork/join region on
+/// `pool`, every worker looping `step(worker) -> updates performed` until
+/// the schedule drains, the shared `max_iterations * num_nodes` update
+/// budget runs out, or a stop fires. `step` owns popping, the kernel body
+/// and recording (so metering stays per-worker); 0 means nothing was
+/// claimable this attempt — the worker yields and retries unless the
+/// schedule reports drained(). The schedule needs only `drained()` and
+/// `pending()` here.
+///
+/// Epoch bookkeeping (the §5e observation, optional trace record, deadline
+/// budget) runs under a driver mutex on whichever worker crosses a
+/// num_nodes boundary. Trace records carry checked=false and no delta —
+/// the relaxed engines have no global sum — and their time breakdown folds
+/// other workers' in-flight sinks, so traced times are approximate while
+/// the team runs (the final stats are exact). Cancellation is polled by
+/// every worker on every step.
+template <typename Schedule, typename Step, typename TimeFn>
+void run_relaxed_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
+                               BpStats& stats, Schedule& sched,
+                               parallel::ThreadPool& pool, Step&& step,
+                               TimeFn&& time_fn) {
+  const DeadlineGuard guard(opts.stop, opts.host_deadline_seconds,
+                            opts.modelled_deadline_seconds);
+  const std::uint64_t max_updates =
+      static_cast<std::uint64_t>(opts.max_iterations) * num_nodes;
+  const std::uint64_t epoch = std::max<std::uint64_t>(1, num_nodes);
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<bool> abort{false};
+  std::atomic<std::uint8_t> stop_reason{
+      static_cast<std::uint8_t>(StopReason::kNone)};
+  std::mutex epoch_mu;
+  pool.run_team([&](unsigned w) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      if (updates.load(std::memory_order_relaxed) >= max_updates) return;
+      const std::uint64_t done = step(w);
+      if (done == 0) {
+        if (sched.drained()) return;
+        std::this_thread::yield();
+        continue;
+      }
+      const std::uint64_t total =
+          updates.fetch_add(done, std::memory_order_relaxed) + done;
+      const bool crossed = (total / epoch) != ((total - done) / epoch);
+      if (crossed) {
+        const std::lock_guard<std::mutex> lk(epoch_mu);
+        observe_iteration(sched.pending(), /*checked=*/true);
+        if (opts.collect_trace) {
+          stats.trace.push_back(IterationRecord{
+              static_cast<std::uint32_t>(total / epoch), 0.0,
+              /*checked=*/false, sched.pending(), epoch, time_fn()});
+        }
+      }
+      if (guard.active()) {
+        const StopReason why =
+            guard.poll(crossed, [&] { return time_fn().total(); });
+        if (why != StopReason::kNone) {
+          stop_reason.store(static_cast<std::uint8_t>(why),
+                            std::memory_order_relaxed);
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  });
+  const std::uint64_t total = updates.load(std::memory_order_relaxed);
+  stats.elements_processed += total;
+  const auto why = static_cast<StopReason>(
+      stop_reason.load(std::memory_order_relaxed));
+  const bool stopped = why != StopReason::kNone;
+  if (stopped) stats.stop_reason = why;
+  stats.iterations = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(total / epoch + 1, opts.max_iterations));
+  stats.converged = !stopped && (sched.drained() || total < max_updates);
   observe_run(stats.iterations, stats.converged);
 }
 

@@ -1,0 +1,375 @@
+#include "bp/runtime/mq_schedule.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bp/runtime/observe.h"
+#include "graph/reorder.h"
+
+namespace credo::bp::runtime {
+namespace {
+
+constexpr float kEmptyTop = -std::numeric_limits<float>::infinity();
+
+constexpr bool entry_claimable(std::uint64_t state,
+                               std::uint32_t ver) noexcept {
+  return (state & 1) != 0 && static_cast<std::uint32_t>(state >> 1) == ver;
+}
+
+}  // namespace
+
+MultiQueueSchedule::MultiQueueSchedule(const graph::FactorGraph& g,
+                                       const ConvergenceController& ctl,
+                                       unsigned workers,
+                                       unsigned queues_per_worker,
+                                       std::uint64_t seed,
+                                       unsigned total_shards)
+    : g_(g),
+      ctl_(ctl),
+      state_(g.num_nodes()),
+      residual_(g.num_nodes()),
+      shards_(total_shards != 0
+                  ? total_shards
+                  : std::max(1u, workers) * std::max(1u, queues_per_worker)),
+      rngs_(seed, std::max(1u, workers)),
+      lanes_(std::max(1u, workers)) {
+  const graph::NodeId n = g.num_nodes();
+  // Total entries stay O(nodes): a shard compacts once it exceeds its
+  // equal share of 4x the node count (4x: live entry + superseded slack,
+  // doubled for random shard imbalance).
+  compact_limit_ = 64 + 4ull * n / shards_.size();
+  const unsigned team = std::max(1u, workers);
+  // Expected conflict chain per lock acquisition: (team-1)/shards queued
+  // holders, two serialized line transfers (lock word + guarded heap root)
+  // per handoff. See meter_lock_op.
+  contention_per_lock_ =
+      2.0 * static_cast<double>(team - 1) / static_cast<double>(shards_.size());
+  for (auto& s : state_) s.store(0, std::memory_order_relaxed);
+  for (auto& r : residual_) r.store(0.0f, std::memory_order_relaxed);
+  std::int64_t seeded = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
+    residual_[v].store(std::numeric_limits<float>::max(),
+                       std::memory_order_relaxed);
+    state_[v].store((1ull << 1) | 1, std::memory_order_relaxed);
+    shards_[v % shards_.size()].heap.push_back(
+        {std::numeric_limits<float>::max(), v, 1u});
+    ++seeded;
+  }
+  for (auto& sh : shards_) {
+    std::make_heap(sh.heap.begin(), sh.heap.end());
+    sh.top.store(sh.heap.empty() ? kEmptyTop : sh.heap.front().prio,
+                 std::memory_order_relaxed);
+    sh.peak = sh.heap.size();
+  }
+  live_count_.store(seeded, std::memory_order_relaxed);
+}
+
+void MultiQueueSchedule::push_entry(unsigned w, perf::Meter& meter,
+                                    graph::NodeId v, float prio) {
+  std::uint64_t s = state_[v].load(std::memory_order_relaxed);
+  std::uint64_t ns;
+  do {
+    ns = (((s >> 1) + 1) << 1) | 1;
+  } while (!state_[v].compare_exchange_weak(s, ns, std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
+  if ((s & 1) == 0) live_count_.fetch_add(1, std::memory_order_seq_cst);
+  meter.atomic(1, 0);
+  Shard& sh = shards_[rngs_.at(w).uniform(shards_.size())];
+  meter_lock_op(w, meter);
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.heap.push_back({prio, v, static_cast<std::uint32_t>(ns >> 1)});
+    std::push_heap(sh.heap.begin(), sh.heap.end());
+    sh.top.store(sh.heap.front().prio, std::memory_order_relaxed);
+    if (sh.heap.size() > sh.peak) sh.peak = sh.heap.size();
+    if (sh.heap.size() > compact_limit_) {
+      compact_locked(sh, lanes_[w].stats);
+    }
+  }
+  meter.near_write(sizeof(Entry));
+  ++lanes_[w].stats.pushes;
+}
+
+void MultiQueueSchedule::compact_locked(Shard& sh, SchedStats& st) {
+  auto keep = sh.heap.begin();
+  for (const Entry& e : sh.heap) {
+    if (entry_claimable(state_[e.node].load(std::memory_order_relaxed),
+                        e.ver)) {
+      *keep++ = e;
+    }
+  }
+  sh.heap.erase(keep, sh.heap.end());
+  std::make_heap(sh.heap.begin(), sh.heap.end());
+  sh.top.store(sh.heap.empty() ? kEmptyTop : sh.heap.front().prio,
+               std::memory_order_relaxed);
+  ++st.compactions;
+}
+
+bool MultiQueueSchedule::try_pop(unsigned w, perf::Meter& meter,
+                                 graph::NodeId& v, float* res_out) {
+  util::Prng& rng = rngs_.at(w);
+  SchedStats& st = lanes_[w].stats;
+  const auto num_shards = static_cast<unsigned>(shards_.size());
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (live_count_.load(std::memory_order_seq_cst) <= 0) return false;
+    // Pop from the better top of two uniformly random shards — the
+    // classic MultiQueue rule; rank error stays O(num_shards) w.h.p.
+    unsigned pick = static_cast<unsigned>(rng.uniform(num_shards));
+    const unsigned other = static_cast<unsigned>(rng.uniform(num_shards));
+    if (shards_[other].top.load(std::memory_order_relaxed) >
+        shards_[pick].top.load(std::memory_order_relaxed)) {
+      pick = other;
+    }
+    if (shards_[pick].top.load(std::memory_order_relaxed) == kEmptyTop) {
+      // Both sampled shards empty; sweep for any non-empty one.
+      bool found = false;
+      for (unsigned k = 1; k <= num_shards; ++k) {
+        const unsigned cand = (pick + k) % num_shards;
+        if (shards_[cand].top.load(std::memory_order_relaxed) != kEmptyTop) {
+          pick = cand;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++st.empty_polls;
+        return false;
+      }
+    }
+    Entry e;
+    meter_lock_op(w, meter);
+    {
+      Shard& sh = shards_[pick];
+      std::lock_guard<std::mutex> lk(sh.mu);
+      if (sh.heap.empty()) continue;  // raced with another popper
+      std::pop_heap(sh.heap.begin(), sh.heap.end());
+      e = sh.heap.back();
+      sh.heap.pop_back();
+      sh.top.store(sh.heap.empty() ? kEmptyTop : sh.heap.front().prio,
+                   std::memory_order_relaxed);
+    }
+    meter.near_read(sizeof(Entry));
+    // Claim: bump the version and drop the claimable bit in one CAS. Loses
+    // only to a concurrent transition of the same node, which makes this
+    // entry stale by definition.
+    std::uint64_t s = state_[e.node].load(std::memory_order_relaxed);
+    bool claimed = false;
+    while (entry_claimable(s, e.ver)) {
+      const std::uint64_t ns = ((s >> 1) + 1) << 1;
+      if (state_[e.node].compare_exchange_weak(s, ns,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+        claimed = true;
+        break;
+      }
+    }
+    meter.atomic(1, 0);
+    if (!claimed) {
+      ++st.stale_pops;
+      continue;
+    }
+    // Consume the residual HERE, at claim time — not after the update.
+    // Raises landing while the node is being processed then start from
+    // zero, so they always push a fresh entry and the wake-up survives
+    // (zeroing after the update would erase them: the lost-wakeup bug).
+    const float res = residual_[e.node].exchange(0.0f,
+                                                 std::memory_order_acq_rel);
+    // In-flight rises before the live count falls so drained() can never
+    // flicker true while this update's pushes are still coming.
+    if (ctl_.element_active(res)) {
+      inflight_.fetch_add(1, std::memory_order_seq_cst);
+      live_count_.fetch_sub(1, std::memory_order_seq_cst);
+    } else {
+      live_count_.fetch_sub(1, std::memory_order_seq_cst);
+      ++st.converged_pops;
+      continue;
+    }
+    if (res_out != nullptr) *res_out = res;
+    // Relaxation probe: a strictly better top on a third random shard
+    // means an exact scheduler would have run that node first.
+    if (shards_[rng.uniform(num_shards)].top.load(
+            std::memory_order_relaxed) > e.prio) {
+      ++st.inversions;
+    }
+    ++st.pops;
+    v = e.node;
+    return true;
+  }
+  ++st.empty_polls;
+  return false;
+}
+
+void MultiQueueSchedule::raise(unsigned w, perf::Meter& meter,
+                               graph::NodeId c, float delta) {
+  float cur = residual_[c].load(std::memory_order_relaxed);
+  bool raised = false;
+  while (delta > cur) {
+    if (residual_[c].compare_exchange_weak(cur, delta,
+                                           std::memory_order_relaxed)) {
+      raised = true;
+      break;
+    }
+  }
+  meter.atomic(1, 0);
+  // Every successful fetch-max pushes an entry AFTER installing the value
+  // (the exact scheduler's push-iff-raised rule). That ordering is the
+  // whole liveness argument: an active residual's current maximum always
+  // has an entry pushed behind it, so the claim that eventually consumes
+  // the residual processes the node at >= that priority. A raise that
+  // loses the max (delta <= cur) is covered the same way — either the
+  // winner's entry is still claimable, or the claim that consumed `cur`
+  // is processing the node at >= delta right now. Inspecting the claim
+  // state here instead (the obvious "push only if no entry is pending"
+  // shortcut) reintroduces the lost-wakeup race: the pending entry can be
+  // consumed between the inspection and the return.
+  if (raised) push_entry(w, meter, c, delta);
+}
+
+void MultiQueueSchedule::deactivate(graph::NodeId v) noexcept {
+  std::uint64_t s = state_[v].load(std::memory_order_relaxed);
+  while ((s & 1) != 0) {
+    const std::uint64_t ns = ((s >> 1) + 1) << 1;
+    if (state_[v].compare_exchange_weak(s, ns, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      live_count_.fetch_sub(1, std::memory_order_seq_cst);
+      break;
+    }
+  }
+  // Absorbed into a sweep: its pending residual is consumed now, exactly
+  // like a claim, so raises during the sweep start fresh.
+  residual_[v].store(0.0f, std::memory_order_relaxed);
+}
+
+void MultiQueueSchedule::record(unsigned w, perf::Meter& meter,
+                                graph::NodeId v, float delta) {
+  // v's residual was already consumed at claim time (try_pop/deactivate).
+  if (ctl_.element_active(delta)) {
+    for (const auto& entry : g_.out_csr().neighbors(v)) {
+      meter.seq_read(sizeof(entry));
+      const graph::NodeId c = entry.node;
+      if (g_.observed(c) || g_.in_csr().degree(c) == 0) continue;
+      raise(w, meter, c, delta);
+    }
+  }
+  inflight_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void MultiQueueSchedule::requeue(unsigned w, perf::Meter& meter,
+                                 graph::NodeId v, float prio) {
+  // Restore the consumed residual before retiring the claim (push first:
+  // live_count rises before inflight falls, so drained() cannot flicker).
+  if (ctl_.element_active(prio)) raise(w, meter, v, prio);
+  inflight_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+SchedStats MultiQueueSchedule::stats() const {
+  SchedStats total;
+  for (const Lane& lane : lanes_) total.add(lane.stats);
+  return total;
+}
+
+std::vector<std::uint64_t> MultiQueueSchedule::heap_peaks() const {
+  std::vector<std::uint64_t> peaks;
+  peaks.reserve(shards_.size());
+  for (const Shard& sh : shards_) peaks.push_back(sh.peak);
+  return peaks;
+}
+
+// ---------------------------------------------------------------------------
+// SplashSchedule
+// ---------------------------------------------------------------------------
+
+SplashSchedule::SplashSchedule(const graph::FactorGraph& g,
+                               const ConvergenceController& ctl,
+                               unsigned workers, unsigned queues_per_worker,
+                               std::uint32_t max_size, std::uint64_t seed)
+    : g_(g),
+      ctl_(ctl),
+      max_size_(std::max(1u, max_size)),
+      mq_(g, ctl, workers, queues_per_worker, seed),
+      busy_(g.num_nodes()),
+      lanes_(std::max(1u, workers)) {
+  for (auto& b : busy_) b.store(0, std::memory_order_relaxed);
+  for (Lane& lane : lanes_) {
+    lane.stamp.assign(g.num_nodes(), 0);
+    lane.pos.assign(g.num_nodes(), 0);
+  }
+}
+
+bool SplashSchedule::try_pop_subtree(unsigned w, perf::Meter& meter,
+                                     std::vector<graph::NodeId>& out) {
+  graph::NodeId root = 0;
+  float root_res = 0.0f;
+  if (!mq_.try_pop(w, meter, root, &root_res)) return false;
+  if (busy_[root].exchange(1, std::memory_order_acquire) != 0) {
+    // The root sits inside a concurrent splash; hand it back (restoring
+    // the consumed residual) rather than dropping it on the floor.
+    ++lanes_[w].stats.splash_root_collisions;
+    mq_.requeue(w, meter, root, root_res);
+    return false;
+  }
+  Lane& lane = lanes_[w];
+  const std::uint32_t epoch = ++lane.epoch;
+  lane.stamp[root] = epoch;
+  lane.pos[root] = 0;
+  std::uint32_t next_pos = 1;  // admission order == sweep order
+  out = graph::bfs_subtree(g_, root, max_size_, [&](graph::NodeId c) {
+    meter.seq_read(sizeof(graph::Csr::Entry));  // adjacency walk
+    if (g_.observed(c) || g_.in_csr().degree(c) == 0) return false;
+    if (busy_[c].exchange(1, std::memory_order_acquire) != 0) return false;
+    mq_.deactivate(c);  // its pending entry is absorbed into this splash
+    lane.stamp[c] = epoch;
+    lane.pos[c] = next_pos++;
+    return true;
+  });
+  return true;
+}
+
+void SplashSchedule::record_subtree(unsigned w, perf::Meter& meter,
+                                    std::span<const graph::NodeId> sub,
+                                    std::span<const float> total_deltas,
+                                    std::span<const float> last_deltas) {
+  Lane& lane = lanes_[w];
+  // Subtree residuals were consumed at claim/absorption time; raises that
+  // landed during the sweep keep their entries and get reprocessed.
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    const bool total_active = ctl_.element_active(total_deltas[i]);
+    const bool last_active = ctl_.element_active(last_deltas[i]);
+    if (!total_active && !last_active) continue;
+    for (const auto& entry : g_.out_csr().neighbors(sub[i])) {
+      meter.seq_read(sizeof(entry));
+      const graph::NodeId c = entry.node;
+      if (g_.observed(c) || g_.in_csr().degree(c) == 0) continue;
+      if (lane.stamp[c] == lane.epoch) {
+        // Interior neighbor. Swept after sub[i] in the final pass: its
+        // last update already saw sub[i]'s final belief — nothing stale.
+        // Swept before: it missed sub[i]'s final-pass change.
+        if (last_active && lane.pos[c] < lane.pos[sub[i]]) {
+          mq_.raise(w, meter, c, last_deltas[i]);
+        }
+        continue;
+      }
+      // Boundary neighbor: last saw the pre-splash belief.
+      if (total_active) mq_.raise(w, meter, c, total_deltas[i]);
+    }
+  }
+  for (const graph::NodeId v : sub) {
+    busy_[v].store(0, std::memory_order_release);
+  }
+  mq_.finish_update();
+  ++lane.stats.splashes;
+  lane.stats.splash_nodes += sub.size();
+  if (sub.size() > lane.stats.splash_max) {
+    lane.stats.splash_max = sub.size();
+  }
+  observe_splash_subtree(sub.size());
+}
+
+SchedStats SplashSchedule::stats() const {
+  SchedStats total = mq_.stats();
+  for (const Lane& lane : lanes_) total.add(lane.stats);
+  return total;
+}
+
+}  // namespace credo::bp::runtime

@@ -1,0 +1,286 @@
+// Relaxed concurrent priority schedules (DESIGN.md §5f).
+//
+// The exact ResidualSchedule (schedule.h) serializes every pop through one
+// comparison-heavy priority queue — BENCH_reorder shows that queue, not the
+// kernel math, dominating residual BP's runtime. Two relaxations recover
+// the residual policy's update efficiency without the serial heap:
+//
+//  * MultiQueueSchedule — the MultiQueue of Aksenov/Alistarh/Korhonen
+//    (PAPERS.md "Relaxed Scheduling for Scalable Belief Propagation"):
+//    k ≈ 2–4× workers small binary heaps, each push lands on a uniformly
+//    random heap, each pop takes the better top of two random heaps. Pops
+//    are therefore only *approximately* max-residual; per-node versioned
+//    claim states make superseded duplicates one cheap compare to discard
+//    and guarantee each node has at most one claimable entry.
+//
+//  * SplashSchedule — the Splash batching of Gonzalez et al. as revisited
+//    by Van der Merwe et al. (PAPERS.md "Message Scheduling for
+//    Performant, Many-Core Belief Propagation"): pop an (approximate)
+//    max-residual root from an inner MultiQueue, grow a bounded BFS
+//    subtree around it (graph::bfs_subtree), sweep it leaf→root→leaf as
+//    one cache-friendly batch, and reprioritize only the subtree's
+//    boundary. Subtrees are kept disjoint by per-node claim flags.
+//
+// Relaxation contract: what is given up is the exact pop order — a popped
+// node may rank behind up to O(k) better-priority tops (sampled as the
+// `inversions` stat). What is preserved is liveness: a node's residual is
+// consumed when a worker CLAIMS it (not after the update), so any raise
+// landing during the update starts from zero, wins its fetch-max, and
+// enqueues a fresh entry — no active residual is ever dropped and drained()
+// fires only at a fixed point of the same update rule the exact scheduler
+// runs. One relaxation remains beyond pop order: a raise that finds the
+// target's residual already at or above its delta treats the pending entry
+// (or in-progress update) as covering it, so a node being updated
+// concurrently with a parent's write may fold that write into the current
+// update instead of a later one — the standard chaotic-read semantics the
+// §2.4 parallel engines already have (test_sched bounds the belief
+// difference against the exact engine).
+//
+// Thread safety: every method is safe to call from any worker of the team
+// the schedule was built for. Randomness comes from per-worker
+// parallel::WorkerRngs streams, so a one-worker run replays exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "bp/runtime/convergence.h"
+#include "graph/factor_graph.h"
+#include "parallel/worker_rng.h"
+#include "perf/counters.h"
+
+namespace credo::bp::runtime {
+
+/// Aggregate scheduler counters, folded over the per-worker lanes at the
+/// end of a run (obs flush + tests; never read while the team runs).
+struct SchedStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;            // successful claims handed to the body
+  std::uint64_t stale_pops = 0;      // superseded duplicates discarded
+  std::uint64_t converged_pops = 0;  // claimed but below the queue bar
+  std::uint64_t inversions = 0;      // popped below a sampled better top
+  std::uint64_t empty_polls = 0;     // try_pop found nothing claimable
+  std::uint64_t compactions = 0;     // shard heap rebuilds
+  std::uint64_t splashes = 0;
+  std::uint64_t splash_nodes = 0;
+  std::uint64_t splash_max = 0;
+  std::uint64_t splash_root_collisions = 0;
+
+  void add(const SchedStats& o) noexcept {
+    pushes += o.pushes;
+    pops += o.pops;
+    stale_pops += o.stale_pops;
+    converged_pops += o.converged_pops;
+    inversions += o.inversions;
+    empty_polls += o.empty_polls;
+    compactions += o.compactions;
+    splashes += o.splashes;
+    splash_nodes += o.splash_nodes;
+    if (o.splash_max > splash_max) splash_max = o.splash_max;
+    splash_root_collisions += o.splash_root_collisions;
+  }
+};
+
+/// The relaxed MultiQueue. See the file comment for the contract.
+class MultiQueueSchedule {
+ public:
+  /// Same (priority, node) order as ResidualSchedule::Entry; the version
+  /// is the claim-state payload that makes stale entries one compare.
+  struct Entry {
+    float prio;
+    graph::NodeId node;
+    std::uint32_t ver;
+    bool operator<(const Entry& o) const noexcept {
+      if (prio != o.prio) return prio < o.prio;
+      return node < o.node;
+    }
+  };
+
+  /// Builds `workers * queues_per_worker` shard heaps (min 1 each), seeds
+  /// every unobserved node with parents at FLT_MAX round-robin across the
+  /// shards, and derives one RNG stream per worker from `seed`.
+  /// `total_shards` overrides the shard count when nonzero — 1 yields the
+  /// classic concurrency baseline: a single exact heap behind one lock,
+  /// every pop the true global max (the "residual-locked" engine).
+  MultiQueueSchedule(const graph::FactorGraph& g,
+                     const ConvergenceController& ctl, unsigned workers,
+                     unsigned queues_per_worker, std::uint64_t seed,
+                     unsigned total_shards = 0);
+
+  /// Claims an approximately-max-residual node for worker `w`, consuming
+  /// its residual (raises landing while the node is processed start from
+  /// zero, so they always enqueue a fresh wake-up). `res_out`, when given,
+  /// receives the consumed residual — requeue() needs it to undo a claim.
+  /// False when nothing was claimable this attempt — the caller should
+  /// re-check drained() before retrying. A claimed node MUST be followed by
+  /// exactly one record()/requeue()/finish_update() so in-flight drains.
+  bool try_pop(unsigned w, perf::Meter& meter, graph::NodeId& v,
+               float* res_out = nullptr);
+
+  /// Records an update of claimed node `v` with belief change `delta`:
+  /// raises its children's priorities and retires the in-flight claim
+  /// (v's own residual was already consumed by the claim).
+  void record(unsigned w, perf::Meter& meter, graph::NodeId v, float delta);
+
+  /// True when no claimable entry exists and no claimed update is still
+  /// in flight — the queue cannot refill, the run is done.
+  [[nodiscard]] bool drained() const noexcept {
+    return live_count_.load(std::memory_order_seq_cst) == 0 &&
+           inflight_.load(std::memory_order_seq_cst) == 0;
+  }
+
+  /// Approximate count of claimable entries (frontier telemetry).
+  [[nodiscard]] std::uint64_t pending() const noexcept {
+    const std::int64_t n = live_count_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::uint64_t>(n) : 0;
+  }
+
+  [[nodiscard]] unsigned num_heaps() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  // --- building blocks the SplashSchedule composes -----------------------
+
+  /// Fetch-max raise of `c`'s residual to `delta`; pushes a fresh entry
+  /// when the residual rose or `c` holds no claimable entry (so a raise
+  /// can never be lost to a concurrent claim).
+  void raise(unsigned w, perf::Meter& meter, graph::NodeId c, float delta);
+
+  /// Invalidates `c`'s claimable entry if it has one and consumes its
+  /// residual, exactly like a claim (subtree absorption).
+  void deactivate(graph::NodeId v) noexcept;
+
+  /// Returns a claimed-but-unprocessed node to the queue at the residual
+  /// the claim consumed and retires the claim (splash root collision).
+  void requeue(unsigned w, perf::Meter& meter, graph::NodeId v, float prio);
+
+  /// Retires one in-flight claim without touching priorities.
+  void finish_update() noexcept {
+    inflight_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] float residual(graph::NodeId v) const noexcept {
+    return residual_[v].load(std::memory_order_relaxed);
+  }
+
+  /// Folded per-worker counters (end of run only).
+  [[nodiscard]] SchedStats stats() const;
+
+  /// Peak heap size per shard over the run (end of run only).
+  [[nodiscard]] std::vector<std::uint64_t> heap_peaks() const;
+
+  SchedStats& worker_stats(unsigned w) noexcept { return lanes_[w].stats; }
+  [[nodiscard]] util::Prng& worker_rng(unsigned w) noexcept {
+    return rngs_.at(w);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<Entry> heap;     // std::*_heap max-heap, guarded by mu
+    std::atomic<float> top;      // lock-free peek cache; -inf when empty
+    std::uint64_t peak = 0;      // high-water mark, guarded by mu
+  };
+  struct alignas(64) Lane {
+    SchedStats stats;
+    double chain_frac = 0.0;  // fractional expected-conflict accumulator
+  };
+
+  void push_entry(unsigned w, perf::Meter& meter, graph::NodeId v,
+                  float prio);
+  void compact_locked(Shard& sh, SchedStats& st);
+  /// Charges one lock-protected heap operation to the cost model: one
+  /// atomic issue plus the expected same-address conflict chain. With the
+  /// team spread uniformly over the shard locks, an acquisition queues
+  /// behind (workers-1)/shards holders on average, and every handoff
+  /// serializes two line transfers between cores — the lock word and the
+  /// guarded heap root it protects. The single-shard "locked" baseline
+  /// therefore serializes every heap op across the whole team; a
+  /// well-sharded MultiQueue almost never conflicts. Expected chains, not
+  /// measured ones: actual collision counts are unobservable on a
+  /// time-sliced host.
+  void meter_lock_op(unsigned w, perf::Meter& meter) noexcept {
+    Lane& lane = lanes_[w];
+    lane.chain_frac += contention_per_lock_;
+    const auto whole = static_cast<std::uint64_t>(lane.chain_frac);
+    lane.chain_frac -= static_cast<double>(whole);
+    meter.atomic(1, whole);
+  }
+
+  const graph::FactorGraph& g_;
+  const ConvergenceController& ctl_;
+  /// Per-node claim state, packed (version << 1) | claimable. A heap entry
+  /// is claimable iff its version matches and the bit is set; every
+  /// transition bumps the version so stale entries can never be claimed.
+  std::vector<std::atomic<std::uint64_t>> state_;
+  std::vector<std::atomic<float>> residual_;
+  std::vector<Shard> shards_;
+  std::uint64_t compact_limit_ = 0;
+  double contention_per_lock_ = 0.0;
+  std::atomic<std::int64_t> live_count_{0};
+  std::atomic<std::int64_t> inflight_{0};
+  parallel::WorkerRngs rngs_;
+  std::vector<Lane> lanes_;
+};
+
+/// Splash batching over an inner MultiQueue. See the file comment.
+class SplashSchedule {
+ public:
+  SplashSchedule(const graph::FactorGraph& g,
+                 const ConvergenceController& ctl, unsigned workers,
+                 unsigned queues_per_worker, std::uint32_t max_size,
+                 std::uint64_t seed);
+
+  /// Claims an approximately-max-residual root and grows a bounded BFS
+  /// subtree around it, disjoint from every concurrent splash. `out` holds
+  /// the subtree in BFS order, root first. False when nothing was
+  /// claimable (including a root lost to a concurrent splash — it is
+  /// requeued, never dropped).
+  bool try_pop_subtree(unsigned w, perf::Meter& meter,
+                       std::vector<graph::NodeId>& out);
+
+  /// Records a finished leaf→root→leaf sweep. `total_deltas[i]` is the
+  /// belief change of `sub[i]` across the whole splash; `last_deltas[i]`
+  /// is the change of its final (root→leaf pass) update. Boundary
+  /// neighbors are raised with the total delta — they last saw the
+  /// pre-splash belief. Interior members swept *before* `sub[i]` in the
+  /// final pass are raised with the last-pass delta: their final update
+  /// could not see it, and dropping that staleness makes splash converge
+  /// to the wrong fixed point (visible on trees). Releases the claims.
+  void record_subtree(unsigned w, perf::Meter& meter,
+                      std::span<const graph::NodeId> sub,
+                      std::span<const float> total_deltas,
+                      std::span<const float> last_deltas);
+
+  [[nodiscard]] bool drained() const noexcept { return mq_.drained(); }
+  [[nodiscard]] std::uint64_t pending() const noexcept {
+    return mq_.pending();
+  }
+  [[nodiscard]] std::uint32_t max_size() const noexcept { return max_size_; }
+  [[nodiscard]] SchedStats stats() const;
+  [[nodiscard]] std::vector<std::uint64_t> heap_peaks() const {
+    return mq_.heap_peaks();
+  }
+
+ private:
+  struct alignas(64) Lane {
+    SchedStats stats;
+    std::vector<std::uint32_t> stamp;  // splash membership, by epoch
+    std::vector<std::uint32_t> pos;    // sweep position within the splash
+    std::uint32_t epoch = 0;
+  };
+
+  const graph::FactorGraph& g_;
+  const ConvergenceController& ctl_;
+  std::uint32_t max_size_;
+  MultiQueueSchedule mq_;
+  /// Per-node splash claim: a node belongs to at most one growing/sweeping
+  /// subtree at a time, so sweeps never race on the same belief.
+  std::vector<std::atomic<std::uint8_t>> busy_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace credo::bp::runtime

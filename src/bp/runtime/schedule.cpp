@@ -38,31 +38,67 @@ EdgeFrontier::EdgeFrontier(const graph::FactorGraph& g) {
 ResidualSchedule::ResidualSchedule(const graph::FactorGraph& g,
                                    const ConvergenceController& ctl,
                                    perf::Meter& meter)
-    : g_(g), ctl_(ctl), meter_(meter), residual_(g.num_nodes(), 0.0f) {
+    : g_(g),
+      ctl_(ctl),
+      meter_(meter),
+      residual_(g.num_nodes(), 0.0f),
+      version_(g.num_nodes(), 0),
+      live_(g.num_nodes(), 0) {
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     if (!g.observed(v) && g.in_csr().degree(v) > 0) {
       residual_[v] = std::numeric_limits<float>::max();
-      pq_.push({residual_[v], v});
+      live_[v] = 1;
+      pq_.push({residual_[v], v, version_[v]});
     }
   }
 }
 
 bool ResidualSchedule::pop(graph::NodeId& v) {
   while (!pq_.empty()) {
-    const auto [prio, u] = pq_.top();
+    const Entry e = pq_.top();
     pq_.pop();
     meter_.near_read(sizeof(Entry));
-    if (prio != residual_[u] || !ctl_.element_active(residual_[u])) {
-      continue;  // stale or converged entry
+    if (e.ver != version_[e.node]) continue;  // superseded duplicate
+    if (!ctl_.element_active(residual_[e.node])) {
+      live_[e.node] = 0;  // converged entry
+      continue;
     }
-    v = u;
+    live_[e.node] = 0;
+    v = e.node;
     return true;
   }
   return false;
 }
 
+void ResidualSchedule::push_entry(graph::NodeId v, float prio) {
+  ++version_[v];
+  live_[v] = 1;
+  pq_.push({prio, v, version_[v]});
+  meter_.near_write(sizeof(Entry));
+  // Compaction keeps the lazy-deletion heap O(nodes): once superseded
+  // duplicates outnumber live entries, drop them and re-heapify. Amortized
+  // O(1) per push — each discarded entry was paid for by the push that
+  // superseded it.
+  if (pq_.size() > 64 + 2 * residual_.size()) compact();
+}
+
+void ResidualSchedule::compact() {
+  std::vector<Entry> keep;
+  keep.reserve(residual_.size());
+  const std::uint64_t scanned = pq_.size();
+  for (graph::NodeId v = 0; v < residual_.size(); ++v) {
+    if (live_[v]) keep.push_back({residual_[v], v, version_[v]});
+  }
+  // One sweep over the old entries plus a rebuild of the survivors.
+  meter_.near_read(sizeof(Entry), scanned);
+  meter_.near_write(sizeof(Entry), keep.size());
+  pq_ = std::priority_queue<Entry>(std::less<Entry>(), std::move(keep));
+}
+
 void ResidualSchedule::record(graph::NodeId v, float delta) {
   residual_[v] = 0.0f;
+  ++version_[v];  // invalidate any queued entry for v
+  live_[v] = 0;
   if (!ctl_.element_active(delta)) return;
   // The change flows to this node's children: raise their priority.
   for (const auto& entry : g_.out_csr().neighbors(v)) {
@@ -71,8 +107,7 @@ void ResidualSchedule::record(graph::NodeId v, float delta) {
     if (g_.observed(c) || g_.in_csr().degree(c) == 0) continue;
     if (delta > residual_[c]) {
       residual_[c] = delta;
-      pq_.push({delta, c});
-      meter_.near_write(sizeof(Entry));
+      push_entry(c, delta);
     }
   }
 }

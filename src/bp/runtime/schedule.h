@@ -178,14 +178,28 @@ class EdgeFrontier {
   std::vector<graph::EdgeId> next_;
 };
 
-/// Residual-prioritized schedule: a max-heap of (residual, node) with lazy
-/// deletion — stale entries are skipped by comparing against the residual
-/// table. Heap traffic (near reads per pop, near writes per push, the CSR
-/// walk of reprioritization) is metered through the meter bound at
-/// construction.
+/// Residual-prioritized schedule: a max-heap of (residual, node, version)
+/// with lazy deletion — every reprioritization bumps the node's version, so
+/// a popped entry is live iff its version matches the table (the same guard
+/// MultiQueueSchedule uses; see mq_schedule.h). Superseded duplicates are
+/// discarded on pop, and when they outnumber live entries the heap is
+/// compacted in place, so its size stays O(nodes) no matter how often nodes
+/// are reprioritized. Heap traffic (near reads per pop, near writes per
+/// push, the CSR walk of reprioritization) is metered through the meter
+/// bound at construction.
 class ResidualSchedule {
  public:
-  using Entry = std::pair<float, graph::NodeId>;
+  /// Ordered by (priority, node id) exactly as the former
+  /// std::pair<float, NodeId> entries were; the version is payload.
+  struct Entry {
+    float prio;
+    graph::NodeId node;
+    std::uint32_t ver;
+    bool operator<(const Entry& o) const noexcept {
+      if (prio != o.prio) return prio < o.prio;
+      return node < o.node;
+    }
+  };
 
   ResidualSchedule(const graph::FactorGraph& g,
                    const ConvergenceController& ctl, perf::Meter& meter);
@@ -201,10 +215,15 @@ class ResidualSchedule {
   [[nodiscard]] std::uint64_t pending() const noexcept { return pq_.size(); }
 
  private:
+  void push_entry(graph::NodeId v, float prio);
+  void compact();
+
   const graph::FactorGraph& g_;
   const ConvergenceController& ctl_;
   perf::Meter& meter_;
   std::vector<float> residual_;
+  std::vector<std::uint32_t> version_;
+  std::vector<std::uint8_t> live_;  // node has a current-version heap entry
   std::priority_queue<Entry> pq_;
 };
 

@@ -1,0 +1,49 @@
+// Per-worker deterministic random streams for concurrent schedulers.
+//
+// The relaxed priority schedulers (bp/runtime/mq_schedule.h) randomize heap
+// selection on every push and pop. Sharing one Prng across a team would
+// serialize the hot path on its state; giving each worker a thread_local
+// would make runs irreproducible (stream assignment would depend on which
+// OS thread picked up which worker index first). Instead each worker index
+// owns a cache-line-padded Prng seeded by splitmix64(seed ^ index), so the
+// stream a worker sees is a pure function of (seed, worker) — a
+// single-worker run replays exactly, and multi-worker runs stay free of
+// false sharing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace credo::parallel {
+
+/// One decorrelated Prng per worker slot, padded so neighboring workers'
+/// generator state never shares a cache line.
+class WorkerRngs {
+ public:
+  WorkerRngs(std::uint64_t seed, unsigned workers) {
+    slots_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      slots_.emplace_back(util::splitmix64(seed ^ (0x9e3779b97f4a7c15ULL *
+                                                   (w + 1))));
+    }
+  }
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(slots_.size());
+  }
+
+  [[nodiscard]] util::Prng& at(unsigned worker) noexcept {
+    return slots_[worker].rng;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    util::Prng rng;
+    explicit Slot(std::uint64_t seed) noexcept : rng(seed) {}
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace credo::parallel

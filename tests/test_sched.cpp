@@ -1,0 +1,496 @@
+// Tests for the relaxed concurrent priority schedules (DESIGN.md §5f):
+// MultiQueueSchedule / SplashSchedule invariants, the bounded-relaxation
+// contract, the exact ResidualSchedule's O(nodes) heap bound, the new
+// BpOptions knobs and the engines built on top (residual-locked,
+// residual-mq, splash).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bp/engine.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/mq_schedule.h"
+#include "bp/runtime/schedule.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "util/error.h"
+
+namespace credo::bp {
+namespace {
+
+using graph::FactorGraph;
+using graph::NodeId;
+using runtime::ConvergenceController;
+using runtime::MultiQueueSchedule;
+using runtime::SplashSchedule;
+
+BpOptions sched_opts() {
+  BpOptions o;
+  o.convergence_threshold = 1e-4f;
+  o.queue_threshold = 1e-5f;
+  o.max_iterations = 200;
+  return o;
+}
+
+FactorGraph small_grid(std::uint32_t side = 16, std::uint64_t seed = 7) {
+  graph::BeliefConfig cfg;
+  cfg.beliefs = 2;
+  cfg.observed_fraction = 0.1;
+  cfg.seed = seed;
+  return graph::grid(side, side, cfg);
+}
+
+/// Nodes the schedulers seed: unobserved with at least one parent.
+std::vector<NodeId> schedulable_nodes(const FactorGraph& g) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.observed(v) && g.in_csr().degree(v) > 0) out.push_back(v);
+  }
+  return out;
+}
+
+/// Drains the initial FLT_MAX seeds with no-op updates (delta 0 raises
+/// nothing); afterwards every residual is consumed and the queue is empty.
+void drain_seeds(MultiQueueSchedule& s, perf::Meter& meter) {
+  NodeId v = 0;
+  while (s.try_pop(0, meter, v)) s.record(0, meter, v, 0.0f);
+  ASSERT_TRUE(s.drained());
+}
+
+// ---------------------------------------------------------------------------
+// MultiQueueSchedule
+// ---------------------------------------------------------------------------
+
+TEST(MultiQueueSchedule, SeedsEveryUnobservedNodeWithParentsExactlyOnce) {
+  const auto g = small_grid();
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  MultiQueueSchedule s(g, ctl, /*workers=*/1, /*queues_per_worker=*/4, 99);
+  perf::Counters c;
+  perf::Meter meter(c);
+
+  std::vector<NodeId> popped;
+  NodeId v = 0;
+  while (s.try_pop(0, meter, v)) {
+    popped.push_back(v);
+    s.record(0, meter, v, 0.0f);
+  }
+  EXPECT_TRUE(s.drained());
+  EXPECT_EQ(s.pending(), 0u);
+
+  auto want = schedulable_nodes(g);
+  std::sort(popped.begin(), popped.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(popped, want);  // each exactly once, none dropped
+}
+
+TEST(MultiQueueSchedule, SameSeedReplaysTheSamePopSequence) {
+  const auto g = small_grid();
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  std::vector<NodeId> runs[2];
+  for (auto& run : runs) {
+    MultiQueueSchedule s(g, ctl, 1, 4, 0xabcdef);
+    perf::Counters c;
+    perf::Meter meter(c);
+    NodeId v = 0;
+    while (s.try_pop(0, meter, v)) {
+      run.push_back(v);
+      s.record(0, meter, v, 0.0f);
+    }
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+/// The relaxation contract's testable half: a pop is the max of one whole
+/// shard, so only elements living in the other shards can outrank it. With
+/// distinct priorities assigned and popped to exhaustion, the pop order is
+/// approximately descending — bounded mean displacement from the exact
+/// order — and nothing is lost or duplicated.
+TEST(MultiQueueSchedule, RelaxedPopOrderHasBoundedRankError) {
+  const auto g = small_grid(16, 11);
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  MultiQueueSchedule s(g, ctl, 1, 4, 0x5eed);
+  perf::Counters c;
+  perf::Meter meter(c);
+  drain_seeds(s, meter);
+
+  const auto nodes = schedulable_nodes(g);
+  // Distinct priorities, descending with node order randomized by id hash.
+  std::vector<float> prios;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const float p = 1.0f + 0.001f * static_cast<float>((nodes[i] * 2654435761u) % 100000);
+    prios.push_back(p);
+    s.raise(0, meter, nodes[i], p);
+  }
+
+  std::vector<float> pop_order;
+  NodeId v = 0;
+  float res = 0.0f;
+  while (s.try_pop(0, meter, v, &res)) {
+    pop_order.push_back(res);
+    s.finish_update();
+  }
+  EXPECT_TRUE(s.drained());
+
+  auto sorted = prios;
+  std::sort(sorted.begin(), sorted.end(), std::greater<float>());
+  auto got = pop_order;
+  std::sort(got.begin(), got.end(), std::greater<float>());
+  ASSERT_EQ(got, sorted);  // same multiset: nothing lost, nothing invented
+
+  // Mean displacement between relaxed and exact order stays O(#heaps).
+  double total_disp = 0.0;
+  for (std::size_t i = 0; i < pop_order.size(); ++i) {
+    const auto it =
+        std::lower_bound(sorted.begin(), sorted.end(), pop_order[i],
+                         std::greater<float>());
+    total_disp += std::llabs(static_cast<long long>(it - sorted.begin()) -
+                             static_cast<long long>(i));
+  }
+  const double mean_disp = total_disp / static_cast<double>(pop_order.size());
+  EXPECT_LE(mean_disp, 4.0 * s.num_heaps());
+}
+
+/// total_shards=1 is the residual-locked baseline: one exact heap, so the
+/// pop order is *exactly* descending.
+TEST(MultiQueueSchedule, SingleShardPopsInExactPriorityOrder) {
+  const auto g = small_grid(16, 13);
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  MultiQueueSchedule s(g, ctl, 1, 4, 0x10c, /*total_shards=*/1);
+  EXPECT_EQ(s.num_heaps(), 1u);
+  perf::Counters c;
+  perf::Meter meter(c);
+  drain_seeds(s, meter);
+
+  const auto nodes = schedulable_nodes(g);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    s.raise(0, meter, nodes[i],
+            1.0f + 0.001f * static_cast<float>((nodes[i] * 40503u) % 9973));
+  }
+  float prev = std::numeric_limits<float>::infinity();
+  NodeId v = 0;
+  float res = 0.0f;
+  while (s.try_pop(0, meter, v, &res)) {
+    EXPECT_LE(res, prev);
+    prev = res;
+    s.finish_update();
+  }
+  EXPECT_TRUE(s.drained());
+}
+
+TEST(MultiQueueSchedule, RaiseDuringInFlightUpdateIsNeverLost) {
+  // The liveness half of the contract, single-threaded for determinism:
+  // claim v (residual consumed), raise v while its update is "running",
+  // then record. The raise must survive as a fresh claimable entry.
+  const auto g = small_grid(8, 3);
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  MultiQueueSchedule s(g, ctl, 1, 2, 5);
+  perf::Counters c;
+  perf::Meter meter(c);
+  drain_seeds(s, meter);
+
+  const auto nodes = schedulable_nodes(g);
+  ASSERT_GE(nodes.size(), 2u);
+  s.raise(0, meter, nodes[0], 1.0f);
+  NodeId v = 0;
+  ASSERT_TRUE(s.try_pop(0, meter, v));
+  ASSERT_EQ(v, nodes[0]);
+  EXPECT_EQ(s.residual(v), 0.0f);  // consumed at claim
+
+  s.raise(0, meter, v, 0.5f);  // a neighbor's write lands mid-update
+  s.record(0, meter, v, 0.0f);
+  EXPECT_FALSE(s.drained());  // the wake-up is still claimable
+
+  NodeId again = 0;
+  float res = 0.0f;
+  ASSERT_TRUE(s.try_pop(0, meter, again, &res));
+  EXPECT_EQ(again, v);
+  EXPECT_FLOAT_EQ(res, 0.5f);
+  s.finish_update();
+  EXPECT_TRUE(s.drained());
+}
+
+TEST(MultiQueueSchedule, EightWorkerStressDrainsWithoutLosingNodes) {
+  const auto g = small_grid(24, 17);
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  constexpr unsigned kWorkers = 8;
+  MultiQueueSchedule s(g, ctl, kWorkers, 2, 0xfeed);
+
+  // Each successful pop re-raises with a decaying delta until the shared
+  // budget runs out; afterwards updates are no-ops and the queue drains.
+  std::atomic<std::int64_t> budget{20000};
+  std::atomic<std::uint64_t> processed{0};
+  std::vector<std::thread> team;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    team.emplace_back([&, w] {
+      perf::Counters c;
+      perf::Meter meter(c);
+      NodeId v = 0;
+      while (!s.drained()) {
+        if (!s.try_pop(w, meter, v)) continue;
+        const bool active = budget.fetch_sub(1, std::memory_order_relaxed) > 0;
+        s.record(0 + w, meter, v, active ? 0.01f : 0.0f);
+        processed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+
+  EXPECT_TRUE(s.drained());
+  EXPECT_EQ(s.pending(), 0u);
+  const auto st = s.stats();
+  EXPECT_EQ(st.pops, processed.load());
+  // Every seeded node was processed at least once (none lost to races).
+  EXPECT_GE(st.pops, schedulable_nodes(g).size());
+}
+
+// ---------------------------------------------------------------------------
+// SplashSchedule + bfs_subtree
+// ---------------------------------------------------------------------------
+
+TEST(BfsSubtree, IsABoundedTreeSliceRootFirst) {
+  const auto g = small_grid(16, 29);
+  const auto sub = graph::bfs_subtree(g, /*root=*/17, /*max_size=*/8,
+                                      [](NodeId) { return true; });
+  ASSERT_FALSE(sub.empty());
+  EXPECT_EQ(sub.front(), 17u);
+  EXPECT_LE(sub.size(), 8u);
+  std::set<NodeId> seen{sub.front()};
+  for (std::size_t i = 1; i < sub.size(); ++i) {
+    EXPECT_TRUE(seen.insert(sub[i]).second) << "duplicate node in subtree";
+    // BFS order: every non-root member is adjacent to an earlier member.
+    bool attached = false;
+    for (const auto& e : g.in_csr().neighbors(sub[i])) {
+      if (seen.count(e.node) && e.node != sub[i]) attached = true;
+    }
+    EXPECT_TRUE(attached) << "node " << sub[i] << " not attached";
+  }
+}
+
+TEST(BfsSubtree, AdmitPredicateIsRespected) {
+  const auto g = small_grid(16, 29);
+  const auto sub = graph::bfs_subtree(
+      g, 17, 64, [](NodeId v) { return v % 2 == 1; });
+  for (const NodeId v : sub) EXPECT_EQ(v % 2, 1u);
+}
+
+TEST(SplashSchedule, SubtreesAreValidAndDrainCleanly) {
+  const auto g = small_grid(16, 31);
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  SplashSchedule s(g, ctl, 1, 2, /*max_size=*/16, 0xbeef);
+  perf::Counters c;
+  perf::Meter meter(c);
+
+  std::vector<NodeId> sub;
+  std::vector<float> zeros;
+  std::uint64_t visits = 0;
+  // A false try_pop can be a stale-entry streak, not a drain — the
+  // documented pattern is to re-check drained() and retry.
+  for (int spin = 0; !s.drained(); ++spin) {
+    ASSERT_LT(spin, 1 << 20) << "scheduler failed to drain";
+    if (!s.try_pop_subtree(0, meter, sub)) continue;
+    ASSERT_FALSE(sub.empty());
+    ASSERT_LE(sub.size(), 16u);
+    std::set<NodeId> members(sub.begin(), sub.end());
+    ASSERT_EQ(members.size(), sub.size());  // disjoint within the splash
+    for (const NodeId v : sub) {
+      EXPECT_FALSE(g.observed(v));
+      EXPECT_GT(g.in_csr().degree(v), 0u);
+    }
+    zeros.assign(sub.size(), 0.0f);
+    s.record_subtree(0, meter, sub, zeros, zeros);
+    visits += sub.size();
+  }
+  EXPECT_TRUE(s.drained());
+  EXPECT_GE(visits, schedulable_nodes(g).size());
+  const auto st = s.stats();
+  EXPECT_GT(st.splashes, 0u);
+  EXPECT_LE(st.splash_max, 16u);
+  EXPECT_EQ(st.splash_nodes, visits);
+}
+
+// ---------------------------------------------------------------------------
+// Exact ResidualSchedule heap bound (the §5f prerequisite fix)
+// ---------------------------------------------------------------------------
+
+TEST(ResidualSchedule, HeapStaysLinearUnderRepeatedReprioritization) {
+  const auto g = small_grid(16, 41);
+  const ConvergenceController ctl(sched_opts(),
+                                  ConvergenceController::Cadence::kEveryIteration);
+  perf::Counters c;
+  perf::Meter meter(c);
+  runtime::ResidualSchedule s(g, ctl, meter);
+
+  const std::uint64_t bound = 2ull * g.num_nodes() + 64;
+  NodeId v = 0;
+  for (int i = 0; i < 20000 && s.pop(v); ++i) {
+    // Re-raise every child far above the queue bar, every single pop —
+    // the workload that used to grow the heap without limit.
+    s.record(v, 0.5f);
+    ASSERT_LE(s.pending(), bound) << "heap grew superlinear at pop " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Options knobs + engine gating
+// ---------------------------------------------------------------------------
+
+TEST(SchedOptions, KnobsAreValidatedAndFluent) {
+  BpOptions o = BpOptions{}
+                    .with_sched_queues_per_thread(4)
+                    .with_splash_max_size(64)
+                    .with_threads(4);
+  EXPECT_EQ(o.sched_queues_per_thread, 4u);
+  EXPECT_EQ(o.splash_max_size, 64u);
+  EXPECT_TRUE(o.validate_status().is_ok());
+
+  o.sched_queues_per_thread = 0;
+  EXPECT_FALSE(o.validate_status().is_ok());
+  EXPECT_THROW(o.validate(), util::InvalidArgument);
+
+  o = BpOptions{}.with_splash_max_size(0);
+  EXPECT_FALSE(o.validate_status().is_ok());
+}
+
+TEST(SchedOptions, PriorityKnobsRejectedOnNonPriorityEngines) {
+  const auto g = small_grid(8, 5);
+  const auto opts = BpOptions{}.with_sched_queues_per_thread(3);
+  EXPECT_THROW(make_default_engine(EngineKind::kCpuNode)->run(g, opts),
+               util::InvalidArgument);
+  EXPECT_THROW(make_default_engine(EngineKind::kResidual)->run(g, opts),
+               util::InvalidArgument);
+  EXPECT_THROW(
+      make_default_engine(EngineKind::kResidualLocked)->run(g, opts),
+      util::InvalidArgument);
+  const auto sopts = BpOptions{}.with_splash_max_size(8);
+  EXPECT_THROW(make_default_engine(EngineKind::kOmpNode)->run(g, sopts),
+               util::InvalidArgument);
+}
+
+TEST(SchedOptions, NewEngineSlugsParse) {
+  EXPECT_EQ(engine_from_name("residual-mq"), EngineKind::kResidualMq);
+  EXPECT_EQ(engine_from_name("mq"), EngineKind::kResidualMq);
+  EXPECT_EQ(engine_from_name("multiqueue"), EngineKind::kResidualMq);
+  EXPECT_EQ(engine_from_name("splash"), EngineKind::kSplash);
+  EXPECT_EQ(engine_from_name("residual-locked"), EngineKind::kResidualLocked);
+  EXPECT_EQ(engine_from_name("locked"), EngineKind::kResidualLocked);
+  EXPECT_EQ(engine_slug(EngineKind::kResidualMq), "residual-mq");
+  EXPECT_EQ(engine_slug(EngineKind::kSplash), "splash");
+}
+
+// ---------------------------------------------------------------------------
+// Engines: correctness against the exact residual engine
+// ---------------------------------------------------------------------------
+
+double max_belief_l1(const std::vector<graph::BeliefVec>& a,
+                     const std::vector<graph::BeliefVec>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = 0.0;
+    for (std::uint32_t k = 0; k < a[i].size; ++k) {
+      d += std::abs(static_cast<double>(a[i].v[k]) - b[i].v[k]);
+    }
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+BpOptions engine_opts(unsigned threads) {
+  BpOptions o;
+  o.convergence_threshold = 1e-4f;
+  o.queue_threshold = 1e-5f;
+  o.max_iterations = 500;
+  o.threads = threads;
+  return o;
+}
+
+TEST(RelaxedEngines, MqBeliefsMatchExactResidualOnLoopyGraph) {
+  const auto g = small_grid(24, 53);
+  const auto exact =
+      make_default_engine(EngineKind::kResidual)->run(g, engine_opts(1));
+  ASSERT_TRUE(exact.stats.converged);
+
+  for (const unsigned threads : {1u, 8u}) {
+    const auto mq = make_default_engine(EngineKind::kResidualMq)
+                        ->run(g, engine_opts(threads));
+    EXPECT_TRUE(mq.stats.converged) << threads << " threads";
+    // Relaxed pop order + chaotic reads land on the same fixed point up to
+    // the queue bar's tolerance.
+    EXPECT_LT(max_belief_l1(exact.beliefs, mq.beliefs), 5e-3)
+        << threads << " threads";
+  }
+}
+
+TEST(RelaxedEngines, LockedBaselineMatchesExactResidual) {
+  const auto g = small_grid(24, 53);
+  const auto exact =
+      make_default_engine(EngineKind::kResidual)->run(g, engine_opts(1));
+  const auto locked = make_default_engine(EngineKind::kResidualLocked)
+                          ->run(g, engine_opts(8));
+  EXPECT_TRUE(locked.stats.converged);
+  EXPECT_LT(max_belief_l1(exact.beliefs, locked.beliefs), 5e-3);
+}
+
+TEST(RelaxedEngines, SplashBeliefsMatchExactResidual) {
+  const auto g = small_grid(24, 59);
+  const auto exact =
+      make_default_engine(EngineKind::kResidual)->run(g, engine_opts(1));
+  for (const std::uint32_t splash : {1u, 8u, 64u}) {
+    const auto r = make_default_engine(EngineKind::kSplash)
+                       ->run(g, engine_opts(8).with_splash_max_size(splash));
+    EXPECT_TRUE(r.stats.converged) << "splash " << splash;
+    EXPECT_LT(max_belief_l1(exact.beliefs, r.beliefs), 5e-3)
+        << "splash " << splash;
+  }
+}
+
+TEST(RelaxedEngines, SplashIsTightOnTrees) {
+  graph::BeliefConfig cfg;
+  cfg.beliefs = 3;
+  cfg.observed_fraction = 0.15;
+  cfg.seed = 61;
+  const auto g = graph::random_tree(300, cfg);
+  const auto exact =
+      make_default_engine(EngineKind::kResidual)->run(g, engine_opts(1));
+  const auto splash =
+      make_default_engine(EngineKind::kSplash)->run(g, engine_opts(8));
+  ASSERT_TRUE(exact.stats.converged);
+  EXPECT_TRUE(splash.stats.converged);
+  EXPECT_LT(max_belief_l1(exact.beliefs, splash.beliefs), 1e-3);
+}
+
+TEST(RelaxedEngines, EightThreadStressOnIrregularGraph) {
+  graph::BeliefConfig cfg;
+  cfg.beliefs = 2;
+  cfg.observed_fraction = 0.1;
+  cfg.seed = 71;
+  const auto g = graph::uniform_random(2000, 8000, cfg);
+  for (const auto kind :
+       {EngineKind::kResidualMq, EngineKind::kSplash,
+        EngineKind::kResidualLocked}) {
+    const auto r = make_default_engine(kind)->run(g, engine_opts(8));
+    EXPECT_TRUE(r.stats.converged) << engine_name(kind);
+    EXPECT_GT(r.stats.elements_processed, 0u) << engine_name(kind);
+    for (const auto& b : r.beliefs) {
+      for (std::uint32_t k = 0; k < b.size; ++k) {
+        ASSERT_TRUE(std::isfinite(b.v[k])) << engine_name(kind);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace credo::bp

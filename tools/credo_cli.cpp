@@ -3,9 +3,11 @@
 //   credo info     --nodes N.mtx --edges E.mtx
 //   credo run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|c-edge|
 //                  omp-node|omp-edge|cuda-node|cuda-edge|acc-edge|tree|
-//                  residual] [--reorder none|bfs|rcm|degree] [--no-queue]
-//                  [--iters N] [--threshold X] [--out beliefs.txt]
-//                  [--trace trace.csv]
+//                  residual|residual-mq|splash]
+//                  [--reorder none|bfs|rcm|degree] [--no-queue]
+//                  [--iters N] [--threshold X] [--threads T]
+//                  [--queues-per-thread K] [--splash-size S]
+//                  [--out beliefs.txt] [--trace trace.csv]
 //   credo generate --family uniform|kron|social|tree|grid --nodes N
 //                  [--edges M] [--beliefs B] [--seed S] [--observed F]
 //                  --out PREFIX
@@ -111,7 +113,8 @@ bp::EngineKind parse_engine(const std::string& name) {
         bp::EngineKind::kOmpNode, bp::EngineKind::kOmpEdge,
         bp::EngineKind::kCudaNode, bp::EngineKind::kCudaEdge,
         bp::EngineKind::kAccEdge, bp::EngineKind::kTree,
-        bp::EngineKind::kResidual}) {
+        bp::EngineKind::kResidual, bp::EngineKind::kResidualLocked,
+        bp::EngineKind::kResidualMq, bp::EngineKind::kSplash}) {
     if (!valid.empty()) valid += '|';
     valid += std::string(bp::engine_slug(k));
   }
@@ -174,8 +177,24 @@ int cmd_run(const Args& args) {
       static_cast<std::uint32_t>(args.number("iters", 200));
   opts.convergence_threshold =
       static_cast<float>(args.number("threshold", 1e-3));
+  opts.damping = static_cast<float>(args.number("damping", 0.0));
+  opts.queue_threshold =
+      static_cast<float>(args.number("queue-threshold", 1e-7));
   const auto trace_path = args.get("trace");
   opts.collect_trace = trace_path.has_value();
+  if (args.get("threads")) {
+    opts.threads = static_cast<unsigned>(args.number("threads", 8));
+  }
+  // Relaxed-scheduler knobs (residual-mq, splash). Only forwarded when
+  // given: Engine::run rejects non-default values on other engines.
+  if (args.get("queues-per-thread")) {
+    opts.sched_queues_per_thread =
+        static_cast<unsigned>(args.number("queues-per-thread", 2));
+  }
+  if (args.get("splash-size")) {
+    opts.splash_max_size =
+        static_cast<std::uint32_t>(args.number("splash-size", 32));
+  }
 
   const std::string engine_arg = args.get("engine").value_or("auto");
   bp::BpResult result;
@@ -365,6 +384,16 @@ int cmd_serve(const Args& args) {
       static_cast<std::uint32_t>(args.number("iters", 50));
   stress.options.convergence_threshold =
       static_cast<float>(args.number("threshold", 1e-3));
+  // Relaxed-scheduler knobs: meaningful when --engine names residual-mq or
+  // splash; on a mix with other engines Engine::run rejects the request.
+  if (args.get("queues-per-thread")) {
+    stress.options.sched_queues_per_thread =
+        static_cast<unsigned>(args.number("queues-per-thread", 2));
+  }
+  if (args.get("splash-size")) {
+    stress.options.splash_max_size =
+        static_cast<std::uint32_t>(args.number("splash-size", 32));
+  }
 
   serve::ServerOptions sopts;
   sopts.workers = static_cast<unsigned>(args.number("workers", 3));
@@ -489,7 +518,8 @@ int usage() {
       "  info     --nodes N.mtx --edges E.mtx\n"
       "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
       "           [--reorder none|bfs|rcm|degree] [--iters N]\n"
-      "           [--threshold X] [--out beliefs.txt]\n"
+      "           [--threshold X] [--threads T] [--queues-per-thread K]\n"
+      "           [--splash-size S] [--out beliefs.txt]\n"
       "           [--trace trace.csv] [--no-queue]\n"
       "  generate --family uniform|kron|social|tree|grid --nodes N\n"
       "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
@@ -499,6 +529,7 @@ int usage() {
       "  serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]\n"
       "           [--workers W] [--queue Q] [--cache C] [--pool P]\n"
       "           [--engine mix|auto|<name>] [--reorder MODE]\n"
+      "           [--queues-per-thread K] [--splash-size S]\n"
       "           [--deadline-every K] [--deadline-ms D]\n"
       "           [--cancel-every K] [--iters N] [--threshold X]\n"
       "           [--metrics out.prom|out.json|-] [--spans out.jsonl|-]\n");
