@@ -69,6 +69,10 @@ class CpuNodeEngine final : public CpuEngineBase {
  protected:
   [[nodiscard]] BpResult do_run(const FactorGraph& g,
                                 const BpOptions& opts) const override {
+    // Per-graph family dispatch (§5g): decided once, before any loop.
+    if (graph::is_ldpc(g.family())) {
+      return run_ldpc_node_sweep(g, opts, profile_);
+    }
     const util::Timer timer;
     BpResult r;
     r.beliefs = g.initial_beliefs();
@@ -154,6 +158,9 @@ class CpuEdgeEngine final : public CpuEngineBase {
  protected:
   [[nodiscard]] BpResult do_run(const FactorGraph& g,
                                 const BpOptions& opts) const override {
+    if (graph::is_ldpc(g.family())) {
+      return run_ldpc_edge_sweep(g, opts, profile_);
+    }
     return opts.work_queue ? run_queued(g, opts) : run_full(g, opts);
   }
 

@@ -12,7 +12,19 @@ namespace credo::bp {
 
 BpResult Engine::run(const graph::FactorGraph& g,
                      const BpOptions& opts) const {
-  opts.validate();
+  if (const auto s = opts.validate_status(); !s.is_ok()) {
+    throw util::InvalidArgument(s.message());
+  }
+  // One capability gate for every engine: the tree recursion and the
+  // device engines have no closed-form kernel, so they accept only the
+  // tabular family. The CPU engines dispatch per graph inside do_run.
+  if (!engine_supports_family(kind(), g.family())) {
+    throw util::InvalidArgument(
+        std::string("engine '") + std::string(engine_slug(kind())) +
+        "' supports only the tabular family; the LDPC families run on "
+        "the CPU engines (c-node, c-edge, omp-node, omp-edge, residual, "
+        "residual-locked, residual-mq, splash)");
+  }
   // The relaxed-scheduler knobs have no effect anywhere else; accepting
   // them silently on other engines would let a typoed engine name absorb a
   // carefully tuned configuration.
@@ -76,6 +88,20 @@ std::string_view engine_slug(EngineKind kind) noexcept {
     case EngineKind::kSplash: return "splash";
   }
   return "unknown";
+}
+
+bool engine_supports_family(EngineKind kind,
+                            graph::FactorFamily family) noexcept {
+  if (!graph::is_ldpc(family)) return true;
+  switch (kind) {
+    case EngineKind::kTree:
+    case EngineKind::kCudaNode:
+    case EngineKind::kCudaEdge:
+    case EngineKind::kAccEdge:
+      return false;
+    default:
+      return true;
+  }
 }
 
 std::optional<EngineKind> engine_from_name(std::string_view name) noexcept {

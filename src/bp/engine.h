@@ -40,6 +40,14 @@ enum class EngineKind {
 /// hyphen-separated, stable across releases.
 [[nodiscard]] std::string_view engine_slug(EngineKind kind) noexcept;
 
+/// True when `kind` can run graphs of `family` (DESIGN.md §5g). The
+/// tabular family runs everywhere; the closed-form LDPC families run on
+/// the CPU engines only — the tree recursion and the simulated-device
+/// engines have no closed-form kernel. Engine::run enforces this (throws
+/// util::InvalidArgument); front ends use it to pick a capable default.
+[[nodiscard]] bool engine_supports_family(EngineKind kind,
+                                          graph::FactorFamily family) noexcept;
+
 /// The single engine-name parser (every front end routes through this: the
 /// CLI, the serve layer, tools). Accepts the paper names produced by
 /// engine_name ("CUDA Edge"), the CLI slugs ("cuda-edge") and common

@@ -30,6 +30,33 @@ std::unique_ptr<Engine> make_residual_locked(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_residual_mq(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_splash(const perf::HardwareProfile& p);
 
+// ---------------------------------------------------------------------------
+// LDPC family runners (ldpc_engines.cpp, DESIGN.md §5g). The supporting
+// engines branch on graph::is_ldpc(g.family()) once at do_run entry and
+// delegate to these free functions — per-graph dispatch, so the tabular hot
+// paths compile unchanged and pay nothing. Each runner keeps its paradigm's
+// schedule/driver composition; only the kernel body is the closed-form
+// tanh-domain update instead of the joint-matrix product.
+// ---------------------------------------------------------------------------
+
+BpResult run_ldpc_node_sweep(const graph::FactorGraph& g,
+                             const BpOptions& opts,
+                             const perf::HardwareProfile& profile);
+BpResult run_ldpc_edge_sweep(const graph::FactorGraph& g,
+                             const BpOptions& opts,
+                             const perf::HardwareProfile& profile);
+BpResult run_ldpc_node_parallel(const graph::FactorGraph& g,
+                                const BpOptions& opts,
+                                const perf::HardwareProfile& profile);
+BpResult run_ldpc_edge_parallel(const graph::FactorGraph& g,
+                                const BpOptions& opts,
+                                const perf::HardwareProfile& profile);
+BpResult run_ldpc_residual(const graph::FactorGraph& g, const BpOptions& opts,
+                           const perf::HardwareProfile& profile);
+BpResult run_ldpc_relaxed(const graph::FactorGraph& g, const BpOptions& opts,
+                          EngineKind kind,
+                          const perf::HardwareProfile& profile);
+
 /// Messages are clamped away from zero before entering log space so a
 /// contradicting observation cannot produce -inf accumulators.
 inline constexpr float kMsgFloor = 1e-30f;

@@ -1,0 +1,817 @@
+// Closed-form LDPC decode runners (DESIGN.md §5g).
+//
+// The tabular engines push beliefs through joint-matrix products; the LDPC
+// families replace that kernel with the closed-form tanh-domain update
+// driven by the Tanner graph's bipartite structure. Nothing else changes:
+// each runner below composes the same schedule / convergence-controller /
+// driver stack as its tabular sibling, so work queues, residual
+// prioritization, relaxed multi-queues, splashes, cancellation and
+// deadlines all apply to decoding unchanged.
+//
+// Message layout: one float per directed edge. An edge v→c carries the
+// variable-to-check message Q (initialized to the channel LLR of v); an
+// edge c→v carries the check-to-variable message R (initialized to 0). The
+// builder guarantees every edge has its reverse, and the pairing is indexed
+// once at setup.
+//
+// Paradigm mapping:
+//  * c-node / omp-node / residual / residual-* / splash — Gauss-Seidel in
+//    place: a node update reads current messages and rewrites its outgoing
+//    ones. Workers write disjoint edges (each directed edge has exactly one
+//    source), so the parallel forms need no atomics; torn reads of a
+//    neighbor's in-flight message are the same chaotic relaxation the
+//    tabular §2.4 engines already make.
+//  * c-edge / omp-edge — Jacobi double-buffer: every message of sweep i+1
+//    is computed from sweep i's snapshot (the edge paradigm's "push from
+//    the previous iteration" semantics), which also makes the parallel
+//    form race-free.
+//
+// Convergence: variable updates contribute belief L1 deltas exactly like
+// tabular nodes; check updates contribute tanh-domain message deltas
+// (bounded by 2 per edge, so the shared thresholds stay meaningful). Check
+// nodes are never observed, so every schedule — including the residual and
+// relaxed priority ones — prioritizes check residuals with no special
+// casing. When BpOptions::syndrome_stop is set, the runners additionally
+// test hard-decision parity at the convergence-check cadence (sweeps) or
+// at epoch boundaries (priority loops) and end the run as converged on
+// satisfaction; the final state is always tested once so
+// BpStats::syndrome_satisfied reports decode success either way.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bp/engines_internal.h"
+#include "bp/runtime/backend.h"
+#include "bp/runtime/convergence.h"
+#include "bp/runtime/driver.h"
+#include "bp/runtime/mq_schedule.h"
+#include "bp/runtime/observe.h"
+#include "bp/runtime/schedule.h"
+#include "parallel/thread_pool.h"
+#include "perf/cost_model.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace credo::bp::internal {
+namespace {
+
+using graph::BeliefVec;
+using graph::EdgeId;
+using graph::FactorGraph;
+using graph::NodeId;
+using parallel::ThreadPool;
+
+/// LLR clamp: messages and totals live in [-20, 20], wide enough that the
+/// implied probability saturates (sigmoid(20) ≈ 1 - 2e-9) and narrow
+/// enough that exp/tanh never overflow.
+constexpr float kLlrClamp = 20.0f;
+
+/// |tanh| below this is treated as an erasure in the check product so one
+/// uninformative input cannot zero the exclusion products of the others.
+constexpr float kTanhEps = 1e-7f;
+
+/// The exclusion product is clamped inside (-1, 1) before atanh: in float,
+/// tanh(x) rounds to exactly ±1.0f from |x| ≈ 9.011, and atanh(±1) is inf.
+constexpr float kTanhClamp = 0.999999f;
+
+/// Same fixed scheduler seed as the tabular relaxed engines ("credosch"):
+/// runs are reproducible per (graph, options, team size).
+constexpr std::uint64_t kSchedSeed = 0x637265646f736368ULL;
+
+inline float clamp_llr(float x) noexcept {
+  return x < -kLlrClamp ? -kLlrClamp : (x > kLlrClamp ? kLlrClamp : x);
+}
+
+/// Decode-time view of an LDPC graph: channel LLRs, syndrome bits, the
+/// directed-edge message array and the reverse-edge pairing. Built once per
+/// run; the arrays are what the closed-form kernels touch, so the hot loop
+/// never sees a JointMatrix.
+struct LdpcState {
+  const FactorGraph& g;
+  NodeId vars;     // variables are [0, vars), checks [vars, num_nodes)
+  bool min_sum;    // kLdpcMinSum: two-min approximation of the check update
+  std::vector<float> llr;         // per variable: log(P(0) / P(1))
+  std::vector<std::uint8_t> syn;  // per check, indexed by (c - vars)
+  std::vector<EdgeId> reverse;    // reverse[e] pairs v→c with c→v
+  std::vector<float> msg;         // one message per directed edge
+
+  LdpcState(const FactorGraph& graph, perf::Meter& meter)
+      : g(graph),
+        vars(graph.ldpc_variables()),
+        min_sum(graph.family() == graph::FactorFamily::kLdpcMinSum) {
+    const NodeId n = g.num_nodes();
+    llr.resize(vars);
+    for (NodeId v = 0; v < vars; ++v) {
+      const BeliefVec& p = g.prior(v);
+      llr[v] = clamp_llr(std::log(p.v[0] < kMsgFloor ? kMsgFloor : p.v[0]) -
+                         std::log(p.v[1] < kMsgFloor ? kMsgFloor : p.v[1]));
+    }
+    syn.resize(n - vars);
+    for (NodeId c = vars; c < n; ++c) {
+      syn[c - vars] = g.prior(c).v[1] > 0.5f ? 1 : 0;
+    }
+    const auto& edges = g.edges();
+    std::unordered_map<std::uint64_t, EdgeId> index;
+    index.reserve(edges.size());
+    for (EdgeId e = 0; e < edges.size(); ++e) {
+      index.emplace((static_cast<std::uint64_t>(edges[e].src) << 32) |
+                        edges[e].dst,
+                    e);
+    }
+    reverse.resize(edges.size());
+    msg.resize(edges.size());
+    for (EdgeId e = 0; e < edges.size(); ++e) {
+      reverse[e] = index.at((static_cast<std::uint64_t>(edges[e].dst) << 32) |
+                            edges[e].src);
+      msg[e] = edges[e].src < vars ? llr[edges[e].src] : 0.0f;
+    }
+    // Setup cost: priors and the edge list streamed once, the message and
+    // reverse arrays written once.
+    meter.seq_read(belief_bytes(2) * n);
+    meter.seq_read(sizeof(graph::DirectedEdge) * edges.size());
+    meter.seq_write((4ull + sizeof(EdgeId)) * edges.size());
+    meter.flop(2ull * vars);
+  }
+};
+
+/// Variable update: total = llr + Σ R, each outgoing Q = total − R of the
+/// paired reverse edge, belief = the sigmoid pair of the total. Returns the
+/// belief L1 delta — the same convergence currency as a tabular node.
+/// Reads from `in_msg`, writes to `out_msg`: aliased for Gauss-Seidel,
+/// distinct buffers for the Jacobi (edge-paradigm) sweeps.
+float update_variable(const LdpcState& st, const float* in_msg,
+                      float* out_msg, std::vector<BeliefVec>& beliefs,
+                      NodeId v, perf::Meter& meter) {
+  const auto in = st.g.in_csr().neighbors(v);
+  const auto out = st.g.out_csr().neighbors(v);
+  meter.seq_read(2 * sizeof(std::uint64_t));  // CSR offsets
+  float total = st.llr[v];
+  meter.seq_read(4);
+  for (const auto& entry : in) {
+    meter.seq_read(sizeof(entry));
+    total += in_msg[entry.edge];
+    meter.rand_read(4);
+  }
+  meter.flop(in.size());
+  for (const auto& entry : out) {
+    meter.seq_read(sizeof(entry));
+    out_msg[entry.edge] = clamp_llr(total - in_msg[st.reverse[entry.edge]]);
+    meter.rand_read(4 + sizeof(EdgeId));  // paired message + reverse id
+    meter.rand_write(4);
+    meter.flop(2);
+  }
+  // Posterior bit marginal, stable for either sign of the total.
+  BeliefVec nb;
+  nb.size = 2;
+  const float e = std::exp(-std::fabs(total));
+  const float big = 1.0f / (1.0f + e);
+  nb.v[0] = total >= 0.0f ? big : 1.0f - big;
+  nb.v[1] = 1.0f - nb.v[0];
+  meter.flop(5);
+  const float d = graph::l1_diff(beliefs[v], nb);
+  meter.flop(4);
+  meter.rand_read(belief_bytes(2));
+  graph::copy_belief(beliefs[v], nb);
+  meter.rand_write(belief_bytes(2));
+  return d;
+}
+
+/// Check update. Sum-product: tanh-domain exclusion product with the
+/// zero-count trick (one pass collects the full product and counts
+/// near-zero inputs; each output divides the product by its own input, or
+/// degenerates when erasures are present). Min-sum: sign product plus the
+/// two smallest magnitudes. Returns the summed tanh-domain message delta —
+/// bounded by 2 per edge, so it shares the belief-delta thresholds.
+float update_check(const LdpcState& st, const float* in_msg, float* out_msg,
+                   NodeId c, perf::Meter& meter) {
+  const auto in = st.g.in_csr().neighbors(c);
+  const auto out = st.g.out_csr().neighbors(c);
+  meter.seq_read(2 * sizeof(std::uint64_t));
+  const float sign = st.syn[c - st.vars] ? -1.0f : 1.0f;
+  meter.seq_read(1);
+  float delta = 0.0f;
+  if (!st.min_sum) {
+    float prod = sign;
+    std::uint32_t zeros = 0;
+    EdgeId zero_edge = 0;
+    for (const auto& entry : in) {
+      meter.seq_read(sizeof(entry));
+      const float t = std::tanh(0.5f * in_msg[entry.edge]);
+      meter.rand_read(4);
+      if (std::fabs(t) < kTanhEps) {
+        ++zeros;
+        zero_edge = entry.edge;
+      } else {
+        prod *= t;
+      }
+    }
+    meter.flop(3ull * in.size());
+    for (const auto& entry : out) {
+      meter.seq_read(sizeof(entry));
+      const EdgeId rev = st.reverse[entry.edge];
+      float t_excl;
+      if (zeros == 0) {
+        t_excl = prod / std::tanh(0.5f * in_msg[rev]);
+      } else if (zeros == 1 && rev == zero_edge) {
+        t_excl = prod;  // the lone erasure is exactly the excluded input
+      } else {
+        t_excl = 0.0f;  // an erasure among the others voids this output
+      }
+      if (t_excl > kTanhClamp) t_excl = kTanhClamp;
+      if (t_excl < -kTanhClamp) t_excl = -kTanhClamp;
+      const float r_new = 2.0f * std::atanh(t_excl);
+      delta += std::fabs(t_excl - std::tanh(0.5f * out_msg[entry.edge]));
+      out_msg[entry.edge] = r_new;
+      meter.rand_read(4 + sizeof(EdgeId));
+      meter.rand_write(4);
+      meter.flop(8);
+    }
+  } else {
+    float m1 = kLlrClamp;  // the clamp doubles as "no input yet": a
+    float m2 = kLlrClamp;  // degree-1 check emits a full-confidence R
+    EdgeId arg = 0;
+    float sgn = sign;
+    for (const auto& entry : in) {
+      meter.seq_read(sizeof(entry));
+      const float q = in_msg[entry.edge];
+      meter.rand_read(4);
+      if (q < 0.0f) sgn = -sgn;
+      const float a = std::fabs(q);
+      if (a < m1) {
+        m2 = m1;
+        m1 = a;
+        arg = entry.edge;
+      } else if (a < m2) {
+        m2 = a;
+      }
+    }
+    meter.flop(3ull * in.size());
+    for (const auto& entry : out) {
+      meter.seq_read(sizeof(entry));
+      const EdgeId rev = st.reverse[entry.edge];
+      float s = sgn;
+      if (in_msg[rev] < 0.0f) s = -s;  // remove the excluded input's sign
+      const float r_new = s * (rev == arg ? m2 : m1);
+      delta += std::fabs(std::tanh(0.5f * r_new) -
+                         std::tanh(0.5f * out_msg[entry.edge]));
+      out_msg[entry.edge] = r_new;
+      meter.rand_read(4 + sizeof(EdgeId));
+      meter.rand_write(4);
+      meter.flop(6);
+    }
+  }
+  return delta;
+}
+
+/// The per-node kernel every runner shares: variables and checks are both
+/// first-class schedulable elements, so residual/relaxed priorities cover
+/// check residuals with no special casing.
+inline float update_ldpc_node(const LdpcState& st, const float* in_msg,
+                              float* out_msg, std::vector<BeliefVec>& beliefs,
+                              NodeId v, perf::Meter& meter) {
+  return v < st.vars
+             ? update_variable(st, in_msg, out_msg, beliefs, v, meter)
+             : update_check(st, in_msg, out_msg, v, meter);
+}
+
+/// Hard-decides every variable from its current total LLR and tests every
+/// parity check against the syndrome. O(E); run at the convergence-check
+/// cadence, and once at the end of every run for BpStats reporting.
+bool syndrome_satisfied(const LdpcState& st, const float* msg,
+                        std::vector<std::uint8_t>& bits, perf::Meter& meter) {
+  const NodeId n = st.g.num_nodes();
+  bits.assign(st.vars, 0);
+  for (NodeId v = 0; v < st.vars; ++v) {
+    float total = st.llr[v];
+    for (const auto& entry : st.g.in_csr().neighbors(v)) {
+      total += msg[entry.edge];
+    }
+    bits[v] = total < 0.0f ? 1 : 0;
+  }
+  bool ok = true;
+  for (NodeId c = st.vars; c < n && ok; ++c) {
+    std::uint8_t acc = 0;
+    for (const auto& entry : st.g.in_csr().neighbors(c)) {
+      acc ^= bits[entry.node];
+    }
+    ok = acc == st.syn[c - st.vars];
+  }
+  // Each directed edge contributes one message or bit touch.
+  meter.seq_read(4ull * st.g.num_edges());
+  meter.flop(st.g.num_edges() + st.vars);
+  return ok;
+}
+
+/// Recomputes every variable posterior from the final messages. Run once
+/// at the end of every decode: schedules update variables and checks in
+/// arbitrary order, so a variable's stored belief can lag the messages
+/// that arrived after its last update — most visibly when the syndrome
+/// rule stops the run the moment the checks flip a bit. The refresh makes
+/// the returned beliefs (and ldpc::hard_decision) agree with the terminal
+/// message state on every engine.
+void finalize_beliefs(const LdpcState& st, const float* msg,
+                      std::vector<BeliefVec>& beliefs, perf::Meter& meter) {
+  for (NodeId v = 0; v < st.vars; ++v) {
+    float total = st.llr[v];
+    for (const auto& entry : st.g.in_csr().neighbors(v)) {
+      total += msg[entry.edge];
+    }
+    BeliefVec nb;
+    nb.size = 2;
+    const float e = std::exp(-std::fabs(total));
+    const float big = 1.0f / (1.0f + e);
+    nb.v[0] = total >= 0.0f ? big : 1.0f - big;
+    nb.v[1] = 1.0f - nb.v[0];
+    graph::copy_belief(beliefs[v], nb);
+  }
+  meter.seq_read(4ull * st.g.num_edges() / 2 + 4ull * st.vars);
+  meter.seq_write(belief_bytes(2) * st.vars);
+  meter.flop(8ull * st.vars);
+}
+
+/// opts.threads override, same policy as the tabular parallel engines.
+perf::HardwareProfile ldpc_effective_profile(
+    const BpOptions& opts, const perf::HardwareProfile& profile) {
+  if (opts.threads == 0 ||
+      static_cast<int>(opts.threads) == profile.parallel_units) {
+    return profile;
+  }
+  return perf::cpu_i7_7700hq_parallel(static_cast<int>(opts.threads));
+}
+
+/// Shared-pool selection, same policy as the tabular parallel engines.
+ThreadPool& ldpc_select_pool(const BpOptions& opts,
+                             const perf::HardwareProfile& prof,
+                             std::optional<ThreadPool>& local) {
+  if (opts.shared_pool &&
+      opts.shared_pool->size() ==
+          static_cast<unsigned>(prof.parallel_units)) {
+    return *opts.shared_pool;
+  }
+  local.emplace(static_cast<unsigned>(prof.parallel_units));
+  return *local;
+}
+
+/// Per-worker metering sinks, cache-line padded like the tabular engines'.
+struct alignas(64) WorkerSink {
+  perf::Counters counters;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// c-node: sequential Gauss-Seidel sweeps over the NodeFrontier (§3.5 work
+// queue included).
+// ---------------------------------------------------------------------------
+
+BpResult run_ldpc_node_sweep(const FactorGraph& g, const BpOptions& opts,
+                             const perf::HardwareProfile& profile) {
+  const util::Timer timer;
+  BpResult r;
+  r.beliefs = g.initial_beliefs();
+  perf::Meter meter(r.stats.counters);
+  LdpcState st(g, meter);
+
+  runtime::NodeFrontier sched(g, opts.work_queue);
+  const runtime::ConvergenceController ctl(
+      opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+  const runtime::SequentialBackend backend;
+
+  // §3.5 work-queue semantics adapted to message passing: a variable's
+  // belief cannot move before any check has run, so keeping only
+  // self-active nodes would freeze the whole variable side on the first
+  // sweep. An active node re-enqueues itself AND its out-neighbors — the
+  // nodes its updated messages feed — deduped by an iteration stamp.
+  std::vector<std::uint32_t> stamp(g.num_nodes(), 0);
+  const auto keep_active = [&](std::uint32_t iter, NodeId v) {
+    const std::uint32_t token = iter + 1;
+    if (stamp[v] != token) {
+      stamp[v] = token;
+      sched.keep(meter, v);
+    }
+    meter.seq_read(sizeof(std::uint64_t));
+    for (const auto& entry : g.out_csr().neighbors(v)) {
+      meter.seq_read(sizeof(entry));
+      if (stamp[entry.node] != token) {
+        stamp[entry.node] = token;
+        sched.keep(meter, entry.node);
+      }
+    }
+  };
+
+  std::vector<std::uint8_t> bits;
+  bool satisfied = false;
+  runtime::run_loop(
+      opts, r.stats, ctl, sched,
+      [&](std::uint32_t iter, runtime::IterationOutcome& out) {
+        out.delta = backend.reduce_range(
+            0, sched.size(),
+            [&](std::uint64_t lo, std::uint64_t hi, unsigned,
+                double& partial) {
+              for (std::uint64_t qi = lo; qi < hi; ++qi) {
+                const NodeId v = sched.at(meter, qi);
+                if (g.in_csr().degree(v) == 0) continue;
+                ++out.processed;
+                const float d = update_ldpc_node(st, st.msg.data(),
+                                                 st.msg.data(), r.beliefs, v,
+                                                 meter);
+                partial += d;
+                if (sched.queued() && ctl.element_active(d)) {
+                  keep_active(iter, v);
+                }
+              }
+            });
+        if (ctl.syndrome_stop() && ctl.should_check(iter) &&
+            syndrome_satisfied(st, st.msg.data(), bits, meter)) {
+          satisfied = true;
+          out.delta = 0.0;  // decode succeeded: trip the global rule
+        }
+      },
+      [] { return 0.0; },
+      [&] { return perf::model_time(r.stats.counters, profile); });
+  finalize_beliefs(st, st.msg.data(), r.beliefs, meter);
+  r.stats.syndrome_satisfied =
+      satisfied || syndrome_satisfied(st, st.msg.data(), bits, meter);
+  r.stats.time = perf::model_time(r.stats.counters, profile);
+  r.stats.host_seconds = timer.seconds();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// c-edge: sequential Jacobi sweeps — every message of sweep i+1 computed
+// from sweep i's snapshot. The work queue has no incremental form here
+// (messages, not log-accumulators), so queued runs sweep densely too.
+// ---------------------------------------------------------------------------
+
+BpResult run_ldpc_edge_sweep(const FactorGraph& g, const BpOptions& opts,
+                             const perf::HardwareProfile& profile) {
+  const util::Timer timer;
+  BpResult r;
+  r.beliefs = g.initial_beliefs();
+  perf::Meter meter(r.stats.counters);
+  LdpcState st(g, meter);
+  std::vector<float> next(st.msg);
+  const NodeId n = g.num_nodes();
+
+  runtime::DenseSweep sched(g.edges().size());
+  const runtime::ConvergenceController ctl(
+      opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+
+  std::vector<std::uint8_t> bits;
+  bool satisfied = false;
+  runtime::run_loop(
+      opts, r.stats, ctl, sched,
+      [&](std::uint32_t iter, runtime::IterationOutcome& out) {
+        double sum = 0.0;
+        for (NodeId v = 0; v < n; ++v) {
+          if (g.in_csr().degree(v) == 0) continue;
+          sum += update_ldpc_node(st, st.msg.data(), next.data(), r.beliefs,
+                                  v, meter);
+        }
+        std::swap(st.msg, next);
+        out.processed = g.num_edges();
+        out.delta = sum;
+        if (ctl.syndrome_stop() && ctl.should_check(iter) &&
+            syndrome_satisfied(st, st.msg.data(), bits, meter)) {
+          satisfied = true;
+          out.delta = 0.0;
+        }
+      },
+      [] { return 0.0; },
+      [&] { return perf::model_time(r.stats.counters, profile); });
+  finalize_beliefs(st, st.msg.data(), r.beliefs, meter);
+  r.stats.syndrome_satisfied =
+      satisfied || syndrome_satisfied(st, st.msg.data(), bits, meter);
+  r.stats.time = perf::model_time(r.stats.counters, profile);
+  r.stats.host_seconds = timer.seconds();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// omp-node: one fork/join region per sweep over the FragmentedNodeFrontier,
+// chaotic Gauss-Seidel (workers write disjoint out-edges; torn neighbor
+// reads are the standard §2.4 relaxation).
+// ---------------------------------------------------------------------------
+
+BpResult run_ldpc_node_parallel(const FactorGraph& g, const BpOptions& opts,
+                                const perf::HardwareProfile& profile) {
+  const util::Timer timer;
+  const perf::HardwareProfile prof = ldpc_effective_profile(opts, profile);
+  std::optional<ThreadPool> local_pool;
+  ThreadPool& pool = ldpc_select_pool(opts, prof, local_pool);
+  std::vector<WorkerSink> sinks(pool.size());
+
+  BpResult r;
+  r.beliefs = g.initial_beliefs();
+  perf::Meter main_meter(r.stats.counters);
+  LdpcState st(g, main_meter);
+
+  runtime::FragmentedNodeFrontier sched(g, opts.work_queue, pool.size());
+  const runtime::ConvergenceController ctl(
+      opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+  runtime::PoolBackend backend(pool, opts, r.stats.counters);
+
+  // Same neighbor re-enqueue as the sequential frontier (a variable side
+  // frozen on sweep 1 otherwise); the stamp is an atomic exchange so
+  // concurrent workers dedup without a lock.
+  std::vector<std::atomic<std::uint32_t>> stamp(g.num_nodes());
+  const auto keep_active = [&](perf::Meter& meter, unsigned w,
+                               std::uint32_t iter, NodeId v) {
+    const std::uint32_t token = iter + 1;
+    if (stamp[v].exchange(token, std::memory_order_relaxed) != token) {
+      sched.keep(meter, w, v);
+    }
+    meter.seq_read(sizeof(std::uint64_t));
+    for (const auto& entry : g.out_csr().neighbors(v)) {
+      meter.seq_read(sizeof(entry));
+      if (stamp[entry.node].exchange(token, std::memory_order_relaxed) !=
+          token) {
+        sched.keep(meter, w, entry.node);
+      }
+    }
+  };
+
+  std::vector<std::uint8_t> bits;
+  bool satisfied = false;
+  runtime::run_loop(
+      opts, r.stats, ctl, sched,
+      [&](std::uint32_t iter, runtime::IterationOutcome& out) {
+        const std::uint64_t count = sched.size();
+        out.delta = backend.reduce_range(
+            0, count,
+            [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
+                double& partial) {
+              perf::Meter meter(sinks[w].counters);
+              for (std::uint64_t qi = lo; qi < hi; ++qi) {
+                const NodeId v = sched.at(meter, qi);
+                if (g.in_csr().degree(v) == 0) continue;
+                const float d = update_ldpc_node(st, st.msg.data(),
+                                                 st.msg.data(), r.beliefs, v,
+                                                 meter);
+                partial += d;
+                if (sched.queued() && ctl.element_active(d)) {
+                  keep_active(meter, w, iter, v);
+                }
+              }
+            });
+        out.processed = count;
+        if (ctl.syndrome_stop() && ctl.should_check(iter) &&
+            syndrome_satisfied(st, st.msg.data(), bits, main_meter)) {
+          satisfied = true;
+          out.delta = 0.0;
+        }
+      },
+      [] { return 0.0; },
+      [&] {
+        perf::Counters total = r.stats.counters;
+        for (const auto& s : sinks) total.add(s.counters);
+        return perf::model_time(total, prof);
+      });
+  finalize_beliefs(st, st.msg.data(), r.beliefs, main_meter);
+  r.stats.syndrome_satisfied =
+      satisfied || syndrome_satisfied(st, st.msg.data(), bits, main_meter);
+  for (const auto& s : sinks) r.stats.counters.add(s.counters);
+  r.stats.time = perf::model_time(r.stats.counters, prof);
+  r.stats.host_seconds = timer.seconds();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// omp-edge: one fork/join region per Jacobi sweep. Reads come from the
+// previous snapshot and writes are node-disjoint, so the region is
+// race-free — the LDPC edge paradigm needs none of the tabular version's
+// atomic combines.
+// ---------------------------------------------------------------------------
+
+BpResult run_ldpc_edge_parallel(const FactorGraph& g, const BpOptions& opts,
+                                const perf::HardwareProfile& profile) {
+  const util::Timer timer;
+  const perf::HardwareProfile prof = ldpc_effective_profile(opts, profile);
+  std::optional<ThreadPool> local_pool;
+  ThreadPool& pool = ldpc_select_pool(opts, prof, local_pool);
+  std::vector<WorkerSink> sinks(pool.size());
+
+  BpResult r;
+  r.beliefs = g.initial_beliefs();
+  perf::Meter main_meter(r.stats.counters);
+  LdpcState st(g, main_meter);
+  std::vector<float> next(st.msg);
+  const NodeId n = g.num_nodes();
+
+  runtime::DenseSweep sched(g.edges().size());
+  const runtime::ConvergenceController ctl(
+      opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+  runtime::PoolBackend backend(pool, opts, r.stats.counters);
+
+  std::vector<std::uint8_t> bits;
+  bool satisfied = false;
+  runtime::run_loop(
+      opts, r.stats, ctl, sched,
+      [&](std::uint32_t iter, runtime::IterationOutcome& out) {
+        out.delta = backend.reduce_range(
+            0, n,
+            [&](std::uint64_t lo, std::uint64_t hi, unsigned w,
+                double& partial) {
+              perf::Meter meter(sinks[w].counters);
+              for (std::uint64_t vi = lo; vi < hi; ++vi) {
+                const auto v = static_cast<NodeId>(vi);
+                if (g.in_csr().degree(v) == 0) continue;
+                partial += update_ldpc_node(st, st.msg.data(), next.data(),
+                                            r.beliefs, v, meter);
+              }
+            });
+        std::swap(st.msg, next);
+        out.processed = g.num_edges();
+        if (ctl.syndrome_stop() && ctl.should_check(iter) &&
+            syndrome_satisfied(st, st.msg.data(), bits, main_meter)) {
+          satisfied = true;
+          out.delta = 0.0;
+        }
+      },
+      [] { return 0.0; },
+      [&] {
+        perf::Counters total = r.stats.counters;
+        for (const auto& s : sinks) total.add(s.counters);
+        return perf::model_time(total, prof);
+      });
+  finalize_beliefs(st, st.msg.data(), r.beliefs, main_meter);
+  r.stats.syndrome_satisfied =
+      satisfied || syndrome_satisfied(st, st.msg.data(), bits, main_meter);
+  for (const auto& s : sinks) r.stats.counters.add(s.counters);
+  r.stats.time = perf::model_time(r.stats.counters, prof);
+  r.stats.host_seconds = timer.seconds();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// residual: exact max-residual scheduling. Check updates feed residuals
+// like any node's, so decoding inherits residual BP's update efficiency.
+// ---------------------------------------------------------------------------
+
+BpResult run_ldpc_residual(const FactorGraph& g, const BpOptions& opts,
+                           const perf::HardwareProfile& profile) {
+  const util::Timer timer;
+  BpResult r;
+  r.beliefs = g.initial_beliefs();
+  perf::Meter meter(r.stats.counters);
+  LdpcState st(g, meter);
+  const NodeId n = g.num_nodes();
+
+  const runtime::ConvergenceController ctl(
+      opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+  runtime::ResidualSchedule sched(g, ctl, meter);
+
+  std::vector<std::uint8_t> bits;
+  bool satisfied = false;
+  runtime::run_priority_loop(
+      opts, n, r.stats, sched,
+      [&](NodeId v) -> float {
+        return update_ldpc_node(st, st.msg.data(), st.msg.data(), r.beliefs,
+                                v, meter);
+      },
+      [&]() -> bool {
+        if (!ctl.syndrome_stop()) return false;
+        if (!syndrome_satisfied(st, st.msg.data(), bits, meter)) return false;
+        satisfied = true;
+        return true;
+      },
+      [&] { return perf::model_time(r.stats.counters, profile); });
+
+  finalize_beliefs(st, st.msg.data(), r.beliefs, meter);
+  r.stats.syndrome_satisfied =
+      satisfied || syndrome_satisfied(st, st.msg.data(), bits, meter);
+  r.stats.time = perf::model_time(r.stats.counters, profile);
+  r.stats.host_seconds = timer.seconds();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// residual-locked / residual-mq / splash: the relaxed concurrent policies.
+// One fork/join region drains the whole decode; the syndrome hook runs at
+// epoch boundaries under the driver mutex while workers keep updating (the
+// same chaotic tolerance every relaxed read already has).
+// ---------------------------------------------------------------------------
+
+BpResult run_ldpc_relaxed(const FactorGraph& g, const BpOptions& opts,
+                          EngineKind kind,
+                          const perf::HardwareProfile& profile) {
+  const util::Timer timer;
+  const perf::HardwareProfile prof = ldpc_effective_profile(opts, profile);
+  std::optional<ThreadPool> local_pool;
+  ThreadPool& pool = ldpc_select_pool(opts, prof, local_pool);
+  std::vector<WorkerSink> sinks(pool.size());
+
+  BpResult r;
+  r.beliefs = g.initial_beliefs();
+  perf::Meter main_meter(r.stats.counters);
+  LdpcState st(g, main_meter);
+  const NodeId n = g.num_nodes();
+
+  const runtime::ConvergenceController ctl(
+      opts, runtime::ConvergenceController::Cadence::kEveryIteration);
+  main_meter.parallel_region();
+
+  std::vector<std::uint8_t> bits;
+  bool satisfied = false;
+  std::atomic<float> last_delta{0.0f};
+  // Runs under the driver's epoch mutex: one evaluation at a time, charged
+  // to the main counters (workers only ever touch their sinks).
+  const auto hook = [&]() -> bool {
+    if (!ctl.syndrome_stop()) return false;
+    perf::Meter hook_meter(r.stats.counters);
+    if (!syndrome_satisfied(st, st.msg.data(), bits, hook_meter)) {
+      return false;
+    }
+    satisfied = true;
+    return true;
+  };
+  const auto snapshot = [&] {
+    perf::Counters total = r.stats.counters;
+    for (const auto& s : sinks) total.add(s.counters);
+    return perf::model_time(total, prof);
+  };
+
+  if (kind == EngineKind::kSplash) {
+    runtime::SplashSchedule sched(g, ctl, pool.size(),
+                                  opts.sched_queues_per_thread,
+                                  opts.splash_max_size, kSchedSeed);
+    // Per-worker splash scratch: the subtree plus its per-node deltas.
+    // Unlike the tabular engine there are no belief copies to diff — check
+    // deltas live in message space — so the splash total is the sum of the
+    // two passes' kernel deltas.
+    struct SplashScratch {
+      std::vector<NodeId> sub;
+      std::vector<float> deltas;
+      std::vector<float> last_deltas;
+    };
+    std::vector<SplashScratch> scratches(pool.size());
+    runtime::run_relaxed_priority_loop(
+        opts, n, r.stats, sched, pool,
+        [&](unsigned w) -> std::uint64_t {
+          perf::Meter meter(sinks[w].counters);
+          SplashScratch& sc = scratches[w];
+          if (!sched.try_pop_subtree(w, meter, sc.sub)) return 0;
+          const std::size_t m = sc.sub.size();
+          sc.deltas.assign(m, 0.0f);
+          sc.last_deltas.resize(m);
+          // Leaf→root half-sweep (skipped for a lone root), then
+          // root→leaf, exactly like the tabular splash.
+          if (m > 1) {
+            for (std::size_t i = m; i-- > 0;) {
+              sc.deltas[i] += update_ldpc_node(st, st.msg.data(),
+                                               st.msg.data(), r.beliefs,
+                                               sc.sub[i], meter);
+            }
+          }
+          float last = 0.0f;
+          for (std::size_t i = 0; i < m; ++i) {
+            sc.last_deltas[i] = update_ldpc_node(st, st.msg.data(),
+                                                 st.msg.data(), r.beliefs,
+                                                 sc.sub[i], meter);
+            sc.deltas[i] += sc.last_deltas[i];
+            last = sc.deltas[i];
+          }
+          sched.record_subtree(w, meter, sc.sub, sc.deltas, sc.last_deltas);
+          last_delta.store(last, std::memory_order_relaxed);
+          return m > 1 ? 2 * m : 1;
+        },
+        hook, snapshot);
+    const runtime::SchedStats ss = sched.stats();
+    runtime::observe_sched_run(ss.pops, ss.stale_pops, ss.inversions,
+                               sched.heap_peaks());
+  } else {
+    runtime::MultiQueueSchedule sched(
+        g, ctl, pool.size(), opts.sched_queues_per_thread, kSchedSeed,
+        kind == EngineKind::kResidualLocked ? 1u : 0u);
+    runtime::run_relaxed_priority_loop(
+        opts, n, r.stats, sched, pool,
+        [&](unsigned w) -> std::uint64_t {
+          perf::Meter meter(sinks[w].counters);
+          NodeId v = 0;
+          if (!sched.try_pop(w, meter, v)) return 0;
+          const float d = update_ldpc_node(st, st.msg.data(), st.msg.data(),
+                                           r.beliefs, v, meter);
+          sched.record(w, meter, v, d);
+          last_delta.store(d, std::memory_order_relaxed);
+          return 1;
+        },
+        hook, snapshot);
+    const runtime::SchedStats ss = sched.stats();
+    runtime::observe_sched_run(ss.pops, ss.stale_pops, ss.inversions,
+                               sched.heap_peaks());
+  }
+
+  r.stats.final_delta = last_delta.load(std::memory_order_relaxed);
+  finalize_beliefs(st, st.msg.data(), r.beliefs, main_meter);
+  r.stats.syndrome_satisfied =
+      satisfied || syndrome_satisfied(st, st.msg.data(), bits, main_meter);
+  for (const auto& s : sinks) r.stats.counters.add(s.counters);
+  r.stats.time = perf::model_time(r.stats.counters, prof);
+  r.stats.host_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace credo::bp::internal

@@ -104,6 +104,14 @@ struct BpOptions {
   /// Engine::run when set on a non-priority engine.
   std::uint32_t splash_max_size = kDefaultSplashMaxSize;
 
+  /// LDPC families (DESIGN.md §5g): also stop when the decode's hard
+  /// decisions satisfy every parity check — the natural decode-success
+  /// criterion — evaluated at the convergence-check cadence alongside the
+  /// belief-delta rule. A run stopped this way reports
+  /// BpStats::syndrome_satisfied (and converged). Ignored by tabular
+  /// graphs, which have no syndrome.
+  bool syndrome_stop = false;
+
   // -------------------------------------------------------------------------
   // Fluent setters: `BpOptions{}.with_threads(4).with_damping(0.1f)` reads
   // as a request instead of a positional mutation. Each returns *this so
@@ -181,6 +189,10 @@ struct BpOptions {
     splash_max_size = v;
     return *this;
   }
+  BpOptions& with_syndrome_stop(bool v = true) noexcept {
+    syndrome_stop = v;
+    return *this;
+  }
 
   /// Rejects settings that would loop forever, divide by zero or never
   /// converge, reported through the shared status vocabulary (DESIGN.md
@@ -236,14 +248,6 @@ struct BpOptions {
     return util::Status::ok();
   }
 
-  /// Throwing form retained as a thin alias for one release (callers that
-  /// want a status should move to validate_status()). Engine::run calls
-  /// this before dispatching; throws util::InvalidArgument.
-  void validate() const {
-    if (const auto s = validate_status(); !s.is_ok()) {
-      throw util::InvalidArgument(s.message());
-    }
-  }
 };
 
 /// Outcome of a run. `time` is the modelled execution time on the engine's
@@ -267,6 +271,12 @@ struct BpStats {
   /// Why the run ended early, if it did (cancellation or a deadline,
   /// DESIGN.md §5c). kNone for runs that converged or hit the cap.
   runtime::StopReason stop_reason = runtime::StopReason::kNone;
+
+  /// LDPC families: true when the run's hard decisions satisfied every
+  /// parity check (decode success). Set whenever the final state
+  /// satisfies the syndrome — whether the run stopped for that reason
+  /// (BpOptions::syndrome_stop) or converged by deltas first.
+  bool syndrome_satisfied = false;
 
   /// Per-iteration telemetry; filled only when BpOptions::collect_trace.
   std::vector<runtime::IterationRecord> trace;

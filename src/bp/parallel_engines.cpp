@@ -118,6 +118,9 @@ class OmpNodeEngine final : public OmpEngineBase {
  protected:
   [[nodiscard]] BpResult do_run(const FactorGraph& g,
                                 const BpOptions& opts) const override {
+    if (graph::is_ldpc(g.family())) {
+      return run_ldpc_node_parallel(g, opts, profile_);
+    }
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
     std::optional<ThreadPool> local_pool;
@@ -202,6 +205,9 @@ class OmpEdgeEngine final : public OmpEngineBase {
  protected:
   [[nodiscard]] BpResult do_run(const FactorGraph& g,
                                 const BpOptions& opts) const override {
+    if (graph::is_ldpc(g.family())) {
+      return run_ldpc_edge_parallel(g, opts, profile_);
+    }
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
     std::optional<ThreadPool> local_pool;

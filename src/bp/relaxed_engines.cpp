@@ -167,6 +167,9 @@ class ResidualMqEngine final : public RelaxedEngineBase {
  protected:
   [[nodiscard]] BpResult do_run(const FactorGraph& g,
                                 const BpOptions& opts) const override {
+    if (graph::is_ldpc(g.family())) {
+      return run_ldpc_relaxed(g, opts, kind(), profile_);
+    }
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
     std::optional<ThreadPool> local_pool;
@@ -233,6 +236,9 @@ class SplashEngine final : public RelaxedEngineBase {
  protected:
   [[nodiscard]] BpResult do_run(const FactorGraph& g,
                                 const BpOptions& opts) const override {
+    if (graph::is_ldpc(g.family())) {
+      return run_ldpc_relaxed(g, opts, kind(), profile_);
+    }
     const util::Timer timer;
     const perf::HardwareProfile prof = effective_profile(opts);
     std::optional<ThreadPool> local_pool;

@@ -51,6 +51,9 @@ class ResidualEngine final : public Engine {
  protected:
   [[nodiscard]] BpResult do_run(const FactorGraph& g,
                                 const BpOptions& opts) const override {
+    if (graph::is_ldpc(g.family())) {
+      return run_ldpc_residual(g, opts, profile_);
+    }
     const util::Timer timer;
     BpResult r;
     r.beliefs = g.initial_beliefs();

@@ -32,7 +32,8 @@ class ConvergenceController {
         element_threshold_(opts.queue_threshold),
         damping_(opts.damping),
         batch_(cadence == Cadence::kBatched ? opts.convergence_batch : 1),
-        max_iterations_(opts.max_iterations) {}
+        max_iterations_(opts.max_iterations),
+        syndrome_stop_(opts.syndrome_stop) {}
 
   /// True when the global sum should be evaluated after iteration `iter`
   /// (0-based). The final iteration is always checked so `final_delta` is
@@ -50,6 +51,14 @@ class ConvergenceController {
   /// (§3.5) / worth reprioritizing (residual scheduling)?
   [[nodiscard]] bool element_active(float delta) const noexcept {
     return delta > element_threshold_;
+  }
+
+  /// LDPC families (DESIGN.md §5g): whether syndrome satisfaction is an
+  /// additional stopping rule. The family runners evaluate it at the
+  /// should_check cadence (sweeps) or at epoch boundaries (priority
+  /// loops), alongside — never instead of — the belief-delta rule.
+  [[nodiscard]] bool syndrome_stop() const noexcept {
+    return syndrome_stop_;
   }
 
   /// Applies damping: b = (1-d)*b + d*prev, renormalized. No-op at d == 0.
@@ -70,6 +79,7 @@ class ConvergenceController {
   float damping_;
   std::uint32_t batch_;
   std::uint32_t max_iterations_;
+  bool syndrome_stop_;
 };
 
 }  // namespace credo::bp::runtime

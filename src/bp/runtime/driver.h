@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "bp/options.h"
 #include "bp/runtime/convergence.h"
@@ -112,17 +113,29 @@ void run_loop(const BpOptions& opts, BpStats& stats,
   observe_run(stats.iterations, stats.converged);
 }
 
+/// No-op epoch hook: the default "no alternative stopping rule" for the
+/// priority loops. LDPC runners pass a real hook that evaluates syndrome
+/// satisfaction (DESIGN.md §5g).
+struct NoEpochHook {
+  constexpr bool operator()() const noexcept { return false; }
+};
+
 /// Runs the residual-priority loop: one `body(v) -> delta` call per popped
 /// node, budgeted at `max_iterations * num_nodes` updates so the cap is
 /// comparable with the sweep engines'. The schedule must provide
 /// `pop(v) -> bool`, `record(v, delta)`, `empty()` and `pending()`.
 ///
+/// `epoch_hook() -> bool` runs once per sweep-equivalent epoch; returning
+/// true ends the run as converged (the alternative stopping rule —
+/// syndrome satisfaction for the LDPC families).
+///
 /// When tracing, one IterationRecord is emitted per `num_nodes` updates (a
 /// sweep-equivalent epoch) so residual traces line up with sweep traces.
-template <typename Schedule, typename Body, typename TimeFn>
+template <typename Schedule, typename Body, typename EpochHook,
+          typename TimeFn>
 void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
                        BpStats& stats, Schedule& sched, Body&& body,
-                       TimeFn&& time_fn) {
+                       EpochHook&& epoch_hook, TimeFn&& time_fn) {
   const DeadlineGuard guard(opts.stop, opts.host_deadline_seconds,
                             opts.modelled_deadline_seconds);
   const std::uint64_t max_updates =
@@ -130,6 +143,7 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
   const std::uint64_t epoch = std::max<std::uint64_t>(1, num_nodes);
   std::uint64_t updates = 0;
   bool stopped = false;
+  bool hook_converged = false;
   graph::NodeId v = 0;
   while (updates < max_updates && sched.pop(v)) {
     ++updates;
@@ -146,6 +160,10 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
           static_cast<std::uint32_t>(updates / num_nodes), d, true,
           sched.pending(), num_nodes, time_fn()});
     }
+    if (updates % epoch == 0 && epoch_hook()) {
+      hook_converged = true;
+      break;
+    }
     // §5c stop policy: cancellation every update, budgets once per
     // sweep-equivalent epoch (the residual loop's convergence cadence).
     if (guard.active()) {
@@ -161,8 +179,18 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
   stats.iterations = static_cast<std::uint32_t>(std::min<std::uint64_t>(
       updates / std::max<std::uint64_t>(1, num_nodes) + 1,
       opts.max_iterations));
-  stats.converged = !stopped && (sched.empty() || updates < max_updates);
+  stats.converged =
+      hook_converged || (!stopped && (sched.empty() || updates < max_updates));
   observe_run(stats.iterations, stats.converged);
+}
+
+template <typename Schedule, typename Body, typename TimeFn>
+void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
+                       BpStats& stats, Schedule& sched, Body&& body,
+                       TimeFn&& time_fn) {
+  run_priority_loop(opts, num_nodes, stats, sched,
+                    std::forward<Body>(body), NoEpochHook{},
+                    std::forward<TimeFn>(time_fn));
 }
 
 /// Concurrent analogue of run_priority_loop for the relaxed schedulers
@@ -182,11 +210,18 @@ void run_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
 /// other workers' in-flight sinks, so traced times are approximate while
 /// the team runs (the final stats are exact). Cancellation is polled by
 /// every worker on every step.
-template <typename Schedule, typename Step, typename TimeFn>
+/// `epoch_hook() -> bool` runs under the driver mutex on whichever worker
+/// crosses an epoch boundary; returning true aborts the drain with the run
+/// marked converged (the alternative stopping rule — syndrome satisfaction
+/// for the LDPC families). The hook may read shared belief/message state;
+/// other workers keep updating while it runs, which is the same chaotic
+/// tolerance every relaxed read already has.
+template <typename Schedule, typename Step, typename EpochHook,
+          typename TimeFn>
 void run_relaxed_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
                                BpStats& stats, Schedule& sched,
                                parallel::ThreadPool& pool, Step&& step,
-                               TimeFn&& time_fn) {
+                               EpochHook&& epoch_hook, TimeFn&& time_fn) {
   const DeadlineGuard guard(opts.stop, opts.host_deadline_seconds,
                             opts.modelled_deadline_seconds);
   const std::uint64_t max_updates =
@@ -194,6 +229,7 @@ void run_relaxed_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
   const std::uint64_t epoch = std::max<std::uint64_t>(1, num_nodes);
   std::atomic<std::uint64_t> updates{0};
   std::atomic<bool> abort{false};
+  std::atomic<bool> hook_converged{false};
   std::atomic<std::uint8_t> stop_reason{
       static_cast<std::uint8_t>(StopReason::kNone)};
   std::mutex epoch_mu;
@@ -218,6 +254,11 @@ void run_relaxed_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
               static_cast<std::uint32_t>(total / epoch), 0.0,
               /*checked=*/false, sched.pending(), epoch, time_fn()});
         }
+        if (epoch_hook()) {
+          hook_converged.store(true, std::memory_order_relaxed);
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
       if (guard.active()) {
         const StopReason why =
@@ -239,8 +280,20 @@ void run_relaxed_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
   if (stopped) stats.stop_reason = why;
   stats.iterations = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(total / epoch + 1, opts.max_iterations));
-  stats.converged = !stopped && (sched.drained() || total < max_updates);
+  stats.converged =
+      hook_converged.load(std::memory_order_relaxed) ||
+      (!stopped && (sched.drained() || total < max_updates));
   observe_run(stats.iterations, stats.converged);
+}
+
+template <typename Schedule, typename Step, typename TimeFn>
+void run_relaxed_priority_loop(const BpOptions& opts, std::uint64_t num_nodes,
+                               BpStats& stats, Schedule& sched,
+                               parallel::ThreadPool& pool, Step&& step,
+                               TimeFn&& time_fn) {
+  run_relaxed_priority_loop(opts, num_nodes, stats, sched, pool,
+                            std::forward<Step>(step), NoEpochHook{},
+                            std::forward<TimeFn>(time_fn));
 }
 
 }  // namespace credo::bp::runtime

@@ -1,6 +1,7 @@
 #include "graph/builder.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -26,10 +27,33 @@ void GraphBuilder::use_shared_joint(const JointMatrix& m) {
   CREDO_CHECK_MSG(per_edge_.empty(),
                   "cannot switch to a shared joint after per-edge matrices "
                   "were added");
+  CREDO_CHECK_MSG(family_ == FactorFamily::kTabular,
+                  "shared joint matrices apply only to the tabular family");
   CREDO_CHECK_MSG(m.rows == m.cols,
                   "a shared joint matrix must be square: every edge links "
                   "variables of the same arity");
   shared_ = m;
+}
+
+void GraphBuilder::use_family(FactorFamily f) {
+  if (f == FactorFamily::kTabular) {
+    CREDO_CHECK_MSG(family_ == FactorFamily::kTabular,
+                    "cannot switch a closed-form builder back to tabular");
+    return;
+  }
+  CREDO_CHECK_MSG(edges_.empty() && per_edge_.empty(),
+                  "use_family must be called before edges are added");
+  CREDO_CHECK_MSG(!shared_.has_value(),
+                  "closed-form families are incompatible with a shared "
+                  "joint matrix");
+  family_ = f;
+}
+
+void GraphBuilder::set_ldpc_variables(NodeId v) {
+  CREDO_CHECK_MSG(is_ldpc(family_),
+                  "set_ldpc_variables requires an LDPC family "
+                  "(use_family first)");
+  ldpc_variables_ = v;
 }
 
 void GraphBuilder::reserve(NodeId nodes, std::uint64_t directed_edges) {
@@ -37,7 +61,9 @@ void GraphBuilder::reserve(NodeId nodes, std::uint64_t directed_edges) {
   observed_.reserve(nodes);
   names_.reserve(nodes);
   edges_.reserve(directed_edges);
-  if (!shared_.has_value()) per_edge_.reserve(directed_edges);
+  if (!shared_.has_value() && family_ == FactorFamily::kTabular) {
+    per_edge_.reserve(directed_edges);
+  }
 }
 
 NodeId GraphBuilder::add_node(const BeliefVec& prior, std::string name) {
@@ -69,6 +95,8 @@ void GraphBuilder::observe(NodeId v, std::uint32_t state) {
 EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst, const JointMatrix& m) {
   CREDO_CHECK_MSG(!shared_.has_value(),
                   "per-edge matrix supplied to a shared-joint builder");
+  CREDO_CHECK_MSG(family_ == FactorFamily::kTabular,
+                  "per-edge matrix supplied to a closed-form family builder");
   CREDO_CHECK_MSG(src < priors_.size() && dst < priors_.size(),
                   "edge endpoint out of range");
   if (m.rows != priors_[src].size || m.cols != priors_[dst].size) {
@@ -82,12 +110,13 @@ EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst, const JointMatrix& m) {
 }
 
 EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst) {
-  CREDO_CHECK_MSG(shared_.has_value(),
-                  "shared-joint edge added before use_shared_joint()");
+  CREDO_CHECK_MSG(shared_.has_value() || family_ != FactorFamily::kTabular,
+                  "matrix-free edge added before use_shared_joint() or "
+                  "use_family()");
   CREDO_CHECK_MSG(src < priors_.size() && dst < priors_.size(),
                   "edge endpoint out of range");
-  if (shared_->rows != priors_[src].size ||
-      shared_->cols != priors_[dst].size) {
+  if (shared_.has_value() && (shared_->rows != priors_[src].size ||
+                              shared_->cols != priors_[dst].size)) {
     throw util::InvalidArgument(
         "shared joint matrix shape does not match endpoint arities");
   }
@@ -110,7 +139,43 @@ EdgeId GraphBuilder::add_undirected(NodeId u, NodeId v) {
 }
 
 FactorGraph GraphBuilder::finalize() {
+  if (is_ldpc(family_)) {
+    // Structural invariants the closed-form kernels rely on: the id-range
+    // variable/check split, binary nodes, a bipartite variable<->check edge
+    // set, and a reverse edge for every directed edge (the decoders store
+    // one message per direction and exclude the reverse when updating).
+    if (ldpc_variables_ == 0 || ldpc_variables_ >= priors_.size()) {
+      throw util::InvalidArgument(
+          "LDPC graph needs variables in [1, num_nodes): call "
+          "set_ldpc_variables");
+    }
+    for (const auto& p : priors_) {
+      if (p.size != 2) {
+        throw util::InvalidArgument("LDPC nodes must be binary (arity 2)");
+      }
+    }
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(edges_.size() * 2);
+    for (const auto& e : edges_) {
+      const bool src_var = e.src < ldpc_variables_;
+      const bool dst_var = e.dst < ldpc_variables_;
+      if (src_var == dst_var) {
+        throw util::InvalidArgument(
+            "LDPC edges must connect a variable and a check node");
+      }
+      seen.insert((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
+    }
+    for (const auto& e : edges_) {
+      if (!seen.count((static_cast<std::uint64_t>(e.dst) << 32) | e.src)) {
+        throw util::InvalidArgument(
+            "LDPC edges must come in directed pairs (Tanner-graph messages "
+            "flow both ways)");
+      }
+    }
+  }
   FactorGraph g;
+  g.family_ = family_;
+  g.ldpc_variables_ = ldpc_variables_;
   g.priors_ = std::move(priors_);
   g.observed_ = std::move(observed_);
   if (any_names_) g.names_ = std::move(names_);
@@ -126,7 +191,9 @@ FactorGraph GraphBuilder::finalize() {
   g.edges_.resize(edges_.size());
   for (EdgeId i = 0; i < edges_.size(); ++i) g.edges_[i] = edges_[order[i]];
   edges_.clear();
-  if (shared_.has_value()) {
+  if (family_ != FactorFamily::kTabular) {
+    g.joints_ = JointStore::closed_form();
+  } else if (shared_.has_value()) {
     g.joints_ = JointStore::shared(*shared_);
   } else {
     std::vector<JointMatrix> permuted(g.edges_.size());

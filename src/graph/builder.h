@@ -22,6 +22,18 @@ class GraphBuilder {
   /// Edges added afterwards must not carry their own matrices.
   void use_shared_joint(const JointMatrix& m);
 
+  /// Switches the builder into a closed-form factor family (DESIGN.md §5g):
+  /// edges carry no tables, so only the matrix-free add_edge form is valid
+  /// afterwards. For the LDPC families the node-id convention is variables
+  /// first, checks after; declare the split with set_ldpc_variables before
+  /// finalize(). Must be called before any edges are added; incompatible
+  /// with use_shared_joint.
+  void use_family(FactorFamily f);
+
+  /// LDPC families: nodes [0, v) are variables (code bits), [v, num_nodes)
+  /// are parity checks. finalize() validates the split.
+  void set_ldpc_variables(NodeId v);
+
   /// Pre-allocates for `nodes` nodes and `directed_edges` edges. Purely an
   /// optimization: per-edge matrices are ~4 KiB each, so vector regrowth
   /// is the dominant construction cost without it.
@@ -79,6 +91,8 @@ class GraphBuilder {
   std::vector<DirectedEdge> edges_;
   std::optional<JointMatrix> shared_;
   std::vector<JointMatrix> per_edge_;
+  FactorFamily family_ = FactorFamily::kTabular;
+  NodeId ldpc_variables_ = 0;
 };
 
 }  // namespace credo::graph

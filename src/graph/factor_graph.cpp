@@ -2,6 +2,24 @@
 
 namespace credo::graph {
 
+std::string_view family_name(FactorFamily f) noexcept {
+  switch (f) {
+    case FactorFamily::kTabular: return "tabular";
+    case FactorFamily::kLdpcSumProduct: return "ldpc-sum-product";
+    case FactorFamily::kLdpcMinSum: return "ldpc-min-sum";
+  }
+  return "unknown";
+}
+
+std::optional<FactorFamily> family_from_name(std::string_view name) noexcept {
+  if (name == "tabular") return FactorFamily::kTabular;
+  if (name == "ldpc-sum-product" || name == "ldpc") {
+    return FactorFamily::kLdpcSumProduct;
+  }
+  if (name == "ldpc-min-sum") return FactorFamily::kLdpcMinSum;
+  return std::nullopt;
+}
+
 std::uint64_t FactorGraph::memory_bytes() const noexcept {
   std::uint64_t total = 0;
   total += priors_.size() * sizeof(BeliefVec);

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/belief.h"
@@ -19,6 +21,35 @@
 #include "util/error.h"
 
 namespace credo::graph {
+
+/// The message-kernel family a graph's factors belong to (DESIGN.md §5g).
+/// Tabular factors carry dense conditional-probability tables (the paper's
+/// formulation); the LDPC families carry *no* table — edges are parity
+/// constraints and the check/variable updates are closed-form tanh-domain
+/// kernels driven by the Tanner-graph structure alone. Dispatch is
+/// per-graph (enum + branch at loop setup), never per-edge, so the tabular
+/// hot path is untouched by the seam.
+enum class FactorFamily : std::uint8_t {
+  kTabular = 0,         // dense joint-probability tables (JointStore)
+  kLdpcSumProduct = 1,  // exact tanh-domain check update
+  kLdpcMinSum = 2,      // min-sum (two-min) approximation
+};
+
+/// True for the closed-form LDPC decode families.
+[[nodiscard]] constexpr bool is_ldpc(FactorFamily f) noexcept {
+  return f == FactorFamily::kLdpcSumProduct ||
+         f == FactorFamily::kLdpcMinSum;
+}
+
+/// Canonical slug for a family ("tabular", "ldpc-sum-product",
+/// "ldpc-min-sum") — the vocabulary of `--family`, `credo info` and the
+/// MTX `%%family` extension header.
+[[nodiscard]] std::string_view family_name(FactorFamily f) noexcept;
+
+/// Parses a family slug; accepts "ldpc" as an alias for "ldpc-sum-product".
+/// nullopt for unknown names.
+[[nodiscard]] std::optional<FactorFamily> family_from_name(
+    std::string_view name) noexcept;
 
 /// Vertex orderings of the locality pass (graph/reorder.h, DESIGN.md §5d).
 /// The enum lives here because FactorGraph records which ordering it was
@@ -32,45 +63,58 @@ enum class ReorderMode : std::uint8_t {
 
 class Permutation;  // graph/reorder.h
 
-/// Storage for edge conditional-probability matrices. Either one matrix per
-/// directed edge, or a single matrix shared by every edge (§2.2); the shared
-/// form is what the GPU engines place in constant memory (§3.6).
+/// Storage for edge conditional-probability matrices. One matrix per
+/// directed edge, a single matrix shared by every edge (§2.2; what the GPU
+/// engines place in constant memory, §3.6), or *no* matrices at all for
+/// closed-form factor families whose updates are computed from structure
+/// (LDPC, DESIGN.md §5g).
 class JointStore {
  public:
   /// Creates a per-edge store (matrices added through push_back).
-  static JointStore per_edge() { return JointStore(false); }
+  static JointStore per_edge() { return JointStore(Mode::kPerEdge); }
 
   /// Creates a per-edge store by taking ownership of a prepared vector
   /// (no per-matrix copies — matters at ~4 KiB per matrix).
   static JointStore per_edge_from(std::vector<JointMatrix>&& ms) {
-    JointStore s(false);
+    JointStore s(Mode::kPerEdge);
     s.per_edge_ = std::move(ms);
     return s;
   }
 
   /// Creates a shared store with the given matrix.
   static JointStore shared(const JointMatrix& m) {
-    JointStore s(true);
+    JointStore s(Mode::kShared);
     s.shared_ = m;
     return s;
   }
 
-  [[nodiscard]] bool is_shared() const noexcept { return is_shared_; }
+  /// Creates an empty store for closed-form families: edges carry no
+  /// tables, so the payload is genuinely zero bytes.
+  static JointStore closed_form() { return JointStore(Mode::kClosedForm); }
 
-  /// Matrix for directed edge `e`.
+  [[nodiscard]] bool is_shared() const noexcept {
+    return mode_ == Mode::kShared;
+  }
+  [[nodiscard]] bool is_closed_form() const noexcept {
+    return mode_ == Mode::kClosedForm;
+  }
+
+  /// Matrix for directed edge `e`. Must not be called on a closed-form
+  /// store — those edges have no table (the engines dispatch per graph
+  /// before ever touching this accessor).
   [[nodiscard]] const JointMatrix& at(EdgeId e) const noexcept {
-    return is_shared_ ? shared_ : per_edge_[e];
+    return is_shared() ? shared_ : per_edge_[e];
   }
 
   /// Shared matrix accessor; only valid when is_shared().
   [[nodiscard]] const JointMatrix& shared_matrix() const {
-    CREDO_CHECK(is_shared_);
+    CREDO_CHECK(is_shared());
     return shared_;
   }
 
-  /// Appends a per-edge matrix; only valid when !is_shared().
+  /// Appends a per-edge matrix; only valid in per-edge mode.
   void push_back(const JointMatrix& m) {
-    CREDO_CHECK(!is_shared_);
+    CREDO_CHECK(mode_ == Mode::kPerEdge);
     per_edge_.push_back(m);
   }
 
@@ -79,16 +123,23 @@ class JointStore {
   }
 
   /// Total bytes of probability-table payload (the dominant memory term the
-  /// §2.2 refinement eliminates).
+  /// §2.2 refinement eliminates). Per-family accounting: closed-form
+  /// stores hold no tables and honestly report zero.
   [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
-    if (is_shared_) return sizeof(JointMatrix);
+    switch (mode_) {
+      case Mode::kShared: return sizeof(JointMatrix);
+      case Mode::kClosedForm: return 0;
+      case Mode::kPerEdge: break;
+    }
     return per_edge_.size() * sizeof(JointMatrix);
   }
 
  private:
-  explicit JointStore(bool shared) : is_shared_(shared) {}
+  enum class Mode : std::uint8_t { kPerEdge, kShared, kClosedForm };
 
-  bool is_shared_;
+  explicit JointStore(Mode mode) : mode_(mode) {}
+
+  Mode mode_;
   JointMatrix shared_{};
   std::vector<JointMatrix> per_edge_;
 };
@@ -166,6 +217,17 @@ class FactorGraph {
     return perm_.get();
   }
 
+  /// Which message-kernel family this graph's factors belong to. Engines
+  /// branch on this once at loop setup (DESIGN.md §5g).
+  [[nodiscard]] FactorFamily family() const noexcept { return family_; }
+
+  /// LDPC families only: the node-id convention is variables (code bits)
+  /// first — ids [0, ldpc_variables()) — then parity checks — ids
+  /// [ldpc_variables(), num_nodes()). Zero for tabular graphs.
+  [[nodiscard]] NodeId ldpc_variables() const noexcept {
+    return ldpc_variables_;
+  }
+
  private:
   friend class GraphBuilder;
   friend class ReorderAccess;  // graph/reorder.cpp
@@ -179,6 +241,8 @@ class FactorGraph {
   Csr out_csr_;
   ReorderMode reorder_ = ReorderMode::kNone;
   std::shared_ptr<const Permutation> perm_;
+  FactorFamily family_ = FactorFamily::kTabular;
+  NodeId ldpc_variables_ = 0;
 };
 
 }  // namespace credo::graph

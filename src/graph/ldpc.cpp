@@ -1,0 +1,171 @@
+#include "graph/ldpc.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/error.h"
+#include "util/prng.h"
+
+namespace credo::graph::ldpc {
+
+std::vector<std::uint32_t> Code::bit_degrees() const {
+  std::vector<std::uint32_t> deg(bits, 0);
+  for (const std::uint32_t b : bit_idx) ++deg[b];
+  return deg;
+}
+
+Code random_regular(std::uint32_t bits, std::uint32_t dv, std::uint32_t dc,
+                    std::uint64_t seed) {
+  if (bits == 0 || dv == 0 || dc == 0) {
+    throw util::InvalidArgument("random_regular: bits, dv, dc must be >= 1");
+  }
+  if (dc > bits) {
+    throw util::InvalidArgument(
+        "random_regular: check degree dc cannot exceed the bit count");
+  }
+  const std::uint64_t sockets = static_cast<std::uint64_t>(bits) * dv;
+  if (sockets % dc != 0) {
+    throw util::InvalidArgument(
+        "random_regular: bits * dv must be divisible by dc");
+  }
+  const auto checks = static_cast<std::uint32_t>(sockets / dc);
+
+  // Socket construction: dv sockets per bit, shuffled, dealt dc per check.
+  std::vector<std::uint32_t> deck(sockets);
+  for (std::uint32_t b = 0; b < bits; ++b) {
+    for (std::uint32_t k = 0; k < dv; ++k) deck[b * dv + k] = b;
+  }
+  util::Prng rng(seed);
+  for (std::size_t i = deck.size(); i > 1; --i) {
+    std::swap(deck[i - 1], deck[rng.uniform(i)]);
+  }
+
+  // Local repair: a check that drew the same bit twice swaps the duplicate
+  // with a random socket elsewhere until its dc bits are distinct. Each
+  // swap is accepted only if it removes the conflict without creating one
+  // in the partner check, so the pass monotonically reduces conflicts.
+  const auto check_of = [dc](std::size_t s) { return s / dc; };
+  const auto has_bit = [&](std::size_t c, std::uint32_t bit,
+                           std::size_t skip) {
+    for (std::size_t s = c * dc; s < (c + 1) * dc; ++s) {
+      if (s != skip && deck[s] == bit) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t pass = 0; pass < 1000; ++pass) {
+    bool clean = true;
+    for (std::size_t s = 0; s < deck.size(); ++s) {
+      const std::size_t c = check_of(s);
+      if (!has_bit(c, deck[s], s)) continue;
+      clean = false;
+      for (std::uint32_t attempt = 0; attempt < 64; ++attempt) {
+        const std::size_t t = rng.uniform(deck.size());
+        const std::size_t ct = check_of(t);
+        if (ct == c) continue;
+        if (has_bit(c, deck[t], s) || has_bit(ct, deck[s], t)) continue;
+        std::swap(deck[s], deck[t]);
+        break;
+      }
+    }
+    if (clean) break;
+  }
+  for (std::size_t s = 0; s < deck.size(); ++s) {
+    if (has_bit(check_of(s), deck[s], s)) {
+      throw util::InvalidArgument(
+          "random_regular: could not realize a simple (dv, dc) code for "
+          "these parameters — try a different seed or larger bit count");
+    }
+  }
+
+  Code code;
+  code.bits = bits;
+  code.checks = checks;
+  code.row_ptr.resize(checks + 1);
+  for (std::uint32_t c = 0; c <= checks; ++c) code.row_ptr[c] = c * dc;
+  code.bit_idx = std::move(deck);
+  for (std::uint32_t c = 0; c < checks; ++c) {
+    std::sort(code.bit_idx.begin() + code.row_ptr[c],
+              code.bit_idx.begin() + code.row_ptr[c + 1]);
+  }
+  return code;
+}
+
+std::vector<std::uint8_t> syndrome(const Code& code,
+                                   std::span<const std::uint8_t> error) {
+  CREDO_CHECK_MSG(error.size() == code.bits,
+                  "error pattern length must equal the bit count");
+  std::vector<std::uint8_t> s(code.checks, 0);
+  for (std::uint32_t c = 0; c < code.checks; ++c) {
+    std::uint8_t acc = 0;
+    for (const std::uint32_t b : code.check_bits(c)) acc ^= error[b] & 1u;
+    s[c] = acc;
+  }
+  return s;
+}
+
+FactorGraph build_graph(const Code& code,
+                        std::span<const std::uint8_t> syndrome,
+                        float crossover, FactorFamily family) {
+  if (!is_ldpc(family)) {
+    throw util::InvalidArgument("build_graph requires an LDPC family");
+  }
+  if (syndrome.size() != code.checks) {
+    throw util::InvalidArgument(
+        "syndrome length must equal the check count");
+  }
+  if (!(crossover > 0.0f && crossover < 0.5f)) {
+    throw util::InvalidArgument("crossover must be in (0, 0.5)");
+  }
+  GraphBuilder b;
+  b.use_family(family);
+  b.reserve(code.bits + code.checks, 2 * code.bit_idx.size());
+  // Variables first (channel likelihood for the all-zero received word:
+  // each bit is in error with probability `crossover`)...
+  const float channel[2] = {1.0f - crossover, crossover};
+  for (std::uint32_t v = 0; v < code.bits; ++v) {
+    b.add_node(BeliefVec(std::span<const float>(channel, 2)));
+  }
+  // ...then checks, whose prior is the syndrome bit. NOT observed: checks
+  // participate in message passing like any other node.
+  for (std::uint32_t c = 0; c < code.checks; ++c) {
+    const float parity[2] = {syndrome[c] ? 0.0f : 1.0f,
+                             syndrome[c] ? 1.0f : 0.0f};
+    b.add_node(BeliefVec(std::span<const float>(parity, 2)));
+  }
+  b.set_ldpc_variables(code.bits);
+  for (std::uint32_t c = 0; c < code.checks; ++c) {
+    for (const std::uint32_t v : code.check_bits(c)) {
+      b.add_edge(v, code.bits + c);
+      b.add_edge(code.bits + c, v);
+    }
+  }
+  return b.finalize();
+}
+
+std::vector<std::uint8_t> hard_decision(std::span<const BeliefVec> beliefs,
+                                        std::uint32_t bits) {
+  CREDO_CHECK_MSG(beliefs.size() >= bits,
+                  "belief vector shorter than the bit count");
+  std::vector<std::uint8_t> out(bits);
+  for (std::uint32_t b = 0; b < bits; ++b) {
+    out[b] = beliefs[b].v[1] > beliefs[b].v[0] ? 1 : 0;
+  }
+  return out;
+}
+
+bool satisfies(const Code& code, std::span<const std::uint8_t> decision,
+               std::span<const std::uint8_t> syndrome) {
+  CREDO_CHECK_MSG(decision.size() == code.bits &&
+                      syndrome.size() == code.checks,
+                  "decision/syndrome length mismatch");
+  for (std::uint32_t c = 0; c < code.checks; ++c) {
+    std::uint8_t acc = 0;
+    for (const std::uint32_t b : code.check_bits(c)) acc ^= decision[b] & 1u;
+    if (acc != (syndrome[c] & 1u)) return false;
+  }
+  return true;
+}
+
+}  // namespace credo::graph::ldpc

@@ -301,6 +301,14 @@ class ReorderAccess {
 
 FactorGraph reordered(const FactorGraph& g, ReorderMode mode) {
   if (mode == ReorderMode::kNone) return g;
+  if (g.family() != FactorFamily::kTabular) {
+    // The LDPC families encode the variable/check split as id ranges
+    // (DESIGN.md §5g); any relabeling would break that convention. LDPC
+    // graphs are tiny (decode-under-load serving), so the locality pass
+    // has nothing to win here anyway.
+    throw util::InvalidArgument(
+        "graph reordering applies only to the tabular family");
+  }
   const Permutation perm = compute_order(mode, g.num_nodes(), g.edges());
   return ReorderAccess::apply(g, perm, mode, /*record=*/true);
 }

@@ -24,6 +24,11 @@ using util::ParseError;
 constexpr std::string_view kNodeBanner = "%%MatrixMarket credo beliefs";
 constexpr std::string_view kEdgeBanner = "%%MatrixMarket credo joints";
 constexpr std::string_view kSharedJoint = "%%shared-joint";
+// Family extension headers (DESIGN.md §5g), edge file only. Backward
+// compatible: absent headers mean tabular, and old readers skip unknown
+// '%'-lines in files that do not carry closed-form families.
+constexpr std::string_view kFamilyHeader = "%%family";
+constexpr std::string_view kLdpcVarsHeader = "%%ldpc-variables";
 
 struct LineReader {
   std::istream& in;
@@ -33,7 +38,8 @@ struct LineReader {
   ParseStats* stats;
 
   /// Next non-empty, non-comment line (comment = starts with '%'). The
-  /// %%shared-joint extension line is NOT skipped; callers check for it.
+  /// %%shared-joint / %%family / %%ldpc-variables extension lines are NOT
+  /// skipped; callers check for them.
   std::optional<std::string_view> next(bool keep_extensions = false) {
     while (std::getline(in, line)) {
       ++lineno;
@@ -44,7 +50,12 @@ struct LineReader {
       const auto t = util::trim(line);
       if (t.empty()) continue;
       if (t[0] == '%') {
-        if (keep_extensions && util::starts_with(t, kSharedJoint)) return t;
+        if (keep_extensions &&
+            (util::starts_with(t, kSharedJoint) ||
+             util::starts_with(t, kFamilyHeader) ||
+             util::starts_with(t, kLdpcVarsHeader))) {
+          return t;
+        }
         continue;
       }
       return t;
@@ -173,20 +184,51 @@ graph::FactorGraph read_mtx_belief_streams(std::istream& nodes,
     }
   }
   bool shared = false;
+  graph::FactorFamily family = graph::FactorFamily::kTabular;
+  std::uint64_t ldpc_vars = 0;
+  bool have_ldpc_vars = false;
   auto l = er.next(/*keep_extensions=*/true);
-  if (l && util::starts_with(*l, kSharedJoint)) {
-    FieldCursor c(l->substr(kSharedJoint.size()));
-    const auto k = c.next_u64();
-    if (!k || *k < 1 || *k > kMaxStates) {
-      er.fail("bad shared-joint arity");
+  while (l && util::starts_with(*l, "%%")) {
+    if (util::starts_with(*l, kSharedJoint)) {
+      FieldCursor c(l->substr(kSharedJoint.size()));
+      const auto k = c.next_u64();
+      if (!k || *k < 1 || *k > kMaxStates) {
+        er.fail("bad shared-joint arity");
+      }
+      JointMatrix m;
+      parse_matrix_values(er, c, static_cast<std::uint32_t>(*k),
+                          static_cast<std::uint32_t>(*k), m);
+      if (!c.done()) er.fail("trailing fields after shared joint matrix");
+      b.use_shared_joint(m);
+      shared = true;
+    } else if (util::starts_with(*l, kLdpcVarsHeader)) {
+      FieldCursor c(l->substr(kLdpcVarsHeader.size()));
+      const auto v = c.next_u64();
+      if (!v || !c.done()) er.fail("malformed %%ldpc-variables line");
+      ldpc_vars = *v;
+      have_ldpc_vars = true;
+    } else if (util::starts_with(*l, kFamilyHeader)) {
+      FieldCursor c(l->substr(kFamilyHeader.size()));
+      const auto name = c.next();
+      if (!name || !c.done()) er.fail("malformed %%family line");
+      const auto f = graph::family_from_name(*name);
+      if (!f) er.fail("unknown factor family '" + std::string(*name) + "'");
+      family = *f;
     }
-    JointMatrix m;
-    parse_matrix_values(er, c, static_cast<std::uint32_t>(*k),
-                        static_cast<std::uint32_t>(*k), m);
-    if (!c.done()) er.fail("trailing fields after shared joint matrix");
-    b.use_shared_joint(m);
-    shared = true;
-    l = er.next();
+    l = er.next(/*keep_extensions=*/true);
+  }
+  if (graph::is_ldpc(family)) {
+    if (shared) er.fail("%%family and %%shared-joint are exclusive");
+    if (!have_ldpc_vars) {
+      er.fail("LDPC families require a %%ldpc-variables line");
+    }
+    if (ldpc_vars == 0 || ldpc_vars >= n_nodes) {
+      er.fail("%%ldpc-variables must be in [1, nodes)");
+    }
+    b.use_family(family);
+    b.set_ldpc_variables(static_cast<NodeId>(ldpc_vars));
+  } else if (have_ldpc_vars) {
+    er.fail("%%ldpc-variables requires an LDPC %%family line");
   }
   if (!l) er.fail("missing edge dimensions line");
   const auto [e_nodes, e_count] = parse_dims(er, *l);
@@ -206,8 +248,8 @@ graph::FactorGraph read_mtx_belief_streams(std::istream& nodes,
     }
     const auto src = static_cast<NodeId>(*s - 1);
     const auto dst = static_cast<NodeId>(*d - 1);
-    if (shared) {
-      if (!c.done()) er.fail("per-edge values in shared-joint file");
+    if (shared || graph::is_ldpc(family)) {
+      if (!c.done()) er.fail("per-edge values in a matrix-free edge file");
       b.add_edge(src, dst);
     } else {
       parse_matrix_values(er, c, arity[src], arity[dst], scratch);
@@ -250,6 +292,10 @@ void write_mtx_belief_streams(const graph::FactorGraph& g,
 
   edges << kEdgeBanner << '\n';
   const auto& joints = g.joints();
+  if (graph::is_ldpc(g.family())) {
+    edges << kFamilyHeader << ' ' << graph::family_name(g.family()) << '\n';
+    edges << kLdpcVarsHeader << ' ' << g.ldpc_variables() << '\n';
+  }
   if (joints.is_shared()) {
     const auto& m = joints.shared_matrix();
     edges << kSharedJoint << ' ' << m.rows;
@@ -265,7 +311,7 @@ void write_mtx_belief_streams(const graph::FactorGraph& g,
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& ed = g.edge(e);
     edges << (ed.src + 1) << ' ' << (ed.dst + 1);
-    if (!joints.is_shared()) {
+    if (!joints.is_shared() && !joints.is_closed_form()) {
       const auto& m = joints.at(e);
       for (std::uint32_t i = 0; i < m.rows; ++i) {
         for (std::uint32_t j = 0; j < m.cols; ++j) {

@@ -196,45 +196,39 @@ struct Request {
   }
 };
 
-/// Terminal status of a request — the shared vocabulary of
-/// util::StatusCode (DESIGN.md §5e). Retained name: `serve::Status` is a
-/// thin alias for one release; new code should spell util::StatusCode.
-/// The serve-specific meanings:
-///   kOk               ran to convergence or the iteration cap
-///   kRejected         admission refused (queue full / server stopped)
-///   kCancelled        client token fired (queued or mid-run)
-///   kDeadlineExceeded a deadline budget expired mid-run
-///   kInvalidArgument  request failed validation (mixed graph forms, ...)
-///   kIo / kParse      the graph could not be loaded
-///   kError            anything else that threw; see `error`
-using Status = util::StatusCode;
-
-/// Deprecated alias for util::status_code_name (one release).
-[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
-  return util::status_code_name(s);
-}
+// Terminal status of a request: the shared vocabulary of util::StatusCode
+// (DESIGN.md §5e), spelled directly — the pre-§5e serve::Status /
+// serve::status_name aliases are gone. The serve-specific meanings:
+//   kOk               ran to convergence or the iteration cap
+//   kRejected         admission refused (queue full / server stopped)
+//   kCancelled        client token fired (queued or mid-run)
+//   kDeadlineExceeded a deadline budget expired mid-run
+//   kInvalidArgument  request failed validation (mixed graph forms, ...)
+//   kIo / kParse      the graph could not be loaded
+//   kError            anything else that threw; see `error`
 
 /// Collapses detailed error codes onto the five terminal accounting
 /// categories (kOk/kRejected/kCancelled/kDeadlineExceeded/kError): the
 /// identity `submitted == completed + rejected + cancelled +
 /// deadline_expired + failed` counts every io/parse/invalid-argument
 /// failure under `failed`.
-[[nodiscard]] constexpr Status terminal_category(Status s) noexcept {
+[[nodiscard]] constexpr util::StatusCode terminal_category(
+    util::StatusCode s) noexcept {
   switch (s) {
-    case Status::kOk:
-    case Status::kRejected:
-    case Status::kCancelled:
-    case Status::kDeadlineExceeded:
+    case util::StatusCode::kOk:
+    case util::StatusCode::kRejected:
+    case util::StatusCode::kCancelled:
+    case util::StatusCode::kDeadlineExceeded:
       return s;
     default:
-      return Status::kError;
+      return util::StatusCode::kError;
   }
 }
 
 /// What came back. `result` is populated for kOk (and holds the partial
 /// state reached for kDeadlineExceeded / mid-run kCancelled).
 struct Response {
-  Status status = Status::kError;
+  util::StatusCode status = util::StatusCode::kError;
   bp::EngineKind engine = bp::EngineKind::kCpuNode;
   std::string engine_name;  // human-readable form of `engine`
   bp::BpResult result;
@@ -252,7 +246,7 @@ struct Response {
 
   std::string tag;
 
-  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+  [[nodiscard]] bool ok() const noexcept { return status == util::StatusCode::kOk; }
 
   /// The status + message as one util::Status value.
   [[nodiscard]] util::Status to_status() const {

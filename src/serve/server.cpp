@@ -45,10 +45,11 @@ Server::Server(ServerOptions options)
       m_queue_depth_(metrics_.gauge("credo_queue_depth",
                                     "Requests waiting in the admission "
                                     "queue")) {
-  const Status categories[5] = {Status::kOk, Status::kRejected,
-                                Status::kCancelled,
-                                Status::kDeadlineExceeded, Status::kError};
-  for (const Status s : categories) {
+  const util::StatusCode categories[5] = {
+      util::StatusCode::kOk, util::StatusCode::kRejected,
+      util::StatusCode::kCancelled, util::StatusCode::kDeadlineExceeded,
+      util::StatusCode::kError};
+  for (const util::StatusCode s : categories) {
     m_finished_[static_cast<std::size_t>(s)] = &metrics_.counter(
         kRequestsTotal, kRequestsTotalHelp,
         {{"status", util::status_code_name(s)}});
@@ -61,7 +62,7 @@ Server::Server(ServerOptions options)
 
 Server::~Server() { shutdown(); }
 
-Response Server::finish_unrun(const Request& req, Status status,
+Response Server::finish_unrun(const Request& req, util::StatusCode status,
                               std::string reason) {
   Response r;
   r.status = status;
@@ -114,9 +115,9 @@ std::future<Response> Server::submit(Request req) {
   }
   m_submitted_.inc();
   if (!reject_reason.empty()) {
-    count(Status::kRejected);
-    promise.set_value(
-        finish_unrun(req, Status::kRejected, std::move(reject_reason)));
+    count(util::StatusCode::kRejected);
+    promise.set_value(finish_unrun(req, util::StatusCode::kRejected,
+                                   std::move(reject_reason)));
     return fut;
   }
   cv_.notify_one();
@@ -142,9 +143,9 @@ void Server::shutdown() {
     }
   }
   for (auto& pending : orphaned) {
-    count(Status::kRejected);
-    pending.promise.set_value(
-        finish_unrun(pending.request, Status::kRejected, "server stopped"));
+    count(util::StatusCode::kRejected);
+    pending.promise.set_value(finish_unrun(
+        pending.request, util::StatusCode::kRejected, "server stopped"));
   }
   cv_.notify_all();
   for (auto& w : workers_) {
@@ -160,15 +161,17 @@ ServerStats Server::stats() const {
   return s;
 }
 
-void Server::count(Status s) {
-  const Status category = terminal_category(s);
+void Server::count(util::StatusCode s) {
+  const util::StatusCode category = terminal_category(s);
   {
     std::lock_guard<std::mutex> lock(mu_);
     switch (category) {
-      case Status::kOk: ++stats_.completed; break;
-      case Status::kRejected: ++stats_.rejected; break;
-      case Status::kCancelled: ++stats_.cancelled; break;
-      case Status::kDeadlineExceeded: ++stats_.deadline_expired; break;
+      case util::StatusCode::kOk: ++stats_.completed; break;
+      case util::StatusCode::kRejected: ++stats_.rejected; break;
+      case util::StatusCode::kCancelled: ++stats_.cancelled; break;
+      case util::StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_expired;
+        break;
       default: ++stats_.failed; break;
     }
   }
@@ -194,6 +197,15 @@ void Server::worker_loop() {
 
 bp::EngineKind Server::choose_engine(const graph::FactorGraph& g,
                                      const graph::GraphMetadata* md) {
+  // The §3.7 dispatcher is trained on tabular workloads and may pick a
+  // device engine; closed-form families route straight to an LDPC-capable
+  // engine instead (DESIGN.md §5g). Explicit per-request overrides still
+  // apply and are capability-checked by Engine::run.
+  if (graph::is_ldpc(g.family())) {
+    return bp::engine_supports_family(options_.default_engine, g.family())
+               ? options_.default_engine
+               : bp::EngineKind::kResidualMq;
+  }
   if (!options_.use_dispatcher) return options_.default_engine;
   std::call_once(dispatcher_once_, [&] {
     if (!options_.dispatcher_model.empty()) {
@@ -235,7 +247,7 @@ Response Server::execute(Pending& pending) {
 
   // A request cancelled while queued never starts.
   if (req.cancel.stop_requested()) {
-    resp.status = Status::kCancelled;
+    resp.status = util::StatusCode::kCancelled;
     resp.service_seconds = service_timer.seconds();
     m_run_seconds_.observe(resp.service_seconds);
     if (options_.spans != nullptr) {
@@ -306,13 +318,13 @@ Response Server::execute(Pending& pending) {
 
     switch (result.stats.stop_reason) {
       case bp::runtime::StopReason::kNone:
-        resp.status = Status::kOk;
+        resp.status = util::StatusCode::kOk;
         break;
       case bp::runtime::StopReason::kCancelled:
-        resp.status = Status::kCancelled;
+        resp.status = util::StatusCode::kCancelled;
         break;
       case bp::runtime::StopReason::kDeadline:
-        resp.status = Status::kDeadlineExceeded;
+        resp.status = util::StatusCode::kDeadlineExceeded;
         break;
     }
     resp.result = std::move(result);

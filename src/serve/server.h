@@ -92,10 +92,10 @@ struct ServerOptions {
 /// source of truth; this struct remains as the in-process convenience view.
 struct ServerStats {
   std::uint64_t submitted = 0;
-  std::uint64_t completed = 0;         // Status::kOk
-  std::uint64_t rejected = 0;          // Status::kRejected
-  std::uint64_t cancelled = 0;         // Status::kCancelled
-  std::uint64_t deadline_expired = 0;  // Status::kDeadlineExceeded
+  std::uint64_t completed = 0;         // util::StatusCode::kOk
+  std::uint64_t rejected = 0;          // util::StatusCode::kRejected
+  std::uint64_t cancelled = 0;         // util::StatusCode::kCancelled
+  std::uint64_t deadline_expired = 0;  // util::StatusCode::kDeadlineExceeded
   std::uint64_t failed = 0;            // any error code (io/parse/...)
   CacheStats cache;
 
@@ -114,7 +114,7 @@ class Server {
 
   /// Submits a request. Never blocks: invalid requests (Request::validate)
   /// resolve immediately with the validation status, over-capacity or
-  /// post-shutdown submissions with Status::kRejected and a reason.
+  /// post-shutdown submissions with util::StatusCode::kRejected and a reason.
   [[nodiscard]] std::future<Response> submit(Request req);
 
   /// Opens a lightweight client handle with its own submission counter.
@@ -151,11 +151,11 @@ class Server {
   [[nodiscard]] Response execute(Pending& pending);
   [[nodiscard]] bp::EngineKind choose_engine(
       const graph::FactorGraph& g, const graph::GraphMetadata* md);
-  void count(Status s);
+  void count(util::StatusCode s);
 
   /// Builds (and spans/counts) a response for a request that never ran:
   /// rejections and validation failures.
-  [[nodiscard]] Response finish_unrun(const Request& req, Status status,
+  [[nodiscard]] Response finish_unrun(const Request& req, util::StatusCode status,
                                       std::string reason);
 
   ServerOptions options_;

@@ -1,10 +1,13 @@
 #include "serve/stress.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <future>
 #include <thread>
 
 #include "bp/runtime/stop.h"
+#include "graph/ldpc.h"
+#include "io/mtx_belief.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -133,6 +136,51 @@ StressReport run_stress(Server& server, const StressConfig& config) {
   report.queue_p90 = queue.quantile(0.90);
   report.queue_p99 = queue.quantile(0.99);
   report.queue_max = queue.max;
+  return report;
+}
+
+StressReport run_decode_under_load(Server& server,
+                                   const DecodeLoadConfig& config) {
+  CREDO_CHECK_MSG(graph::is_ldpc(config.family),
+                  "decode-under-load runs an LDPC family");
+  CREDO_CHECK_MSG(config.codes >= 1, "decode-under-load needs >= 1 code");
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path();
+  std::vector<std::pair<std::string, std::string>> graphs;
+  graphs.reserve(config.codes);
+  for (std::uint32_t i = 0; i < config.codes; ++i) {
+    const auto code = graph::ldpc::random_regular(
+        config.bits, config.dv, config.dc, config.seed + i);
+    std::vector<std::uint8_t> error(code.bits, 0);
+    error[(config.seed + 7 * i) % code.bits] = 1;
+    const auto syn = graph::ldpc::syndrome(code, error);
+    const auto g =
+        graph::ldpc::build_graph(code, syn, config.crossover, config.family);
+    const std::string stem = "credo_decode_load_" +
+                             std::to_string(config.seed) + "_" +
+                             std::to_string(i);
+    auto npath = (dir / (stem + "_nodes.mtx")).string();
+    auto epath = (dir / (stem + "_edges.mtx")).string();
+    io::write_mtx_belief(g, npath, epath);
+    graphs.emplace_back(std::move(npath), std::move(epath));
+  }
+
+  StressConfig sc;
+  sc.graphs = graphs;
+  sc.requests = config.requests;
+  sc.sessions = config.sessions;
+  // LDPC-capable mix spanning the paradigms: sequential sweep, pooled
+  // CPU-parallel, relaxed priority.
+  sc.mix = {bp::EngineKind::kCpuNode, bp::EngineKind::kOmpNode,
+            bp::EngineKind::kResidualMq};
+  sc.options.max_iterations = config.max_iterations;
+  sc.options.syndrome_stop = true;
+  StressReport report = run_stress(server, sc);
+  for (const auto& [npath, epath] : graphs) {
+    std::error_code ec;
+    fs::remove(npath, ec);
+    fs::remove(epath, ec);
+  }
   return report;
 }
 

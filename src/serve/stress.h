@@ -90,4 +90,28 @@ struct StressReport {
 [[nodiscard]] StressReport run_stress(Server& server,
                                       const StressConfig& config);
 
+/// Decode-under-load scenario (DESIGN.md §5g): many tiny LDPC decode
+/// requests at a high submission rate, so the admission queue — not the
+/// engine — is the contended resource. Generates `codes` distinct random
+/// regular (dv, dc) codes with weight-1 error syndromes, writes each as an
+/// MTX-belief pair under the system temp directory (removed on return, so
+/// the replay exercises the GraphCache and the %%family headers
+/// end-to-end), and replays `requests` decode requests with syndrome
+/// stopping on across an LDPC-capable engine mix.
+struct DecodeLoadConfig {
+  graph::FactorFamily family = graph::FactorFamily::kLdpcMinSum;
+  std::uint32_t codes = 4;  // distinct codes the mix cycles through
+  std::uint32_t bits = 48;
+  std::uint32_t dv = 3;
+  std::uint32_t dc = 6;
+  float crossover = 0.05f;
+  std::uint64_t seed = 1;
+  std::size_t requests = 256;
+  unsigned sessions = 8;
+  std::uint32_t max_iterations = 60;
+};
+
+[[nodiscard]] StressReport run_decode_under_load(
+    Server& server, const DecodeLoadConfig& config);
+
 }  // namespace credo::serve

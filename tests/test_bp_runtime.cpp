@@ -266,14 +266,15 @@ TEST(Schedules, TreeLevelsNaiveAndIndexedAgree) {
 }
 
 // ---------------------------------------------------------------------------
-// BpOptions::validate
+// BpOptions::validate_status
 // ---------------------------------------------------------------------------
 
 TEST(Validate, RejectsEachBadField) {
   const auto reject = [](auto&& mutate) {
     auto o = base_opts();
     mutate(o);
-    EXPECT_THROW(o.validate(), util::InvalidArgument);
+    EXPECT_EQ(o.validate_status().code(),
+              util::StatusCode::kInvalidArgument);
   };
   reject([](BpOptions& o) { o.convergence_threshold = 0.0f; });
   reject([](BpOptions& o) { o.convergence_threshold = -1.0f; });
@@ -289,20 +290,22 @@ TEST(Validate, RejectsEachBadField) {
   reject([](BpOptions& o) { o.host_deadline_seconds = -1.0; });
   reject([](BpOptions& o) { o.host_deadline_seconds = NAN; });
   reject([](BpOptions& o) { o.modelled_deadline_seconds = -1.0; });
-  EXPECT_NO_THROW(base_opts().validate());
+  EXPECT_TRUE(base_opts().validate_status().is_ok());
 }
 
 // Regression: a queue bar at or above the global threshold lets the §3.5
 // work queue drop elements the global stopping rule still counts, so the
-// run can neither drain nor converge. validate() must refuse it.
+// run can neither drain nor converge. validate_status() must refuse it.
 TEST(Validate, RejectsQueueThresholdAtOrAboveConvergenceThreshold) {
   auto o = base_opts();
   o.queue_threshold = o.convergence_threshold;  // equal is already wrong
-  EXPECT_THROW(o.validate(), util::InvalidArgument);
+  EXPECT_EQ(o.validate_status().code(),
+            util::StatusCode::kInvalidArgument);
   o.queue_threshold = o.convergence_threshold * 10.0f;
-  EXPECT_THROW(o.validate(), util::InvalidArgument);
+  EXPECT_EQ(o.validate_status().code(),
+            util::StatusCode::kInvalidArgument);
   o.queue_threshold = o.convergence_threshold * 0.5f;
-  EXPECT_NO_THROW(o.validate());
+  EXPECT_TRUE(o.validate_status().is_ok());
 }
 
 TEST(Validate, FluentSettersChainAndAggregateInitStillWorks) {
@@ -321,7 +324,7 @@ TEST(Validate, FluentSettersChainAndAggregateInitStillWorks) {
   EXPECT_EQ(fluent.threads, 4u);
   EXPECT_FLOAT_EQ(fluent.damping, 0.25f);
   EXPECT_TRUE(fluent.collect_trace);
-  EXPECT_NO_THROW(fluent.validate());
+  EXPECT_TRUE(fluent.validate_status().is_ok());
 
   // Designated-initializer (aggregate) construction must keep compiling:
   // the setters are plain member functions, not constructors.

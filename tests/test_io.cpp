@@ -7,7 +7,9 @@
 #include <filesystem>
 #include <sstream>
 
+#include "bp/engine.h"
 #include "graph/generators.h"
+#include "graph/ldpc.h"
 #include "io/bayes_net.h"
 #include "io/bif.h"
 #include "io/convert.h"
@@ -115,6 +117,70 @@ TEST(MtxBelief, FileRoundTrip) {
   expect_graphs_equal(g, back);
   std::remove(npath.c_str());
   std::remove(epath.c_str());
+}
+
+TEST(MtxBelief, LdpcFamilyRoundTrips) {
+  const auto code = graph::ldpc::random_regular(48, 3, 6, 77);
+  std::vector<std::uint8_t> error(code.bits, 0);
+  error[5] = 1;
+  const auto syn = graph::ldpc::syndrome(code, error);
+  for (const auto family : {graph::FactorFamily::kLdpcSumProduct,
+                            graph::FactorFamily::kLdpcMinSum}) {
+    const auto g = graph::ldpc::build_graph(code, syn, 0.05f, family);
+    const auto back = mtx_round_trip(g);
+    EXPECT_EQ(back.family(), family);
+    EXPECT_EQ(back.ldpc_variables(), g.ldpc_variables());
+    EXPECT_EQ(back.joints().payload_bytes(), 0u);
+    ASSERT_EQ(back.num_nodes(), g.num_nodes());
+    ASSERT_EQ(back.num_edges(), g.num_edges());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_LT(graph::l1_diff(g.prior(v), back.prior(v)), 1e-5f);
+    }
+    // The reloaded graph must decode exactly like the original.
+    bp::BpOptions opts;
+    opts.max_iterations = 60;
+    opts.syndrome_stop = true;
+    const auto r = bp::make_default_engine(bp::EngineKind::kCpuNode)
+                       ->run(back, opts);
+    EXPECT_TRUE(r.stats.syndrome_satisfied);
+    EXPECT_EQ(graph::ldpc::hard_decision(r.beliefs, code.bits), error);
+  }
+}
+
+TEST(MtxBelief, LdpcHeaderRejectsMalformedInput) {
+  const std::string nodes =
+      "%%MatrixMarket credo beliefs\n3 3 3\n"
+      "1 1 0.9 0.1\n2 2 0.9 0.1\n3 3 1 0\n";
+  const auto parse = [&](const std::string& edge_text) {
+    std::istringstream nin(nodes);
+    std::istringstream ein(edge_text);
+    return read_mtx_belief_streams(nin, ein);
+  };
+  // Unknown family name.
+  EXPECT_THROW(parse("%%MatrixMarket credo joints\n%%family potts\n"
+                     "%%ldpc-variables 2\n3 3 2\n1 3\n2 3\n"),
+               util::ParseError);
+  // LDPC family without the variable-count header.
+  EXPECT_THROW(parse("%%MatrixMarket credo joints\n%%family ldpc-min-sum\n"
+                     "3 3 2\n1 3\n2 3\n"),
+               util::ParseError);
+  // Variable count out of range.
+  EXPECT_THROW(parse("%%MatrixMarket credo joints\n%%family ldpc-min-sum\n"
+                     "%%ldpc-variables 3\n3 3 2\n1 3\n2 3\n"),
+               util::ParseError);
+  // ldpc-variables without a family.
+  EXPECT_THROW(parse("%%MatrixMarket credo joints\n%%ldpc-variables 2\n"
+                     "3 3 2\n1 3\n2 3\n"),
+               util::ParseError);
+  // Per-edge matrix values in a closed-form edge file.
+  EXPECT_THROW(parse("%%MatrixMarket credo joints\n%%family ldpc-min-sum\n"
+                     "%%ldpc-variables 2\n3 3 2\n1 3 0.5 0.5 0.5 0.5\n2 3\n"),
+               util::ParseError);
+  // The tabular spelling is accepted and means the default family.
+  const auto g = parse(
+      "%%MatrixMarket credo joints\n%%family tabular\n3 3 2\n"
+      "1 3 0.5 0.5 0.5 0.5\n2 3 0.5 0.5 0.5 0.5\n");
+  EXPECT_EQ(g.family(), graph::FactorFamily::kTabular);
 }
 
 TEST(MtxBelief, MissingFileThrowsIoError) {

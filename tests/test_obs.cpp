@@ -310,7 +310,7 @@ TEST(Spans, ServerRecordsAllFourTerminalStatuses) {
                                            .with_cancel(source.token())
                                            .with_tag("cancelled"))
                                .get();
-  EXPECT_EQ(cancel_resp.status, serve::Status::kCancelled);
+  EXPECT_EQ(cancel_resp.status, util::StatusCode::kCancelled);
 
   // deadline (modelled budget below one iteration, deterministic)
   const auto dl_resp =
@@ -325,7 +325,7 @@ TEST(Spans, ServerRecordsAllFourTerminalStatuses) {
                           serve::Deadline{}.with_modelled_seconds(1e-12))
                       .with_tag("deadline"))
           .get();
-  EXPECT_EQ(dl_resp.status, serve::Status::kDeadlineExceeded);
+  EXPECT_EQ(dl_resp.status, util::StatusCode::kDeadlineExceeded);
 
   // rejected (post-shutdown submit)
   server.shutdown();
@@ -335,7 +335,7 @@ TEST(Spans, ServerRecordsAllFourTerminalStatuses) {
                                         .with_options(opts)
                                         .with_tag("rejected"))
                             .get();
-  EXPECT_EQ(rej_resp.status, serve::Status::kRejected);
+  EXPECT_EQ(rej_resp.status, util::StatusCode::kRejected);
   EXPECT_GT(rej_resp.span_id, 0u);
 
   // One span per request; each terminal status appears exactly once.
@@ -421,7 +421,7 @@ TEST(StatusVocabulary, BpOptionsValidateStatus) {
   bad.max_iterations = 0;
   const auto st = bad.validate_status();
   EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
-  EXPECT_THROW(bad.validate(), util::InvalidArgument);  // thin wrapper
+  EXPECT_FALSE(st.message().empty());
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -229,8 +231,8 @@ TEST(Server, BadGraphPathReportsError) {
   const Response resp = fut.get();
   // The shared vocabulary keeps the precise code (an unreadable file is an
   // I/O error); accounting still collapses it onto the `failed` category.
-  EXPECT_EQ(resp.status, Status::kIo);
-  EXPECT_EQ(terminal_category(resp.status), Status::kError);
+  EXPECT_EQ(resp.status, util::StatusCode::kIo);
+  EXPECT_EQ(terminal_category(resp.status), util::StatusCode::kError);
   EXPECT_FALSE(resp.error.empty());
   server.shutdown();
   EXPECT_EQ(server.stats().failed, 1u);
@@ -274,7 +276,7 @@ TEST(RequestVocabulary, InvalidRequestResolvesWithoutRunning) {
   req.graph.nodes_path = "also/a/path.mtx";  // mixed form
   auto fut = server.submit(std::move(req));
   const Response resp = fut.get();
-  EXPECT_EQ(resp.status, Status::kInvalidArgument);
+  EXPECT_EQ(resp.status, util::StatusCode::kInvalidArgument);
   EXPECT_FALSE(resp.error.empty());
   EXPECT_EQ(resp.result.stats.iterations, 0u);
   server.shutdown();
@@ -330,16 +332,16 @@ TEST(Server, BackpressureRejectsBeyondCapacityAndShutdownDrains) {
   // Requests 4 and 5 overflowed the bound: rejected immediately, with a
   // reason naming the capacity.
   const Response over = futures[3].get();
-  EXPECT_EQ(over.status, Status::kRejected);
+  EXPECT_EQ(over.status, util::StatusCode::kRejected);
   EXPECT_NE(over.error.find("capacity 3"), std::string::npos) << over.error;
-  EXPECT_EQ(futures[4].get().status, Status::kRejected);
+  EXPECT_EQ(futures[4].get().status, util::StatusCode::kRejected);
 
   // Shutdown with zero workers rejects the queued three; the accounting
   // identity holds and no future is left dangling.
   server.shutdown();
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().status,
-              Status::kRejected);
+              util::StatusCode::kRejected);
   }
   const auto stats = server.stats();
   EXPECT_EQ(stats.submitted, 5u);
@@ -350,7 +352,7 @@ TEST(Server, BackpressureRejectsBeyondCapacityAndShutdownDrains) {
   Request late;
   late.graph = GraphRef::preloaded(shared);
   auto fut = server.submit(std::move(late));
-  EXPECT_EQ(fut.get().status, Status::kRejected);
+  EXPECT_EQ(fut.get().status, util::StatusCode::kRejected);
   EXPECT_EQ(server.stats().submitted, server.stats().finished());
 }
 
@@ -367,7 +369,7 @@ TEST(Server, PreCancelledRequestNeverRuns) {
   req.cancel = source.token();
   auto fut = server.submit(std::move(req));
   const Response resp = fut.get();
-  EXPECT_EQ(resp.status, Status::kCancelled);
+  EXPECT_EQ(resp.status, util::StatusCode::kCancelled);
   EXPECT_EQ(resp.result.stats.iterations, 0u);
   server.shutdown();
   EXPECT_EQ(server.stats().cancelled, 1u);
@@ -386,7 +388,7 @@ TEST(Server, ModelledDeadlineExpiresDeterministically) {
   req.deadline.modelled_seconds = 1e-12;  // below one iteration's cost
   auto fut = server.submit(std::move(req));
   const Response resp = fut.get();
-  EXPECT_EQ(resp.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(resp.status, util::StatusCode::kDeadlineExceeded);
   EXPECT_FALSE(resp.result.stats.converged);
   EXPECT_EQ(resp.result.stats.stop_reason,
             bp::runtime::StopReason::kDeadline);
@@ -517,6 +519,38 @@ TEST(ServeStress, RunStressReportAccountsEveryRequest) {
   const auto table = report.table();
   EXPECT_EQ(table.cols(), 2u);
   EXPECT_GT(table.rows(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Header hygiene: the pre-§5e compatibility names removed in §5g
+// ---------------------------------------------------------------------------
+
+// Regression: the one-release aliases serve::Status / serve::status_name
+// and the throwing BpOptions::validate() wrapper must stay gone from the
+// public headers. Scans the header text so a reintroduction fails even if
+// no test happens to reference the old spelling.
+TEST(HeaderHygiene, DeprecatedStatusAliasesStayRemoved) {
+  const auto read_header = [](const char* rel) {
+    const std::filesystem::path path =
+        std::filesystem::path(CREDO_SOURCE_DIR) / rel;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << "missing public header: " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  const std::string request_h = read_header("src/serve/request.h");
+  EXPECT_EQ(request_h.find("using Status ="), std::string::npos)
+      << "serve::Status alias is back in request.h";
+  EXPECT_EQ(request_h.find("status_name("), std::string::npos)
+      << "serve::status_name is back in request.h";
+
+  const std::string options_h = read_header("src/bp/options.h");
+  EXPECT_EQ(options_h.find("void validate()"), std::string::npos)
+      << "the throwing BpOptions::validate() wrapper is back in options.h";
+  EXPECT_NE(options_h.find("validate_status()"), std::string::npos)
+      << "BpOptions::validate_status() is the supported validator";
 }
 
 }  // namespace

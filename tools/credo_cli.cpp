@@ -6,10 +6,13 @@
 //                  residual|residual-mq|splash]
 //                  [--reorder none|bfs|rcm|degree] [--no-queue]
 //                  [--iters N] [--threshold X] [--threads T]
-//                  [--queues-per-thread K] [--splash-size S]
+//                  [--queues-per-thread K] [--splash-size S] [--syndrome 1]
 //                  [--out beliefs.txt] [--trace trace.csv]
 //   credo generate --family uniform|kron|social|tree|grid --nodes N
 //                  [--edges M] [--beliefs B] [--seed S] [--observed F]
+//                  --out PREFIX
+//   credo generate --family ldpc-sum-product|ldpc-min-sum --nodes BITS
+//                  [--dv V] [--dc C] [--errors W] [--crossover P] [--seed S]
 //                  --out PREFIX
 //   credo convert  --in file.{bif,xml} --out PREFIX
 //   credo train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]
@@ -18,6 +21,8 @@
 //                  [--engine mix|auto|<name>] [--reorder none|bfs|rcm|degree]
 //                  [--deadline-every K] [--deadline-ms D] [--cancel-every K]
 //                  [--iters N] [--threshold X]
+//                  [--family ldpc-sum-product|ldpc-min-sum [--bits B]
+//                   [--dv V] [--dc C] [--crossover P] [--seed S]]
 //                  [--metrics out.prom|out.json|-] [--spans out.jsonl|-]
 //
 // `--engine auto` uses the §3.7 dispatcher: pass a pre-trained model with
@@ -48,6 +53,7 @@
 #include "credo/api.h"
 #include "credo/suite.h"
 #include "graph/generators.h"
+#include "graph/ldpc.h"
 #include "io/bif.h"
 #include "io/convert.h"
 #include "io/xmlbif.h"
@@ -158,12 +164,23 @@ int cmd_info(const Args& args) {
   std::printf("nodes/edges ratio: %.5f\n", md.nodes_to_edges_ratio());
   std::printf("degree imbalance:  %.3f\n", md.degree_imbalance());
   std::printf("skew:              %.5f\n", md.skew());
+  std::printf("family:            %s\n",
+              std::string(graph::family_name(g.family())).c_str());
+  if (graph::is_ldpc(g.family())) {
+    std::printf("ldpc variables:    %u\n", g.ldpc_variables());
+    std::printf("ldpc checks:       %u\n",
+                g.num_nodes() - g.ldpc_variables());
+  }
   std::printf("shared joint:      %s\n",
               g.joints().is_shared() ? "yes" : "no");
   std::printf("reorder:           %s\n",
               std::string(graph::reorder_mode_name(g.reorder_mode()))
                   .c_str());
   std::printf("mean edge span:    %.1f\n", graph::mean_edge_span(g));
+  // Per-family accounting: closed-form families carry no probability
+  // tables, so the payload term is honestly zero for them.
+  std::printf("joint payload:     %.2f MiB\n",
+              static_cast<double>(g.joints().payload_bytes()) / (1 << 20));
   std::printf("memory:            %.2f MiB\n",
               static_cast<double>(g.memory_bytes()) / (1 << 20));
   return 0;
@@ -195,11 +212,22 @@ int cmd_run(const Args& args) {
     opts.splash_max_size =
         static_cast<std::uint32_t>(args.number("splash-size", 32));
   }
+  // --syndrome 1: stop as soon as the hard decisions satisfy every parity
+  // check (LDPC graphs only; tabular graphs ignore the criterion).
+  opts.syndrome_stop = args.number("syndrome", 0) != 0;
 
   const std::string engine_arg = args.get("engine").value_or("auto");
   bp::BpResult result;
   std::string engine_used;
-  if (engine_arg == "auto") {
+  if (engine_arg == "auto" && graph::is_ldpc(g.family())) {
+    // The §3.7 dispatcher is trained on tabular workloads and may pick a
+    // device engine; decode on the relaxed-priority flagship instead.
+    const auto engine =
+        bp::make_default_engine(bp::EngineKind::kResidualMq);
+    engine_used = std::string(engine->name());
+    std::fprintf(stderr, "ldpc family: running %s\n", engine_used.c_str());
+    result = engine->run(g, opts);
+  } else if (engine_arg == "auto") {
     const auto dispatcher = [&] {
       if (const auto model = args.get("model")) {
         std::fprintf(stderr, "loading dispatcher model %s\n",
@@ -233,6 +261,11 @@ int cmd_run(const Args& args) {
   std::printf("elements:        %llu\n",
               static_cast<unsigned long long>(
                   result.stats.elements_processed));
+  if (graph::is_ldpc(g.family())) {
+    std::printf("syndrome:        %s\n",
+                result.stats.syndrome_satisfied ? "satisfied"
+                                                : "not satisfied");
+  }
 
   if (trace_path) {
     std::ofstream f(*trace_path);
@@ -260,8 +293,49 @@ int cmd_run(const Args& args) {
   return result.stats.converged ? 0 : 3;
 }
 
+/// `credo generate --family ldpc-min-sum|ldpc-sum-product|ldpc`: a random
+/// regular (dv, dc) code on --nodes bits, a random weight---errors pattern,
+/// and the decode graph for its syndrome, written as an MTX-belief pair
+/// with the %%family headers.
+int generate_ldpc(const Args& args, graph::FactorFamily family) {
+  const auto bits = static_cast<std::uint32_t>(args.number("nodes", 1024));
+  const auto dv = static_cast<std::uint32_t>(args.number("dv", 3));
+  const auto dc = static_cast<std::uint32_t>(args.number("dc", 6));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 42));
+  const auto weight = static_cast<std::uint32_t>(args.number("errors", 1));
+  const auto crossover =
+      static_cast<float>(args.number("crossover", 0.05));
+  const auto code = graph::ldpc::random_regular(bits, dv, dc, seed);
+  std::vector<std::uint8_t> error(code.bits, 0);
+  // Deterministic error pattern: `weight` distinct bits from an LCG-style
+  // stride, matching the generator's seed so the pair reproduces.
+  std::uint32_t placed = 0;
+  for (std::uint64_t x = seed; placed < std::min(weight, code.bits);
+       x = x * 6364136223846793005ULL + 1442695040888963407ULL) {
+    const auto b = static_cast<std::uint32_t>(x % code.bits);
+    if (error[b] == 0) {
+      error[b] = 1;
+      ++placed;
+    }
+  }
+  const auto syn = graph::ldpc::syndrome(code, error);
+  const auto g = graph::ldpc::build_graph(code, syn, crossover, family);
+  const std::string prefix = args.require("out");
+  io::write_mtx_belief(g, prefix + "_nodes.mtx", prefix + "_edges.mtx");
+  std::printf("wrote %s_nodes.mtx / %s_edges.mtx (%s: %u bits, %u checks, "
+              "%u-weight error)\n",
+              prefix.c_str(), prefix.c_str(),
+              std::string(graph::family_name(family)).c_str(), code.bits,
+              code.checks, placed);
+  return 0;
+}
+
 int cmd_generate(const Args& args) {
   const std::string family = args.require("family");
+  if (const auto f = graph::family_from_name(family);
+      f && graph::is_ldpc(*f)) {
+    return generate_ldpc(args, *f);
+  }
   const auto nodes =
       static_cast<graph::NodeId>(args.number("nodes", 1000));
   const auto edges = static_cast<std::uint64_t>(
@@ -425,8 +499,9 @@ int cmd_serve(const Args& args) {
 
   if (args.get("nodes")) {
     stress.graphs.emplace_back(args.require("nodes"), args.require("edges"));
-  } else {
+  } else if (!args.get("family")) {
     // Self-contained smoke mode: generate two distinct small graphs.
+    // (--family generates its own decode graphs below.)
     const auto dir = std::filesystem::temp_directory_path() /
                      "credo_serve_stress";
     std::filesystem::create_directories(dir);
@@ -446,6 +521,30 @@ int cmd_serve(const Args& args) {
     stress.graphs.emplace_back(p2 + "_nodes.mtx", p2 + "_edges.mtx");
     std::fprintf(stderr, "generated stress graphs under %s\n",
                  dir.string().c_str());
+  }
+
+  // --family ldpc-min-sum|ldpc-sum-product: the decode-under-load scenario
+  // (DESIGN.md §5g) — many tiny generated decode graphs at a high request
+  // rate — instead of the file-pair replay.
+  std::optional<serve::DecodeLoadConfig> decode_load;
+  if (const auto family_arg = args.get("family")) {
+    const auto fam = graph::family_from_name(*family_arg);
+    if (!fam || !graph::is_ldpc(*fam)) {
+      throw util::InvalidArgument(
+          "serve --family expects ldpc-sum-product or ldpc-min-sum, got " +
+          *family_arg);
+    }
+    serve::DecodeLoadConfig dl;
+    dl.family = *fam;
+    dl.requests = n_req;
+    dl.sessions = stress.sessions;
+    dl.bits = static_cast<std::uint32_t>(args.number("bits", 48));
+    dl.dv = static_cast<std::uint32_t>(args.number("dv", 3));
+    dl.dc = static_cast<std::uint32_t>(args.number("dc", 6));
+    dl.crossover = static_cast<float>(args.number("crossover", 0.05));
+    dl.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+    dl.max_iterations = stress.options.max_iterations;
+    decode_load = dl;
   }
 
   const auto metrics_path = args.get("metrics");
@@ -469,7 +568,9 @@ int cmd_serve(const Args& args) {
     });
   }
 
-  const auto report = serve::run_stress(server, stress);
+  const auto report = decode_load
+                          ? serve::run_decode_under_load(server, *decode_load)
+                          : serve::run_stress(server, stress);
   server.shutdown();
 
   scraping.store(false);
@@ -519,11 +620,14 @@ int usage() {
       "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
       "           [--reorder none|bfs|rcm|degree] [--iters N]\n"
       "           [--threshold X] [--threads T] [--queues-per-thread K]\n"
-      "           [--splash-size S] [--out beliefs.txt]\n"
+      "           [--splash-size S] [--syndrome 1] [--out beliefs.txt]\n"
       "           [--trace trace.csv] [--no-queue]\n"
       "  generate --family uniform|kron|social|tree|grid --nodes N\n"
       "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
       " --out PREFIX\n"
+      "  generate --family ldpc-sum-product|ldpc-min-sum --nodes BITS\n"
+      "           [--dv V] [--dc C] [--errors W] [--crossover P]\n"
+      "           [--seed S] --out PREFIX\n"
       "  convert  --in file.{bif,xml} --out PREFIX\n"
       "  train    --out model.txt [--beliefs 2,3,32] [--full-suite 1]\n"
       "  serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]\n"
@@ -532,6 +636,8 @@ int usage() {
       "           [--queues-per-thread K] [--splash-size S]\n"
       "           [--deadline-every K] [--deadline-ms D]\n"
       "           [--cancel-every K] [--iters N] [--threshold X]\n"
+      "           [--family ldpc-sum-product|ldpc-min-sum [--bits B]\n"
+      "            [--dv V] [--dc C] [--crossover P] [--seed S]]\n"
       "           [--metrics out.prom|out.json|-] [--spans out.jsonl|-]\n");
   return 2;
 }
