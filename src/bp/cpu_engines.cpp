@@ -17,6 +17,7 @@
 #include "bp/runtime/backend.h"
 #include "bp/runtime/convergence.h"
 #include "bp/runtime/driver.h"
+#include "bp/runtime/init.h"
 #include "bp/runtime/schedule.h"
 #include "graph/metadata.h"
 #include "perf/cost_model.h"
@@ -75,14 +76,15 @@ class CpuNodeEngine final : public CpuEngineBase {
     }
     const util::Timer timer;
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     perf::Meter meter(r.stats.counters);
 
     const auto& in = g.in_csr();
     const auto& joints = g.joints();
 
-    // Work queue (§3.5): indices of unconverged nodes; starts full.
-    runtime::NodeFrontier sched(g, opts.work_queue);
+    // Work queue (§3.5): indices of unconverged nodes; starts full — or
+    // from the perturbed region on a seeded warm re-query (§5h).
+    runtime::NodeFrontier sched(g, opts.work_queue, opts.frontier_seed.get());
     const runtime::ConvergenceController ctl(
         opts, runtime::ConvergenceController::Cadence::kEveryIteration);
     const runtime::SequentialBackend backend;
@@ -171,7 +173,7 @@ class CpuEdgeEngine final : public CpuEngineBase {
                                   const BpOptions& opts) const {
     const util::Timer timer;
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     perf::Meter meter(r.stats.counters);
 
     const NodeId n = g.num_nodes();
@@ -267,7 +269,7 @@ class CpuEdgeEngine final : public CpuEngineBase {
                                     const BpOptions& opts) const {
     const util::Timer timer;
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     perf::Meter meter(r.stats.counters);
 
     const NodeId n = g.num_nodes();

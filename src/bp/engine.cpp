@@ -1,9 +1,13 @@
 #include "bp/engine.h"
 
 #include <cctype>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bp/engines_internal.h"
+#include "bp/runtime/init.h"
 #include "graph/reorder.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -42,11 +46,65 @@ BpResult Engine::run(const graph::FactorGraph& g,
           "priority engines (residual-mq, splash)");
     }
   }
-  BpResult result = do_run(g, opts);
+  // Warm starts and frontier seeds (DESIGN.md §5h) are capability-gated the
+  // same way: silently ignoring either would return beliefs the caller
+  // believes were incrementally re-converged when they were not.
+  if (opts.init_beliefs &&
+      !engine_supports_warm_start(kind(), g.family())) {
+    throw util::InvalidArgument(
+        std::string("engine '") + std::string(engine_slug(kind())) +
+        "' does not support warm starts (init_beliefs); see "
+        "bp::engine_supports_warm_start");
+  }
+  if (opts.frontier_seed) {
+    if (!opts.init_beliefs) {
+      throw util::InvalidArgument(
+          "BpOptions: frontier_seed without init_beliefs would re-converge "
+          "only the perturbed region from cold priors — the untouched "
+          "region's beliefs would be wrong. Seed only with a warm state.");
+    }
+    if (!engine_supports_frontier_seed(kind(), g.family())) {
+      throw util::InvalidArgument(
+          std::string("engine '") + std::string(engine_slug(kind())) +
+          "' does not support frontier seeding (frontier_seed); see "
+          "bp::engine_supports_frontier_seed");
+    }
+  }
+  if (opts.init_beliefs && opts.init_beliefs->size() != g.num_nodes()) {
+    throw util::InvalidArgument(
+        "BpOptions: init_beliefs must hold exactly one belief per node");
+  }
+  // Callers speak original node ids; do_run speaks the graph's internal
+  // (possibly reordered) ids. Translate both warm inputs here, in the same
+  // place the outputs are translated back, so engine bodies never see a
+  // permutation.
+  const graph::Permutation* perm = g.permutation();
+  BpOptions eff = opts;
+  if (opts.init_beliefs && perm != nullptr) {
+    eff.init_beliefs = std::make_shared<std::vector<graph::BeliefVec>>(
+        perm->apply(*opts.init_beliefs));
+  }
+  if (opts.frontier_seed) {
+    std::vector<graph::NodeId> touched;
+    touched.reserve(opts.frontier_seed->size());
+    for (const graph::NodeId v : *opts.frontier_seed) {
+      if (v >= g.num_nodes()) {
+        throw util::InvalidArgument(
+            "BpOptions: frontier_seed contains an out-of-range node id");
+      }
+      touched.push_back(perm != nullptr ? perm->to_new(v) : v);
+    }
+    eff.frontier_seed = std::make_shared<std::vector<graph::NodeId>>(
+        runtime::expand_frontier_seed(g, touched));
+  }
+  BpResult result = do_run(g, eff);
+  if (eff.frontier_seed) {
+    result.stats.frontier_seeded = eff.frontier_seed->size();
+  }
   // The locality pass renumbers nodes at build time; results leave the
   // engine layer in the caller's original ids so the pass stays invisible
   // above the graph layer. Timed so request spans can report the phase.
-  if (const graph::Permutation* perm = g.permutation()) {
+  if (perm != nullptr) {
     const util::Timer unpermute_timer;
     result.beliefs = perm->unapply(result.beliefs);
     result.stats.unpermute_seconds = unpermute_timer.seconds();
@@ -102,6 +160,35 @@ bool engine_supports_family(EngineKind kind,
     default:
       return true;
   }
+}
+
+bool engine_supports_warm_start(EngineKind kind,
+                                graph::FactorFamily family) noexcept {
+  // The LDPC runners hold their state in per-edge log-likelihood-ratio
+  // messages, not beliefs, so a belief overlay cannot seed them; the tree
+  // baseline is exact and start-independent; the simulated-device engines
+  // model a fresh upload of uniform state per run.
+  if (graph::is_ldpc(family)) return false;
+  switch (kind) {
+    case EngineKind::kTree:
+    case EngineKind::kCudaNode:
+    case EngineKind::kCudaEdge:
+    case EngineKind::kAccEdge:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool engine_supports_frontier_seed(EngineKind kind,
+                                   graph::FactorFamily family) noexcept {
+  if (!engine_supports_warm_start(kind, family)) return false;
+  // The edge engines' queued mode fills its incremental message
+  // accumulators on the first full sweep; a partial first frontier would
+  // leave the unseeded region's accumulators missing contributions. They
+  // accept warm starts (a dense first sweep recomputes every message from
+  // the warm beliefs) but not seeds.
+  return kind != EngineKind::kCpuEdge && kind != EngineKind::kOmpEdge;
 }
 
 std::optional<EngineKind> engine_from_name(std::string_view name) noexcept {

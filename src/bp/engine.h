@@ -48,6 +48,23 @@ enum class EngineKind {
 [[nodiscard]] bool engine_supports_family(EngineKind kind,
                                           graph::FactorFamily family) noexcept;
 
+/// True when `kind` honors BpOptions::init_beliefs on graphs of `family`
+/// (DESIGN.md §5h). Warm starts are a CPU-engine, tabular-family feature:
+/// the tree baseline's exact two-pass answer is start-independent, the
+/// simulated-device engines re-upload uniform state by design, and the
+/// LDPC runners keep message state in log-likelihood ratios that a belief
+/// overlay cannot express. Engine::run enforces this.
+[[nodiscard]] bool engine_supports_warm_start(
+    EngineKind kind, graph::FactorFamily family) noexcept;
+
+/// True when `kind` honors BpOptions::frontier_seed on graphs of `family`
+/// (DESIGN.md §5h). A strict subset of warm-start support: the node-frontier
+/// and residual schedules can start from a perturbed region, but the edge
+/// engines' incremental accumulators are only filled by a full first sweep,
+/// so they take warm starts without seeding. Engine::run enforces this.
+[[nodiscard]] bool engine_supports_frontier_seed(
+    EngineKind kind, graph::FactorFamily family) noexcept;
+
 /// The single engine-name parser (every front end routes through this: the
 /// CLI, the serve layer, tools). Accepts the paper names produced by
 /// engine_name ("CUDA Edge"), the CLI slugs ("cuda-edge") and common

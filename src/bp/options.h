@@ -2,11 +2,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "bp/runtime/stop.h"
 #include "bp/runtime/telemetry.h"
+#include "graph/belief.h"
+#include "graph/csr.h"
 #include "parallel/parallel_for.h"
 #include "perf/cost_model.h"
 #include "perf/counters.h"
@@ -112,6 +115,27 @@ struct BpOptions {
   /// graphs, which have no syndrome.
   bool syndrome_stop = false;
 
+  /// Warm start (DESIGN.md §5h): initial belief state in the caller's
+  /// ORIGINAL node ids, one entry per node. Null = every node starts at
+  /// its prior (the cold default). Observed nodes always keep their fixed
+  /// point-mass — the overlay never overrides evidence. Engine::run maps
+  /// the vector through the graph's recorded permutation, size-checks it,
+  /// and rejects it on engines without warm-start support
+  /// (bp::engine_supports_warm_start). Shared, never mutated.
+  std::shared_ptr<const std::vector<graph::BeliefVec>> init_beliefs;
+
+  /// Incremental re-convergence (DESIGN.md §5h): the nodes an evidence
+  /// delta touched, in the caller's ORIGINAL node ids. Null = full run.
+  /// When set, the engine's schedule starts from this seed (expanded to
+  /// the touched nodes' out-neighbors, since evidence on roots and
+  /// observed nodes propagates only through their children) instead of
+  /// the full node set, and grows it as changes ripple — the §3.5
+  /// frontier machinery pointed at a perturbation instead of a cold
+  /// start. Meaningful with init_beliefs holding a converged state;
+  /// rejected on engines without seed support
+  /// (bp::engine_supports_frontier_seed). Shared, never mutated.
+  std::shared_ptr<const std::vector<graph::NodeId>> frontier_seed;
+
   // -------------------------------------------------------------------------
   // Fluent setters: `BpOptions{}.with_threads(4).with_damping(0.1f)` reads
   // as a request instead of a positional mutation. Each returns *this so
@@ -191,6 +215,16 @@ struct BpOptions {
   }
   BpOptions& with_syndrome_stop(bool v = true) noexcept {
     syndrome_stop = v;
+    return *this;
+  }
+  BpOptions& with_init_beliefs(
+      std::shared_ptr<const std::vector<graph::BeliefVec>> v) noexcept {
+    init_beliefs = std::move(v);
+    return *this;
+  }
+  BpOptions& with_frontier_seed(
+      std::shared_ptr<const std::vector<graph::NodeId>> v) noexcept {
+    frontier_seed = std::move(v);
     return *this;
   }
 
@@ -277,6 +311,11 @@ struct BpStats {
   /// satisfies the syndrome — whether the run stopped for that reason
   /// (BpOptions::syndrome_stop) or converged by deltas first.
   bool syndrome_satisfied = false;
+
+  /// Number of nodes the run's schedule was seeded with (after expanding
+  /// BpOptions::frontier_seed to the touched nodes' out-neighbors). 0 for
+  /// cold full runs. Response::frontier_fraction derives from this.
+  std::uint64_t frontier_seeded = 0;
 
   /// Per-iteration telemetry; filled only when BpOptions::collect_trace.
   std::vector<runtime::IterationRecord> trace;

@@ -19,6 +19,7 @@
 #include "bp/runtime/backend.h"
 #include "bp/runtime/convergence.h"
 #include "bp/runtime/driver.h"
+#include "bp/runtime/init.h"
 #include "bp/runtime/schedule.h"
 #include "graph/metadata.h"
 #include "parallel/thread_pool.h"
@@ -128,11 +129,12 @@ class OmpNodeEngine final : public OmpEngineBase {
     std::vector<WorkerSink> sinks(pool.size());
 
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     const auto& in = g.in_csr();
     const auto& joints = g.joints();
 
-    runtime::FragmentedNodeFrontier sched(g, opts.work_queue, pool.size());
+    runtime::FragmentedNodeFrontier sched(g, opts.work_queue, pool.size(),
+                                          opts.frontier_seed.get());
     const runtime::ConvergenceController ctl(
         opts, runtime::ConvergenceController::Cadence::kEveryIteration);
     runtime::PoolBackend backend(pool, opts, r.stats.counters);
@@ -215,7 +217,7 @@ class OmpEdgeEngine final : public OmpEngineBase {
     std::vector<WorkerSink> sinks(pool.size());
 
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     const NodeId n = g.num_nodes();
     const auto& edges = g.edges();
     const auto& joints = g.joints();

@@ -27,6 +27,7 @@
 #include "bp/engines_internal.h"
 #include "bp/runtime/convergence.h"
 #include "bp/runtime/driver.h"
+#include "bp/runtime/init.h"
 #include "bp/runtime/mq_schedule.h"
 #include "bp/runtime/observe.h"
 #include "parallel/thread_pool.h"
@@ -177,7 +178,7 @@ class ResidualMqEngine final : public RelaxedEngineBase {
     std::vector<WorkerSink> sinks(pool.size());
 
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     const NodeId n = g.num_nodes();
 
     const runtime::ConvergenceController ctl(
@@ -185,7 +186,8 @@ class ResidualMqEngine final : public RelaxedEngineBase {
     runtime::MultiQueueSchedule sched(g, ctl, pool.size(),
                                       opts.sched_queues_per_thread,
                                       kSchedSeed,
-                                      locked_ ? 1u : 0u);
+                                      locked_ ? 1u : 0u,
+                                      opts.frontier_seed.get());
 
     // The whole drain is one fork/join region (vs. one per sweep for the
     // §2.4 engines): team wake/join is paid once per run.
@@ -246,14 +248,15 @@ class SplashEngine final : public RelaxedEngineBase {
     std::vector<WorkerSink> sinks(pool.size());
 
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     const NodeId n = g.num_nodes();
 
     const runtime::ConvergenceController ctl(
         opts, runtime::ConvergenceController::Cadence::kEveryIteration);
     runtime::SplashSchedule sched(g, ctl, pool.size(),
                                   opts.sched_queues_per_thread,
-                                  opts.splash_max_size, kSchedSeed);
+                                  opts.splash_max_size, kSchedSeed,
+                                  opts.frontier_seed.get());
 
     // Per-worker splash scratch: the subtree, pre-splash belief copies
     // (total per-node deltas are measured against them), the deltas, and

@@ -18,6 +18,7 @@
 #include "bp/engines_internal.h"
 #include "bp/runtime/convergence.h"
 #include "bp/runtime/driver.h"
+#include "bp/runtime/init.h"
 #include "bp/runtime/schedule.h"
 #include "graph/metadata.h"
 #include "perf/cost_model.h"
@@ -56,7 +57,7 @@ class ResidualEngine final : public Engine {
     }
     const util::Timer timer;
     BpResult r;
-    r.beliefs = g.initial_beliefs();
+    r.beliefs = runtime::initial_state(g, opts);
     perf::Meter meter(r.stats.counters);
 
     const auto& in = g.in_csr();
@@ -65,7 +66,7 @@ class ResidualEngine final : public Engine {
 
     const runtime::ConvergenceController ctl(
         opts, runtime::ConvergenceController::Cadence::kEveryIteration);
-    runtime::ResidualSchedule sched(g, ctl, meter);
+    runtime::ResidualSchedule sched(g, ctl, meter, opts.frontier_seed.get());
 
     EdgeBlockScratch scratch;
     BeliefVec prev;

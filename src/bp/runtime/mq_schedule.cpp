@@ -23,7 +23,8 @@ MultiQueueSchedule::MultiQueueSchedule(const graph::FactorGraph& g,
                                        unsigned workers,
                                        unsigned queues_per_worker,
                                        std::uint64_t seed,
-                                       unsigned total_shards)
+                                       unsigned total_shards,
+                                       const std::vector<graph::NodeId>* seed_nodes)
     : g_(g),
       ctl_(ctl),
       state_(g.num_nodes()),
@@ -47,14 +48,25 @@ MultiQueueSchedule::MultiQueueSchedule(const graph::FactorGraph& g,
   for (auto& s : state_) s.store(0, std::memory_order_relaxed);
   for (auto& r : residual_) r.store(0.0f, std::memory_order_relaxed);
   std::int64_t seeded = 0;
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
+  const auto start = [&](graph::NodeId v) {
     residual_[v].store(std::numeric_limits<float>::max(),
                        std::memory_order_relaxed);
     state_[v].store((1ull << 1) | 1, std::memory_order_relaxed);
     shards_[v % shards_.size()].heap.push_back(
         {std::numeric_limits<float>::max(), v, 1u});
     ++seeded;
+  };
+  if (seed_nodes != nullptr) {
+    // §5h seeded start: only the perturbed region enters the heaps; raise()
+    // installs fresh entries for any node a recorded update reaches, so
+    // the wave spreads exactly as it does from a full start. The list
+    // arrives pre-filtered (unobserved, in-degree > 0).
+    for (const graph::NodeId v : *seed_nodes) start(v);
+  } else {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (g.observed(v) || g.in_csr().degree(v) == 0) continue;
+      start(v);
+    }
   }
   for (auto& sh : shards_) {
     std::make_heap(sh.heap.begin(), sh.heap.end());
@@ -283,11 +295,12 @@ std::vector<std::uint64_t> MultiQueueSchedule::heap_peaks() const {
 SplashSchedule::SplashSchedule(const graph::FactorGraph& g,
                                const ConvergenceController& ctl,
                                unsigned workers, unsigned queues_per_worker,
-                               std::uint32_t max_size, std::uint64_t seed)
+                               std::uint32_t max_size, std::uint64_t seed,
+                               const std::vector<graph::NodeId>* seed_nodes)
     : g_(g),
       ctl_(ctl),
       max_size_(std::max(1u, max_size)),
-      mq_(g, ctl, workers, queues_per_worker, seed),
+      mq_(g, ctl, workers, queues_per_worker, seed, 0, seed_nodes),
       busy_(g.num_nodes()),
       lanes_(std::max(1u, workers)) {
   for (auto& b : busy_) b.store(0, std::memory_order_relaxed);

@@ -105,10 +105,14 @@ class MultiQueueSchedule {
   /// `total_shards` overrides the shard count when nonzero — 1 yields the
   /// classic concurrency baseline: a single exact heap behind one lock,
   /// every pop the true global max (the "residual-locked" engine).
+  /// `seed_nodes` non-null starts only those nodes at FLT_MAX (DESIGN.md
+  /// §5h); raise() already installs entries for nodes it reaches, so the
+  /// perturbation spreads on its own.
   MultiQueueSchedule(const graph::FactorGraph& g,
                      const ConvergenceController& ctl, unsigned workers,
                      unsigned queues_per_worker, std::uint64_t seed,
-                     unsigned total_shards = 0);
+                     unsigned total_shards = 0,
+                     const std::vector<graph::NodeId>* seed_nodes = nullptr);
 
   /// Claims an approximately-max-residual node for worker `w`, consuming
   /// its residual (raises landing while the node is processed start from
@@ -229,10 +233,12 @@ class MultiQueueSchedule {
 /// Splash batching over an inner MultiQueue. See the file comment.
 class SplashSchedule {
  public:
+  /// `seed_nodes` as in MultiQueueSchedule: a §5h seeded start.
   SplashSchedule(const graph::FactorGraph& g,
                  const ConvergenceController& ctl, unsigned workers,
                  unsigned queues_per_worker, std::uint32_t max_size,
-                 std::uint64_t seed);
+                 std::uint64_t seed,
+                 const std::vector<graph::NodeId>* seed_nodes = nullptr);
 
   /// Claims an approximately-max-residual root and grows a bounded BFS
   /// subtree around it, disjoint from every concurrent splash. `out` holds

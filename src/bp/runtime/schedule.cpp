@@ -8,22 +8,93 @@ namespace {
 constexpr std::uint32_t kNoLevel = ~0u;
 }  // namespace
 
-NodeFrontier::NodeFrontier(const graph::FactorGraph& g, bool use_queue)
-    : use_queue_(use_queue), n_(g.num_nodes()) {
+NodeFrontier::NodeFrontier(const graph::FactorGraph& g, bool use_queue,
+                           const std::vector<graph::NodeId>* seed)
+    : use_queue_(use_queue || seed != nullptr), n_(g.num_nodes()) {
   if (!use_queue_) return;
+  if (seed != nullptr) {
+    g_ = &g;
+    stamp_.assign(g.num_nodes(), 0);
+    queue_ = *seed;
+    return;
+  }
   queue_.reserve(g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     if (!g.observed(v)) queue_.push_back(v);
   }
 }
 
-FragmentedNodeFrontier::FragmentedNodeFrontier(const graph::FactorGraph& g,
-                                               bool use_queue,
-                                               unsigned workers)
-    : use_queue_(use_queue), n_(g.num_nodes()), frags_(workers) {
+void NodeFrontier::push_next(perf::Meter& meter, graph::NodeId v) {
+  if (stamp_[v] == round_) return;
+  stamp_[v] = round_;
+  next_.push_back(v);
+  meter.seq_write(sizeof(graph::NodeId));
+}
+
+void NodeFrontier::keep(perf::Meter& meter, graph::NodeId v) {
+  if (g_ == nullptr) {
+    next_.push_back(v);
+    meter.seq_write(sizeof(graph::NodeId));
+    return;
+  }
+  // Seeded mode: wake v's children too — they may never have been queued.
+  push_next(meter, v);
+  meter.seq_read(sizeof(std::uint64_t));  // CSR offset
+  for (const auto& entry : g_->out_csr().neighbors(v)) {
+    meter.seq_read(sizeof(entry));
+    const graph::NodeId c = entry.node;
+    if (g_->observed(c) || g_->in_csr().degree(c) == 0) continue;
+    push_next(meter, c);
+  }
+}
+
+FragmentedNodeFrontier::FragmentedNodeFrontier(
+    const graph::FactorGraph& g, bool use_queue, unsigned workers,
+    const std::vector<graph::NodeId>* seed)
+    : use_queue_(use_queue || seed != nullptr),
+      n_(g.num_nodes()),
+      frags_(workers) {
   if (!use_queue_) return;
+  if (seed != nullptr) {
+    g_ = &g;
+    stamp_ = std::vector<std::atomic<std::uint32_t>>(g.num_nodes());
+    for (auto& s : stamp_) s.store(0, std::memory_order_relaxed);
+    queue_ = *seed;
+    return;
+  }
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     if (!g.observed(v)) queue_.push_back(v);
+  }
+}
+
+void FragmentedNodeFrontier::push_next(perf::Meter& meter, unsigned worker,
+                                       graph::NodeId v) {
+  std::uint32_t cur = stamp_[v].load(std::memory_order_relaxed);
+  if (cur == round_) return;
+  if (!stamp_[v].compare_exchange_strong(cur, round_,
+                                         std::memory_order_relaxed)) {
+    return;  // another worker woke v this round
+  }
+  frags_[worker].push_back(v);
+  meter.atomic(1, 1);
+  meter.seq_write(sizeof(graph::NodeId));
+}
+
+void FragmentedNodeFrontier::keep(perf::Meter& meter, unsigned worker,
+                                  graph::NodeId v) {
+  if (g_ == nullptr) {
+    frags_[worker].push_back(v);
+    meter.atomic(1, 1);
+    meter.seq_write(sizeof(graph::NodeId));
+    return;
+  }
+  push_next(meter, worker, v);
+  meter.seq_read(sizeof(std::uint64_t));  // CSR offset
+  for (const auto& entry : g_->out_csr().neighbors(v)) {
+    meter.seq_read(sizeof(entry));
+    const graph::NodeId c = entry.node;
+    if (g_->observed(c) || g_->in_csr().degree(c) == 0) continue;
+    push_next(meter, worker, c);
   }
 }
 
@@ -37,19 +108,29 @@ EdgeFrontier::EdgeFrontier(const graph::FactorGraph& g) {
 
 ResidualSchedule::ResidualSchedule(const graph::FactorGraph& g,
                                    const ConvergenceController& ctl,
-                                   perf::Meter& meter)
+                                   perf::Meter& meter,
+                                   const std::vector<graph::NodeId>* seed)
     : g_(g),
       ctl_(ctl),
       meter_(meter),
       residual_(g.num_nodes(), 0.0f),
       version_(g.num_nodes(), 0),
       live_(g.num_nodes(), 0) {
+  const auto start = [&](graph::NodeId v) {
+    residual_[v] = std::numeric_limits<float>::max();
+    live_[v] = 1;
+    pq_.push({residual_[v], v, version_[v]});
+  };
+  if (seed != nullptr) {
+    // §5h seeded start: only the perturbed region enters the heap;
+    // record() raises children, so the wave spreads by itself. The seed
+    // arrives pre-filtered (unobserved, in-degree > 0) from
+    // expand_frontier_seed.
+    for (const graph::NodeId v : *seed) start(v);
+    return;
+  }
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (!g.observed(v) && g.in_csr().degree(v) > 0) {
-      residual_[v] = std::numeric_limits<float>::max();
-      live_[v] = 1;
-      pq_.push({residual_[v], v, version_[v]});
-    }
+    if (!g.observed(v) && g.in_csr().degree(v) > 0) start(v);
   }
 }
 

@@ -19,6 +19,7 @@
 // a by-level edge ordering for the two Pearl sweeps.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <queue>
 #include <utility>
@@ -49,14 +50,25 @@ class DenseSweep {
 /// §3.5 node work queue (sequential form): a double-buffered index list.
 /// With `use_queue` false it degrades to a dense [0, n) sweep so one engine
 /// body serves both modes.
+///
+/// Seeded form (DESIGN.md §5h): when `seed` is non-null the first frontier
+/// is that node list instead of every unobserved node, queue mode is
+/// forced, and `keep` becomes propagating — a still-active node re-enqueues
+/// itself AND its out-neighbors (per-round stamp-deduplicated), because a
+/// node outside the seed was never in the queue and must be woken when a
+/// perturbation reaches it. Unseeded behavior and metering are unchanged.
 class NodeFrontier {
  public:
-  NodeFrontier(const graph::FactorGraph& g, bool use_queue);
+  NodeFrontier(const graph::FactorGraph& g, bool use_queue,
+               const std::vector<graph::NodeId>* seed = nullptr);
 
   [[nodiscard]] bool queued() const noexcept { return use_queue_; }
 
   std::uint64_t begin_iteration(std::uint32_t /*iter*/) {
-    if (use_queue_) next_.clear();
+    if (use_queue_) {
+      next_.clear();
+      ++round_;
+    }
     return size();
   }
   [[nodiscard]] std::uint64_t size() const noexcept {
@@ -71,11 +83,9 @@ class NodeFrontier {
     return queue_[qi];
   }
 
-  /// Re-enqueues a still-active node for the next round.
-  void keep(perf::Meter& meter, graph::NodeId v) {
-    next_.push_back(v);
-    meter.seq_write(sizeof(graph::NodeId));
-  }
+  /// Re-enqueues a still-active node for the next round (plus its
+  /// out-neighbors in seeded mode — the change flows to its children).
+  void keep(perf::Meter& meter, graph::NodeId v);
 
   /// Swaps in the next frontier; false when it is empty (all remaining
   /// elements individually converged).
@@ -86,8 +96,13 @@ class NodeFrontier {
   }
 
  private:
+  void push_next(perf::Meter& meter, graph::NodeId v);
+
   bool use_queue_;
   std::uint64_t n_;
+  const graph::FactorGraph* g_ = nullptr;  // set iff seeded
+  std::uint32_t round_ = 0;
+  std::vector<std::uint32_t> stamp_;  // round v was last enqueued for
   std::vector<graph::NodeId> queue_;
   std::vector<graph::NodeId> next_;
 };
@@ -95,14 +110,20 @@ class NodeFrontier {
 /// §3.5 node work queue, thread-team form: appends go to per-worker
 /// fragments (the real implementation appends through one shared cursor,
 /// hence the atomic charge per keep), merged into one frontier at advance.
+///
+/// Seeded form mirrors NodeFrontier's: propagating keep with an atomic
+/// per-round stamp CAS so exactly one worker enqueues a woken node per
+/// round (duplicates across fragments would otherwise grow unboundedly).
 class FragmentedNodeFrontier {
  public:
   FragmentedNodeFrontier(const graph::FactorGraph& g, bool use_queue,
-                         unsigned workers);
+                         unsigned workers,
+                         const std::vector<graph::NodeId>* seed = nullptr);
 
   [[nodiscard]] bool queued() const noexcept { return use_queue_; }
 
-  std::uint64_t begin_iteration(std::uint32_t /*iter*/) const noexcept {
+  std::uint64_t begin_iteration(std::uint32_t /*iter*/) noexcept {
+    if (use_queue_ && g_ != nullptr) ++round_;
     return size();
   }
   [[nodiscard]] std::uint64_t size() const noexcept {
@@ -116,12 +137,9 @@ class FragmentedNodeFrontier {
   }
 
   /// Worker-local re-enqueue; the metered atomic is the shared cursor
-  /// bump a real lock-free append would pay.
-  void keep(perf::Meter& meter, unsigned worker, graph::NodeId v) {
-    frags_[worker].push_back(v);
-    meter.atomic(1, 1);
-    meter.seq_write(sizeof(graph::NodeId));
-  }
+  /// bump a real lock-free append would pay. Seeded mode also wakes v's
+  /// out-neighbors (stamp-deduplicated across the team).
+  void keep(perf::Meter& meter, unsigned worker, graph::NodeId v);
 
   bool advance(std::uint32_t /*iter*/) {
     if (!use_queue_) return true;
@@ -134,8 +152,13 @@ class FragmentedNodeFrontier {
   }
 
  private:
+  void push_next(perf::Meter& meter, unsigned worker, graph::NodeId v);
+
   bool use_queue_;
   std::uint64_t n_;
+  const graph::FactorGraph* g_ = nullptr;  // set iff seeded
+  std::uint32_t round_ = 0;
+  std::vector<std::atomic<std::uint32_t>> stamp_;
   std::vector<graph::NodeId> queue_;
   std::vector<std::vector<graph::NodeId>> frags_;
 };
@@ -201,8 +224,12 @@ class ResidualSchedule {
     }
   };
 
+  /// `seed` non-null starts only those nodes at max priority (DESIGN.md
+  /// §5h) instead of every unobserved node; record() already propagates
+  /// priority to children, so the perturbation spreads on its own.
   ResidualSchedule(const graph::FactorGraph& g,
-                   const ConvergenceController& ctl, perf::Meter& meter);
+                   const ConvergenceController& ctl, perf::Meter& meter,
+                   const std::vector<graph::NodeId>* seed = nullptr);
 
   /// Pops the highest-residual unconverged node. False when drained.
   bool pop(graph::NodeId& v);

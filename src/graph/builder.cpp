@@ -192,16 +192,17 @@ FactorGraph GraphBuilder::finalize() {
   for (EdgeId i = 0; i < edges_.size(); ++i) g.edges_[i] = edges_[order[i]];
   edges_.clear();
   if (family_ != FactorFamily::kTabular) {
-    g.joints_ = JointStore::closed_form();
+    g.joints_ = std::make_shared<JointStore>(JointStore::closed_form());
   } else if (shared_.has_value()) {
-    g.joints_ = JointStore::shared(*shared_);
+    g.joints_ = std::make_shared<JointStore>(JointStore::shared(*shared_));
   } else {
     std::vector<JointMatrix> permuted(g.edges_.size());
     for (EdgeId i = 0; i < g.edges_.size(); ++i) {
       permuted[i] = per_edge_[order[i]];
     }
     per_edge_.clear();
-    g.joints_ = JointStore::per_edge_from(std::move(permuted));
+    g.joints_ = std::make_shared<JointStore>(
+        JointStore::per_edge_from(std::move(permuted)));
   }
   g.in_csr_ = Csr::by_target(g.num_nodes(), g.edges_);
   g.out_csr_ = Csr::by_source(g.num_nodes(), g.edges_);

@@ -1,0 +1,137 @@
+#include "graph/disjoint_union.h"
+
+#include "graph/builder.h"
+#include "graph/reorder.h"
+#include "util/error.h"
+
+namespace credo::graph {
+
+namespace {
+
+std::uint32_t argmax_state(const BeliefVec& b) noexcept {
+  std::uint32_t best = 0;
+  for (std::uint32_t s = 1; s < b.size; ++s) {
+    if (b.v[s] > b.v[best]) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<BeliefVec> GraphUnion::scatter(std::span<const BeliefVec> fused,
+                                           std::size_t i) const {
+  const Part& p = parts_[i];
+  std::vector<BeliefVec> out(p.nodes);
+  for (NodeId l = 0; l < p.nodes; ++l) out[l] = fused[global_id(i, l)];
+  return out;
+}
+
+bool GraphUnion::part_syndrome_satisfied(std::span<const BeliefVec> fused,
+                                         std::size_t i) const {
+  CREDO_CHECK_MSG(is_ldpc(graph_.family()),
+                  "part_syndrome_satisfied requires an LDPC union");
+  const Part& p = parts_[i];
+  const Csr& in = graph_.in_csr();
+  for (NodeId l = p.vars; l < p.nodes; ++l) {
+    const NodeId c = global_id(i, l);
+    // The check's syndrome bit rides in its prior: [0,1] targets odd
+    // parity, [1,0] even (graph::ldpc build convention).
+    const bool target = graph_.prior(c).v[1] > graph_.prior(c).v[0];
+    bool parity = false;
+    for (const auto& entry : in.neighbors(c)) {
+      parity ^= fused[entry.node].v[1] > fused[entry.node].v[0];
+    }
+    if (parity != target) return false;
+  }
+  return true;
+}
+
+GraphUnion disjoint_union(std::span<const FactorGraph* const> parts) {
+  if (parts.empty()) {
+    throw util::InvalidArgument("disjoint_union: empty part list");
+  }
+  const FactorFamily family = parts[0]->family();
+  for (const FactorGraph* p : parts) {
+    if (p->family() != family) {
+      throw util::InvalidArgument(
+          "disjoint_union: every part must share one factor family");
+    }
+    if (p->permutation() != nullptr) {
+      throw util::InvalidArgument(
+          "disjoint_union: parts must carry no reorder permutation (fuse "
+          "first, reorder the union if at all)");
+    }
+  }
+
+  GraphUnion u;
+  u.parts_.reserve(parts.size());
+  NodeId var_base = 0;
+  NodeId check_total = 0;
+  std::uint64_t total_edges = 0;
+  for (const FactorGraph* p : parts) {
+    GraphUnion::Part part;
+    part.vars = is_ldpc(family) ? p->ldpc_variables() : p->num_nodes();
+    part.nodes = p->num_nodes();
+    part.var_base = var_base;
+    part.check_base = check_total;
+    var_base += part.vars;
+    check_total += part.nodes - part.vars;
+    total_edges += p->num_edges();
+    u.parts_.push_back(part);
+  }
+  u.total_vars_ = var_base;
+
+  GraphBuilder b;
+  if (family != FactorFamily::kTabular) {
+    b.use_family(family);
+    b.set_ldpc_variables(var_base);
+  }
+  b.reserve(var_base + check_total, total_edges);
+
+  // Nodes in global-id order: every part's variable block first (the LDPC
+  // variables-first contract must hold for the union as a whole), then the
+  // check blocks in the same part order.
+  std::vector<NodeId> observed_at;  // deferred: ids assigned sequentially
+  std::vector<std::uint32_t> observed_state;
+  const auto add_block = [&](std::size_t i, NodeId lo, NodeId hi) {
+    const FactorGraph& p = *parts[i];
+    for (NodeId l = lo; l < hi; ++l) {
+      const NodeId gid = b.add_node(p.prior(l));
+      if (p.observed(l)) {
+        observed_at.push_back(gid);
+        observed_state.push_back(argmax_state(p.prior(l)));
+      }
+    }
+  };
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    add_block(i, 0, u.parts_[i].vars);
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    add_block(i, u.parts_[i].vars, u.parts_[i].nodes);
+  }
+  for (std::size_t k = 0; k < observed_at.size(); ++k) {
+    b.observe(observed_at[k], observed_state[k]);
+  }
+
+  // Edges, renumbered through the part table. Tabular unions go per-edge
+  // even when a part used a shared matrix — parts may share different
+  // matrices, and correctness beats the payload saving here.
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const FactorGraph& p = *parts[i];
+    const auto& edges = p.edges();
+    for (EdgeId e = 0; e < edges.size(); ++e) {
+      const NodeId src = u.global_id(i, edges[e].src);
+      const NodeId dst = u.global_id(i, edges[e].dst);
+      if (family == FactorFamily::kTabular) {
+        b.add_edge(src, dst, p.joints().at(e));
+      } else {
+        b.add_edge(src, dst);
+      }
+    }
+  }
+
+  u.graph_ = b.finalize();
+  return u;
+}
+
+}  // namespace credo::graph

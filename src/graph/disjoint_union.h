@@ -1,0 +1,82 @@
+// Disjoint-union graph fusion for batched serving (DESIGN.md §5h).
+//
+// Many small independent graphs of the same factor family fuse into one
+// super-graph: node ids are renumbered per part, edges copied with their
+// joint tables, and nothing connects the parts — so one propagation run
+// over the union computes exactly the per-part fixed points (no message
+// ever crosses a part boundary), amortizing per-iteration loop and
+// convergence-check overhead across the whole batch. `scatter` maps the
+// fused belief vector back to one part's original ids; for the LDPC
+// families `part_syndrome_satisfied` re-checks each part's parity so a
+// batch can report per-subgraph decode status honestly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/belief.h"
+#include "graph/csr.h"
+#include "graph/factor_graph.h"
+
+namespace credo::graph {
+
+/// A fused super-graph plus the renumbering table back to its parts.
+///
+/// Id convention: tabular parts are packed back to back in input order.
+/// LDPC parts are renumbered variables-first GLOBALLY — every part's
+/// variables come before any part's checks — because FactorGraph's LDPC
+/// contract is ids [0, ldpc_variables()) are variables.
+class GraphUnion {
+ public:
+  struct Part {
+    NodeId var_base = 0;    // global id of the part's first variable
+    NodeId check_base = 0;  // offset of its first check within check block
+    NodeId vars = 0;        // variables in the part (== nodes when tabular)
+    NodeId nodes = 0;       // total nodes in the part
+  };
+
+  [[nodiscard]] const FactorGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t num_parts() const noexcept {
+    return parts_.size();
+  }
+  [[nodiscard]] const Part& part(std::size_t i) const noexcept {
+    return parts_[i];
+  }
+
+  /// Global (fused) id of part `i`'s local node `local`.
+  [[nodiscard]] NodeId global_id(std::size_t i, NodeId local) const noexcept {
+    const Part& p = parts_[i];
+    if (local < p.vars) return p.var_base + local;
+    return total_vars_ + p.check_base + (local - p.vars);
+  }
+
+  /// Extracts part `i`'s beliefs from a fused belief vector, indexed by the
+  /// part's original node ids.
+  [[nodiscard]] std::vector<BeliefVec> scatter(
+      std::span<const BeliefVec> fused, std::size_t i) const;
+
+  /// LDPC families: whether part `i`'s hard decisions (from the fused
+  /// beliefs) satisfy every parity check of that part. The target parity of
+  /// each check is read off its syndrome prior; the decode is the argmax of
+  /// each variable's belief. Must not be called on tabular unions.
+  [[nodiscard]] bool part_syndrome_satisfied(std::span<const BeliefVec> fused,
+                                             std::size_t i) const;
+
+ private:
+  friend GraphUnion disjoint_union(
+      std::span<const FactorGraph* const> parts);
+
+  FactorGraph graph_;
+  std::vector<Part> parts_;
+  NodeId total_vars_ = 0;  // == total nodes for tabular unions
+};
+
+/// Fuses `parts` into one GraphUnion. Every part must share one factor
+/// family and carry no recorded permutation (reorder happens after fusion
+/// or not at all — a per-part permutation would scramble the id table).
+/// Throws util::InvalidArgument on an empty list or mismatched parts.
+[[nodiscard]] GraphUnion disjoint_union(
+    std::span<const FactorGraph* const> parts);
+
+}  // namespace credo::graph

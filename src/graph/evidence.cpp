@@ -1,0 +1,145 @@
+#include "graph/evidence.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "graph/reorder.h"
+
+namespace credo::graph {
+
+EvidenceDelta& EvidenceDelta::set_prior(NodeId node, const BeliefVec& prior) {
+  Op op;
+  op.kind = OpKind::kSetPrior;
+  op.node = node;
+  op.prior = prior;
+  ops_.push_back(op);
+  return *this;
+}
+
+EvidenceDelta& EvidenceDelta::observe(NodeId node, std::uint32_t state) {
+  Op op;
+  op.kind = OpKind::kObserve;
+  op.node = node;
+  op.state = state;
+  ops_.push_back(op);
+  return *this;
+}
+
+EvidenceDelta& EvidenceDelta::unobserve(NodeId node) {
+  Op op;
+  op.kind = OpKind::kUnobserve;
+  op.node = node;
+  ops_.push_back(op);
+  return *this;
+}
+
+util::Status EvidenceDelta::validate(const FactorGraph& g) const noexcept {
+  const auto invalid = [](const char* msg) {
+    return util::Status(util::StatusCode::kInvalidArgument, msg);
+  };
+  const Permutation* perm = g.permutation();
+  // Observation flags as they evolve through the op list (original ids);
+  // fall back to the graph's flags for nodes no earlier op touched.
+  std::unordered_map<NodeId, bool> obs;
+  for (const Op& op : ops_) {
+    if (op.node >= g.num_nodes()) {
+      return invalid("EvidenceDelta: node id out of range");
+    }
+    const NodeId v = perm != nullptr ? perm->to_new(op.node) : op.node;
+    const auto it = obs.find(op.node);
+    const bool observed_now = it != obs.end() ? it->second : g.observed(v);
+    switch (op.kind) {
+      case OpKind::kSetPrior:
+        if (op.prior.size != g.arity(v)) {
+          return invalid("EvidenceDelta: set_prior arity mismatch");
+        }
+        if (observed_now) {
+          return invalid(
+              "EvidenceDelta: set_prior on an observed node (unobserve it "
+              "first — observed beliefs are pinned)");
+        }
+        break;
+      case OpKind::kObserve:
+        if (op.state >= g.arity(v)) {
+          return invalid("EvidenceDelta: observed state out of range");
+        }
+        obs[op.node] = true;
+        break;
+      case OpKind::kUnobserve:
+        obs[op.node] = false;
+        break;
+    }
+  }
+  return util::Status::ok();
+}
+
+std::vector<NodeId> EvidenceDelta::touched() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(ops_.size());
+  for (const Op& op : ops_) nodes.push_back(op.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::uint64_t EvidenceDelta::fingerprint() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const Op& op : ops_) {
+    mix(static_cast<std::uint64_t>(op.kind));
+    mix(op.node);
+    if (op.kind == OpKind::kObserve) mix(op.state);
+    if (op.kind == OpKind::kSetPrior) {
+      mix(op.prior.size);
+      for (std::uint32_t i = 0; i < op.prior.size; ++i) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &op.prior.v[i], sizeof(bits));
+        mix(bits);
+      }
+    }
+  }
+  return h;
+}
+
+/// Private-member access seam, mirroring ReorderAccess: the one place a
+/// FactorGraph's evidence state is rewritten outside the builder.
+class EvidenceAccess {
+ public:
+  static FactorGraph apply(const FactorGraph& g, const EvidenceDelta& d) {
+    if (const auto s = d.validate(g); !s.is_ok()) {
+      throw util::InvalidArgument(s.message());
+    }
+    FactorGraph out = g;  // structure + shared joint tables, copied indices
+    const Permutation* perm = g.permutation();
+    for (const EvidenceDelta::Op& op : d.ops_) {
+      const NodeId v = perm != nullptr ? perm->to_new(op.node) : op.node;
+      switch (op.kind) {
+        case EvidenceDelta::OpKind::kSetPrior:
+          out.priors_[v] = op.prior;
+          break;
+        case EvidenceDelta::OpKind::kObserve:
+          out.priors_[v] =
+              BeliefVec::observed(out.priors_[v].size, op.state);
+          out.observed_[v] = 1;
+          break;
+        case EvidenceDelta::OpKind::kUnobserve:
+          out.priors_[v] = BeliefVec::uniform(out.priors_[v].size);
+          out.observed_[v] = 0;
+          break;
+      }
+    }
+    return out;
+  }
+};
+
+FactorGraph with_evidence(const FactorGraph& g, const EvidenceDelta& delta) {
+  return EvidenceAccess::apply(g, delta);
+}
+
+}  // namespace credo::graph

@@ -1,0 +1,80 @@
+// Incremental evidence deltas (DESIGN.md §5h).
+//
+// A serve-layer re-query rarely changes the graph — it changes the
+// *evidence*: a handful of priors move, a variable gets observed or
+// released. An EvidenceDelta is that list of operations, expressed in the
+// caller's ORIGINAL node ids; `with_evidence` applies it to an existing
+// FactorGraph as a cheap structural copy (the edge list, CSR indices and
+// the joint-table payload are shared or copied as indices only — the
+// ~4 KiB-per-edge tables live behind FactorGraph's shared JointStore
+// handle). The `touched()` node list is what seeds the §3.5 frontier for
+// re-convergence of just the perturbed region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/belief.h"
+#include "graph/csr.h"
+#include "graph/factor_graph.h"
+#include "util/error.h"
+
+namespace credo::graph {
+
+/// An ordered list of evidence operations against one graph. Ops apply in
+/// insertion order, so a later op on the same node wins. Node ids are the
+/// caller's original ids (pre-reorder).
+class EvidenceDelta {
+ public:
+  /// Replaces `node`'s prior (and current-belief starting point) with
+  /// `prior`. The node must be unobserved at apply time and the arity must
+  /// match. The prior need not be normalized.
+  EvidenceDelta& set_prior(NodeId node, const BeliefVec& prior);
+
+  /// Pins `node` to a point mass on `state` (observes it).
+  EvidenceDelta& observe(NodeId node, std::uint32_t state);
+
+  /// Releases an observed `node`: cleared to a uniform prior over its
+  /// arity and free to update again.
+  EvidenceDelta& unobserve(NodeId node);
+
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+
+  /// Checks every op against `g`: ids in range, set_prior arity matches,
+  /// observe states in range. Status (never throws) so the serve layer can
+  /// reject a bad request without exceptions.
+  [[nodiscard]] util::Status validate(const FactorGraph& g) const noexcept;
+
+  /// Sorted, deduplicated list of every node the delta touches (original
+  /// ids) — the frontier seed of an incremental re-convergence.
+  [[nodiscard]] std::vector<NodeId> touched() const;
+
+  /// FNV-1a content hash over the op list. Two requests with the same
+  /// delta hash equal; part of the warm-state fingerprint (serve layer).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+ private:
+  friend class EvidenceAccess;
+
+  enum class OpKind : std::uint8_t { kSetPrior, kObserve, kUnobserve };
+  struct Op {
+    OpKind kind;
+    NodeId node;
+    std::uint32_t state = 0;  // kObserve
+    BeliefVec prior;          // kSetPrior
+  };
+
+  std::vector<Op> ops_;
+};
+
+/// A copy of `g` with `delta` applied: priors and observation flags
+/// updated, everything structural shared/unchanged — same edges, CSRs,
+/// joint tables, family, names and recorded permutation (beliefs still
+/// come back in original ids). Throws util::InvalidArgument when
+/// delta.validate(g) fails or an op observes/releases a node in the wrong
+/// state (set_prior on an observed node must unobserve first).
+[[nodiscard]] FactorGraph with_evidence(const FactorGraph& g,
+                                        const EvidenceDelta& delta);
+
+}  // namespace credo::graph

@@ -25,7 +25,7 @@ std::uint64_t FactorGraph::memory_bytes() const noexcept {
   total += priors_.size() * sizeof(BeliefVec);
   total += observed_.size() * sizeof(std::uint8_t);
   total += edges_.size() * sizeof(DirectedEdge);
-  total += joints_.payload_bytes();
+  total += joints_->payload_bytes();
   total += in_csr_.index_bytes();
   total += out_csr_.index_bytes();
   for (const auto& n : names_) total += n.capacity();

@@ -186,7 +186,15 @@ class FactorGraph {
   /// Out-edge index.
   [[nodiscard]] const Csr& out_csr() const noexcept { return out_csr_; }
 
-  [[nodiscard]] const JointStore& joints() const noexcept { return joints_; }
+  [[nodiscard]] const JointStore& joints() const noexcept { return *joints_; }
+
+  /// The joint store as a shareable handle (graph copies and the evidence
+  /// overlay share one immutable table payload — ~4 KiB per edge for
+  /// per-edge tabular stores; see graph/evidence.h).
+  [[nodiscard]] const std::shared_ptr<const JointStore>& joints_ptr()
+      const noexcept {
+    return joints_;
+  }
 
   /// Node names, if the input carried them (BIF does; MTX-belief carries
   /// numeric ids only). Empty when absent.
@@ -230,13 +238,15 @@ class FactorGraph {
 
  private:
   friend class GraphBuilder;
-  friend class ReorderAccess;  // graph/reorder.cpp
+  friend class ReorderAccess;   // graph/reorder.cpp
+  friend class EvidenceAccess;  // graph/evidence.cpp
 
   std::vector<BeliefVec> priors_;
   std::vector<std::uint8_t> observed_;
   std::vector<std::string> names_;
   std::vector<DirectedEdge> edges_;
-  JointStore joints_ = JointStore::per_edge();
+  std::shared_ptr<const JointStore> joints_ =
+      std::make_shared<JointStore>(JointStore::per_edge());
   Csr in_csr_;
   Csr out_csr_;
   ReorderMode reorder_ = ReorderMode::kNone;

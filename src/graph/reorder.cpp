@@ -277,12 +277,14 @@ class ReorderAccess {
     out.edges_.resize(m);
     for (EdgeId e = 0; e < m; ++e) out.edges_[e] = mapped[order[e]];
 
-    if (g.joints_.is_shared()) {
-      out.joints_ = JointStore::shared(g.joints_.shared_matrix());
+    if (g.joints_->is_shared() || g.joints_->is_closed_form()) {
+      // No per-edge payload to permute: share the immutable store itself.
+      out.joints_ = g.joints_;
     } else {
       std::vector<JointMatrix> permuted(m);
-      for (EdgeId e = 0; e < m; ++e) permuted[e] = g.joints_.at(order[e]);
-      out.joints_ = JointStore::per_edge_from(std::move(permuted));
+      for (EdgeId e = 0; e < m; ++e) permuted[e] = g.joints_->at(order[e]);
+      out.joints_ = std::make_shared<JointStore>(
+          JointStore::per_edge_from(std::move(permuted)));
     }
 
     out.in_csr_ = Csr::by_target(n, out.edges_);

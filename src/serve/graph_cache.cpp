@@ -44,7 +44,17 @@ GraphCache::GraphCache(std::size_t capacity,
       evictions_((registry != nullptr ? *registry
                                       : obs::MetricsRegistry::global())
                      .counter("credo_graph_cache_evictions_total",
-                              "Graph cache LRU evictions")) {}
+                              "Graph cache LRU evictions")),
+      warm_hits_((registry != nullptr ? *registry
+                                      : obs::MetricsRegistry::global())
+                     .counter("credo_cache_warm_hits_total",
+                              "Warm-state lookups that found retained "
+                              "converged beliefs")),
+      warm_bytes_((registry != nullptr ? *registry
+                                       : obs::MetricsRegistry::global())
+                      .gauge("credo_cache_warm_bytes",
+                             "Bytes of converged beliefs resident in the "
+                             "warm-state table")) {}
 
 GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
                                       const std::string& edges_path,
@@ -75,6 +85,7 @@ GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
   loaded->metadata = graph::compute_metadata(loaded->graph);
   loaded->content_hash = h;
   loaded->reorder = mode;
+  loaded->key = key;
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;
@@ -97,6 +108,52 @@ GraphCache::Fetched GraphCache::fetch(const std::string& nodes_path,
   return {lru_.front().value, false};
 }
 
+std::shared_ptr<const std::vector<graph::BeliefVec>> GraphCache::warm_lookup(
+    const std::string& graph_key, std::uint64_t fingerprint) {
+  const std::string key = graph_key + '#' + std::to_string(fingerprint);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = warm_index_.find(key);
+  if (it == warm_index_.end()) {
+    ++stats_.warm_misses;
+    return nullptr;
+  }
+  warm_lru_.splice(warm_lru_.begin(), warm_lru_, it->second);
+  ++stats_.warm_hits;
+  warm_hits_.inc();
+  return it->second->beliefs;
+}
+
+void GraphCache::warm_store(
+    const std::string& graph_key, std::uint64_t fingerprint,
+    std::shared_ptr<const std::vector<graph::BeliefVec>> beliefs) {
+  if (beliefs == nullptr) return;
+  const std::string key = graph_key + '#' + std::to_string(fingerprint);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = warm_index_.find(key);
+  if (it != warm_index_.end()) {
+    it->second->beliefs = std::move(beliefs);
+    warm_lru_.splice(warm_lru_.begin(), warm_lru_, it->second);
+  } else {
+    warm_lru_.push_front(WarmEntry{key, std::move(beliefs)});
+    warm_index_[key] = warm_lru_.begin();
+    // Twice the graph capacity: warm states are per (graph, engine,
+    // evidence), so a graph commonly owns more than one.
+    while (warm_lru_.size() > 2 * capacity_) {
+      warm_index_.erase(warm_lru_.back().key);
+      warm_lru_.pop_back();
+    }
+  }
+  warm_bytes_update_locked();
+}
+
+void GraphCache::warm_bytes_update_locked() {
+  std::size_t bytes = 0;
+  for (const WarmEntry& e : warm_lru_) {
+    bytes += e.beliefs->size() * sizeof(graph::BeliefVec);
+  }
+  warm_bytes_.set(static_cast<double>(bytes));
+}
+
 CacheStats GraphCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -105,6 +162,11 @@ CacheStats GraphCache::stats() const {
 std::size_t GraphCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+std::size_t GraphCache::warm_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warm_lru_.size();
 }
 
 }  // namespace credo::serve

@@ -9,6 +9,14 @@
 // files once without parsing; entries are handed out as shared_ptrs so an
 // eviction never invalidates an in-flight run.
 //
+// Alongside the parsed graphs the cache keeps a *warm-state* side table
+// (DESIGN.md §5h): converged belief vectors retained per (graph key,
+// fingerprint) so a repeat request can start from the previous fixed
+// point instead of the priors. The side table is independent of the
+// graph LRU — evicting a parsed graph does NOT drop its warm beliefs, so
+// a re-parse after eviction still warm-starts. Warm hits and resident
+// bytes are exported as credo_cache_warm_hits_total / credo_cache_warm_bytes.
+//
 // Thread-safe. Concurrent first fetches of the same key may parse twice
 // (both count as misses, one insert wins); correctness is unaffected.
 #pragma once
@@ -19,7 +27,9 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "graph/belief.h"
 #include "graph/factor_graph.h"
 #include "graph/metadata.h"
 #include "obs/metrics.h"
@@ -30,18 +40,22 @@ namespace credo::serve {
 /// `reorder` is not kNone the graph went through the locality pass at load
 /// time (graph/reorder.h) and carries its permutation; engines un-permute
 /// result beliefs, so responses are in the file's original node ids either
-/// way.
+/// way. `key` is the entry's full cache key (paths + content hash +
+/// reorder mode) — the stable address warm state is filed under.
 struct CachedGraph {
   graph::FactorGraph graph;
   graph::GraphMetadata metadata;
   std::uint64_t content_hash = 0;
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
+  std::string key;
 };
 
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t warm_hits = 0;    // warm_lookup found retained beliefs
+  std::uint64_t warm_misses = 0;  // warm_lookup came back empty
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -75,8 +89,26 @@ class GraphCache {
       const std::string& nodes_path, const std::string& edges_path,
       graph::ReorderMode mode = graph::ReorderMode::kNone);
 
+  /// Retained converged beliefs for (graph key, fingerprint), or null.
+  /// The fingerprint is the caller's business — the server folds the
+  /// engine slug and the evidence content hash into it — the cache only
+  /// requires that equal fingerprints mean interchangeable warm states.
+  /// A hit bumps the entry in the warm LRU and counts in warm_hits /
+  /// credo_cache_warm_hits_total; a miss counts in warm_misses.
+  [[nodiscard]] std::shared_ptr<const std::vector<graph::BeliefVec>>
+  warm_lookup(const std::string& graph_key, std::uint64_t fingerprint);
+
+  /// Retains `beliefs` (original node ids) for (graph key, fingerprint),
+  /// replacing any previous state under the same pair. The warm table is
+  /// its own LRU with 2x the graph capacity, deliberately NOT tied to
+  /// graph entries: a graph eviction must not cost the warm state, or a
+  /// re-parse after cache pressure would also pay a cold re-converge.
+  void warm_store(const std::string& graph_key, std::uint64_t fingerprint,
+                  std::shared_ptr<const std::vector<graph::BeliefVec>> beliefs);
+
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t warm_size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -84,14 +116,24 @@ class GraphCache {
     std::string key;
     std::shared_ptr<const CachedGraph> value;
   };
+  struct WarmEntry {
+    std::string key;
+    std::shared_ptr<const std::vector<graph::BeliefVec>> beliefs;
+  };
+
+  void warm_bytes_update_locked();
 
   std::size_t capacity_;
   obs::Counter& hits_;
   obs::Counter& misses_;
   obs::Counter& evictions_;
+  obs::Counter& warm_hits_;
+  obs::Gauge& warm_bytes_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::list<WarmEntry> warm_lru_;
+  std::unordered_map<std::string, std::list<WarmEntry>::iterator> warm_index_;
   CacheStats stats_;
 };
 

@@ -1,12 +1,18 @@
-// The serve layer's public request/response vocabulary (DESIGN.md §5c/§5e).
+// The serve layer's public request/response vocabulary (DESIGN.md §5c/§5h).
 //
-// A Request names a graph (by file pair, resolved through the server's
-// graph cache, or as a pre-loaded in-memory graph), the BpOptions to run
-// with, an optional engine override (absent = the server's default
-// selection, normally the §3.7 dispatcher), a deadline budget and an
-// optional cancellation token. A Response reports what happened: the
-// terminal status (the shared util::StatusCode vocabulary), the engine
-// that ran, the BP result, and the queue/run timings the metrics layer
+// A Request names a graph through a GraphKey — the single validated value
+// that *is* the graph's serving identity: the MTX file pair (resolved
+// through the server's graph cache) or a pre-loaded in-memory graph, plus
+// the locality reorder mode, which is part of the identity because the
+// same files under different orderings are different in-memory graphs.
+// Alongside the key a request carries the BpOptions to run with, an
+// optional engine override, an optional EvidenceDelta (incremental
+// re-query: apply the delta to the cached graph and re-converge just the
+// perturbed region), a warm-start opt-in, a deadline budget and a
+// cancellation token. A Response reports what happened: the terminal
+// status (shared util::StatusCode vocabulary), the engine that ran, the
+// BP result, whether the run warm-started and how much of the graph the
+// frontier seed covered, and the queue/run timings the metrics layer
 // aggregates. Requests compose with fluent with_* builders mirroring
 // BpOptions; plain aggregate initialization keeps working.
 #pragma once
@@ -15,50 +21,64 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "bp/engine.h"
 #include "bp/runtime/stop.h"
+#include "graph/evidence.h"
 #include "graph/factor_graph.h"
 #include "graph/reorder.h"
 #include "util/error.h"
 
 namespace credo::serve {
 
-/// Which graph a request runs on. Exactly one of the two documented forms
-/// is used (validate() enforces the invariant):
+/// The serving identity of a graph. Exactly one of the two documented
+/// forms is set (validate() enforces the invariant):
 ///  * `nodes_path`/`edges_path` — an MTX-belief file pair, loaded through
 ///    the server's GraphCache (repeat requests skip MTX parsing);
 ///  * `graph` — a pre-loaded in-memory graph, bypassing the cache.
-struct GraphRef {
+/// The reorder mode is part of the key, not of the request: the same
+/// files under kNone and a locality mode are two distinct cached entries
+/// with different memory layouts, so they must never compare equal.
+/// Response beliefs are always in the file's original node ids regardless
+/// of mode. For inline graphs the reorder happens per request (nothing
+/// caches the pass), so preloaded callers should reorder once themselves
+/// and leave the mode at kNone.
+struct GraphKey {
   std::string nodes_path;
   std::string edges_path;
   std::shared_ptr<const graph::FactorGraph> graph;
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
 
   [[nodiscard]] bool inline_graph() const noexcept {
     return graph != nullptr;
   }
 
-  static GraphRef files(std::string nodes, std::string edges) {
-    GraphRef r;
-    r.nodes_path = std::move(nodes);
-    r.edges_path = std::move(edges);
-    return r;
+  static GraphKey files(std::string nodes, std::string edges) {
+    GraphKey k;
+    k.nodes_path = std::move(nodes);
+    k.edges_path = std::move(edges);
+    return k;
   }
-  static GraphRef preloaded(std::shared_ptr<const graph::FactorGraph> g) {
-    GraphRef r;
-    r.graph = std::move(g);
-    return r;
+  static GraphKey preloaded(std::shared_ptr<const graph::FactorGraph> g) {
+    GraphKey k;
+    k.graph = std::move(g);
+    return k;
   }
 
-  GraphRef& with_files(std::string nodes, std::string edges) {
+  GraphKey& with_files(std::string nodes, std::string edges) {
     nodes_path = std::move(nodes);
     edges_path = std::move(edges);
     return *this;
   }
-  GraphRef& with_preloaded(
+  GraphKey& with_preloaded(
       std::shared_ptr<const graph::FactorGraph> g) noexcept {
     graph = std::move(g);
+    return *this;
+  }
+  GraphKey& with_reorder(graph::ReorderMode mode) noexcept {
+    reorder = mode;
     return *this;
   }
 
@@ -69,27 +89,32 @@ struct GraphRef {
     const bool has_paths = !nodes_path.empty() || !edges_path.empty();
     if (inline_graph() && has_paths) {
       return util::Status::invalid_argument(
-          "GraphRef: an inline graph and file paths are mutually "
+          "GraphKey: an inline graph and file paths are mutually "
           "exclusive — use exactly one form");
     }
     if (!inline_graph()) {
       if (nodes_path.empty() && edges_path.empty()) {
         return util::Status::invalid_argument(
-            "GraphRef: names no graph (set nodes/edges paths or an inline "
+            "GraphKey: names no graph (set nodes/edges paths or an inline "
             "graph)");
       }
       if (nodes_path.empty() || edges_path.empty()) {
         return util::Status::invalid_argument(
-            "GraphRef: the file form needs both nodes_path and edges_path");
+            "GraphKey: the file form needs both nodes_path and edges_path");
       }
     }
     return util::Status::ok();
   }
 
-  /// Span/debug label: "nodes|edges" or "inline".
-  [[nodiscard]] std::string describe() const {
-    return inline_graph() ? std::string("inline")
-                          : nodes_path + '|' + edges_path;
+  /// Span/debug label: "nodes|edges[|mode]" or "inline".
+  [[nodiscard]] std::string label() const {
+    if (inline_graph()) return "inline";
+    std::string s = nodes_path + '|' + edges_path;
+    if (reorder != graph::ReorderMode::kNone) {
+      s += '|';
+      s += graph::reorder_mode_name(reorder);
+    }
+    return s;
   }
 };
 
@@ -115,19 +140,28 @@ struct Deadline {
 
 /// One unit of work submitted to a Server / Session.
 struct Request {
-  GraphRef graph;
+  GraphKey graph;
   bp::BpOptions options;
 
   /// Engine override; nullopt = server default (dispatcher when enabled).
   std::optional<bp::EngineKind> engine;
 
-  /// Locality ordering applied when the graph is loaded (graph/reorder.h);
-  /// part of the GraphCache key, so the same files under different modes
-  /// are distinct cached entries. Response beliefs are always in the
-  /// file's original node ids. For inline graphs the reorder happens
-  /// per-request (no cache), so preloaded callers should reorder once
-  /// themselves and leave this at kNone.
-  graph::ReorderMode reorder = graph::ReorderMode::kNone;
+  /// Incremental evidence against the named graph (original node ids).
+  /// The server applies the delta to the cached graph — a cheap copy that
+  /// shares the structure and joint tables — and, when converged beliefs
+  /// for the graph are warm in the cache and the engine supports frontier
+  /// seeding, re-converges only from the delta's touched nodes outward
+  /// instead of running the whole graph cold.
+  std::optional<graph::EvidenceDelta> evidence;
+
+  /// Opt into belief warm-starting: when the server holds converged
+  /// beliefs for this (graph, engine) from an earlier request, start from
+  /// them instead of the priors, and retain this run's converged beliefs
+  /// for the next request. A request with `evidence` set implies the same
+  /// retention; warm-starting is never load-bearing for correctness — a
+  /// cache miss or an unsupported engine falls back to a cold run and the
+  /// Response says so (`warm_start` stays false).
+  bool warm_start = false;
 
   Deadline deadline;
 
@@ -140,19 +174,21 @@ struct Request {
 
   // -------------------------------------------------------------------------
   // Fluent builders, mirroring BpOptions::with_* (DESIGN.md §5c):
-  //   Request{}.with_files("n.mtx", "e.mtx").with_engine(kCpuNode)
+  //   Request{}.with_graph(GraphKey::files("n.mtx", "e.mtx")
+  //                            .with_reorder(graph::ReorderMode::kBfs))
+  //            .with_engine(kCpuNode)
   //            .with_deadline(Deadline{}.with_host_seconds(0.5))
   // -------------------------------------------------------------------------
-  Request& with_graph(GraphRef g) {
-    graph = std::move(g);
+  Request& with_graph(GraphKey k) {
+    graph = std::move(k);
     return *this;
   }
   Request& with_files(std::string nodes, std::string edges) {
-    graph = GraphRef::files(std::move(nodes), std::move(edges));
+    graph = GraphKey::files(std::move(nodes), std::move(edges));
     return *this;
   }
   Request& with_preloaded(std::shared_ptr<const graph::FactorGraph> g) {
-    graph = GraphRef::preloaded(std::move(g));
+    graph = GraphKey::preloaded(std::move(g));
     return *this;
   }
   Request& with_options(bp::BpOptions o) noexcept {
@@ -163,8 +199,12 @@ struct Request {
     engine = kind;
     return *this;
   }
-  Request& with_reorder(graph::ReorderMode mode) noexcept {
-    reorder = mode;
+  Request& with_evidence(graph::EvidenceDelta delta) {
+    evidence = std::move(delta);
+    return *this;
+  }
+  Request& with_warm_start(bool v = true) noexcept {
+    warm_start = v;
     return *this;
   }
   Request& with_deadline(Deadline d) noexcept {
@@ -181,9 +221,10 @@ struct Request {
   }
 
   /// Checks everything the server would reject before running: the graph
-  /// form invariant, the BP options and the deadline budgets. Called by
-  /// Server::submit — an invalid request resolves immediately with this
-  /// status instead of failing mid-worker.
+  /// key invariant, the BP options and the deadline budgets. (Evidence
+  /// validation needs the parsed graph, so it happens at execute time.)
+  /// Called by Server::submit — an invalid request resolves immediately
+  /// with this status instead of failing mid-worker.
   [[nodiscard]] util::Status validate() const {
     if (auto s = graph.validate(); !s.is_ok()) return s;
     if (auto s = options.validate_status(); !s.is_ok()) return s;
@@ -230,9 +271,20 @@ struct Request {
 struct Response {
   util::StatusCode status = util::StatusCode::kError;
   bp::EngineKind engine = bp::EngineKind::kCpuNode;
-  std::string engine_name;  // human-readable form of `engine`
   bp::BpResult result;
   bool cache_hit = false;
+
+  /// True when the run started from retained converged beliefs instead of
+  /// the graph's priors. Always false on the first request for a graph,
+  /// after the warm state was evicted, or when the engine does not
+  /// support warm starts — the server falls back to a cold run rather
+  /// than failing, and this flag is how that fallback stays honest.
+  bool warm_start = false;
+
+  /// Fraction of the graph's nodes on the initial schedule: 1.0 for a
+  /// full cold (or plain warm) run, `seeded / num_nodes` when an evidence
+  /// delta seeded the frontier from its touched region only.
+  double frontier_fraction = 1.0;
 
   /// Reason text for kRejected and the error codes.
   std::string error;
@@ -247,6 +299,18 @@ struct Response {
   std::string tag;
 
   [[nodiscard]] bool ok() const noexcept { return status == util::StatusCode::kOk; }
+
+  /// The engine that ran, as its stable CLI slug — derived from `engine`
+  /// in exactly one place (bp::engine_slug) instead of being hand-copied
+  /// into a string member on every response path.
+  [[nodiscard]] std::string_view engine_name() const noexcept {
+    return bp::engine_slug(engine);
+  }
+
+  /// End-to-end latency the client observed: queue wait plus service.
+  [[nodiscard]] double total_seconds() const noexcept {
+    return queue_seconds + service_seconds;
+  }
 
   /// The status + message as one util::Status value.
   [[nodiscard]] util::Status to_status() const {

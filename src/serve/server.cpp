@@ -5,6 +5,7 @@
 
 #include "credo/suite.h"
 #include "credo/trainer.h"
+#include "graph/disjoint_union.h"
 #include "graph/metadata.h"
 #include "graph/reorder.h"
 #include "util/timer.h"
@@ -21,6 +22,36 @@ constexpr const char* kRequestsTotal = "credo_requests_total";
 constexpr const char* kRequestsTotalHelp =
     "Requests finished, by terminal status (submitted == sum over statuses "
     "after drain)";
+
+/// Warm-state fingerprint: engine slug + evidence content hash, FNV-1a.
+/// Options are deliberately NOT folded in — warm beliefs are a starting
+/// point, never load-bearing, so a request with different thresholds can
+/// still reuse them and simply re-converges under its own options.
+std::uint64_t warm_fingerprint(bp::EngineKind kind,
+                               std::uint64_t evidence_fp) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (const char c : bp::engine_slug(kind)) {
+    mix_byte(static_cast<std::uint8_t>(c));
+  }
+  for (int i = 0; i < 8; ++i) {
+    mix_byte(static_cast<std::uint8_t>((evidence_fp >> (8 * i)) & 0xffu));
+  }
+  return h;
+}
+
+/// The BpOptions knobs that must agree for two requests to share one
+/// fused engine run. Scheduling/pool knobs follow the batch head.
+bool fusable_options(const bp::BpOptions& a, const bp::BpOptions& b) noexcept {
+  return a.convergence_threshold == b.convergence_threshold &&
+         a.max_iterations == b.max_iterations &&
+         a.work_queue == b.work_queue &&
+         a.queue_threshold == b.queue_threshold &&
+         a.damping == b.damping && a.syndrome_stop == b.syndrome_stop;
+}
 
 }  // namespace
 
@@ -44,7 +75,15 @@ Server::Server(ServerOptions options)
           obs::default_latency_buckets())),
       m_queue_depth_(metrics_.gauge("credo_queue_depth",
                                     "Requests waiting in the admission "
-                                    "queue")) {
+                                    "queue")),
+      m_batch_occupancy_(metrics_.histogram(
+          "credo_batch_occupancy",
+          "Members per fused batch that reached the engine run",
+          obs::pow2_buckets(10))),
+      m_delta_size_(metrics_.histogram(
+          "credo_evidence_delta_size",
+          "Evidence operations per delta-carrying request",
+          obs::pow2_buckets(12))) {
   const util::StatusCode categories[5] = {
       util::StatusCode::kOk, util::StatusCode::kRejected,
       util::StatusCode::kCancelled, util::StatusCode::kDeadlineExceeded,
@@ -73,7 +112,7 @@ Response Server::finish_unrun(const Request& req, util::StatusCode status,
     span.id = obs::next_span_id();
     r.span_id = span.id;
     span.tag = req.tag;
-    span.graph = req.graph.describe();
+    span.graph = req.graph.label();
     span.status = util::status_code_name(status);
     span.error = r.error;
     options_.spans->record(std::move(span));
@@ -108,8 +147,12 @@ std::future<Response> Server::submit(Request req) {
       reject_reason = "admission queue full (capacity " +
                       std::to_string(options_.queue_capacity) + ")";
     } else {
-      queue_.push_back(Pending{std::move(req), std::move(promise),
-                               std::chrono::steady_clock::now()});
+      Pending p;
+      p.requests.push_back(std::move(req));
+      p.promises.push_back(std::move(promise));
+      p.resolved.push_back(0);
+      p.enqueued = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(p));
       m_queue_depth_.set(static_cast<double>(queue_.size()));
     }
   }
@@ -122,6 +165,71 @@ std::future<Response> Server::submit(Request req) {
   }
   cv_.notify_one();
   return fut;
+}
+
+std::vector<std::future<Response>> Server::submit_batch(
+    std::vector<Request> requests) {
+  const std::size_t n = requests.size();
+  std::vector<std::promise<Response>> promises(n);
+  std::vector<std::future<Response>> futures;
+  futures.reserve(n);
+  for (auto& p : promises) futures.push_back(p.get_future());
+  if (n == 0) return futures;
+
+  // Every member counts in the accounting identity individually, exactly
+  // as if it had been submitted alone.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.submitted += n;
+  }
+  for (std::size_t i = 0; i < n; ++i) m_submitted_.inc();
+
+  // Per-member validation resolves failed members now; the survivors stay
+  // index-aligned (resolved[] marks the finished slots for the worker).
+  std::vector<char> resolved(n, 0);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (const util::Status valid = requests[i].validate(); !valid.is_ok()) {
+      count(valid.code());
+      promises[i].set_value(
+          finish_unrun(requests[i], valid.code(), valid.message()));
+      resolved[i] = 1;
+    } else {
+      ++live;
+    }
+  }
+
+  // One admission decision for the whole batch: it occupies one slot.
+  std::string reject_reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      reject_reason = "server stopped";
+    } else if (live > 0 && queue_.size() >= options_.queue_capacity) {
+      reject_reason = "admission queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")";
+    } else if (live > 0) {
+      Pending p;
+      p.requests = std::move(requests);
+      p.promises = std::move(promises);
+      p.resolved = resolved;
+      p.enqueued = std::chrono::steady_clock::now();
+      p.batch = true;
+      queue_.push_back(std::move(p));
+      m_queue_depth_.set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (!reject_reason.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resolved[i]) continue;
+      count(util::StatusCode::kRejected);
+      promises[i].set_value(finish_unrun(
+          requests[i], util::StatusCode::kRejected, reject_reason));
+    }
+    return futures;
+  }
+  if (live > 0) cv_.notify_one();
+  return futures;
 }
 
 Session Server::session() {
@@ -143,9 +251,13 @@ void Server::shutdown() {
     }
   }
   for (auto& pending : orphaned) {
-    count(util::StatusCode::kRejected);
-    pending.promise.set_value(finish_unrun(
-        pending.request, util::StatusCode::kRejected, "server stopped"));
+    for (std::size_t i = 0; i < pending.requests.size(); ++i) {
+      if (pending.resolved[i]) continue;
+      count(util::StatusCode::kRejected);
+      pending.promises[i].set_value(finish_unrun(
+          pending.requests[i], util::StatusCode::kRejected,
+          "server stopped"));
+    }
   }
   cv_.notify_all();
   for (auto& w : workers_) {
@@ -189,9 +301,13 @@ void Server::worker_loop() {
       queue_.pop_front();
       m_queue_depth_.set(static_cast<double>(queue_.size()));
     }
-    Response resp = execute(pending);
+    if (pending.batch) {
+      execute_batch(pending);
+      continue;
+    }
+    Response resp = execute(pending.requests[0], pending.enqueued);
     count(resp.status);
-    pending.promise.set_value(std::move(resp));
+    pending.promises[0].set_value(std::move(resp));
   }
 }
 
@@ -225,13 +341,13 @@ bp::EngineKind Server::choose_engine(const graph::FactorGraph& g,
   return dispatcher_->choose(graph::compute_metadata(g));
 }
 
-Response Server::execute(Pending& pending) {
-  Request& req = pending.request;
+Response Server::execute(Request& req,
+                         std::chrono::steady_clock::time_point enqueued) {
   Response resp;
   resp.tag = req.tag;
   resp.queue_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    pending.enqueued)
+                                    enqueued)
           .count();
   m_queue_seconds_.observe(resp.queue_seconds);
   const util::Timer service_timer;
@@ -242,7 +358,7 @@ Response Server::execute(Pending& pending) {
     resp.span_id = span.id;
   }
   span.tag = req.tag;
-  span.graph = req.graph.describe();
+  span.graph = req.graph.label();
   span.queue_s = resp.queue_seconds;
 
   // A request cancelled while queued never starts.
@@ -258,36 +374,48 @@ Response Server::execute(Pending& pending) {
   }
 
   try {
-    // Resolve the graph: cache for file refs, as-is for preloaded graphs
-    // (reordered per-request when a mode is set — no cache to amortize the
-    // pass, so preloaded callers are better off reordering once upfront).
+    // Resolve the graph key: cache for file keys, as-is for preloaded
+    // graphs (reordered per-request when the key carries a mode — no
+    // cache to amortize the pass, so preloaded callers are better off
+    // reordering once upfront).
     const util::Timer parse_timer;
     std::shared_ptr<const CachedGraph> cached;
     graph::FactorGraph reordered_inline;
     const graph::FactorGraph* g = nullptr;
     const graph::GraphMetadata* md = nullptr;
+    std::string warm_key;  // empty = inline graph, no warm retention
     if (req.graph.inline_graph()) {
       g = req.graph.graph.get();
-      if (req.reorder != graph::ReorderMode::kNone) {
-        reordered_inline = graph::reordered(*g, req.reorder);
+      if (req.graph.reorder != graph::ReorderMode::kNone) {
+        reordered_inline = graph::reordered(*g, req.graph.reorder);
         g = &reordered_inline;
       }
     } else {
       auto fetched = cache_.fetch(req.graph.nodes_path, req.graph.edges_path,
-                                  req.reorder);
+                                  req.graph.reorder);
       cached = std::move(fetched.entry);
       resp.cache_hit = fetched.hit;
       g = &cached->graph;
       md = &cached->metadata;
+      warm_key = cached->key;
     }
     span.parse_s = parse_timer.seconds();
     span.cache_hit = resp.cache_hit;
 
+    // Evidence deltas rewrite priors/observations on a cheap structural
+    // copy — the edge lists, CSRs and joint tables stay shared.
+    graph::FactorGraph evidenced;
+    const bool has_delta = req.evidence && !req.evidence->empty();
+    if (has_delta) {
+      evidenced = graph::with_evidence(*g, *req.evidence);
+      g = &evidenced;
+      m_delta_size_.observe(static_cast<double>(req.evidence->size()));
+    }
+
     const bp::EngineKind kind =
         req.engine ? *req.engine : choose_engine(*g, md);
     resp.engine = kind;
-    resp.engine_name = std::string(bp::engine_name(kind));
-    span.engine = resp.engine_name;
+    span.engine = std::string(resp.engine_name());
 
     bp::BpOptions opts = req.options;
     opts.with_stop(req.cancel);
@@ -296,6 +424,36 @@ Response Server::execute(Pending& pending) {
     }
     if (req.deadline.modelled_seconds > 0.0) {
       opts.with_modelled_deadline(req.deadline.modelled_seconds);
+    }
+
+    // Warm start (DESIGN.md §5h). Retained beliefs are filed under
+    // (graph cache key, engine slug + evidence hash). A delta request
+    // first tries its exact fingerprint (repeat of the same re-query),
+    // then the base state it perturbs; on that base hit the engine is
+    // additionally seeded from the delta's touched region so only the
+    // perturbed neighbourhood re-converges. Any miss, or an engine
+    // without warm support, falls back to a cold full run — warm state
+    // is an accelerator, never a correctness dependency.
+    const bool wants_warm = req.warm_start || has_delta;
+    const std::uint64_t base_fp = warm_fingerprint(kind, 0);
+    const std::uint64_t exact_fp = warm_fingerprint(
+        kind, has_delta ? req.evidence->fingerprint() : 0);
+    std::shared_ptr<const std::vector<graph::BeliefVec>> warm;
+    if (wants_warm && !warm_key.empty() &&
+        bp::engine_supports_warm_start(kind, g->family())) {
+      warm = cache_.warm_lookup(warm_key, exact_fp);
+      if (warm == nullptr && has_delta && exact_fp != base_fp) {
+        warm = cache_.warm_lookup(warm_key, base_fp);
+      }
+    }
+    if (warm != nullptr && warm->size() == g->num_nodes()) {
+      opts.with_init_beliefs(warm);
+      resp.warm_start = true;
+      if (has_delta && bp::engine_supports_frontier_seed(kind, g->family())) {
+        opts.with_frontier_seed(
+            std::make_shared<const std::vector<graph::NodeId>>(
+                req.evidence->touched()));
+      }
     }
 
     const util::Timer run_timer;
@@ -315,6 +473,11 @@ Response Server::execute(Pending& pending) {
     span.run_s = run_timer.seconds() - span.unpermute_s;
     span.run_modelled_s = result.stats.modelled_seconds();
     span.iterations = result.stats.iterations;
+    if (result.stats.frontier_seeded > 0 && g->num_nodes() > 0) {
+      resp.frontier_fraction =
+          static_cast<double>(result.stats.frontier_seeded) /
+          static_cast<double>(g->num_nodes());
+    }
 
     switch (result.stats.stop_reason) {
       case bp::runtime::StopReason::kNone:
@@ -326,6 +489,20 @@ Response Server::execute(Pending& pending) {
       case bp::runtime::StopReason::kDeadline:
         resp.status = util::StatusCode::kDeadlineExceeded;
         break;
+    }
+
+    // Retain converged beliefs for the next warm request. Stored under
+    // the exact fingerprint: a no-delta run files the base state delta
+    // requests later perturb; a delta run files the state its own exact
+    // re-query would reuse. Non-converged or non-ok runs retain nothing —
+    // a partial fixed point would poison later warm starts.
+    if (wants_warm && !warm_key.empty() &&
+        resp.status == util::StatusCode::kOk && result.stats.converged &&
+        bp::engine_supports_warm_start(kind, g->family())) {
+      cache_.warm_store(
+          warm_key, exact_fp,
+          std::make_shared<const std::vector<graph::BeliefVec>>(
+              result.beliefs));
     }
     resp.result = std::move(result);
   } catch (const std::exception& e) {
@@ -343,6 +520,186 @@ Response Server::execute(Pending& pending) {
     options_.spans->record(std::move(span));
   }
   return resp;
+}
+
+void Server::execute_batch(Pending& pending) {
+  const std::size_t n = pending.requests.size();
+  const double queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pending.enqueued)
+          .count();
+  const util::Timer service_timer;
+
+  // finish() is the single exit for every member: it stamps the shared
+  // batch timings, records the member's span, counts its terminal status
+  // and resolves its promise — so the accounting identity holds however
+  // far into the fused flow the member got.
+  const auto finish = [&](std::size_t i, Response resp) {
+    resp.tag = pending.requests[i].tag;
+    resp.queue_seconds = queue_seconds;
+    resp.service_seconds = service_timer.seconds();
+    m_queue_seconds_.observe(resp.queue_seconds);
+    m_run_seconds_.observe(resp.service_seconds);
+    if (options_.spans != nullptr) {
+      obs::Span span;
+      span.id = obs::next_span_id();
+      resp.span_id = span.id;
+      span.tag = resp.tag;
+      span.graph = pending.requests[i].graph.label();
+      span.queue_s = resp.queue_seconds;
+      span.engine = std::string(resp.engine_name());
+      span.status = util::status_code_name(resp.status);
+      span.error = resp.error;
+      options_.spans->record(std::move(span));
+    }
+    count(resp.status);
+    pending.resolved[i] = 1;
+    pending.promises[i].set_value(std::move(resp));
+  };
+  const auto fail = [&](std::size_t i, util::StatusCode code,
+                        std::string reason) {
+    Response resp;
+    resp.status = code;
+    resp.error = std::move(reason);
+    finish(i, std::move(resp));
+  };
+
+  // Pre-run member triage: already-fired cancel tokens, then fusability
+  // against the batch head (the first live member). Rejecting a member
+  // never sinks the batch — the rest still fuse and run.
+  std::size_t head = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending.resolved[i]) continue;
+    if (pending.requests[i].cancel.stop_requested()) {
+      fail(i, util::StatusCode::kCancelled, "");
+      continue;
+    }
+    if (head == n) head = i;
+  }
+  if (head == n) return;  // nothing left to run
+
+  std::vector<std::size_t> live;
+  live.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending.resolved[i]) continue;
+    const Request& req = pending.requests[i];
+    const Request& ref = pending.requests[head];
+    if (req.graph.reorder != graph::ReorderMode::kNone) {
+      fail(i, util::StatusCode::kInvalidArgument,
+           "batch members must not reorder — fused parts cannot carry "
+           "per-part permutations");
+      continue;
+    }
+    if (req.evidence && !req.evidence->empty()) {
+      fail(i, util::StatusCode::kInvalidArgument,
+           "batch members cannot carry evidence deltas (submit delta "
+           "re-queries individually)");
+      continue;
+    }
+    if (req.engine != ref.engine) {
+      fail(i, util::StatusCode::kInvalidArgument,
+           "batch member engine override differs from the batch head");
+      continue;
+    }
+    if (!fusable_options(req.options, ref.options)) {
+      fail(i, util::StatusCode::kInvalidArgument,
+           "batch member options differ from the batch head");
+      continue;
+    }
+    live.push_back(i);
+  }
+  if (live.empty()) return;
+
+  // Resolve every live member's graph. cached[] keeps shared_ptrs alive
+  // across the fused run; a member whose load fails drops out alone.
+  std::vector<std::shared_ptr<const CachedGraph>> cached(n);
+  std::vector<const graph::FactorGraph*> parts;
+  std::vector<std::size_t> fused_members;
+  parts.reserve(live.size());
+  fused_members.reserve(live.size());
+  for (const std::size_t i : live) {
+    Request& req = pending.requests[i];
+    try {
+      const graph::FactorGraph* g = nullptr;
+      if (req.graph.inline_graph()) {
+        g = req.graph.graph.get();
+      } else {
+        auto fetched = cache_.fetch(req.graph.nodes_path,
+                                    req.graph.edges_path,
+                                    graph::ReorderMode::kNone);
+        cached[i] = std::move(fetched.entry);
+        g = &cached[i]->graph;
+      }
+      if (g->permutation() != nullptr) {
+        fail(i, util::StatusCode::kInvalidArgument,
+             "batch members must not carry a reorder permutation");
+        continue;
+      }
+      if (!parts.empty() && g->family() != parts[0]->family()) {
+        fail(i, util::StatusCode::kInvalidArgument,
+             "batch member factor family differs from the batch head");
+        continue;
+      }
+      parts.push_back(g);
+      fused_members.push_back(i);
+    } catch (const std::exception& e) {
+      const util::Status st = util::status_from_exception(e);
+      fail(i, st.code(), st.message());
+    }
+  }
+  if (fused_members.empty()) return;
+
+  // Fuse, run once, scatter. Per-member cancel tokens cannot stop a
+  // shared run, so they are honoured at the boundaries: before the run
+  // (above) and at scatter time below.
+  try {
+    const graph::GraphUnion fused = graph::disjoint_union(
+        std::span<const graph::FactorGraph* const>(parts));
+    const graph::FactorGraph& g = fused.graph();
+    const Request& ref = pending.requests[fused_members[0]];
+    const bp::EngineKind kind =
+        ref.engine ? *ref.engine : choose_engine(g, nullptr);
+    m_batch_occupancy_.observe(static_cast<double>(fused_members.size()));
+
+    bp::BpOptions opts = ref.options;
+    const auto engine = bp::make_default_engine(kind);
+    bp::BpResult result;
+    if (kind == bp::EngineKind::kOmpNode ||
+        kind == bp::EngineKind::kOmpEdge) {
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      opts.with_shared_pool(&pool_);
+      result = engine->run(g, opts);
+    } else {
+      result = engine->run(g, opts);
+    }
+
+    const bool is_ldpc = graph::is_ldpc(g.family());
+    for (std::size_t k = 0; k < fused_members.size(); ++k) {
+      const std::size_t i = fused_members[k];
+      Response resp;
+      resp.engine = kind;
+      resp.cache_hit = cached[i] != nullptr;
+      if (pending.requests[i].cancel.stop_requested()) {
+        resp.status = util::StatusCode::kCancelled;
+      } else {
+        resp.status = util::StatusCode::kOk;
+      }
+      // Per-member view of the fused run: shared iteration/convergence
+      // stats, own beliefs (original part-local ids), own parity check.
+      resp.result.stats = result.stats;
+      resp.result.beliefs = fused.scatter(result.beliefs, k);
+      if (is_ldpc) {
+        resp.result.stats.syndrome_satisfied =
+            fused.part_syndrome_satisfied(result.beliefs, k);
+      }
+      finish(i, std::move(resp));
+    }
+  } catch (const std::exception& e) {
+    const util::Status st = util::status_from_exception(e);
+    for (const std::size_t i : fused_members) {
+      if (!pending.resolved[i]) fail(i, st.code(), st.message());
+    }
+  }
 }
 
 }  // namespace credo::serve

@@ -117,6 +117,22 @@ class Server {
   /// post-shutdown submissions with util::StatusCode::kRejected and a reason.
   [[nodiscard]] std::future<Response> submit(Request req);
 
+  /// Submits many small independent requests as ONE unit of work
+  /// (DESIGN.md §5h): the batch takes a single admission-queue slot, the
+  /// member graphs are fused into a disjoint-union super-graph, one engine
+  /// run converges all of them together, and the fused beliefs are
+  /// scattered back into one Response per member (original node ids,
+  /// per-member LDPC syndrome status re-checked per part). Every member
+  /// still counts individually in the accounting identity. Members must be
+  /// fusable with the batch head: same factor family, same options, same
+  /// engine override, no reorder, no evidence — a member that is not gets
+  /// kInvalidArgument while the rest of the batch proceeds; a member whose
+  /// cancel token fired resolves kCancelled (before the run when already
+  /// fired, at scatter time when it fired mid-run). Returns one future per
+  /// member, index-aligned with `requests`.
+  [[nodiscard]] std::vector<std::future<Response>> submit_batch(
+      std::vector<Request> requests);
+
   /// Opens a lightweight client handle with its own submission counter.
   /// Sessions borrow the server; the server must outlive them.
   [[nodiscard]] Session session();
@@ -141,14 +157,22 @@ class Server {
  private:
   friend class Session;
 
+  /// One admission-queue slot: a single request or a whole batch. Member
+  /// promises are index-aligned with `requests`; `resolved[i]` marks
+  /// members already finished at submit time (validation failures), which
+  /// the worker must skip.
   struct Pending {
-    Request request;
-    std::promise<Response> promise;
+    std::vector<Request> requests;
+    std::vector<std::promise<Response>> promises;
+    std::vector<char> resolved;
     std::chrono::steady_clock::time_point enqueued;
+    bool batch = false;
   };
 
   void worker_loop();
-  [[nodiscard]] Response execute(Pending& pending);
+  [[nodiscard]] Response execute(
+      Request& req, std::chrono::steady_clock::time_point enqueued);
+  void execute_batch(Pending& pending);
   [[nodiscard]] bp::EngineKind choose_engine(
       const graph::FactorGraph& g, const graph::GraphMetadata* md);
   void count(util::StatusCode s);
@@ -171,6 +195,8 @@ class Server {
   obs::Histogram& m_queue_seconds_;
   obs::Histogram& m_run_seconds_;
   obs::Gauge& m_queue_depth_;
+  obs::Histogram& m_batch_occupancy_;
+  obs::Histogram& m_delta_size_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -191,6 +217,12 @@ class Session {
   [[nodiscard]] std::future<Response> submit(Request req) {
     count_->fetch_add(1, std::memory_order_relaxed);
     return server_->submit(std::move(req));
+  }
+
+  [[nodiscard]] std::vector<std::future<Response>> submit_batch(
+      std::vector<Request> requests) {
+    count_->fetch_add(requests.size(), std::memory_order_relaxed);
+    return server_->submit_batch(std::move(requests));
   }
 
   [[nodiscard]] std::uint64_t submitted() const noexcept {

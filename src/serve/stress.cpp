@@ -51,6 +51,8 @@ util::Table StressReport::table() const {
   t.add_row({"cache misses", util::Table::num(misses, 9)});
   t.add_row({"cache hit rate",
              util::Table::num(fetches > 0.0 ? hits / fetches : 0.0, 4)});
+  t.add_row({"warm hits",
+             util::Table::num(counter("credo_cache_warm_hits_total"), 9)});
   t.add_row({"run p50 s", util::Table::num(service_p50, 4)});
   t.add_row({"run p90 s", util::Table::num(service_p90, 4)});
   t.add_row({"run p99 s", util::Table::num(service_p99, 4)});
@@ -82,18 +84,32 @@ StressReport run_stress(Server& server, const StressConfig& config) {
     clients.emplace_back([&, s] {
       Session session = server.session();
       std::vector<std::future<Response>> futures;
+      const std::size_t batch = config.batch;
+      std::vector<Request> group;  // pending members when batching
+      std::size_t batch_index = 0;
+      const auto flush = [&] {
+        if (group.empty()) return;
+        // One fused run needs one engine: the mix cycles per batch.
+        if (!config.mix.empty()) {
+          const bp::EngineKind kind =
+              config.mix[batch_index % config.mix.size()];
+          for (Request& r : group) r.with_engine(kind);
+        }
+        ++batch_index;
+        auto fs = session.submit_batch(std::move(group));
+        for (auto& f : fs) futures.push_back(std::move(f));
+        group.clear();
+      };
       // Session s takes requests s, s+sessions, s+2*sessions, ...
       for (std::size_t i = s; i < config.requests; i += sessions) {
         const auto& gp = config.graphs[i % config.graphs.size()];
         Request req = Request{}
-                          .with_files(gp.first, gp.second)
+                          .with_graph(GraphKey::files(gp.first, gp.second)
+                                          .with_reorder(config.reorder))
                           .with_options(config.options)
-                          .with_reorder(config.reorder)
+                          .with_warm_start(config.warm)
                           .with_tag("s" + std::to_string(s) + "r" +
                                     std::to_string(i));
-        if (!config.mix.empty()) {
-          req.with_engine(config.mix[i % config.mix.size()]);
-        }
         if (config.deadline_every > 0 &&
             i % config.deadline_every == config.deadline_every - 1) {
           req.with_deadline(config.deadline);
@@ -102,8 +118,17 @@ StressReport run_stress(Server& server, const StressConfig& config) {
             i % config.cancel_every == config.cancel_every - 1) {
           req.with_cancel(cancelled_source.token());
         }
-        futures.push_back(session.submit(std::move(req)));
+        if (batch > 1) {
+          group.push_back(std::move(req));
+          if (group.size() >= batch) flush();
+        } else {
+          if (!config.mix.empty()) {
+            req.with_engine(config.mix[i % config.mix.size()]);
+          }
+          futures.push_back(session.submit(std::move(req)));
+        }
       }
+      flush();
       for (auto& f : futures) f.get();
     });
   }
@@ -173,6 +198,7 @@ StressReport run_decode_under_load(Server& server,
   // CPU-parallel, relaxed priority.
   sc.mix = {bp::EngineKind::kCpuNode, bp::EngineKind::kOmpNode,
             bp::EngineKind::kResidualMq};
+  sc.batch = config.batch;
   sc.options.max_iterations = config.max_iterations;
   sc.options.syndrome_stop = true;
   StressReport report = run_stress(server, sc);

@@ -48,8 +48,21 @@ struct StressConfig {
   /// cancelled path shows up in spans and counters under load.
   std::size_t cancel_every = 0;
 
-  /// Locality ordering requested with every request (Request::reorder).
+  /// Locality ordering folded into every request's GraphKey. Must stay
+  /// kNone when `batch` > 1 (fused parts cannot carry permutations).
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
+
+  /// Every request opts into belief warm-starting — repeat visits to the
+  /// same graph start from the previous converged fixed point, so the
+  /// warm-hit counter climbs over the replay.
+  bool warm = false;
+
+  /// <= 1: each request is submitted individually. > 1: each session
+  /// groups its requests into batches of this size and submits them
+  /// through Server::submit_batch (fused disjoint-union runs). The engine
+  /// mix then cycles per *batch* — members of one fused batch must share
+  /// an engine.
+  std::size_t batch = 0;
 
   /// Base BpOptions for every request.
   bp::BpOptions options;
@@ -109,6 +122,10 @@ struct DecodeLoadConfig {
   std::size_t requests = 256;
   unsigned sessions = 8;
   std::uint32_t max_iterations = 60;
+
+  /// > 1: submit the decode mix in fused batches of this size
+  /// (Server::submit_batch), the §5h decode-under-load stress shape.
+  std::size_t batch = 0;
 };
 
 [[nodiscard]] StressReport run_decode_under_load(

@@ -352,7 +352,8 @@ TEST(Spans, ServerRecordsAllFourTerminalStatuses) {
   EXPECT_EQ(ok_span.id, ok_resp.span_id);
   EXPECT_EQ(ok_span.tag, "ok");
   EXPECT_EQ(ok_span.graph, nodes + "|" + edges);
-  EXPECT_EQ(ok_span.engine, "C Node");
+  // Spans record the same stable slug Response::engine_name() exposes.
+  EXPECT_EQ(ok_span.engine, "c-node");
   EXPECT_GT(ok_span.run_s, 0.0);
   EXPECT_GT(ok_span.run_modelled_s, 0.0);
   EXPECT_GT(ok_span.iterations, 0u);

@@ -19,6 +19,7 @@
 //   credo serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]
 //                  [--workers W] [--queue Q] [--cache C] [--pool P]
 //                  [--engine mix|auto|<name>] [--reorder none|bfs|rcm|degree]
+//                  [--warm 1] [--batch B]
 //                  [--deadline-every K] [--deadline-ms D] [--cancel-every K]
 //                  [--iters N] [--threshold X]
 //                  [--family ldpc-sum-product|ldpc-min-sum [--bits B]
@@ -491,6 +492,13 @@ int cmd_serve(const Args& args) {
 
   stress.reorder =
       graph::parse_reorder_mode(args.get("reorder").value_or("none"));
+  stress.warm = args.number("warm", 0) != 0;
+  stress.batch = static_cast<std::size_t>(args.number("batch", 0));
+  if (stress.batch > 1 && stress.reorder != graph::ReorderMode::kNone) {
+    throw util::InvalidArgument(
+        "--batch and --reorder are mutually exclusive (fused parts cannot "
+        "carry permutations)");
+  }
   stress.deadline_every =
       static_cast<std::size_t>(args.number("deadline-every", 0));
   stress.deadline.host_seconds = args.number("deadline-ms", 0) / 1000.0;
@@ -544,6 +552,7 @@ int cmd_serve(const Args& args) {
     dl.crossover = static_cast<float>(args.number("crossover", 0.05));
     dl.seed = static_cast<std::uint64_t>(args.number("seed", 1));
     dl.max_iterations = stress.options.max_iterations;
+    dl.batch = stress.batch;
     decode_load = dl;
   }
 
@@ -633,6 +642,7 @@ int usage() {
       "  serve    --stress N [--nodes N.mtx --edges E.mtx] [--sessions S]\n"
       "           [--workers W] [--queue Q] [--cache C] [--pool P]\n"
       "           [--engine mix|auto|<name>] [--reorder MODE]\n"
+      "           [--warm 1] [--batch B]\n"
       "           [--queues-per-thread K] [--splash-size S]\n"
       "           [--deadline-every K] [--deadline-ms D]\n"
       "           [--cancel-every K] [--iters N] [--threshold X]\n"
