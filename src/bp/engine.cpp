@@ -46,6 +46,18 @@ BpResult Engine::run(const graph::FactorGraph& g,
           "priority engines (residual-mq, splash)");
     }
   }
+  // Same convention for the sharding knobs (DESIGN.md §5i).
+  if (kind() != EngineKind::kSharded) {
+    if (opts.shard_count != kDefaultShardCount) {
+      throw util::InvalidArgument(
+          "BpOptions: shard_count applies only to the sharded engine");
+    }
+    if (opts.shard_exchange_every != kDefaultShardExchangeEvery) {
+      throw util::InvalidArgument(
+          "BpOptions: shard_exchange_every applies only to the sharded "
+          "engine");
+    }
+  }
   // Warm starts and frontier seeds (DESIGN.md §5h) are capability-gated the
   // same way: silently ignoring either would return beliefs the caller
   // believes were incrementally re-converged when they were not.
@@ -126,6 +138,7 @@ std::string_view engine_name(EngineKind kind) noexcept {
     case EngineKind::kResidualLocked: return "Residual Locked";
     case EngineKind::kResidualMq: return "Residual MQ";
     case EngineKind::kSplash: return "Splash";
+    case EngineKind::kSharded: return "Sharded";
   }
   return "unknown";
 }
@@ -144,6 +157,7 @@ std::string_view engine_slug(EngineKind kind) noexcept {
     case EngineKind::kResidualLocked: return "residual-locked";
     case EngineKind::kResidualMq: return "residual-mq";
     case EngineKind::kSplash: return "splash";
+    case EngineKind::kSharded: return "sharded";
   }
   return "unknown";
 }
@@ -156,6 +170,9 @@ bool engine_supports_family(EngineKind kind,
     case EngineKind::kCudaNode:
     case EngineKind::kCudaEdge:
     case EngineKind::kAccEdge:
+    // Sharded execution keeps per-shard belief state only; the LDPC
+    // runners' per-edge LLR messages have no ghost representation yet.
+    case EngineKind::kSharded:
       return false;
     default:
       return true;
@@ -229,6 +246,9 @@ std::optional<EngineKind> engine_from_name(std::string_view name) noexcept {
   if (key == "splash" || key == "residual-splash") {
     return EngineKind::kSplash;
   }
+  if (key == "sharded" || key == "shard" || key == "sharded-bp") {
+    return EngineKind::kSharded;
+  }
   return std::nullopt;
 }
 
@@ -249,6 +269,7 @@ std::unique_ptr<Engine> make_engine(EngineKind kind,
     case EngineKind::kResidualMq:
       return internal::make_residual_mq(profile);
     case EngineKind::kSplash: return internal::make_splash(profile);
+    case EngineKind::kSharded: return internal::make_sharded(profile);
   }
   throw util::InvalidArgument("unknown engine kind");
 }
@@ -265,6 +286,7 @@ std::unique_ptr<Engine> make_default_engine(EngineKind kind) {
     case EngineKind::kResidualLocked:
     case EngineKind::kResidualMq:
     case EngineKind::kSplash:
+    case EngineKind::kSharded:
       return make_engine(kind, perf::cpu_i7_7700hq_parallel(8));
     case EngineKind::kCudaNode:
     case EngineKind::kCudaEdge:

@@ -31,6 +31,7 @@ enum class EngineKind {
                     // lock (the scheduler §5f relaxes away)
   kResidualMq,      // residual over a relaxed MultiQueue (DESIGN.md §5f)
   kSplash,          // residual roots + bounded BFS subtree sweeps (§5f)
+  kSharded,         // partitioned shards + ghost-buffer exchange (§5i)
 };
 
 /// Human-readable engine name ("C Node", "CUDA Edge", ...).

@@ -29,6 +29,7 @@ std::unique_ptr<Engine> make_residual(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_residual_locked(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_residual_mq(const perf::HardwareProfile& p);
 std::unique_ptr<Engine> make_splash(const perf::HardwareProfile& p);
+std::unique_ptr<Engine> make_sharded(const perf::HardwareProfile& p);
 
 // ---------------------------------------------------------------------------
 // LDPC family runners (ldpc_engines.cpp, DESIGN.md §5g). The supporting

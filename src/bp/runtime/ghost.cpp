@@ -1,0 +1,110 @@
+#include "bp/runtime/ghost.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace credo::bp::runtime {
+
+GhostExchange::GhostExchange(const graph::Partition& part) {
+  const std::uint32_t s_count = part.shard_count();
+  outboxes_ = std::vector<Outbox>(s_count);
+  routes_.resize(s_count);
+  readers_.resize(s_count);
+
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    const graph::Shard& sh = part.shard(s);
+    Outbox& box = outboxes_[s];
+    box.border_local.reserve(sh.border.size());
+    for (graph::NodeId v : sh.border) box.border_local.push_back(v - sh.begin);
+    box.buf[0].resize(sh.border.size());
+    box.buf[1].resize(sh.border.size());
+    readers_[s] = std::vector<std::uint32_t>(part.readers(s).begin(),
+                                             part.readers(s).end());
+  }
+
+  // Routes: for each shard, group its ghosts by owning shard and resolve
+  // each ghost to the owner's border-buffer index. Ghost and border lists
+  // are both sorted, so the lookup is a binary search.
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    const graph::Shard& sh = part.shard(s);
+    const graph::NodeId owned = sh.num_nodes();
+    Route* cur = nullptr;
+    for (std::size_t k = 0; k < sh.ghosts.size(); ++k) {
+      const graph::NodeId gv = sh.ghosts[k];
+      const std::uint32_t src = part.owner(gv);
+      if (cur == nullptr || cur->src_shard != src) {
+        routes_[s].push_back(Route{});
+        cur = &routes_[s].back();
+        cur->src_shard = src;
+      }
+      const std::vector<graph::NodeId>& border = part.shard(src).border;
+      auto it = std::lower_bound(border.begin(), border.end(), gv);
+      CREDO_CHECK_MSG(it != border.end() && *it == gv,
+                      "ghost node missing from owner's border set");
+      cur->src_index.push_back(
+          static_cast<std::uint32_t>(it - border.begin()));
+      cur->dst_local.push_back(owned + static_cast<graph::NodeId>(k));
+    }
+  }
+}
+
+bool GhostExchange::publish(std::uint32_t shard,
+                            const std::vector<graph::BeliefVec>& local,
+                            float change_threshold, perf::Meter& meter) {
+  Outbox& box = outboxes_[shard];
+  if (box.border_local.empty()) return false;
+
+  // Fill the back buffer and diff against the previous publish with no
+  // lock held: this thread is the only writer of the back buffer, and the
+  // front buffer only changes under the flip below (also this thread).
+  const std::uint32_t back = 1 - box.front;
+  std::vector<graph::BeliefVec>& out = box.buf[back];
+  const std::vector<graph::BeliefVec>& prev = box.buf[box.front];
+  bool changed = box.epoch == 0;  // first publish always wakes readers
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < box.border_local.size(); ++i) {
+    out[i] = local[box.border_local[i]];
+    bytes += out[i].payload_bytes();
+    if (!changed && graph::l1_diff(out[i], prev[i]) > change_threshold)
+      changed = true;
+  }
+  meter.shard_exchange(bytes);
+
+  {
+    std::unique_lock lock(box.mu);
+    box.front = back;
+    ++box.epoch;
+  }
+  return changed;
+}
+
+std::uint32_t GhostExchange::import(std::uint32_t shard,
+                                    std::vector<graph::BeliefVec>& local,
+                                    float change_threshold,
+                                    std::vector<graph::NodeId>& changed,
+                                    perf::Meter& meter) {
+  std::uint32_t fresh = 0;
+  for (Route& r : routes_[shard]) {
+    Outbox& box = outboxes_[r.src_shard];
+    std::shared_lock lock(box.mu);
+    if (box.epoch == r.last_epoch) continue;  // nothing new from this source
+    r.last_epoch = box.epoch;
+    const std::vector<graph::BeliefVec>& src = box.buf[box.front];
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < r.src_index.size(); ++i) {
+      const graph::BeliefVec& b = src[r.src_index[i]];
+      graph::BeliefVec& dst = local[r.dst_local[i]];
+      bytes += b.payload_bytes();
+      if (graph::l1_diff(dst, b) > change_threshold)
+        changed.push_back(r.dst_local[i]);
+      dst = b;
+    }
+    meter.shard_exchange(bytes);
+    ++fresh;
+  }
+  return fresh;
+}
+
+}  // namespace credo::bp::runtime

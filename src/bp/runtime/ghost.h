@@ -1,0 +1,100 @@
+// Double-buffered ghost-belief exchange between shards (DESIGN.md §5i).
+//
+// Each shard of a sharded BP run owns the beliefs of its contiguous node
+// range and mirrors its off-shard parents as read-only *ghost slots*.
+// This class is the one channel those slots are refreshed through: every
+// shard has an outbox holding two buffers of its border beliefs — the
+// publisher fills the back buffer with no lock held (it is the only
+// writer), then flips it to the front under a writer lock; importers copy
+// from the front buffer under a reader lock, so no copy ever overlaps a
+// flip and no buffer is written while read. Epoch counters let importers
+// skip sources that have not published since their last visit, and let
+// publishers report whether the flip actually changed anything — the
+// signal that wakes parked neighbor shards.
+//
+// The API is deliberately narrow — publish / import / readers — because
+// this is the seam where multi-process or RPC sharding later attaches:
+// a remote transport only has to speak "here are shard s's border
+// beliefs, epoch e" to slot in behind the same calls.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "graph/belief.h"
+#include "graph/partition.h"
+#include "perf/counters.h"
+
+namespace credo::bp::runtime {
+
+/// The exchange fabric for one sharded run. Thread-compatible per shard:
+/// at most one thread may act *as* a given shard at a time (the engine's
+/// shard claim guarantees this); any number of shards may publish and
+/// import concurrently.
+class GhostExchange {
+ public:
+  /// Builds the outboxes and import routes from a partition. Local belief
+  /// arrays are expected in owned-first layout: local id v in [0, owned)
+  /// is global id shard.begin + v, and ghost slot k holds the belief of
+  /// shard.ghosts[k] at local id owned + k.
+  explicit GhostExchange(const graph::Partition& part);
+
+  /// Publishes `shard`'s border beliefs from its local array into the
+  /// back buffer and flips. Returns true when any published entry moved
+  /// by more than `change_threshold` (L1) since the previous publish —
+  /// the first publish always counts as changed. Meters one exchange op
+  /// covering the published belief payload.
+  bool publish(std::uint32_t shard,
+               const std::vector<graph::BeliefVec>& local,
+               float change_threshold, perf::Meter& meter);
+
+  /// Copies fresh neighbor publishes into `local`'s ghost slots. Only
+  /// sources that published since this shard's last import are touched.
+  /// Ghost slots whose value moved by more than `change_threshold` are
+  /// appended to `changed` (as local ids, owned + k) so the caller can
+  /// seed its frontier. Returns the number of source shards with fresh
+  /// data; meters one exchange op per fresh source.
+  std::uint32_t import(std::uint32_t shard,
+                       std::vector<graph::BeliefVec>& local,
+                       float change_threshold,
+                       std::vector<graph::NodeId>& changed,
+                       perf::Meter& meter);
+
+  /// Shards that import from `shard` — the wake set after a changed
+  /// publish.
+  [[nodiscard]] std::span<const std::uint32_t> readers(
+      std::uint32_t shard) const noexcept {
+    return readers_[shard];
+  }
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(outboxes_.size());
+  }
+
+ private:
+  /// One shard's published border beliefs, double-buffered.
+  struct Outbox {
+    std::vector<graph::NodeId> border_local;  // local ids of border nodes
+    std::vector<graph::BeliefVec> buf[2];
+    std::uint32_t front = 0;
+    std::uint64_t epoch = 0;  // bumped per flip; 0 = never published
+    mutable std::shared_mutex mu;
+  };
+
+  /// One import route: entries of a source shard's border buffer this
+  /// shard mirrors, and where they land locally.
+  struct Route {
+    std::uint32_t src_shard = 0;
+    std::vector<std::uint32_t> src_index;       // index into source border
+    std::vector<graph::NodeId> dst_local;       // ghost slot local ids
+    std::uint64_t last_epoch = 0;               // source epoch last copied
+  };
+
+  std::vector<Outbox> outboxes_;
+  std::vector<std::vector<Route>> routes_;  // per importing shard
+  std::vector<std::vector<std::uint32_t>> readers_;
+};
+
+}  // namespace credo::bp::runtime

@@ -19,6 +19,11 @@ struct Handles {
   obs::Counter& sched_inversions;
   obs::Histogram& sched_heap_peak;
   obs::Histogram& sched_splash_size;
+  obs::Counter& shard_runs;
+  obs::Counter& shard_exchange_bytes;
+  obs::Counter& shard_parks;
+  obs::Counter& shard_wakes;
+  obs::Histogram& shard_sweeps;
 
   static Handles& get() {
     static Handles h{
@@ -58,6 +63,22 @@ struct Handles {
             "credo_sched_splash_size",
             "Nodes per splash subtree swept as one batch",
             obs::pow2_buckets(12)),
+        obs::MetricsRegistry::global().counter(
+            "credo_shard_runs_total", "Sharded-engine runs finished"),
+        obs::MetricsRegistry::global().counter(
+            "credo_shard_exchange_bytes_total",
+            "Ghost-buffer belief payload published and imported across "
+            "shard boundaries"),
+        obs::MetricsRegistry::global().counter(
+            "credo_shard_parks_total",
+            "Shards parked as locally quiescent (woken parks count again)"),
+        obs::MetricsRegistry::global().counter(
+            "credo_shard_wakes_total",
+            "Parked shards woken by a changed neighbor publish"),
+        obs::MetricsRegistry::global().histogram(
+            "credo_shard_sweeps",
+            "Local sweeps per shard over a sharded run",
+            obs::pow2_buckets(10)),
     };
     return h;
   }
@@ -93,6 +114,19 @@ void observe_sched_run(std::uint64_t pops, std::uint64_t stale_pops,
 
 void observe_splash_subtree(std::uint64_t nodes) noexcept {
   Handles::get().sched_splash_size.observe(static_cast<double>(nodes));
+}
+
+void observe_shard_run(std::span<const std::uint32_t> sweeps,
+                       std::uint64_t exchange_bytes, std::uint64_t parks,
+                       std::uint64_t wakes) noexcept {
+  Handles& h = Handles::get();
+  h.shard_runs.inc();
+  if (exchange_bytes > 0) h.shard_exchange_bytes.inc(exchange_bytes);
+  if (parks > 0) h.shard_parks.inc(parks);
+  if (wakes > 0) h.shard_wakes.inc(wakes);
+  for (const std::uint32_t s : sweeps) {
+    h.shard_sweeps.observe(static_cast<double>(s));
+  }
 }
 
 }  // namespace credo::bp::runtime

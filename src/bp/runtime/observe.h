@@ -34,4 +34,11 @@ void observe_sched_run(std::uint64_t pops, std::uint64_t stale_pops,
 /// Records one splash subtree's size (nodes swept as one batch).
 void observe_splash_subtree(std::uint64_t nodes) noexcept;
 
+/// Records a finished sharded-engine run (§5i): per-shard local sweep
+/// counts, total ghost-exchange payload moved, and the park/wake totals of
+/// the quiescence coordinator. Flushed once per run.
+void observe_shard_run(std::span<const std::uint32_t> sweeps,
+                       std::uint64_t exchange_bytes, std::uint64_t parks,
+                       std::uint64_t wakes) noexcept;
+
 }  // namespace credo::bp::runtime

@@ -1,0 +1,114 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace credo::graph {
+
+Partition Partition::contiguous(const FactorGraph& g, std::uint32_t shards) {
+  CREDO_CHECK_MSG(shards >= 1, "Partition: shard count must be >= 1");
+  Partition p;
+  p.num_nodes_ = g.num_nodes();
+  p.num_edges_ = g.num_edges();
+
+  const NodeId n = g.num_nodes();
+  const std::uint32_t s_count =
+      n == 0 ? 1u : std::min<std::uint32_t>(shards, n);
+  p.shards_.resize(s_count);
+  p.readers_.resize(s_count);
+  if (n == 0) return p;
+
+  // Work-balanced split points: walk nodes in id order and cut when the
+  // cumulative weight reaches the next s/S fraction of the total, while
+  // reserving one node for every shard still to come so no range is empty.
+  const auto& in = g.in_csr();
+  std::uint64_t total_work = 0;
+  for (NodeId v = 0; v < n; ++v) total_work += 1 + in.degree(v);
+
+  NodeId cursor = 0;
+  std::uint64_t work_done = 0;
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    Shard& sh = p.shards_[s];
+    sh.begin = cursor;
+    const std::uint64_t target =
+        total_work * static_cast<std::uint64_t>(s + 1) / s_count;
+    const NodeId remaining_shards = s_count - s - 1;
+    // Always take at least one node; never eat into later shards' reserve.
+    do {
+      work_done += 1 + in.degree(cursor);
+      ++cursor;
+    } while (cursor < n - remaining_shards &&
+             (s + 1 == s_count || work_done < target));
+    sh.end = cursor;
+  }
+  CREDO_CHECK_MSG(cursor == n, "Partition: ranges must cover every node");
+
+  // Boundary scan: classify every directed edge once. Border/ghost lists
+  // are collected with duplicates then sorted+deduplicated — a node with
+  // several cross-shard children appears once per list.
+  std::vector<std::vector<std::uint32_t>> reader_sets(s_count);
+  for (const DirectedEdge& e : g.edges()) {
+    const std::uint32_t so = p.owner(e.src);
+    const std::uint32_t to = p.owner(e.dst);
+    if (so == to) {
+      ++p.shards_[so].internal_edges;
+      continue;
+    }
+    ++p.edge_cut_;
+    ++p.shards_[to].cut_in_edges;
+    p.shards_[so].border.push_back(e.src);
+    p.shards_[to].ghosts.push_back(e.src);
+    reader_sets[so].push_back(to);
+  }
+  const auto dedup = [](auto& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    dedup(p.shards_[s].border);
+    dedup(p.shards_[s].ghosts);
+    dedup(reader_sets[s]);
+    p.readers_[s] = std::move(reader_sets[s]);
+  }
+  return p;
+}
+
+std::uint32_t Partition::owner(NodeId v) const noexcept {
+  // Upper-bound over range starts; shards are few, ranges sorted.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = shard_count() - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi + 1) / 2;
+    if (shards_[mid].begin <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double Partition::edge_cut_fraction() const noexcept {
+  return num_edges_ > 0
+             ? static_cast<double>(edge_cut_) /
+                   static_cast<double>(num_edges_)
+             : 0.0;
+}
+
+double Partition::balance() const noexcept {
+  std::uint64_t max_work = 0;
+  std::uint64_t total = 0;
+  for (const Shard& sh : shards_) {
+    const std::uint64_t w =
+        sh.num_nodes() + sh.internal_edges + sh.cut_in_edges;
+    max_work = std::max(max_work, w);
+    total += w;
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards_.size());
+  return mean > 0.0 ? static_cast<double>(max_work) / mean : 1.0;
+}
+
+}  // namespace credo::graph

@@ -1,0 +1,100 @@
+// Contiguous-range graph partitioning for sharded BP execution
+// (DESIGN.md §5i).
+//
+// A Partition cuts the node-id space [0, n) into `shards` contiguous
+// ranges, balanced by update work (one unit per node plus one per
+// in-edge). Contiguity is the whole point: the §5d locality pass already
+// renumbers nodes so neighborhoods occupy adjacent ids (BFS/RCM), which
+// makes a contiguous range a low-cut, cache-coherent shard with no
+// separate partitioning algorithm — cutting a BFS order of a grid yields
+// band partitions whose boundary is one frontier wide.
+//
+// Beyond the ranges, the partition precomputes what a sharded engine
+// needs to exchange state: per shard the *border* set (owned nodes some
+// other shard reads as a parent) and the *ghost* set (off-shard parents
+// this shard reads), plus edge-cut and balance figures `credo info
+// --partition` reports so partition quality is inspectable without
+// running BP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/factor_graph.h"
+
+namespace credo::graph {
+
+/// One shard of a contiguous-range partition. Node ids are the graph's
+/// internal ids (post-reorder when the graph went through the §5d pass).
+struct Shard {
+  /// Owned range [begin, end); never empty.
+  NodeId begin = 0;
+  NodeId end = 0;
+
+  /// Directed edges with both endpoints owned by this shard.
+  std::uint64_t internal_edges = 0;
+  /// Directed edges arriving from another shard (this shard's ghost
+  /// reads, counted per edge rather than per distinct parent).
+  std::uint64_t cut_in_edges = 0;
+
+  /// Owned nodes at least one other shard reads as a parent (sorted).
+  std::vector<NodeId> border;
+  /// Off-shard parents this shard reads (sorted): the read-only slots a
+  /// sharded engine mirrors locally and refreshes at exchange points.
+  std::vector<NodeId> ghosts;
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return end - begin; }
+};
+
+/// A contiguous-range partition of a FactorGraph plus its boundary sets.
+class Partition {
+ public:
+  /// Cuts `g` into `shards` contiguous ranges balanced by update work
+  /// w(v) = 1 + in_degree(v). `shards` must be >= 1 and is clamped to the
+  /// node count (every shard gets at least one node); a graph with no
+  /// nodes yields a single empty shard.
+  static Partition contiguous(const FactorGraph& g, std::uint32_t shards);
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return num_edges_;
+  }
+
+  [[nodiscard]] const Shard& shard(std::uint32_t s) const noexcept {
+    return shards_[s];
+  }
+  [[nodiscard]] const std::vector<Shard>& shards() const noexcept {
+    return shards_;
+  }
+
+  /// Owning shard of node `v` (binary search over the range starts).
+  [[nodiscard]] std::uint32_t owner(NodeId v) const noexcept;
+
+  /// Shards that read at least one of shard `s`'s border nodes — the
+  /// set a publish from `s` can wake (sorted).
+  [[nodiscard]] const std::vector<std::uint32_t>& readers(
+      std::uint32_t s) const noexcept {
+    return readers_[s];
+  }
+
+  /// Directed edges crossing shard boundaries.
+  [[nodiscard]] std::uint64_t edge_cut() const noexcept { return edge_cut_; }
+  /// edge_cut / num_edges; 0 for an edgeless graph.
+  [[nodiscard]] double edge_cut_fraction() const noexcept;
+
+  /// Work imbalance: max shard work / mean shard work (1.0 = perfectly
+  /// balanced), with work w(shard) = nodes + in-edges.
+  [[nodiscard]] double balance() const noexcept;
+
+ private:
+  std::vector<Shard> shards_;
+  std::vector<std::vector<std::uint32_t>> readers_;
+  NodeId num_nodes_ = 0;
+  std::uint64_t num_edges_ = 0;
+  std::uint64_t edge_cut_ = 0;
+};
+
+}  // namespace credo::graph

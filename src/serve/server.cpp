@@ -460,7 +460,8 @@ Response Server::execute(Request& req,
     const auto engine = bp::make_default_engine(kind);
     bp::BpResult result;
     if (kind == bp::EngineKind::kOmpNode ||
-        kind == bp::EngineKind::kOmpEdge) {
+        kind == bp::EngineKind::kOmpEdge ||
+        kind == bp::EngineKind::kSharded) {
       // CPU-parallel engines share the server's one pool; the pool runs a
       // single team at a time, so these requests serialize here.
       std::lock_guard<std::mutex> pool_lock(pool_mu_);
@@ -665,7 +666,8 @@ void Server::execute_batch(Pending& pending) {
     const auto engine = bp::make_default_engine(kind);
     bp::BpResult result;
     if (kind == bp::EngineKind::kOmpNode ||
-        kind == bp::EngineKind::kOmpEdge) {
+        kind == bp::EngineKind::kOmpEdge ||
+        kind == bp::EngineKind::kSharded) {
       std::lock_guard<std::mutex> pool_lock(pool_mu_);
       opts.with_shared_pool(&pool_);
       result = engine->run(g, opts);

@@ -55,6 +55,7 @@
 #include "credo/suite.h"
 #include "graph/generators.h"
 #include "graph/ldpc.h"
+#include "graph/partition.h"
 #include "io/bif.h"
 #include "io/convert.h"
 #include "io/xmlbif.h"
@@ -121,7 +122,8 @@ bp::EngineKind parse_engine(const std::string& name) {
         bp::EngineKind::kCudaNode, bp::EngineKind::kCudaEdge,
         bp::EngineKind::kAccEdge, bp::EngineKind::kTree,
         bp::EngineKind::kResidual, bp::EngineKind::kResidualLocked,
-        bp::EngineKind::kResidualMq, bp::EngineKind::kSplash}) {
+        bp::EngineKind::kResidualMq, bp::EngineKind::kSplash,
+        bp::EngineKind::kSharded}) {
     if (!valid.empty()) valid += '|';
     valid += std::string(bp::engine_slug(k));
   }
@@ -184,6 +186,29 @@ int cmd_info(const Args& args) {
               static_cast<double>(g.joints().payload_bytes()) / (1 << 20));
   std::printf("memory:            %.2f MiB\n",
               static_cast<double>(g.memory_bytes()) / (1 << 20));
+  // --partition P: cut the (possibly reordered) graph into P contiguous
+  // shards and report partition quality — what the sharded engine would
+  // execute against (DESIGN.md §5i) — without running BP.
+  if (args.get("partition")) {
+    const auto p = graph::Partition::contiguous(
+        g, static_cast<std::uint32_t>(args.number("partition", 8)));
+    std::printf("partition:         %u shards\n", p.shard_count());
+    std::printf("edge cut:          %llu (%.4f of edges)\n",
+                static_cast<unsigned long long>(p.edge_cut()),
+                p.edge_cut_fraction());
+    std::printf("balance:           %.3f (max/mean shard work)\n",
+                p.balance());
+    for (std::uint32_t s = 0; s < p.shard_count(); ++s) {
+      const graph::Shard& sh = p.shard(s);
+      std::printf(
+          "shard %3u: nodes [%u, %u) internal edges %llu cut-in %llu "
+          "border %zu ghosts %zu\n",
+          s, sh.begin, sh.end,
+          static_cast<unsigned long long>(sh.internal_edges),
+          static_cast<unsigned long long>(sh.cut_in_edges),
+          sh.border.size(), sh.ghosts.size());
+    }
+  }
   return 0;
 }
 
@@ -212,6 +237,15 @@ int cmd_run(const Args& args) {
   if (args.get("splash-size")) {
     opts.splash_max_size =
         static_cast<std::uint32_t>(args.number("splash-size", 32));
+  }
+  // Sharded-engine knobs (DESIGN.md §5i), same only-forward-when-given
+  // convention.
+  if (args.get("shards")) {
+    opts.shard_count = static_cast<unsigned>(args.number("shards", 8));
+  }
+  if (args.get("exchange-every")) {
+    opts.shard_exchange_every =
+        static_cast<std::uint32_t>(args.number("exchange-every", 1));
   }
   // --syndrome 1: stop as soon as the hard decisions satisfy every parity
   // check (LDPC graphs only; tabular graphs ignore the criterion).
@@ -625,11 +659,12 @@ int usage() {
       stderr,
       "usage: credo <info|run|generate|convert|train|serve>"
       " [--flag value]...\n"
-      "  info     --nodes N.mtx --edges E.mtx\n"
+      "  info     --nodes N.mtx --edges E.mtx [--partition P]\n"
       "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
       "           [--reorder none|bfs|rcm|degree] [--iters N]\n"
       "           [--threshold X] [--threads T] [--queues-per-thread K]\n"
-      "           [--splash-size S] [--syndrome 1] [--out beliefs.txt]\n"
+      "           [--splash-size S] [--shards P] [--exchange-every E]\n"
+      "           [--syndrome 1] [--out beliefs.txt]\n"
       "           [--trace trace.csv] [--no-queue]\n"
       "  generate --family uniform|kron|social|tree|grid --nodes N\n"
       "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
