@@ -20,6 +20,7 @@ GhostExchange::GhostExchange(const graph::Partition& part) {
     for (graph::NodeId v : sh.border) box.border_local.push_back(v - sh.begin);
     box.buf[0].resize(sh.border.size());
     box.buf[1].resize(sh.border.size());
+    box.ref.resize(sh.border.size());
     readers_[s] = std::vector<std::uint32_t>(part.readers(s).begin(),
                                              part.readers(s).end());
   }
@@ -56,21 +57,29 @@ bool GhostExchange::publish(std::uint32_t shard,
   Outbox& box = outboxes_[shard];
   if (box.border_local.empty()) return false;
 
-  // Fill the back buffer and diff against the previous publish with no
-  // lock held: this thread is the only writer of the back buffer, and the
-  // front buffer only changes under the flip below (also this thread).
+  // Fill the back buffer and diff against the last CHANGED publish with
+  // no lock held: this thread is the only writer of the back buffer and
+  // of `ref`, and the front buffer only changes under the flip below
+  // (also this thread). Diffing against the changed-publish baseline
+  // rather than the previous flip keeps sub-threshold drift from
+  // accumulating unnoticed: each step may stay under the bar, but the
+  // running distance from the baseline eventually crosses it and wakes
+  // parked readers.
   const std::uint32_t back = 1 - box.front;
   std::vector<graph::BeliefVec>& out = box.buf[back];
-  const std::vector<graph::BeliefVec>& prev = box.buf[box.front];
   bool changed = box.epoch == 0;  // first publish always wakes readers
   std::uint64_t bytes = 0;
   for (std::size_t i = 0; i < box.border_local.size(); ++i) {
     out[i] = local[box.border_local[i]];
     bytes += out[i].payload_bytes();
-    if (!changed && graph::l1_diff(out[i], prev[i]) > change_threshold)
+    if (!changed && graph::l1_diff(out[i], box.ref[i]) > change_threshold)
       changed = true;
   }
   meter.shard_exchange(bytes);
+  if (changed) {
+    for (std::size_t i = 0; i < box.border_local.size(); ++i)
+      box.ref[i] = out[i];
+  }
 
   {
     std::unique_lock lock(box.mu);

@@ -43,8 +43,12 @@ class GhostExchange {
 
   /// Publishes `shard`'s border beliefs from its local array into the
   /// back buffer and flips. Returns true when any published entry moved
-  /// by more than `change_threshold` (L1) since the previous publish —
-  /// the first publish always counts as changed. Meters one exchange op
+  /// by more than `change_threshold` (L1) since the last publish that
+  /// reported a change — diffing against that reference (not merely the
+  /// previous flip) lets many sub-threshold steps accumulate until they
+  /// cross the bar and wake readers, so parked neighbors' ghost staleness
+  /// stays bounded by the threshold instead of drifting without limit.
+  /// The first publish always counts as changed. Meters one exchange op
   /// covering the published belief payload.
   bool publish(std::uint32_t shard,
                const std::vector<graph::BeliefVec>& local,
@@ -74,10 +78,14 @@ class GhostExchange {
   }
 
  private:
-  /// One shard's published border beliefs, double-buffered.
+  /// One shard's published border beliefs, double-buffered. `ref` holds
+  /// the values as of the last changed publish — the baseline change
+  /// detection diffs against. Only the owning publisher touches it, so it
+  /// needs no lock.
   struct Outbox {
     std::vector<graph::NodeId> border_local;  // local ids of border nodes
     std::vector<graph::BeliefVec> buf[2];
+    std::vector<graph::BeliefVec> ref;
     std::uint32_t front = 0;
     std::uint64_t epoch = 0;  // bumped per flip; 0 = never published
     mutable std::shared_mutex mu;

@@ -112,8 +112,11 @@ struct ShardState {
 };
 
 /// Coordinator states. kIdle shards are claimable; kParked shards wait
-/// for a ghost wake; kCapped shards exhausted their sweep budget and stay
-/// down (the run then reports converged=false, like hitting the cap).
+/// for a ghost wake; kCapped shards hit their sweep budget WITH runnable
+/// work remaining and stay down (the run then reports converged=false,
+/// like hitting the cap). A shard whose frontier drains on exactly its
+/// last budgeted sweep parks instead — quiescent at the cap is still
+/// converged, matching the single-team drivers.
 enum class ShardPhase : std::uint8_t { kIdle, kRunning, kParked, kCapped };
 
 class ShardedEngine final : public Engine {
@@ -345,9 +348,14 @@ BpResult ShardedEngine::do_run(const FactorGraph& g,
   const runtime::DeadlineGuard guard(opts.stop, opts.host_deadline_seconds,
                                      opts.modelled_deadline_seconds);
 
-  const auto snapshot_time = [&]() {
+  // Modelled-deadline snapshot, called from worker `w` while the rest of
+  // the team is still metering. Reading the other workers' non-atomic
+  // sinks here would be a data race, so approximate: the poller's own
+  // sink scaled to the team (the claim loop keeps workers balanced) plus
+  // the main counters, all of which only this thread touches.
+  const auto snapshot_time = [&](unsigned w) {
     perf::Counters total = r.stats.counters;
-    for (const WorkerSink& s : sinks) total.add(s.counters);
+    for (unsigned i = 0; i < team; ++i) total.add(sinks[w].counters);
     return perf::model_time(total, prof);
   };
 
@@ -361,7 +369,8 @@ BpResult ShardedEngine::do_run(const FactorGraph& g,
 
   // One round of shard `s` on worker `w`: import fresh ghosts, run up to
   // shard_exchange_every local sweeps, publish if anything moved. Returns
-  // true when the shard still has runnable work after the round.
+  // true when the shard still has runnable work after the round; the
+  // caller weighs that against the sweep budget.
   const auto run_round = [&](std::uint32_t s, unsigned w) -> bool {
     ShardState& st = shards[s];
     perf::Meter meter(sinks[w].counters);
@@ -451,7 +460,14 @@ BpResult ShardedEngine::do_run(const FactorGraph& g,
         // absolute threshold the shard is converged even when a
         // noise-floor queue bar keeps individual residuals alive — drain
         // the frontier and park (a ghost wake re-activates as usual).
-        if (delta_sum < dense_bar(st)) st.queue.clear();
+        // Drained nodes still carry queue_id stamps, so retire that id
+        // too: a later ghost wake pushes into (queue, queue_id), and a
+        // stale stamp would silently swallow the wake.
+        if (delta_sum < dense_bar(st)) {
+          st.queue.clear();
+          st.queue_id = st.next_id;
+          st.next_id += 1;
+        }
       } else {
         st.dense_active = delta_sum >= dense_bar(st);
       }
@@ -472,9 +488,7 @@ BpResult ShardedEngine::do_run(const FactorGraph& g,
         }
       }
     }
-    const bool capped = st.sweeps >= opts.max_iterations;
-    return !capped &&
-           (queue_mode ? !st.queue.empty() : st.dense_active);
+    return queue_mode ? !st.queue.empty() : st.dense_active;
   };
 
   // The claim loop: one fork/join region for the whole run.
@@ -511,14 +525,15 @@ BpResult ShardedEngine::do_run(const FactorGraph& g,
         continue;
       }
 
-      const bool runnable = run_round(claimed, w);
+      const bool has_work = run_round(claimed, w);
 
       {
         const std::lock_guard<std::mutex> lk(mu);
         ShardState& st = shards[claimed];
-        if (st.sweeps >= opts.max_iterations && !runnable) {
+        if (has_work && st.sweeps >= opts.max_iterations) {
+          // Budget exhausted with work still queued: capped, unconverged.
           phase[claimed] = ShardPhase::kCapped;
-        } else if (runnable || pending_wake[claimed]) {
+        } else if (has_work || pending_wake[claimed]) {
           pending_wake[claimed] = 0;
           phase[claimed] = ShardPhase::kIdle;
         } else {
@@ -533,7 +548,7 @@ BpResult ShardedEngine::do_run(const FactorGraph& g,
       if (guard.active()) {
         const runtime::StopReason why =
             guard.poll(/*at_check=*/true,
-                       [&] { return snapshot_time().total(); });
+                       [&] { return snapshot_time(w).total(); });
         if (why != runtime::StopReason::kNone) {
           stop_reason.store(static_cast<std::uint8_t>(why),
                             std::memory_order_relaxed);

@@ -12,11 +12,13 @@
 
 #include "bp/engine.h"
 #include "bp/runtime/ghost.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/ldpc.h"
 #include "graph/partition.h"
 #include "graph/reorder.h"
 #include "util/error.h"
+#include "util/prng.h"
 
 namespace credo::bp {
 namespace {
@@ -207,6 +209,42 @@ TEST(GhostExchange, ImportSkipsSourcesWithoutFreshPublishes) {
   EXPECT_FALSE(ex.publish(0, local[0], 1e-6f, meter));
   EXPECT_EQ(ex.import(1, local[1], 1e-6f, changed, meter), 1u);
   EXPECT_TRUE(changed.empty());
+}
+
+TEST(GhostExchange, SubThresholdDriftAccumulatesToAWake) {
+  // Regression: change detection must diff against the last publish that
+  // REPORTED a change, not merely the previous flip — otherwise a border
+  // belief can drift arbitrarily far through publishes that each move
+  // less than the threshold, and a parked reader is never woken.
+  const auto g = small_grid(16, 31);
+  const auto p = Partition::contiguous(g, 2);
+  ASSERT_FALSE(p.shard(0).border.empty());
+  runtime::GhostExchange ex(p);
+  perf::Counters c;
+  perf::Meter meter(c);
+
+  std::vector<graph::BeliefVec> local(
+      p.shard(0).num_nodes() + p.shard(0).ghosts.size(),
+      graph::BeliefVec::uniform(2));
+  EXPECT_TRUE(ex.publish(0, local, 0.01f, meter));  // first always wakes
+
+  // Drift every border belief by an L1 of 0.006 per publish — each step
+  // under the 0.01 bar, but two steps from the last changed publish
+  // cross it.
+  bool woke = false;
+  int steps = 0;
+  while (!woke && steps < 5) {
+    ++steps;
+    for (const NodeId b : p.shard(0).border) {
+      local[b].v[0] = 0.5f + 0.003f * static_cast<float>(steps);
+      local[b].v[1] = 1.0f - local[b].v[0];
+    }
+    woke = ex.publish(0, local, 0.01f, meter);
+  }
+  EXPECT_TRUE(woke);
+  EXPECT_LE(steps, 3);
+  // Holding still after the wake reports no further change.
+  EXPECT_FALSE(ex.publish(0, local, 0.01f, meter));
 }
 
 // ---------------------------------------------------------------------------
@@ -435,6 +473,77 @@ TEST(ShardedEngine, ReorderedGraphsUnpermuteBeliefs) {
   EXPECT_TRUE(rr.stats.converged);
   // Both answers come back in original ids; same fixed point.
   EXPECT_LT(max_belief_l1(plain.beliefs, rr.beliefs), 5e-3);
+}
+
+TEST(ShardedEngine, DistributedStopDrainDoesNotSwallowGhostWakes) {
+  // Regression: the distributed stopping rule drains a still-stamped
+  // queue. The stamp id must be retired with the drain — otherwise a
+  // later ghost wake's frontier pushes are silently deduplicated against
+  // the drained queue, the wake is lost (the import already advanced the
+  // route epoch), and the run parks "converged" with boundary beliefs
+  // that never saw the neighbor's change.
+  //
+  // Trigger, in two shards with a long exchange period so each shard
+  // reaches internal quiescence inside its FIRST claim, before any
+  // ghost exchange. Shard 0 is a loopy 4-cycle with random priors:
+  // loopy churn decays geometrically, so the distributed stop fires
+  // while sub-bar residuals keep the queue stamped — the drain traps
+  // the cycle's stamps, then the shard publishes its noise and parks.
+  // Shard 1 is a strongly coupled relay path with evidence at the far
+  // end: its first claim absorbs the evidence, moves its border belief
+  // to the evidence pole, and that changed publish wakes shard 0 —
+  // necessarily AFTER shard 0's drain. The wake's only payload is a
+  // frontier push of cycle node 3; a trapped stamp swallows it, the
+  // cycle never sees the evidence, and the run reports converged with
+  // the cycle at its no-evidence fixed point, an O(0.1) belief error.
+  // The padding path between cycle and relay is disconnected filler:
+  // it drains on the first sweep and only balances the partition
+  // weights so the work-balanced 2-way cut lands exactly between nodes
+  // 31 and 32, keeping the wake's target inside the trapped cycle.
+  graph::GraphBuilder b;
+  util::Prng rng(19);
+  for (NodeId v = 0; v < 4; ++v) b.add_node(graph::random_prior(2, rng));
+  for (NodeId v = 4; v < 63; ++v) b.add_node(graph::BeliefVec::uniform(2));
+  b.add_observed_node(2, 0);  // node 63: evidence
+  const auto strong = graph::JointMatrix::diffusion(2, 0.999f);
+  const auto weak = graph::JointMatrix::diffusion(2, 0.8f);
+  for (NodeId v = 0; v < 4; ++v) {
+    b.add_undirected(v, v + 1 < 4 ? v + 1 : 0, weak);  // the loopy cycle
+  }
+  for (NodeId v = 4; v < 31; ++v) b.add_undirected(v, v + 1, weak);  // pad
+  b.add_undirected(3, 32, weak);  // connector: cycle -> relay border
+  for (NodeId v = 32; v < 63; ++v) b.add_undirected(v, v + 1, strong);
+  const auto g = b.finalize();
+
+  BpOptions o = engine_opts(1).with_shards(2, 200);
+  o.queue_threshold = 1e-7f;
+  const auto r = make_default_engine(EngineKind::kSharded)->run(g, o);
+  EXPECT_TRUE(r.stats.converged);
+  const auto exact =
+      make_default_engine(EngineKind::kResidual)->run(g, engine_opts(1));
+  ASSERT_TRUE(exact.stats.converged);
+  EXPECT_LT(max_belief_l1(exact.beliefs, r.beliefs), 5e-3);
+}
+
+TEST(ShardedEngine, ConvergingOnTheFinalBudgetedSweepStaysConverged) {
+  // Regression: a shard whose frontier drains on exactly its
+  // max_iterations-th sweep is quiescent at the cap, not capped with
+  // work remaining — the run must keep its convergence, matching the
+  // single-team drivers. One worker makes the replay deterministic.
+  const auto g = small_grid(20, 17);
+  BpOptions o = engine_opts(1).with_shards(8, 2);
+  const auto full = make_default_engine(EngineKind::kSharded)->run(g, o);
+  ASSERT_TRUE(full.stats.converged);
+
+  o.max_iterations = full.stats.iterations;
+  const auto capped = make_default_engine(EngineKind::kSharded)->run(g, o);
+  EXPECT_EQ(capped.stats.iterations, full.stats.iterations);
+  EXPECT_TRUE(capped.stats.converged);
+
+  // One sweep short genuinely caps with work remaining: unconverged.
+  o.max_iterations = full.stats.iterations - 1;
+  const auto short_run = make_default_engine(EngineKind::kSharded)->run(g, o);
+  EXPECT_FALSE(short_run.stats.converged);
 }
 
 TEST(ShardedEngine, EightThreadStressOnIrregularGraph) {
