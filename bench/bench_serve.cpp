@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "common.h"
-#include "graph/evidence.h"
+#include "graph/delta.h"
 #include "graph/generators.h"
 #include "io/mtx_belief.h"
 #include "serve/server.h"
@@ -191,7 +191,7 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1, 8, 64, 512};
   for (const std::size_t size : sweep) {
     CREDO_CHECK_MSG(size <= unobserved.size(), "delta larger than graph");
-    graph::EvidenceDelta delta;
+    graph::GraphDelta delta;
     // Spread the touched nodes across the grid rather than one corner.
     const std::size_t stride = unobserved.size() / size;
     for (std::size_t i = 0; i < size; ++i) {
@@ -256,7 +256,7 @@ int main(int argc, char** argv) {
     const std::vector<std::size_t> lsweep =
         smoke ? std::vector<std::size_t>{1} : std::vector<std::size_t>{1, 64};
     for (const std::size_t size : lsweep) {
-      graph::EvidenceDelta delta;
+      graph::GraphDelta delta;
       const std::size_t stride = lfree.size() / size;
       for (std::size_t i = 0; i < size; ++i) {
         delta.set_prior(lfree[i * stride], nudged);

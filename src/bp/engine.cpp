@@ -108,6 +108,11 @@ BpResult Engine::run(const graph::FactorGraph& g,
     }
     eff.frontier_seed = std::make_shared<std::vector<graph::NodeId>>(
         runtime::expand_frontier_seed(g, touched));
+    // Circular-BP-style robustness floor (§5j): seeded runs re-converge a
+    // perturbed region whose churn may have created fresh tight loops, so
+    // the frontier damping floor kicks in only here — cold full runs keep
+    // the caller's damping untouched.
+    eff.damping = std::max(eff.damping, opts.frontier_damping);
   }
   BpResult result = do_run(g, eff);
   if (eff.frontier_seed) {

@@ -158,6 +158,15 @@ struct BpOptions {
   /// (bp::engine_supports_frontier_seed). Shared, never mutated.
   std::shared_ptr<const std::vector<graph::NodeId>> frontier_seed;
 
+  /// Minimum damping applied while a frontier seed is set (DESIGN.md §5j).
+  /// Topology churn creates fresh tight loops mid-run, exactly the regime
+  /// where vanilla loopy BP oscillates (Bouttier et al.'s circular-BP
+  /// analysis, PAPERS.md); this floor — effective damping is
+  /// max(damping, frontier_damping) — stabilizes the perturbed region
+  /// without slowing cold full runs, which ignore it. 0 (the default)
+  /// leaves `damping` alone. Must be in [0, 1).
+  float frontier_damping = 0.0f;
+
   // -------------------------------------------------------------------------
   // Fluent setters: `BpOptions{}.with_threads(4).with_damping(0.1f)` reads
   // as a request instead of a positional mutation. Each returns *this so
@@ -256,6 +265,10 @@ struct BpOptions {
     frontier_seed = std::move(v);
     return *this;
   }
+  BpOptions& with_frontier_damping(float v) noexcept {
+    frontier_damping = v;
+    return *this;
+  }
 
   /// Rejects settings that would loop forever, divide by zero or never
   /// converge, reported through the shared status vocabulary (DESIGN.md
@@ -286,6 +299,9 @@ struct BpOptions {
     }
     if (!(damping >= 0.0f && damping < 1.0f)) {
       return invalid("BpOptions: damping must be in [0, 1)");
+    }
+    if (!(frontier_damping >= 0.0f && frontier_damping < 1.0f)) {
+      return invalid("BpOptions: frontier_damping must be in [0, 1)");
     }
     if (threads == 0) {
       return invalid("BpOptions: threads must be nonzero");

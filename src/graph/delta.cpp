@@ -1,0 +1,195 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "graph/evidence.h"
+
+namespace credo::graph {
+
+GraphDelta& GraphDelta::set_prior(NodeId node, const BeliefVec& prior) {
+  Op op;
+  op.kind = OpKind::kSetPrior;
+  op.a = node;
+  op.prior = prior;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::observe(NodeId node, std::uint32_t state) {
+  Op op;
+  op.kind = OpKind::kObserve;
+  op.a = node;
+  op.state = state;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::unobserve(NodeId node) {
+  Op op;
+  op.kind = OpKind::kUnobserve;
+  op.a = node;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::add_node(const BeliefVec& prior) {
+  Op op;
+  op.kind = OpKind::kAddNode;
+  op.prior = prior;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::remove_node(NodeId node) {
+  Op op;
+  op.kind = OpKind::kRemoveNode;
+  op.a = node;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::add_edge(NodeId u, NodeId v, const JointMatrix& m) {
+  Op op;
+  op.kind = OpKind::kAddEdge;
+  op.a = u;
+  op.b = v;
+  op.joint = std::make_shared<const JointMatrix>(m);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::add_edge(NodeId u, NodeId v) {
+  Op op;
+  op.kind = OpKind::kAddEdge;
+  op.a = u;
+  op.b = v;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::remove_edge(NodeId u, NodeId v) {
+  Op op;
+  op.kind = OpKind::kRemoveEdge;
+  op.a = u;
+  op.b = v;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+GraphDelta& GraphDelta::set_potential(NodeId u, NodeId v,
+                                      const JointMatrix& m) {
+  Op op;
+  op.kind = OpKind::kSetPotential;
+  op.a = u;
+  op.b = v;
+  op.joint = std::make_shared<const JointMatrix>(m);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+bool GraphDelta::has_topology() const noexcept {
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kSetPrior:
+      case OpKind::kObserve:
+      case OpKind::kUnobserve:
+        break;
+      default:
+        return true;
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> GraphDelta::touched() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(ops_.size() * 2);
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kAddNode) continue;
+    if (!is_pending(op.a)) nodes.push_back(op.a);
+    if (op.kind == OpKind::kAddEdge || op.kind == OpKind::kRemoveEdge ||
+        op.kind == OpKind::kSetPotential) {
+      if (!is_pending(op.b)) nodes.push_back(op.b);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::uint64_t GraphDelta::fingerprint() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_float = [&mix](float f) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    mix(bits);
+  };
+  for (const Op& op : ops_) {
+    mix(static_cast<std::uint64_t>(op.kind));
+    mix(op.a);
+    mix(op.b);
+    if (op.kind == OpKind::kObserve) mix(op.state);
+    if (op.kind == OpKind::kSetPrior || op.kind == OpKind::kAddNode) {
+      mix(op.prior.size);
+      for (std::uint32_t i = 0; i < op.prior.size; ++i) mix_float(op.prior.v[i]);
+    }
+    if (op.joint != nullptr) {
+      mix(op.joint->rows);
+      mix(op.joint->cols);
+      for (std::uint32_t i = 0; i < op.joint->rows; ++i) {
+        for (std::uint32_t j = 0; j < op.joint->cols; ++j) {
+          mix_float(op.joint->at(i, j));
+        }
+      }
+    }
+  }
+  return h;
+}
+
+util::Status GraphDelta::validate(const FactorGraph& g) const noexcept {
+  if (has_topology()) {
+    return util::Status(
+        util::StatusCode::kInvalidArgument,
+        "GraphDelta: topology mutations cannot apply ephemerally to a "
+        "static FactorGraph — route them through a graph::DynamicGraph");
+  }
+  // Evidence-only: delegate to the EvidenceDelta checks so the two paths
+  // cannot drift apart.
+  EvidenceDelta ev;
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kSetPrior: ev.set_prior(op.a, op.prior); break;
+      case OpKind::kObserve: ev.observe(op.a, op.state); break;
+      case OpKind::kUnobserve: ev.unobserve(op.a); break;
+      default: break;  // unreachable: has_topology() returned false
+    }
+  }
+  return ev.validate(g);
+}
+
+FactorGraph with_delta(const FactorGraph& g, const GraphDelta& d) {
+  if (d.has_topology()) {
+    throw util::InvalidArgument(
+        "GraphDelta: topology mutations cannot apply ephemerally to a "
+        "static FactorGraph — route them through a graph::DynamicGraph");
+  }
+  EvidenceDelta ev;
+  for (const GraphDelta::Op& op : d.ops_) {
+    switch (op.kind) {
+      case GraphDelta::OpKind::kSetPrior: ev.set_prior(op.a, op.prior); break;
+      case GraphDelta::OpKind::kObserve: ev.observe(op.a, op.state); break;
+      case GraphDelta::OpKind::kUnobserve: ev.unobserve(op.a); break;
+      default: break;
+    }
+  }
+  return with_evidence(g, ev);
+}
+
+}  // namespace credo::graph

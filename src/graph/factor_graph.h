@@ -240,6 +240,7 @@ class FactorGraph {
   friend class GraphBuilder;
   friend class ReorderAccess;   // graph/reorder.cpp
   friend class EvidenceAccess;  // graph/evidence.cpp
+  friend class DynamicAccess;   // graph/dynamic.cpp
 
   std::vector<BeliefVec> priors_;
   std::vector<std::uint8_t> observed_;

@@ -1,0 +1,121 @@
+#include "graph/mutable_csr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace credo::graph {
+
+MutableCsr MutableCsr::build(NodeId num_rows,
+                             std::span<const DirectedEdge> edges,
+                             bool by_source, std::uint32_t slack) {
+  MutableCsr m;
+  std::vector<std::uint32_t> deg(num_rows, 0);
+  for (const DirectedEdge& e : edges) ++deg[by_source ? e.src : e.dst];
+
+  m.rows_.resize(num_rows);
+  std::uint64_t begin = 0;
+  for (NodeId r = 0; r < num_rows; ++r) {
+    m.rows_[r].begin = begin;
+    m.rows_[r].len = 0;
+    m.rows_[r].cap = deg[r] + slack;
+    begin += m.rows_[r].cap;
+  }
+  m.arena_.resize(begin);
+
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const DirectedEdge& e = edges[i];
+    Row& row = m.rows_[by_source ? e.src : e.dst];
+    m.arena_[row.begin + row.len] = Entry{by_source ? e.dst : e.src,
+                                          static_cast<EdgeId>(i)};
+    ++row.len;
+  }
+  m.live_ = edges.size();
+  return m;
+}
+
+void MutableCsr::add_row(std::uint32_t slack) {
+  Row row;
+  row.begin = arena_.size();
+  row.len = 0;
+  row.cap = slack;
+  arena_.resize(arena_.size() + slack);
+  rows_.push_back(row);
+}
+
+void MutableCsr::add(NodeId r, Entry e) {
+  Row& row = rows_[r];
+  if (row.len == row.cap) {
+    // Relocate to the arena tail with roughly doubled capacity; the old
+    // segment becomes a husk counted by dead_fraction().
+    const std::uint32_t cap = std::max<std::uint32_t>(4, row.cap * 2);
+    const std::uint64_t begin = arena_.size();
+    arena_.resize(arena_.size() + cap);
+    std::copy(arena_.begin() + static_cast<std::ptrdiff_t>(row.begin),
+              arena_.begin() + static_cast<std::ptrdiff_t>(row.begin + row.len),
+              arena_.begin() + static_cast<std::ptrdiff_t>(begin));
+    abandoned_ += row.cap;
+    row.begin = begin;
+    row.cap = cap;
+  }
+  arena_[row.begin + row.len] = e;
+  ++row.len;
+  ++live_;
+}
+
+bool MutableCsr::remove(NodeId r, EdgeId edge) {
+  Row& row = rows_[r];
+  for (std::uint32_t i = 0; i < row.len; ++i) {
+    if (arena_[row.begin + i].edge == edge) {
+      arena_[row.begin + i] = arena_[row.begin + row.len - 1];
+      --row.len;
+      --live_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MutableCsr::contains(NodeId r, NodeId node) const noexcept {
+  const Row& row = rows_[r];
+  for (std::uint32_t i = 0; i < row.len; ++i) {
+    if (arena_[row.begin + i].node == node) return true;
+  }
+  return false;
+}
+
+void MutableCsr::compact(std::uint32_t slack) {
+  std::vector<Entry> arena;
+  std::uint64_t total = 0;
+  for (const Row& row : rows_) total += row.len + slack;
+  arena.resize(total);
+
+  std::uint64_t begin = 0;
+  for (Row& row : rows_) {
+    std::copy(arena_.begin() + static_cast<std::ptrdiff_t>(row.begin),
+              arena_.begin() + static_cast<std::ptrdiff_t>(row.begin + row.len),
+              arena.begin() + static_cast<std::ptrdiff_t>(begin));
+    row.begin = begin;
+    row.cap = row.len + slack;
+    begin += row.cap;
+  }
+  arena_ = std::move(arena);
+  abandoned_ = 0;
+}
+
+void MutableCsr::snapshot(std::vector<std::uint64_t>& offsets_out,
+                          std::vector<Entry>& entries_out) const {
+  offsets_out.assign(rows_.size() + 1, 0);
+  entries_out.clear();
+  entries_out.reserve(live_);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    offsets_out[r] = entries_out.size();
+    const Row& row = rows_[r];
+    entries_out.insert(
+        entries_out.end(),
+        arena_.begin() + static_cast<std::ptrdiff_t>(row.begin),
+        arena_.begin() + static_cast<std::ptrdiff_t>(row.begin + row.len));
+  }
+  offsets_out[rows_.size()] = entries_out.size();
+}
+
+}  // namespace credo::graph

@@ -1,0 +1,116 @@
+// Slack-slotted mutable CSR (DESIGN.md §5j).
+//
+// The dense Csr the engines traverse is immutable by design: offsets are
+// prefix sums, so one edge insert shifts every row after it. Streaming
+// mutation wants the opposite trade — O(1) amortized insert/remove — while
+// keeping the row-major walk the snapshot pass needs. MutableCsr stores
+// rows in one shared arena with *per-row spare capacity*: each row is a
+// (begin, length, capacity) triple, live entries packed at the row front.
+// Inserts append into the row's slack; a full row relocates to the arena
+// tail with doubled capacity, abandoning its old slots. Removals swap the
+// victim with the row's last live entry — no tombstone scan on the read
+// path, just a shorter row. The abandoned-segment fraction is the
+// compaction trigger DynamicGraph watches; compact() repacks every row
+// front-to-back with fresh slack, after which a snapshot is a single
+// in-order arena walk (no sort — rows preserve insertion order, which is
+// exactly the order GraphBuilder's stable sort by source produces).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace credo::graph {
+
+class MutableCsr {
+ public:
+  /// One adjacency entry, mirroring Csr::Entry: the opposite endpoint and
+  /// the owning edge slot id (a DynamicGraph slot, stable across row
+  /// relocations; NOT a dense snapshot edge id).
+  struct Entry {
+    NodeId node;
+    EdgeId edge;
+  };
+
+  MutableCsr() = default;
+
+  /// Builds over `num_rows` rows from a directed edge list keyed by source
+  /// (`by_source` = true) or target. `slack` spare slots are reserved per
+  /// row so the first few inserts never relocate. Entry order within a row
+  /// is the edge-list order (stable, like Csr's counting sort).
+  static MutableCsr build(NodeId num_rows, std::span<const DirectedEdge> edges,
+                          bool by_source, std::uint32_t slack);
+
+  /// Live entries of `row`, in insertion order.
+  [[nodiscard]] std::span<const Entry> row(NodeId r) const noexcept {
+    const Row& m = rows_[r];
+    return {arena_.data() + m.begin, arena_.data() + m.begin + m.len};
+  }
+
+  [[nodiscard]] std::uint32_t degree(NodeId r) const noexcept {
+    return rows_[r].len;
+  }
+  [[nodiscard]] NodeId num_rows() const noexcept {
+    return static_cast<NodeId>(rows_.size());
+  }
+  [[nodiscard]] std::uint64_t num_entries() const noexcept { return live_; }
+
+  /// Appends an empty row (a freshly added node) with `slack` capacity.
+  void add_row(std::uint32_t slack);
+
+  /// Appends an entry to `row`: into its slack when there is room, else
+  /// the row relocates to the arena tail with doubled capacity (the old
+  /// segment is abandoned and counts toward dead_fraction).
+  void add(NodeId r, Entry e);
+
+  /// Removes the entry with edge slot `edge` from `row` by swapping the
+  /// row's last live entry into its place. Returns false when no entry of
+  /// that slot id is present (the row is unchanged).
+  bool remove(NodeId r, EdgeId edge);
+
+  /// True when `row` holds an entry whose opposite endpoint is `node`
+  /// (the duplicate-insert check).
+  [[nodiscard]] bool contains(NodeId r, NodeId node) const noexcept;
+
+  /// Arena slots occupied by abandoned row segments, as a fraction of the
+  /// whole arena. Working slack (unused capacity of live rows) does NOT
+  /// count — it is reusable; only relocation husks are dead space. This is
+  /// the slack-occupancy half of DynamicGraph's compaction trigger.
+  [[nodiscard]] double dead_fraction() const noexcept {
+    return arena_.empty()
+               ? 0.0
+               : static_cast<double>(abandoned_) /
+                     static_cast<double>(arena_.size());
+  }
+
+  [[nodiscard]] std::uint64_t arena_slots() const noexcept {
+    return arena_.size();
+  }
+
+  /// Repacks every row front-to-back with `slack` fresh spare slots,
+  /// dropping all abandoned segments. Row order and within-row entry order
+  /// are preserved; dead_fraction() is 0 afterwards.
+  void compact(std::uint32_t slack);
+
+  /// Dense snapshot of the live entries, rows concatenated in order — the
+  /// shape Csr serves from. `entries_out[k]` is the k-th live entry of the
+  /// row-major walk; `offsets_out[r]` the first entry of row r.
+  void snapshot(std::vector<std::uint64_t>& offsets_out,
+                std::vector<Entry>& entries_out) const;
+
+ private:
+  struct Row {
+    std::uint64_t begin = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
+  };
+
+  std::vector<Entry> arena_;
+  std::vector<Row> rows_;
+  std::uint64_t live_ = 0;
+  std::uint64_t abandoned_ = 0;
+};
+
+}  // namespace credo::graph

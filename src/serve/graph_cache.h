@@ -48,6 +48,13 @@ struct CachedGraph {
   std::uint64_t content_hash = 0;
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
   std::string key;
+
+  /// Topology version: 0 for entries parsed from disk; N for snapshots
+  /// published by a server-side DynamicGraph after N mutation batches.
+  /// Mutated snapshots carry "#vN" in `key`, so their warm state never
+  /// collides with the as-parsed entry's (the content hash alone cannot
+  /// tell them apart — the files on disk did not change).
+  std::uint64_t version = 0;
 };
 
 struct CacheStats {

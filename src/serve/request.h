@@ -6,10 +6,11 @@
 // the locality reorder mode, which is part of the identity because the
 // same files under different orderings are different in-memory graphs.
 // Alongside the key a request carries the BpOptions to run with, an
-// optional engine override, an optional EvidenceDelta (incremental
-// re-query: apply the delta to the cached graph and re-converge just the
-// perturbed region), a warm-start opt-in, a deadline budget and a
-// cancellation token. A Response reports what happened: the terminal
+// optional engine override, an optional GraphDelta (incremental re-query:
+// evidence applies to the cached graph ephemerally, topology mutations go
+// through the server's DynamicGraph entry, and either way only the
+// perturbed region re-converges), a warm-start opt-in, a deadline budget
+// and a cancellation token. A Response reports what happened: the terminal
 // status (shared util::StatusCode vocabulary), the engine that ran, the
 // BP result, whether the run warm-started and how much of the graph the
 // frontier seed covered, and the queue/run timings the metrics layer
@@ -26,7 +27,7 @@
 
 #include "bp/engine.h"
 #include "bp/runtime/stop.h"
-#include "graph/evidence.h"
+#include "graph/delta.h"
 #include "graph/factor_graph.h"
 #include "graph/reorder.h"
 #include "util/error.h"
@@ -50,6 +51,16 @@ struct GraphKey {
   std::string edges_path;
   std::shared_ptr<const graph::FactorGraph> graph;
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
+
+  /// Topology version of the named graph: 0 addresses the file contents
+  /// as parsed; nonzero addresses the server-side DynamicGraph state after
+  /// that many accepted mutation batches. The version is part of the
+  /// serving identity — it folds into label() and therefore into every
+  /// warm-table fingerprint, so converged beliefs retained against one
+  /// topology can never be overlaid onto a mutated one (the content hash
+  /// alone only covers the on-disk bytes, which in-place mutation never
+  /// changes).
+  std::uint64_t version = 0;
 
   [[nodiscard]] bool inline_graph() const noexcept {
     return graph != nullptr;
@@ -81,6 +92,10 @@ struct GraphKey {
     reorder = mode;
     return *this;
   }
+  GraphKey& with_version(std::uint64_t v) noexcept {
+    version = v;
+    return *this;
+  }
 
   /// Enforces the two-form invariant: either both file paths (and no
   /// inline graph), or an inline graph (and no paths). Mixed or empty
@@ -106,13 +121,20 @@ struct GraphKey {
     return util::Status::ok();
   }
 
-  /// Span/debug label: "nodes|edges[|mode]" or "inline".
+  /// Span/debug label: "nodes|edges[|mode][#vN]" or "inline". The "#vN"
+  /// suffix appears once the graph has been mutated server-side; warm
+  /// fingerprints derive from this label, so each topology version gets
+  /// its own warm-table namespace.
   [[nodiscard]] std::string label() const {
     if (inline_graph()) return "inline";
     std::string s = nodes_path + '|' + edges_path;
     if (reorder != graph::ReorderMode::kNone) {
       s += '|';
       s += graph::reorder_mode_name(reorder);
+    }
+    if (version != 0) {
+      s += "#v";
+      s += std::to_string(version);
     }
     return s;
   }
@@ -146,18 +168,22 @@ struct Request {
   /// Engine override; nullopt = server default (dispatcher when enabled).
   std::optional<bp::EngineKind> engine;
 
-  /// Incremental evidence against the named graph (original node ids).
-  /// The server applies the delta to the cached graph — a cheap copy that
-  /// shares the structure and joint tables — and, when converged beliefs
-  /// for the graph are warm in the cache and the engine supports frontier
-  /// seeding, re-converges only from the delta's touched nodes outward
-  /// instead of running the whole graph cold.
-  std::optional<graph::EvidenceDelta> evidence;
+  /// Incremental delta against the named graph (original node ids), in
+  /// the unified GraphDelta vocabulary. Evidence-only deltas apply to the
+  /// cached graph ephemerally — a cheap copy sharing structure and joint
+  /// tables, visible to this request alone. Deltas carrying topology ops
+  /// (add/remove edge/node, set_potential) mutate the server's persistent
+  /// DynamicGraph entry for the file pair: the version bumps, later
+  /// requests see the new topology, and warm beliefs migrate with only
+  /// the touched region invalidated. Either way, when converged beliefs
+  /// are warm and the engine supports frontier seeding, re-convergence
+  /// runs from the delta's touched nodes outward instead of cold.
+  std::optional<graph::GraphDelta> delta;
 
   /// Opt into belief warm-starting: when the server holds converged
   /// beliefs for this (graph, engine) from an earlier request, start from
   /// them instead of the priors, and retain this run's converged beliefs
-  /// for the next request. A request with `evidence` set implies the same
+  /// for the next request. A request with `delta` set implies the same
   /// retention; warm-starting is never load-bearing for correctness — a
   /// cache miss or an unsupported engine falls back to a cold run and the
   /// Response says so (`warm_start` stays false).
@@ -199,9 +225,14 @@ struct Request {
     engine = kind;
     return *this;
   }
-  Request& with_evidence(graph::EvidenceDelta delta) {
-    evidence = std::move(delta);
+  Request& with_delta(graph::GraphDelta d) {
+    delta = std::move(d);
     return *this;
+  }
+  /// Thin alias over with_delta, kept so evidence-only call sites read as
+  /// what they are; the unified GraphDelta carries both vocabularies.
+  Request& with_evidence(graph::GraphDelta d) {
+    return with_delta(std::move(d));
   }
   Request& with_warm_start(bool v = true) noexcept {
     warm_start = v;
@@ -295,6 +326,12 @@ struct Response {
   /// Span id of this request's trace record (obs/span.h); 0 when the
   /// server has no span log attached.
   std::uint64_t span_id = 0;
+
+  /// Topology version of the graph this request ran against: 0 for the
+  /// as-parsed files (or an inline graph), N after N accepted mutation
+  /// batches. A request whose delta carried topology ops reports the
+  /// version its mutation produced.
+  std::uint64_t graph_version = 0;
 
   std::string tag;
 

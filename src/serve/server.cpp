@@ -23,12 +23,14 @@ constexpr const char* kRequestsTotalHelp =
     "Requests finished, by terminal status (submitted == sum over statuses "
     "after drain)";
 
-/// Warm-state fingerprint: engine slug + evidence content hash, FNV-1a.
+/// Warm-state fingerprint: engine slug + delta content hash, FNV-1a.
 /// Options are deliberately NOT folded in — warm beliefs are a starting
 /// point, never load-bearing, so a request with different thresholds can
-/// still reuse them and simply re-converges under its own options.
+/// still reuse them and simply re-converges under its own options. The
+/// topology version is NOT here either: it lives in the graph key's
+/// "#vN" suffix, so each version owns a whole fingerprint namespace.
 std::uint64_t warm_fingerprint(bp::EngineKind kind,
-                               std::uint64_t evidence_fp) noexcept {
+                               std::uint64_t delta_fp) noexcept {
   std::uint64_t h = 14695981039346656037ull;
   const auto mix_byte = [&h](std::uint8_t b) {
     h ^= b;
@@ -38,7 +40,7 @@ std::uint64_t warm_fingerprint(bp::EngineKind kind,
     mix_byte(static_cast<std::uint8_t>(c));
   }
   for (int i = 0; i < 8; ++i) {
-    mix_byte(static_cast<std::uint8_t>((evidence_fp >> (8 * i)) & 0xffu));
+    mix_byte(static_cast<std::uint8_t>((delta_fp >> (8 * i)) & 0xffu));
   }
   return h;
 }
@@ -82,8 +84,12 @@ Server::Server(ServerOptions options)
           obs::pow2_buckets(10))),
       m_delta_size_(metrics_.histogram(
           "credo_evidence_delta_size",
-          "Evidence operations per delta-carrying request",
-          obs::pow2_buckets(12))) {
+          "Operations per delta-carrying request (evidence or topology)",
+          obs::pow2_buckets(12))),
+      m_mutations_(metrics_.counter(
+          "credo_mutations_total",
+          "Topology mutation batches accepted and applied to a dynamic "
+          "graph")) {
   const util::StatusCode categories[5] = {
       util::StatusCode::kOk, util::StatusCode::kRejected,
       util::StatusCode::kCancelled, util::StatusCode::kDeadlineExceeded,
@@ -341,6 +347,78 @@ bp::EngineKind Server::choose_engine(const graph::FactorGraph& g,
   return dispatcher_->choose(graph::compute_metadata(g));
 }
 
+std::shared_ptr<const CachedGraph> Server::dynamic_current(
+    const std::string& base_key) {
+  std::shared_ptr<DynamicEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(dyn_mu_);
+    const auto it = dynamic_.find(base_key);
+    if (it == dynamic_.end()) return nullptr;
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->current;
+}
+
+util::Status Server::apply_mutation(
+    const Request& req, const std::shared_ptr<const CachedGraph>& parsed,
+    bp::EngineKind kind, std::shared_ptr<const CachedGraph>& current_out,
+    std::vector<graph::NodeId>& touched_out) {
+  // Get or create the dynamic entry. Construction happens outside dyn_mu_
+  // (folding a large graph into slotted CSRs is not map-lock work); if two
+  // first mutations race, the emplace loser's entry is dropped and both
+  // apply against the winner's.
+  std::shared_ptr<DynamicEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(dyn_mu_);
+    const auto it = dynamic_.find(parsed->key);
+    if (it != dynamic_.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    graph::DynamicOptions dopts;
+    dopts.reorder = parsed->reorder;
+    auto fresh = std::make_shared<DynamicEntry>(
+        graph::DynamicGraph::from_graph(parsed->graph, dopts));
+    std::lock_guard<std::mutex> lock(dyn_mu_);
+    entry = dynamic_.emplace(parsed->key, std::move(fresh)).first->second;
+  }
+
+  std::lock_guard<std::mutex> lock(entry->mu);
+  const std::string old_key =
+      entry->current != nullptr ? entry->current->key : parsed->key;
+  if (const util::Status s = entry->dyn.apply(*req.delta); !s.is_ok()) {
+    return s;
+  }
+  touched_out = entry->dyn.last_touched();
+
+  auto snap = entry->dyn.snapshot();
+  auto next = std::make_shared<CachedGraph>();
+  next->graph = *snap;
+  next->metadata = graph::compute_metadata(next->graph);
+  next->content_hash = parsed->content_hash;
+  next->reorder = parsed->reorder;
+  next->version = entry->dyn.version();
+  next->key = parsed->key + "#v" + std::to_string(next->version);
+
+  // Migrate the engine's base warm state across the version bump: the old
+  // fixed point with the touched region (and any new nodes) reset to
+  // priors is a nearly-converged starting point for the new topology.
+  // Entries left under the old key age out of the warm LRU — they can
+  // never be overlaid onto the new topology because the fingerprint
+  // namespace moved with the versioned key.
+  const std::uint64_t base_fp = warm_fingerprint(kind, 0);
+  if (auto old_warm = cache_.warm_lookup(old_key, base_fp);
+      old_warm != nullptr) {
+    cache_.warm_store(
+        next->key, base_fp,
+        std::make_shared<const std::vector<graph::BeliefVec>>(
+            entry->dyn.patch_beliefs(*old_warm)));
+  }
+  entry->current = next;
+  current_out = std::move(next);
+  return util::Status::ok();
+}
+
 Response Server::execute(Request& req,
                          std::chrono::steady_clock::time_point enqueued) {
   Response resp;
@@ -380,11 +458,19 @@ Response Server::execute(Request& req,
     // reordering once upfront).
     const util::Timer parse_timer;
     std::shared_ptr<const CachedGraph> cached;
+    std::shared_ptr<const CachedGraph> parsed;
     graph::FactorGraph reordered_inline;
     const graph::FactorGraph* g = nullptr;
     const graph::GraphMetadata* md = nullptr;
     std::string warm_key;  // empty = inline graph, no warm retention
+    const bool has_delta = req.delta && !req.delta->empty();
+    const bool mutates = has_delta && req.delta->has_topology();
     if (req.graph.inline_graph()) {
+      if (mutates) {
+        throw util::InvalidArgument(
+            "topology mutations need a file-backed graph — inline graphs "
+            "have no server-side dynamic state to mutate");
+      }
       g = req.graph.graph.get();
       if (req.graph.reorder != graph::ReorderMode::kNone) {
         reordered_inline = graph::reordered(*g, req.graph.reorder);
@@ -393,29 +479,56 @@ Response Server::execute(Request& req,
     } else {
       auto fetched = cache_.fetch(req.graph.nodes_path, req.graph.edges_path,
                                   req.graph.reorder);
-      cached = std::move(fetched.entry);
+      parsed = std::move(fetched.entry);
       resp.cache_hit = fetched.hit;
+      // A mutated graph's dynamic snapshot supersedes the parsed bytes:
+      // once topology changed server-side, every request naming these
+      // files sees the current version, even after an LRU eviction
+      // re-parsed the original (unchanged) files.
+      cached = dynamic_current(parsed->key);
+      if (cached == nullptr) cached = parsed;
       g = &cached->graph;
       md = &cached->metadata;
       warm_key = cached->key;
+      resp.graph_version = cached->version;
     }
     span.parse_s = parse_timer.seconds();
     span.cache_hit = resp.cache_hit;
-
-    // Evidence deltas rewrite priors/observations on a cheap structural
-    // copy — the edge lists, CSRs and joint tables stay shared.
-    graph::FactorGraph evidenced;
-    const bool has_delta = req.evidence && !req.evidence->empty();
-    if (has_delta) {
-      evidenced = graph::with_evidence(*g, *req.evidence);
-      g = &evidenced;
-      m_delta_size_.observe(static_cast<double>(req.evidence->size()));
-    }
 
     const bp::EngineKind kind =
         req.engine ? *req.engine : choose_engine(*g, md);
     resp.engine = kind;
     span.engine = std::string(resp.engine_name());
+
+    // Apply the delta. Topology ops mutate the persistent DynamicGraph
+    // entry (version bump, snapshot publish, warm migration); evidence
+    // ops rewrite priors/observations on a cheap structural copy visible
+    // to this request alone — the edge lists, CSRs and joint tables stay
+    // shared either way.
+    graph::FactorGraph evidenced;
+    std::vector<graph::NodeId> seed_nodes;
+    if (mutates) {
+      if (const util::Status s =
+              apply_mutation(req, parsed, kind, cached, seed_nodes);
+          !s.is_ok()) {
+        throw util::InvalidArgument(s.message());
+      }
+      g = &cached->graph;
+      md = &cached->metadata;
+      warm_key = cached->key;
+      resp.graph_version = cached->version;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.mutations;
+      }
+      m_mutations_.inc();
+      m_delta_size_.observe(static_cast<double>(req.delta->size()));
+    } else if (has_delta) {
+      evidenced = graph::with_delta(*g, *req.delta);
+      g = &evidenced;
+      seed_nodes = req.delta->touched();
+      m_delta_size_.observe(static_cast<double>(req.delta->size()));
+    }
 
     bp::BpOptions opts = req.options;
     opts.with_stop(req.cancel);
@@ -426,18 +539,23 @@ Response Server::execute(Request& req,
       opts.with_modelled_deadline(req.deadline.modelled_seconds);
     }
 
-    // Warm start (DESIGN.md §5h). Retained beliefs are filed under
-    // (graph cache key, engine slug + evidence hash). A delta request
-    // first tries its exact fingerprint (repeat of the same re-query),
-    // then the base state it perturbs; on that base hit the engine is
-    // additionally seeded from the delta's touched region so only the
-    // perturbed neighbourhood re-converges. Any miss, or an engine
-    // without warm support, falls back to a cold full run — warm state
-    // is an accelerator, never a correctness dependency.
+    // Warm start (DESIGN.md §5h/§5j). Retained beliefs are filed under
+    // (graph cache key, engine slug + delta hash). An evidence-delta
+    // request first tries its exact fingerprint (repeat of the same
+    // re-query), then the base state it perturbs; a topology mutation
+    // looks up the base state apply_mutation just migrated to the new
+    // versioned key — its converged result IS the new version's base, so
+    // exact == base there. On a warm hit with a delta, the engine is
+    // additionally seeded from the touched region so only the perturbed
+    // neighbourhood re-converges. Any miss, or an engine without warm
+    // support, falls back to a cold full run — warm state is an
+    // accelerator, never a correctness dependency.
     const bool wants_warm = req.warm_start || has_delta;
     const std::uint64_t base_fp = warm_fingerprint(kind, 0);
-    const std::uint64_t exact_fp = warm_fingerprint(
-        kind, has_delta ? req.evidence->fingerprint() : 0);
+    const std::uint64_t exact_fp =
+        mutates ? base_fp
+                : warm_fingerprint(kind,
+                                   has_delta ? req.delta->fingerprint() : 0);
     std::shared_ptr<const std::vector<graph::BeliefVec>> warm;
     if (wants_warm && !warm_key.empty() &&
         bp::engine_supports_warm_start(kind, g->family())) {
@@ -449,10 +567,11 @@ Response Server::execute(Request& req,
     if (warm != nullptr && warm->size() == g->num_nodes()) {
       opts.with_init_beliefs(warm);
       resp.warm_start = true;
-      if (has_delta && bp::engine_supports_frontier_seed(kind, g->family())) {
+      if (has_delta && !seed_nodes.empty() &&
+          bp::engine_supports_frontier_seed(kind, g->family())) {
         opts.with_frontier_seed(
             std::make_shared<const std::vector<graph::NodeId>>(
-                req.evidence->touched()));
+                std::move(seed_nodes)));
       }
     }
 
@@ -591,9 +710,9 @@ void Server::execute_batch(Pending& pending) {
            "per-part permutations");
       continue;
     }
-    if (req.evidence && !req.evidence->empty()) {
+    if (req.delta && !req.delta->empty()) {
       fail(i, util::StatusCode::kInvalidArgument,
-           "batch members cannot carry evidence deltas (submit delta "
+           "batch members cannot carry deltas (submit evidence or mutation "
            "re-queries individually)");
       continue;
     }
@@ -629,6 +748,11 @@ void Server::execute_batch(Pending& pending) {
                                     req.graph.edges_path,
                                     graph::ReorderMode::kNone);
         cached[i] = std::move(fetched.entry);
+        // A mutated graph's latest snapshot supersedes the parsed bytes
+        // for batch members too.
+        if (auto dyn = dynamic_current(cached[i]->key); dyn != nullptr) {
+          cached[i] = std::move(dyn);
+        }
         g = &cached[i]->graph;
       }
       if (g->permutation() != nullptr) {

@@ -33,10 +33,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bp/engine.h"
 #include "credo/dispatcher.h"
+#include "graph/dynamic.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "parallel/thread_pool.h"
@@ -97,6 +99,7 @@ struct ServerStats {
   std::uint64_t cancelled = 0;         // util::StatusCode::kCancelled
   std::uint64_t deadline_expired = 0;  // util::StatusCode::kDeadlineExceeded
   std::uint64_t failed = 0;            // any error code (io/parse/...)
+  std::uint64_t mutations = 0;         // accepted topology mutation batches
   CacheStats cache;
 
   [[nodiscard]] std::uint64_t finished() const noexcept {
@@ -169,9 +172,38 @@ class Server {
     bool batch = false;
   };
 
+  /// Persistent mutable state for one file-backed graph that has received
+  /// topology mutations (DESIGN.md §5j). `current` is the immutable
+  /// snapshot at the latest version — it SUPERSEDES the parsed cache entry
+  /// for every later request naming the same files, so queries keep seeing
+  /// the mutated topology even after LRU eviction re-parses the original
+  /// bytes. Mutations serialize on `mu`; readers take it only long enough
+  /// to copy the `current` shared_ptr, so queries overlap with each other
+  /// and only wait while a new snapshot is being published.
+  struct DynamicEntry {
+    explicit DynamicEntry(graph::DynamicGraph d) : dyn(std::move(d)) {}
+    std::mutex mu;
+    graph::DynamicGraph dyn;
+    std::shared_ptr<const CachedGraph> current;
+  };
+
   void worker_loop();
   [[nodiscard]] Response execute(
       Request& req, std::chrono::steady_clock::time_point enqueued);
+  /// Applies a topology-carrying delta to the named graph's DynamicEntry
+  /// (creating it from `parsed` on first mutation), publishes the new
+  /// snapshot, and migrates the engine's base warm state with only the
+  /// touched region reset. Returns the new snapshot and the frontier seed
+  /// via out-params; a failed validation returns the error status and
+  /// mutates nothing.
+  [[nodiscard]] util::Status apply_mutation(
+      const Request& req, const std::shared_ptr<const CachedGraph>& parsed,
+      bp::EngineKind kind, std::shared_ptr<const CachedGraph>& current_out,
+      std::vector<graph::NodeId>& touched_out);
+  /// The current dynamic snapshot for a parsed entry's key, or null when
+  /// the graph was never mutated.
+  [[nodiscard]] std::shared_ptr<const CachedGraph> dynamic_current(
+      const std::string& base_key);
   void execute_batch(Pending& pending);
   [[nodiscard]] bp::EngineKind choose_engine(
       const graph::FactorGraph& g, const graph::GraphMetadata* md);
@@ -197,6 +229,7 @@ class Server {
   obs::Gauge& m_queue_depth_;
   obs::Histogram& m_batch_occupancy_;
   obs::Histogram& m_delta_size_;
+  obs::Counter& m_mutations_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -207,6 +240,14 @@ class Server {
 
   std::once_flag dispatcher_once_;
   std::unique_ptr<dispatch::Dispatcher> dispatcher_;
+
+  // Dynamic graphs, keyed by the parsed entry's cache key (paths + content
+  // hash + mode, NO version — the entry spans all versions of that file
+  // pair). Entries are created on the first topology mutation and live for
+  // the server's lifetime; dyn_mu_ guards only the map, each entry has its
+  // own mutex.
+  std::mutex dyn_mu_;
+  std::unordered_map<std::string, std::shared_ptr<DynamicEntry>> dynamic_;
 };
 
 /// A client handle onto a Server: same submit semantics, plus a per-session

@@ -19,6 +19,15 @@ std::string status_series(const char* status) {
   return std::string("credo_requests_total{status=\"") + status + "\"}";
 }
 
+/// splitmix64 — deterministic per-request churn targets with no shared
+/// RNG state between session threads.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 util::Table StressReport::table() const {
@@ -69,6 +78,36 @@ StressReport run_stress(Server& server, const StressConfig& config) {
                   "stress config needs at least one graph");
   const unsigned sessions = std::max(1u, config.sessions);
 
+  // Churn aims its new edges at existing nodes, so it needs each graph's
+  // base node count, per-node arities, and joint-store form up front —
+  // shared-joint graphs take the matrix-free add_edge, per-edge graphs
+  // need an explicit matrix. A preflight parse of each file pair (before
+  // the metrics baseline, so the report's delta covers only the replay)
+  // learns all three from the same bytes the server's cache will load.
+  struct Shape {
+    graph::NodeId nodes = 0;
+    bool shared = false;
+    std::vector<std::uint32_t> arity;
+  };
+  std::vector<Shape> shapes;
+  if (config.churn_every > 0) {
+    CREDO_CHECK_MSG(config.batch <= 1,
+                    "churn requires batch <= 1 (fused batch members cannot "
+                    "carry deltas)");
+    for (const auto& gp : config.graphs) {
+      const graph::FactorGraph g = io::read_mtx_belief(gp.first, gp.second);
+      CREDO_CHECK_MSG(g.num_nodes() > 0, "churn preflight saw an empty graph");
+      Shape shape;
+      shape.nodes = g.num_nodes();
+      shape.shared = g.joints().is_shared();
+      shape.arity.reserve(g.num_nodes());
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        shape.arity.push_back(g.arity(v));
+      }
+      shapes.push_back(std::move(shape));
+    }
+  }
+
   // The registry may be process-wide and shared with other servers or
   // earlier runs; differencing two snapshots isolates this replay.
   const obs::MetricsSnapshot before = server.metrics().snapshot();
@@ -117,6 +156,32 @@ StressReport run_stress(Server& server, const StressConfig& config) {
         if (config.cancel_every > 0 &&
             i % config.cancel_every == config.cancel_every - 1) {
           req.with_cancel(cancelled_source.token());
+        }
+        if (config.churn_every > 0 &&
+            i % config.churn_every == config.churn_every - 1) {
+          // Grow fresh nodes wired to deterministic pseudo-random existing
+          // targets. Fresh endpoints mean two concurrent churn batches can
+          // never race on the same edge, whatever order the workers apply
+          // them in.
+          const Shape& shape = shapes[i % config.graphs.size()];
+          graph::GraphDelta delta;
+          const std::size_t edges = std::max<std::size_t>(
+              std::size_t{1}, config.churn_edges);
+          for (std::size_t e = 0; e < edges; ++e) {
+            const graph::NodeId target = static_cast<graph::NodeId>(
+                mix64(config.churn_seed + i * 131 + e) % shape.nodes);
+            const std::uint32_t arity = shape.arity[target];
+            delta.add_node(graph::BeliefVec::uniform(arity));
+            const graph::NodeId fresh =
+                graph::GraphDelta::new_node(static_cast<graph::NodeId>(e));
+            if (shape.shared) {
+              delta.add_edge(fresh, target);
+            } else {
+              delta.add_edge(fresh, target,
+                             graph::JointMatrix::diffusion(arity, 0.8f));
+            }
+          }
+          req.with_delta(std::move(delta));
         }
         if (batch > 1) {
           group.push_back(std::move(req));

@@ -64,6 +64,23 @@ struct StressConfig {
   /// an engine.
   std::size_t batch = 0;
 
+  /// Every Nth request carries a topology mutation batch (0 = none): each
+  /// churn batch grows fresh nodes and wires them to random existing
+  /// targets through a GraphDelta, so the §5j dynamic-graph path — version
+  /// bumps, snapshot publishes, warm migration — runs under concurrent
+  /// query load. Fresh nodes make concurrent churn race-free by
+  /// construction (two in-flight batches can never name the same new edge).
+  /// Requires file-backed graphs (run_stress parses each pair up front to
+  /// learn its size, arities, and joint-store form) and `batch` <= 1
+  /// (fused members cannot carry deltas).
+  std::size_t churn_every = 0;
+
+  /// Fresh nodes (each with one new edge) added per churn batch.
+  std::size_t churn_edges = 2;
+
+  /// Seed for the churn stream's edge-target choices.
+  std::uint64_t churn_seed = 1;
+
   /// Base BpOptions for every request.
   bp::BpOptions options;
 };

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bp/engine.h"
-#include "graph/evidence.h"
+#include "graph/delta.h"
 #include "graph/generators.h"
 #include "graph/ldpc.h"
 #include "io/mtx_belief.h"
@@ -316,7 +316,7 @@ TEST(RequestVocabulary, InvalidRequestResolvesWithoutRunning) {
 
 TEST(RequestVocabulary, FluentBuildersMatchFieldAssignment) {
   bp::runtime::StopSource source;
-  graph::EvidenceDelta delta;
+  graph::GraphDelta delta;
   delta.observe(3, 1);
   const Request built =
       Request{}
@@ -339,8 +339,8 @@ TEST(RequestVocabulary, FluentBuildersMatchFieldAssignment) {
   // a per-request execution knob.
   EXPECT_EQ(built.graph.reorder, graph::ReorderMode::kBfs);
   EXPECT_EQ(built.graph.label(), "n.mtx|e.mtx|bfs");
-  ASSERT_TRUE(built.evidence.has_value());
-  EXPECT_EQ(built.evidence->size(), 1u);
+  ASSERT_TRUE(built.delta.has_value());
+  EXPECT_EQ(built.delta->size(), 1u);
   EXPECT_TRUE(built.warm_start);
   EXPECT_DOUBLE_EQ(built.deadline.host_seconds, 0.5);
   EXPECT_DOUBLE_EQ(built.deadline.modelled_seconds, 2.0);
@@ -625,10 +625,10 @@ TEST_P(WarmStartEquivalence, RepeatAndDeltaRequestsMatchColdRuns) {
   prior.v[0] = 0.7f;
   prior.v[1] = 0.2f;
   prior.v[2] = 0.1f;
-  graph::EvidenceDelta delta;
+  graph::GraphDelta delta;
   delta.observe(unobs[0], 1).set_prior(unobs[1], prior);
   const auto cold_delta = bp::make_default_engine(kind)->run(
-      graph::with_evidence(g, delta), opts);
+      graph::with_delta(g, delta), opts);
 
   Request incremental_req = base;
   incremental_req.with_evidence(delta);
@@ -673,10 +673,10 @@ TEST(Server, DeltaWithoutWarmStateFallsBackColdAndStaysExact) {
 
   graph::NodeId target = 0;
   while (g.observed(target)) ++target;
-  graph::EvidenceDelta delta;
+  graph::GraphDelta delta;
   delta.observe(target, 1);
   const auto reference = bp::make_default_engine(bp::EngineKind::kCpuNode)
-                             ->run(graph::with_evidence(g, delta), opts);
+                             ->run(graph::with_delta(g, delta), opts);
 
   Server server(plain_server(1));
   auto fut = server.submit(Request{}
@@ -755,7 +755,7 @@ TEST(ServerBatch, MemberTriageRejectsUnfusableAndCancelled) {
   std::vector<Request> batch;
   // [0] fusable head; [1] carries a delta (not fusable); [2] pre-cancelled;
   // [3] different options than the head (not fusable).
-  graph::EvidenceDelta delta;
+  graph::GraphDelta delta;
   delta.unobserve(0);
   batch.push_back(Request{}.with_preloaded(shared).with_options(
       test_options()).with_engine(bp::EngineKind::kCpuNode));

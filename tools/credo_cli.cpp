@@ -8,6 +8,9 @@
 //                  [--iters N] [--threshold X] [--threads T]
 //                  [--queues-per-thread K] [--splash-size S] [--syndrome 1]
 //                  [--out beliefs.txt] [--trace trace.csv]
+//   credo mutate   --nodes N.mtx --edges E.mtx [--ops K] [--seed S]
+//                  [--engine c-node|residual|...] [--reorder MODE]
+//                  [--iters N] [--threshold X] [--frontier-damping D]
 //   credo generate --family uniform|kron|social|tree|grid --nodes N
 //                  [--edges M] [--beliefs B] [--seed S] [--observed F]
 //                  --out PREFIX
@@ -47,6 +50,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -455,6 +459,134 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// `credo mutate --nodes N.mtx --edges E.mtx`: the §5j dynamic-graph demo.
+/// Converges the loaded graph once, then streams `--ops` mutation batches
+/// (grown nodes, rewired edges, prior nudges) through a DynamicGraph,
+/// re-converging incrementally after each batch — previous fixed point
+/// overlaid via patch_beliefs, schedule seeded from the touched frontier —
+/// and finishes with a full cold run on the final topology to report the
+/// belief L-inf gap between the incremental path and a rebuild.
+int cmd_mutate(const Args& args) {
+  const auto g = load(args);
+  if (graph::is_ldpc(g.family())) {
+    throw util::InvalidArgument(
+        "mutate runs on tabular graphs (LDPC structure encodes a code)");
+  }
+
+  bp::BpOptions opts;
+  opts.max_iterations =
+      static_cast<std::uint32_t>(args.number("iters", 200));
+  opts.convergence_threshold =
+      static_cast<float>(args.number("threshold", 1e-3));
+  opts.damping = static_cast<float>(args.number("damping", 0.0));
+  opts.frontier_damping =
+      static_cast<float>(args.number("frontier-damping", 0.1));
+  const auto kind = parse_engine(args.get("engine").value_or("c-node"));
+  const auto engine = bp::make_default_engine(kind);
+  const bool seeded = bp::engine_supports_frontier_seed(kind, g.family());
+
+  graph::DynamicOptions dopts;
+  dopts.reorder = g.reorder_mode();
+  auto dyn = graph::DynamicGraph::from_graph(g, dopts);
+
+  auto base = engine->run(*dyn.snapshot(), opts);
+  std::vector<graph::BeliefVec> prev = base.beliefs;
+  std::printf("base:     %u nodes, %llu edges, converged in %u iters\n",
+              dyn.num_nodes(),
+              static_cast<unsigned long long>(dyn.num_edges()),
+              base.stats.iterations);
+
+  const auto n_ops = static_cast<std::size_t>(args.number("ops", 8));
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.number("seed", 42)));
+  const bool shared = g.joints().is_shared();
+  for (std::size_t b = 0; b < n_ops; ++b) {
+    // One batch = one grow + one rewire + one nudge, aimed at random live
+    // nodes. Targets that fail a liveness/duplicate precondition are
+    // simply skipped — validation would reject the whole batch otherwise.
+    graph::GraphDelta delta;
+    const auto live = [&]() -> graph::NodeId {
+      for (int tries = 0; tries < 64; ++tries) {
+        const auto v =
+            static_cast<graph::NodeId>(rng() % dyn.num_nodes());
+        if (!dyn.removed(v)) return v;
+      }
+      throw util::InvalidArgument("mutate: no live nodes left");
+    };
+    const graph::NodeId grow_target = live();
+    delta.add_node(graph::BeliefVec::uniform(dyn.arity(grow_target)));
+    if (shared) {
+      delta.add_edge(graph::GraphDelta::new_node(0), grow_target);
+    } else {
+      delta.add_edge(graph::GraphDelta::new_node(0), grow_target,
+                     graph::JointMatrix::diffusion(
+                         dyn.arity(grow_target), 0.8f));
+    }
+    const graph::NodeId u = live();
+    const graph::NodeId v = live();
+    if (u != v && !dyn.has_edge(u, v) &&
+        dyn.arity(u) == dyn.arity(v)) {
+      if (shared) {
+        delta.add_edge(u, v);
+      } else {
+        delta.add_edge(u, v,
+                       graph::JointMatrix::diffusion(dyn.arity(u), 0.8f));
+      }
+    }
+    const graph::NodeId nudge = live();
+    if (!dyn.observed(nudge)) {
+      graph::BeliefVec p = graph::BeliefVec::uniform(dyn.arity(nudge));
+      p[static_cast<std::uint32_t>(rng() % p.size)] = 2.0f;
+      graph::normalize(p);
+      delta.set_prior(nudge, p);
+    }
+    if (const util::Status s = dyn.apply(delta); !s.is_ok()) {
+      throw util::InvalidArgument("mutation batch rejected: " +
+                                  std::string(s.message()));
+    }
+
+    auto snap = dyn.snapshot();
+    bp::BpOptions ropts = opts;
+    if (seeded) {
+      ropts.with_init_beliefs(
+               std::make_shared<const std::vector<graph::BeliefVec>>(
+                   dyn.patch_beliefs(prev)))
+          .with_frontier_seed(
+              std::make_shared<const std::vector<graph::NodeId>>(
+                  dyn.last_touched()));
+    }
+    const auto inc = engine->run(*snap, ropts);
+    prev = inc.beliefs;
+    std::printf(
+        "v%-3llu ops %zu touched %zu frontier %5.1f%% iters %3u %s\n",
+        static_cast<unsigned long long>(dyn.version()), delta.size(),
+        dyn.last_touched().size(),
+        100.0 * static_cast<double>(inc.stats.frontier_seeded) /
+            static_cast<double>(dyn.num_nodes()),
+        inc.stats.iterations,
+        inc.stats.converged ? "converged" : "iteration cap");
+  }
+
+  // Ground truth: a cold full run on the final topology. The incremental
+  // path must land on the same fixed point.
+  const auto cold = engine->run(*dyn.snapshot(), opts);
+  float linf = 0.0f;
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    for (std::uint32_t s = 0; s < prev[i].size; ++s) {
+      linf = std::max(linf, std::abs(prev[i][s] - cold.beliefs[i][s]));
+    }
+  }
+  std::printf("final:    %u nodes, %llu edges, %llu compactions, dead "
+              "fraction %.3f\n",
+              dyn.num_nodes(),
+              static_cast<unsigned long long>(dyn.num_edges()),
+              static_cast<unsigned long long>(dyn.compactions()),
+              dyn.dead_fraction());
+  std::printf("L-inf vs rebuild: %.3g (threshold %.3g)\n",
+              static_cast<double>(linf),
+              static_cast<double>(opts.convergence_threshold));
+  return linf <= opts.convergence_threshold ? 0 : 3;
+}
+
 /// Scrapes `registry` to `path`: truncate-and-rewrite for files (so the
 /// file always holds one complete exposition), stdout for "-". A `.json`
 /// extension selects the JSON dump over Prometheus text.
@@ -538,6 +670,18 @@ int cmd_serve(const Args& args) {
   stress.deadline.host_seconds = args.number("deadline-ms", 0) / 1000.0;
   stress.cancel_every =
       static_cast<std::size_t>(args.number("cancel-every", 0));
+  // --churn K: every Kth request carries a topology mutation batch, so the
+  // §5j dynamic-graph path runs under concurrent query load.
+  stress.churn_every = static_cast<std::size_t>(args.number("churn", 0));
+  stress.churn_edges =
+      static_cast<std::size_t>(args.number("churn-edges", 2));
+  stress.churn_seed =
+      static_cast<std::uint64_t>(args.number("churn-seed", 1));
+  if (stress.churn_every > 0 && stress.batch > 1) {
+    throw util::InvalidArgument(
+        "--churn and --batch are mutually exclusive (fused batch members "
+        "cannot carry deltas)");
+  }
 
   if (args.get("nodes")) {
     stress.graphs.emplace_back(args.require("nodes"), args.require("edges"));
@@ -657,7 +801,7 @@ int cmd_serve(const Args& args) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: credo <info|run|generate|convert|train|serve>"
+      "usage: credo <info|run|mutate|generate|convert|train|serve>"
       " [--flag value]...\n"
       "  info     --nodes N.mtx --edges E.mtx [--partition P]\n"
       "  run      --nodes N.mtx --edges E.mtx [--engine auto|c-node|...]\n"
@@ -666,6 +810,9 @@ int usage() {
       "           [--splash-size S] [--shards P] [--exchange-every E]\n"
       "           [--syndrome 1] [--out beliefs.txt]\n"
       "           [--trace trace.csv] [--no-queue]\n"
+      "  mutate   --nodes N.mtx --edges E.mtx [--ops K] [--seed S]\n"
+      "           [--engine c-node|residual|...] [--reorder MODE]\n"
+      "           [--iters N] [--threshold X] [--frontier-damping D]\n"
       "  generate --family uniform|kron|social|tree|grid --nodes N\n"
       "           [--edges M] [--beliefs B] [--seed S] [--observed F]"
       " --out PREFIX\n"
@@ -681,6 +828,7 @@ int usage() {
       "           [--queues-per-thread K] [--splash-size S]\n"
       "           [--deadline-every K] [--deadline-ms D]\n"
       "           [--cancel-every K] [--iters N] [--threshold X]\n"
+      "           [--churn K [--churn-edges E] [--churn-seed S]]\n"
       "           [--family ldpc-sum-product|ldpc-min-sum [--bits B]\n"
       "            [--dv V] [--dc C] [--crossover P] [--seed S]]\n"
       "           [--metrics out.prom|out.json|-] [--spans out.jsonl|-]\n");
@@ -696,6 +844,7 @@ int main(int argc, char** argv) {
     const Args args(argc, argv, 2);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "mutate") return cmd_mutate(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "train") return cmd_train(args);
